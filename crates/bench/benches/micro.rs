@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks for the hot kernels.
+//!
+//! These quantify the costs the simulator abstracts away — HTM indexing,
+//! region coverage, the join inner loops, scheduler decisions — so that the
+//! constants in the cost model can be sanity-checked against real code.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use liferaft_catalog::{Catalog, VirtualCatalog};
+use liferaft_core::{
+    AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams,
+};
+use liferaft_htm::{cap::Cap, cover::Coverer, locate, Vec3};
+use liferaft_join::zones::ZoneMap;
+use liferaft_join::{indexed::indexed_join, sweep::sweep_join};
+use liferaft_query::{MatchObject, QueryId, QueueEntry};
+use liferaft_storage::{BucketCache, BucketId, SimDuration, SimTime};
+
+fn bench_htm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("htm");
+    let p = Vec3::from_radec_deg(187.70593, 12.39112); // M87
+    g.bench_function("locate_level14", |b| {
+        b.iter(|| locate(black_box(p), black_box(14)))
+    });
+    g.bench_function("trixel_of_level14", |b| {
+        let id = locate(p, 14);
+        b.iter(|| liferaft_htm::trixel_of(black_box(id)))
+    });
+    for radius_arcsec in [1.0, 60.0, 3600.0] {
+        g.bench_with_input(
+            BenchmarkId::new("cover_bounded_level14", format!("{radius_arcsec}arcsec")),
+            &radius_arcsec,
+            |b, &r| {
+                let cap = Cap::new(p, (r / 3600.0_f64).to_radians());
+                let coverer = Coverer::new(14);
+                b.iter(|| coverer.cover_bounded(black_box(&cap), 4))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn join_fixture(w: usize) -> (Vec<liferaft_catalog::SkyObject>, Vec<QueueEntry>) {
+    const LEVEL: u8 = 14;
+    let cat = VirtualCatalog::new(LEVEL, 64, 10_000, 4096, 77);
+    let bucket = cat.bucket_objects(BucketId(7)).into_owned();
+    let entries: Vec<QueueEntry> = bucket
+        .iter()
+        .step_by((bucket.len() / w).max(1))
+        .take(w)
+        .enumerate()
+        .map(|(i, o)| {
+            let radius = (10.0 / 3600.0_f64).to_radians();
+            let mo = MatchObject::new(o.pos, radius, LEVEL);
+            QueueEntry {
+                query: QueryId(i as u64 % 17),
+                object_index: i as u32,
+                pos: o.pos,
+                radius,
+                bbox: mo.bounding_range(),
+                enqueued_at: SimTime::ZERO,
+            }
+        })
+        .collect();
+    (bucket, entries)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_10k_bucket");
+    for w in [30usize, 300, 3_000] {
+        let (bucket, entries) = join_fixture(w);
+        g.bench_with_input(BenchmarkId::new("sweep", w), &w, |b, _| {
+            b.iter(|| sweep_join(black_box(&bucket), black_box(&entries)))
+        });
+        g.bench_with_input(BenchmarkId::new("indexed", w), &w, |b, _| {
+            b.iter(|| indexed_join(black_box(&bucket), black_box(&entries)))
+        });
+        g.bench_with_input(BenchmarkId::new("zones", w), &w, |b, _| {
+            let zm = ZoneMap::build(&bucket, 0.001);
+            b.iter(|| zm.crossmatch(black_box(&bucket), black_box(&entries)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_pick");
+    for n in [100usize, 1_000, 5_000] {
+        let candidates: Vec<BucketSnapshot> = (0..n)
+            .map(|i| BucketSnapshot {
+                bucket: BucketId(i as u32),
+                queue_len: (i as u64 * 31) % 4_000 + 1,
+                oldest_enqueue: SimTime::from_micros((i as u64 * 7_919) % 1_000_000),
+                cached: i % 37 == 0,
+                bucket_objects: 10_000,
+            })
+            .collect();
+        let now = SimTime::from_micros(2_000_000);
+        g.bench_with_input(BenchmarkId::new("liferaft_alpha05", n), &n, |b, _| {
+            let s = LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5);
+            b.iter(|| s.pick_index(black_box(now), black_box(&candidates)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("bucket_cache_access_20", |b| {
+        let mut cache = BucketCache::new(20);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            cache.access(BucketId(black_box(i)))
+        })
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    const LEVEL: u8 = 14;
+    let cat = VirtualCatalog::new(LEVEL, 1_024, 10_000, 4096, 3);
+    let positions: Vec<Vec3> = (0..200)
+        .map(|i| Vec3::from_radec_deg(150.0 + 0.01 * i as f64, 2.0))
+        .collect();
+    let query = liferaft_query::CrossMatchQuery::from_positions(
+        QueryId(1),
+        &positions,
+        (10.0 / 3600.0_f64).to_radians(),
+        LEVEL,
+        liferaft_query::Predicate::All,
+    );
+    c.bench_function("preprocess_200_object_query", |b| {
+        let pre = liferaft_query::QueryPreProcessor::new(cat.partition());
+        b.iter(|| pre.preprocess(black_box(&query)))
+    });
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let cat = VirtualCatalog::new(14, 256, 10_000, 4096, 5);
+    c.bench_function("virtual_bucket_materialize_10k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 256;
+            cat.bucket_objects(BucketId(black_box(i))).len()
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_htm, bench_joins, bench_scheduler, bench_cache, bench_preprocess, bench_materialize
+}
+criterion_main!(benches);
+
+// Silence the unused-duration lint if criterion's config API changes.
+#[allow(dead_code)]
+fn _keep(_: SimDuration) {}

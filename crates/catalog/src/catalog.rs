@@ -1,0 +1,250 @@
+//! The [`Catalog`] trait and its two implementations.
+
+use std::borrow::Cow;
+
+use liferaft_htm::{HtmId, Vec3};
+use liferaft_storage::{BucketId, BucketMeta};
+
+use crate::hash::{hash4, unit_f64};
+use crate::object::SkyObject;
+use crate::partition::Partition;
+
+/// Read access to a partitioned object catalog.
+///
+/// The scheduler and pre-processor need only the [`Partition`] (bucket
+/// extents); the join evaluator additionally pulls bucket payloads through
+/// [`Catalog::bucket_objects`] when joins are executed for real.
+pub trait Catalog {
+    /// The bucket layout.
+    fn partition(&self) -> &Partition;
+
+    /// The objects of one bucket, HTM-sorted.
+    ///
+    /// Materialized catalogs return a borrow; virtual catalogs generate the
+    /// rows on demand (deterministically per seed).
+    fn bucket_objects(&self, id: BucketId) -> Cow<'_, [SkyObject]>;
+
+    /// Convenience: metadata for one bucket.
+    fn meta(&self, id: BucketId) -> &BucketMeta {
+        self.partition().meta(id)
+    }
+
+    /// Total declared object count.
+    fn total_objects(&self) -> u64 {
+        self.partition().buckets().iter().map(|b| b.object_count).sum()
+    }
+}
+
+/// A fully in-memory catalog: real rows grouped per bucket.
+///
+/// Built from a generated sky via the paper's sort-and-chunk partitioning;
+/// the implementation of choice wherever joins are actually executed.
+#[derive(Debug, Clone)]
+pub struct MaterializedCatalog {
+    partition: Partition,
+    groups: Vec<Vec<SkyObject>>,
+}
+
+impl MaterializedCatalog {
+    /// Partitions an HTM-sorted object table into `per_bucket`-object buckets.
+    pub fn build(
+        objects: &[SkyObject],
+        level: u8,
+        per_bucket: usize,
+        object_bytes: u64,
+    ) -> Self {
+        let (partition, groups) =
+            Partition::build_from_objects(objects, level, per_bucket, object_bytes);
+        MaterializedCatalog { partition, groups }
+    }
+}
+
+impl Catalog for MaterializedCatalog {
+    fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn bucket_objects(&self, id: BucketId) -> Cow<'_, [SkyObject]> {
+        Cow::Borrowed(&self.groups[id.index()])
+    }
+}
+
+/// A paper-scale catalog defined analytically and materialized on demand.
+///
+/// Bucket `i` owns an equal span of the object-level curve and holds exactly
+/// `objects_per_bucket` rows, placed by stratified sampling of the span:
+/// slot `k` gets an HTM ID inside the `k`-th sub-span, jittered by a
+/// counter-based hash of `(seed, bucket, slot)`. Object positions are the
+/// trixel centers of their IDs, so `locate(pos) == htm` holds by
+/// construction and rows come out HTM-sorted with no sorting pass.
+#[derive(Debug, Clone)]
+pub struct VirtualCatalog {
+    partition: Partition,
+    objects_per_bucket: u64,
+    seed: u64,
+}
+
+impl VirtualCatalog {
+    /// Creates a virtual catalog of `n_buckets × objects_per_bucket` rows.
+    ///
+    /// # Panics
+    /// Panics if any bucket span is smaller than `objects_per_bucket` (there
+    /// must be at least one curve position per row so IDs can be strictly
+    /// increasing).
+    pub fn new(
+        level: u8,
+        n_buckets: u32,
+        objects_per_bucket: u64,
+        object_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        let partition =
+            Partition::synthetic_uniform(level, n_buckets, objects_per_bucket, object_bytes);
+        let min_span = partition
+            .buckets()
+            .iter()
+            .map(|b| b.htm_range.len())
+            .min()
+            .expect("at least one bucket");
+        assert!(
+            min_span >= objects_per_bucket,
+            "bucket span {min_span} cannot host {objects_per_bucket} distinct IDs"
+        );
+        VirtualCatalog { partition, objects_per_bucket, seed }
+    }
+
+    /// The paper's experimental scale: level 14, ~20 000 buckets of 10 000
+    /// objects of 4 KB (40 MB buckets).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(crate::OBJECT_LEVEL, 20_000, 10_000, 4096, seed)
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the `slot`-th object of `bucket` (pure function).
+    pub fn object_at(&self, bucket: BucketId, slot: u64) -> SkyObject {
+        debug_assert!(slot < self.objects_per_bucket);
+        let meta = self.partition.meta(bucket);
+        let span = meta.htm_range.len();
+        let lo = meta.htm_range.lo().raw();
+        let n = self.objects_per_bucket;
+        // Stratified: slot k owns sub-span [k·span/n, (k+1)·span/n).
+        let sub_lo = (slot as u128 * span as u128 / n as u128) as u64;
+        let sub_hi = ((slot + 1) as u128 * span as u128 / n as u128) as u64;
+        let gap = (sub_hi - sub_lo).max(1);
+        let h = hash4(self.seed, bucket.0 as u64, slot, 0);
+        let raw = lo + sub_lo + h % gap;
+        let htm = HtmId::from_raw(raw).expect("IDs inside a bucket range are valid");
+        let pos = trixel_center(htm);
+        let mag = 14.0 + 10.0 * unit_f64(hash4(self.seed, bucket.0 as u64, slot, 1)) as f32;
+        SkyObject { htm, pos, mag }
+    }
+}
+
+/// The center position of a trixel (cached root geometry, then a path walk).
+fn trixel_center(id: HtmId) -> Vec3 {
+    liferaft_htm::trixel_of(id).center()
+}
+
+impl Catalog for VirtualCatalog {
+    fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn bucket_objects(&self, id: BucketId) -> Cow<'_, [SkyObject]> {
+        let rows: Vec<SkyObject> = (0..self.objects_per_bucket)
+            .map(|slot| self.object_at(id, slot))
+            .collect();
+        debug_assert!(crate::object::is_htm_sorted(&rows));
+        Cow::Owned(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::uniform_sky;
+    use crate::object::is_htm_sorted;
+
+    #[test]
+    fn materialized_catalog_round_trip() {
+        let sky = uniform_sky(300, 8, 11);
+        let cat = MaterializedCatalog::build(&sky, 8, 50, 4096);
+        assert_eq!(cat.partition().num_buckets(), 6);
+        assert_eq!(cat.total_objects(), 300);
+        let b0 = cat.bucket_objects(BucketId(0));
+        assert_eq!(b0.len(), 50);
+        assert!(matches!(b0, Cow::Borrowed(_)));
+        // Objects in bucket 0 are exactly the 50 smallest HTM IDs.
+        assert_eq!(&b0[..], &sky[..50]);
+    }
+
+    #[test]
+    fn virtual_catalog_rows_are_sorted_unique_and_in_range() {
+        let cat = VirtualCatalog::new(10, 16, 200, 4096, 99);
+        for b in [0u32, 7, 15] {
+            let id = BucketId(b);
+            let rows = cat.bucket_objects(id);
+            assert_eq!(rows.len(), 200);
+            assert!(is_htm_sorted(&rows));
+            let meta = cat.meta(id);
+            for w in rows.windows(2) {
+                assert!(w[0].htm < w[1].htm, "duplicate or unsorted IDs");
+            }
+            for o in rows.iter() {
+                assert!(meta.htm_range.contains(o.htm));
+                assert!((o.pos.norm() - 1.0).abs() < 1e-9);
+                assert!((14.0..24.0).contains(&o.mag));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_catalog_is_deterministic() {
+        let a = VirtualCatalog::new(10, 8, 100, 4096, 5);
+        let b = VirtualCatalog::new(10, 8, 100, 4096, 5);
+        let c = VirtualCatalog::new(10, 8, 100, 4096, 6);
+        assert_eq!(
+            a.bucket_objects(BucketId(3)).as_ref(),
+            b.bucket_objects(BucketId(3)).as_ref()
+        );
+        assert_ne!(
+            a.bucket_objects(BucketId(3)).as_ref(),
+            c.bucket_objects(BucketId(3)).as_ref()
+        );
+    }
+
+    #[test]
+    fn virtual_positions_agree_with_ids() {
+        let cat = VirtualCatalog::new(8, 8, 50, 4096, 1);
+        for o in cat.bucket_objects(BucketId(2)).iter() {
+            assert_eq!(liferaft_htm::locate(o.pos, 8), o.htm);
+        }
+    }
+
+    #[test]
+    fn paper_scale_metadata_without_materialization() {
+        let cat = VirtualCatalog::paper_scale(42);
+        assert_eq!(cat.partition().num_buckets(), 20_000);
+        assert_eq!(cat.total_objects(), 200_000_000);
+        assert_eq!(cat.meta(BucketId(0)).bytes, 40_960_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn virtual_rejects_overfull_buckets() {
+        // Level 2 has 128 positions; 8 buckets of 32 objects need 256.
+        VirtualCatalog::new(2, 8, 32, 1, 0);
+    }
+
+    #[test]
+    fn object_at_is_pure() {
+        let cat = VirtualCatalog::new(10, 8, 100, 4096, 5);
+        let a = cat.object_at(BucketId(1), 42);
+        let b = cat.object_at(BucketId(1), 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic sky generation.
+//!
+//! Two generators feed the [`MaterializedCatalog`](crate::MaterializedCatalog):
+//! a uniform sky (density-flat, exercises the partitioner's equal-count
+//! guarantee) and a clustered sky (galaxy-cluster-style hotspots, exercises
+//! the partitioner under the skew that makes equal-*area* partitioning fail
+//! and motivates equal-*count* buckets in the first place).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use liferaft_htm::Vec3;
+
+use crate::object::{sort_by_htm, SkyObject};
+
+/// Draws a uniformly distributed point on the unit sphere.
+///
+/// Uniform in area: z uniform in [−1, 1], azimuth uniform in [0, 2π).
+pub fn uniform_point<R: Rng>(rng: &mut R) -> Vec3 {
+    let z: f64 = rng.gen_range(-1.0..1.0);
+    let ra: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    Vec3::from_radec(ra, z.asin())
+}
+
+/// Draws a point near `center` with angular Gaussian spread `sigma` radians.
+///
+/// Offsets in the local tangent plane, then renormalizes — accurate for the
+/// small sigmas (≤ a few degrees) used for cluster cores.
+pub fn clustered_point<R: Rng>(rng: &mut R, center: Vec3, sigma: f64) -> Vec3 {
+    // Box–Muller for two independent normals.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt() * sigma;
+    let theta = std::f64::consts::TAU * u2;
+    let (dx, dy) = (r * theta.cos(), r * theta.sin());
+    // Build an orthonormal tangent basis at `center`.
+    let helper = if center.z.abs() < 0.9 { Vec3::NORTH } else { Vec3::new(1.0, 0.0, 0.0) };
+    let e1 = center.cross(helper).normalized();
+    let e2 = center.cross(e1).normalized();
+    center.add(e1.scale(dx)).add(e2.scale(dy)).normalized()
+}
+
+/// Generates `n` objects uniformly over the sphere, HTM-sorted.
+pub fn uniform_sky(n: usize, level: u8, seed: u64) -> Vec<SkyObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut objects: Vec<SkyObject> = (0..n)
+        .map(|_| {
+            let pos = uniform_point(&mut rng);
+            let mag = rng.gen_range(14.0f32..24.0);
+            SkyObject::at(pos, level, mag)
+        })
+        .collect();
+    sort_by_htm(&mut objects);
+    objects
+}
+
+/// Parameters of a clustered sky.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of cluster centers, uniformly placed.
+    pub clusters: usize,
+    /// Angular spread of each cluster (radians).
+    pub sigma: f64,
+    /// Fraction of objects belonging to clusters (rest are uniform field).
+    pub cluster_fraction: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            clusters: 16,
+            sigma: 0.02,
+            cluster_fraction: 0.7,
+        }
+    }
+}
+
+/// Generates `n` objects with galaxy-cluster-like density skew, HTM-sorted.
+pub fn clustered_sky(n: usize, level: u8, seed: u64, cfg: ClusterConfig) -> Vec<SkyObject> {
+    assert!(
+        (0.0..=1.0).contains(&cfg.cluster_fraction),
+        "cluster_fraction must be in [0,1]"
+    );
+    assert!(cfg.clusters > 0 || cfg.cluster_fraction == 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec3> = (0..cfg.clusters).map(|_| uniform_point(&mut rng)).collect();
+    let mut objects: Vec<SkyObject> = (0..n)
+        .map(|_| {
+            let pos = if !centers.is_empty() && rng.gen_bool(cfg.cluster_fraction) {
+                let c = centers[rng.gen_range(0..centers.len())];
+                clustered_point(&mut rng, c, cfg.sigma)
+            } else {
+                uniform_point(&mut rng)
+            };
+            let mag = rng.gen_range(14.0f32..24.0);
+            SkyObject::at(pos, level, mag)
+        })
+        .collect();
+    sort_by_htm(&mut objects);
+    objects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::is_htm_sorted;
+
+    #[test]
+    fn uniform_sky_is_sorted_and_unit() {
+        let sky = uniform_sky(500, 10, 42);
+        assert_eq!(sky.len(), 500);
+        assert!(is_htm_sorted(&sky));
+        for o in &sky {
+            assert!((o.pos.norm() - 1.0).abs() < 1e-9);
+            assert!((14.0..24.0).contains(&o.mag));
+        }
+    }
+
+    #[test]
+    fn uniform_sky_is_deterministic_per_seed() {
+        let a = uniform_sky(100, 10, 7);
+        let b = uniform_sky(100, 10, 7);
+        let c = uniform_sky(100, 10, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_sky_covers_both_hemispheres() {
+        let sky = uniform_sky(2_000, 8, 1);
+        let north = sky.iter().filter(|o| o.pos.z > 0.0).count();
+        let frac = north as f64 / sky.len() as f64;
+        assert!((0.42..0.58).contains(&frac), "north fraction {frac}");
+    }
+
+    #[test]
+    fn clustered_sky_is_skewed() {
+        let cfg = ClusterConfig { clusters: 4, sigma: 0.01, cluster_fraction: 0.9 };
+        let sky = clustered_sky(4_000, 8, 99, cfg);
+        assert!(is_htm_sorted(&sky));
+        // Count objects per level-4 trixel; the top trixels should hold far
+        // more than a uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for o in &sky {
+            *counts.entry(o.htm.ancestor_at(4)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let uniform_share = sky.len() / 2048; // 8·4^4 = 2048 trixels
+        assert!(
+            max > uniform_share * 20,
+            "no hotspot: max {max} vs uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn clustered_point_stays_near_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = Vec3::from_radec_deg(100.0, 45.0);
+        for _ in 0..200 {
+            let p = clustered_point(&mut rng, center, 0.01);
+            assert!(center.angle_to(p) < 0.08, "outlier at {}", center.angle_to(p));
+        }
+    }
+
+    #[test]
+    fn clustered_point_works_near_poles() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = clustered_point(&mut rng, Vec3::NORTH, 0.01);
+        assert!((p.norm() - 1.0).abs() < 1e-9);
+        assert!(Vec3::NORTH.angle_to(p) < 0.1);
+    }
+
+    #[test]
+    fn zero_cluster_fraction_degenerates_to_uniform() {
+        let cfg = ClusterConfig { clusters: 1, sigma: 0.01, cluster_fraction: 0.0 };
+        let sky = clustered_sky(1_000, 8, 5, cfg);
+        let north = sky.iter().filter(|o| o.pos.z > 0.0).count() as f64 / 1_000.0;
+        assert!((0.4..0.6).contains(&north));
+    }
+}

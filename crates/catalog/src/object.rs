@@ -1,0 +1,73 @@
+//! Catalog rows: celestial objects.
+
+use liferaft_htm::{HtmId, Vec3};
+
+/// One catalog row: an observed celestial object.
+///
+/// The paper's cross-match operates on point data carrying "its mean
+/// cartesian coordinate and a range of HTM ID values" — the catalog side of
+/// the join needs only the position, its HTM index (the sort key of the
+/// bucket layout), and a magnitude for query-specific predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkyObject {
+    /// HTM ID of the object at the catalog's object level.
+    pub htm: HtmId,
+    /// Unit vector position on the celestial sphere.
+    pub pos: Vec3,
+    /// Apparent magnitude (brightness; larger is fainter). Used by
+    /// query-specific predicates applied after the spatial join.
+    pub mag: f32,
+}
+
+impl SkyObject {
+    /// Creates an object, indexing the position at `level`.
+    pub fn at(pos: Vec3, level: u8, mag: f32) -> Self {
+        SkyObject {
+            htm: liferaft_htm::locate(pos, level),
+            pos,
+            mag,
+        }
+    }
+}
+
+/// Sorts objects by HTM ID — the catalog's physical layout order.
+pub fn sort_by_htm(objects: &mut [SkyObject]) {
+    objects.sort_unstable_by_key(|o| o.htm);
+}
+
+/// Verifies a slice is HTM-sorted (debug invariant for bucket payloads).
+pub fn is_htm_sorted(objects: &[SkyObject]) -> bool {
+    objects.windows(2).all(|w| w[0].htm <= w[1].htm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_indexes_position() {
+        let pos = Vec3::from_radec_deg(15.0, -30.0);
+        let o = SkyObject::at(pos, 10, 18.5);
+        assert_eq!(o.htm.level(), 10);
+        assert_eq!(o.htm, liferaft_htm::locate(pos, 10));
+        assert_eq!(o.mag, 18.5);
+    }
+
+    #[test]
+    fn sorting_orders_by_curve() {
+        let mut objs: Vec<SkyObject> = [(200.0, 10.0), (10.0, 10.0), (100.0, -50.0)]
+            .iter()
+            .map(|&(ra, dec)| SkyObject::at(Vec3::from_radec_deg(ra, dec), 8, 20.0))
+            .collect();
+        assert!(!is_htm_sorted(&objs) || objs.len() < 2);
+        sort_by_htm(&mut objs);
+        assert!(is_htm_sorted(&objs));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_sorted() {
+        assert!(is_htm_sorted(&[]));
+        let o = SkyObject::at(Vec3::from_radec_deg(0.0, 0.0), 5, 1.0);
+        assert!(is_htm_sorted(&[o]));
+    }
+}

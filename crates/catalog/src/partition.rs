@@ -1,0 +1,323 @@
+//! Equal-sized bucket partitioning along the HTM curve.
+//!
+//! "We employ [the space-filling-curve] property to enforce a linear
+//! ordering on SkyQuery objects that allows us to partition the data into
+//! equal-sized buckets while preserving spatial proximity. […] Equal-sized
+//! buckets result in uniform I/O cost for accessing each bucket."
+//! — Section 3.1.
+//!
+//! A [`Partition`] is a total, gap-free tiling of the object-level HTM curve
+//! by contiguous bucket ranges: every object-level HTM ID belongs to exactly
+//! one bucket, so query pre-processing can map any object's bounding ranges
+//! to bucket IDs with a binary search.
+
+use liferaft_htm::{HtmId, HtmRange, HtmRangeSet};
+use liferaft_storage::{BucketId, BucketMeta};
+
+use crate::object::{is_htm_sorted, SkyObject};
+
+/// A total partition of the level-`level` HTM curve into contiguous buckets.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    level: u8,
+    /// `starts[i]` is the raw HTM ID where bucket `i` begins; bucket `i`
+    /// covers `[starts[i], starts[i+1] - 1]`, the last bucket ending at the
+    /// curve's end. Invariant: strictly increasing, `starts[0]` = curve start.
+    starts: Vec<u64>,
+    buckets: Vec<BucketMeta>,
+}
+
+impl Partition {
+    /// Builds the paper's partition from an HTM-sorted object table: cut the
+    /// curve every `per_bucket` objects. Returns the partition and the
+    /// objects grouped per bucket (same order as the input).
+    ///
+    /// `object_bytes` sizes each bucket for the disk model (the paper's
+    /// 10 000 × 4 KB ⇒ 40 MB).
+    ///
+    /// # Panics
+    /// Panics if the input is unsorted, empty, or `per_bucket == 0`.
+    pub fn build_from_objects(
+        objects: &[SkyObject],
+        level: u8,
+        per_bucket: usize,
+        object_bytes: u64,
+    ) -> (Partition, Vec<Vec<SkyObject>>) {
+        assert!(per_bucket > 0, "per_bucket must be positive");
+        assert!(!objects.is_empty(), "cannot partition an empty catalog");
+        assert!(is_htm_sorted(objects), "objects must be HTM-sorted");
+        assert!(
+            objects.iter().all(|o| o.htm.level() == level),
+            "all objects must be indexed at the partition level"
+        );
+
+        let curve_start = HtmId::first_at_level(level).raw();
+        let mut starts = Vec::new();
+        let mut groups: Vec<Vec<SkyObject>> = Vec::new();
+        for chunk in objects.chunks(per_bucket) {
+            // The bucket boundary is the first object's ID, except the very
+            // first bucket which extends back to the curve start so the
+            // tiling is total.
+            let boundary = if starts.is_empty() {
+                curve_start
+            } else {
+                chunk[0].htm.raw()
+            };
+            // Ties across a chunk boundary (equal HTM IDs) would make the
+            // boundary ambiguous; nudge the boundary to keep starts strictly
+            // increasing. (With level-14 IDs duplicates are vanishingly rare.)
+            let boundary = match starts.last() {
+                Some(&prev) if boundary <= prev => prev + 1,
+                _ => boundary,
+            };
+            starts.push(boundary);
+            groups.push(chunk.to_vec());
+        }
+        let partition = Partition::from_starts(level, starts, |i| {
+            let count = groups[i].len() as u64;
+            (count, count * object_bytes)
+        });
+        (partition, groups)
+    }
+
+    /// Builds a synthetic partition of `n_buckets` equal curve spans, each
+    /// declared to hold `objects_per_bucket` objects of `object_bytes` bytes.
+    ///
+    /// This is the virtual-catalog layout: at paper scale (≈20 000 buckets ×
+    /// 10 000 objects) buckets are defined analytically and materialized on
+    /// demand.
+    pub fn synthetic_uniform(
+        level: u8,
+        n_buckets: u32,
+        objects_per_bucket: u64,
+        object_bytes: u64,
+    ) -> Partition {
+        assert!(n_buckets > 0, "need at least one bucket");
+        let first = HtmId::first_at_level(level).raw();
+        let total_span = HtmId::count_at_level(level);
+        assert!(
+            total_span >= n_buckets as u64,
+            "more buckets than curve positions"
+        );
+        let starts: Vec<u64> = (0..n_buckets)
+            .map(|i| first + (i as u64 * total_span) / n_buckets as u64)
+            .collect();
+        Partition::from_starts(level, starts, |_| {
+            (objects_per_bucket, objects_per_bucket * object_bytes)
+        })
+    }
+
+    fn from_starts(
+        level: u8,
+        starts: Vec<u64>,
+        size_of: impl Fn(usize) -> (u64, u64),
+    ) -> Partition {
+        assert!(!starts.is_empty());
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "bucket starts must be strictly increasing"
+        );
+        let curve_end = HtmId::last_at_level(level).raw();
+        assert!(
+            *starts.last().expect("non-empty") <= curve_end,
+            "bucket start beyond curve end"
+        );
+        let buckets = (0..starts.len())
+            .map(|i| {
+                let lo = starts[i];
+                let hi = if i + 1 < starts.len() {
+                    starts[i + 1] - 1
+                } else {
+                    curve_end
+                };
+                let (object_count, bytes) = size_of(i);
+                BucketMeta {
+                    id: BucketId(i as u32),
+                    htm_range: HtmRange::new(
+                        HtmId::from_raw(lo).expect("valid partition boundary"),
+                        HtmId::from_raw(hi).expect("valid partition boundary"),
+                    ),
+                    object_count,
+                    bytes,
+                }
+            })
+            .collect();
+        Partition { level, starts, buckets }
+    }
+
+    /// The object-level of the partition.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// All bucket metadata in curve order.
+    pub fn buckets(&self) -> &[BucketMeta] {
+        &self.buckets
+    }
+
+    /// Metadata for one bucket.
+    pub fn meta(&self, id: BucketId) -> &BucketMeta {
+        &self.buckets[id.index()]
+    }
+
+    /// The bucket owning an object-level HTM ID (total: every ID has one).
+    pub fn bucket_of(&self, id: HtmId) -> BucketId {
+        assert_eq!(id.level(), self.level, "bucket_of requires object-level IDs");
+        let raw = id.raw();
+        // partition_point returns the first start > raw; the owner is the
+        // bucket before it.
+        let idx = self.starts.partition_point(|&s| s <= raw);
+        BucketId((idx - 1) as u32)
+    }
+
+    /// The inclusive bucket span overlapping an object-level HTM range.
+    pub fn buckets_overlapping(&self, range: HtmRange) -> std::ops::RangeInclusive<u32> {
+        let lo = self.bucket_of(range.lo()).0;
+        let hi = self.bucket_of(range.hi()).0;
+        lo..=hi
+    }
+
+    /// The sorted, deduplicated bucket IDs overlapping any range of the set.
+    pub fn buckets_overlapping_set(&self, set: &HtmRangeSet) -> Vec<BucketId> {
+        let mut out: Vec<BucketId> = Vec::new();
+        for &r in set.ranges() {
+            for b in self.buckets_overlapping(r) {
+                if out.last() != Some(&BucketId(b)) {
+                    out.push(BucketId(b));
+                }
+            }
+        }
+        // Ranges in a set are sorted, so `out` is sorted; dedup handled above
+        // except across set ranges mapping to the same bucket.
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::uniform_sky;
+    use liferaft_htm::Vec3;
+
+    #[test]
+    fn build_from_objects_equal_counts() {
+        let sky = uniform_sky(1_000, 8, 42);
+        let (p, groups) = Partition::build_from_objects(&sky, 8, 100, 4096);
+        assert_eq!(p.num_buckets(), 10);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.len(), 100, "bucket {i}");
+            assert_eq!(p.buckets()[i].object_count, 100);
+            assert_eq!(p.buckets()[i].bytes, 100 * 4096);
+        }
+    }
+
+    #[test]
+    fn build_handles_ragged_tail() {
+        let sky = uniform_sky(250, 8, 1);
+        let (p, groups) = Partition::build_from_objects(&sky, 8, 100, 1);
+        assert_eq!(p.num_buckets(), 3);
+        assert_eq!(groups[2].len(), 50);
+        assert_eq!(p.buckets()[2].object_count, 50);
+    }
+
+    #[test]
+    fn partition_tiles_the_whole_curve() {
+        let sky = uniform_sky(500, 8, 7);
+        let (p, _) = Partition::build_from_objects(&sky, 8, 50, 1);
+        // First bucket starts at the curve start; last ends at the curve end.
+        assert_eq!(
+            p.buckets().first().unwrap().htm_range.lo(),
+            HtmId::first_at_level(8)
+        );
+        assert_eq!(
+            p.buckets().last().unwrap().htm_range.hi(),
+            HtmId::last_at_level(8)
+        );
+        // Adjacent buckets are contiguous with no gaps.
+        for w in p.buckets().windows(2) {
+            assert_eq!(w[0].htm_range.hi().raw() + 1, w[1].htm_range.lo().raw());
+        }
+    }
+
+    #[test]
+    fn every_object_lands_in_its_group_bucket() {
+        let sky = uniform_sky(400, 8, 3);
+        let (p, groups) = Partition::build_from_objects(&sky, 8, 64, 1);
+        for (i, g) in groups.iter().enumerate() {
+            for o in g {
+                assert_eq!(p.bucket_of(o.htm), BucketId(i as u32));
+                assert!(p.buckets()[i].htm_range.contains(o.htm));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        let p = Partition::synthetic_uniform(4, 8, 10, 1);
+        assert_eq!(p.bucket_of(HtmId::first_at_level(4)), BucketId(0));
+        assert_eq!(p.bucket_of(HtmId::last_at_level(4)), BucketId(7));
+        // The ID just below bucket 1's start belongs to bucket 0.
+        let b1_lo = p.buckets()[1].htm_range.lo();
+        assert_eq!(p.bucket_of(b1_lo), BucketId(1));
+        let before = HtmId::from_raw_unchecked(b1_lo.raw() - 1);
+        assert_eq!(p.bucket_of(before), BucketId(0));
+    }
+
+    #[test]
+    fn synthetic_uniform_has_equal_spans() {
+        let p = Partition::synthetic_uniform(6, 32, 100, 4096);
+        assert_eq!(p.num_buckets(), 32);
+        let spans: Vec<u64> = p.buckets().iter().map(|b| b.htm_range.len()).collect();
+        let (mn, mx) = (spans.iter().min().unwrap(), spans.iter().max().unwrap());
+        assert!(mx - mn <= 1, "spans should differ by at most 1: {mn}..{mx}");
+        assert!(p.buckets().iter().all(|b| b.object_count == 100));
+    }
+
+    #[test]
+    fn buckets_overlapping_range_and_set() {
+        let p = Partition::synthetic_uniform(4, 8, 10, 1);
+        let all = HtmRange::full(4);
+        assert_eq!(p.buckets_overlapping(all), 0..=7);
+        // A range inside bucket 3.
+        let b3 = p.buckets()[3].htm_range;
+        assert_eq!(p.buckets_overlapping(b3), 3..=3);
+        // A set spanning buckets 1..=2 and 5.
+        let set = HtmRangeSet::from_ranges(vec![
+            HtmRange::new(p.buckets()[1].htm_range.lo(), p.buckets()[2].htm_range.hi()),
+            p.buckets()[5].htm_range,
+        ]);
+        let ids = p.buckets_overlapping_set(&set);
+        assert_eq!(ids, vec![BucketId(1), BucketId(2), BucketId(5)]);
+    }
+
+    #[test]
+    fn paper_scale_partition_is_cheap() {
+        // 20 000 buckets of 10 000 objects — metadata only, no objects.
+        let p = Partition::synthetic_uniform(14, 20_000, 10_000, 4096);
+        assert_eq!(p.num_buckets(), 20_000);
+        let b = p.meta(BucketId(19_999));
+        assert_eq!(b.bytes, 40_960_000);
+        assert_eq!(b.htm_range.hi(), HtmId::last_at_level(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "HTM-sorted")]
+    fn build_rejects_unsorted_input() {
+        let a = SkyObject::at(Vec3::from_radec_deg(300.0, 80.0), 8, 1.0);
+        let b = SkyObject::at(Vec3::from_radec_deg(10.0, -80.0), 8, 1.0);
+        let (hi, lo) = if a.htm < b.htm { (b, a) } else { (a, b) };
+        Partition::build_from_objects(&[hi, lo], 8, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn build_rejects_empty_input() {
+        Partition::build_from_objects(&[], 8, 10, 1);
+    }
+}

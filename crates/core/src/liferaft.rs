@@ -1,0 +1,171 @@
+//! The LifeRaft scheduling policy.
+
+use liferaft_storage::SimTime;
+
+use crate::metric::{aged_scores, AgingMode, MetricParams};
+use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView};
+
+/// LifeRaft at a fixed age bias α.
+///
+/// Every decision scores all non-empty workload queues with the aged
+/// workload throughput metric and services the maximum: "buckets are
+/// evaluated greedily in order of decreasing workload throughput"
+/// (Section 3.2), with α trading throughput against arrival-order fairness
+/// (Section 3.3). The batch always consumes the whole queue and shares I/O
+/// through the bucket cache.
+#[derive(Debug, Clone)]
+pub struct LifeRaftScheduler {
+    params: MetricParams,
+    mode: AgingMode,
+    alpha: f64,
+}
+
+impl LifeRaftScheduler {
+    /// Creates a scheduler with bias `alpha ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if α is outside `[0, 1]`.
+    pub fn new(params: MetricParams, mode: AgingMode, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
+        LifeRaftScheduler { params, mode, alpha }
+    }
+
+    /// The greedy, maximum-throughput configuration (α = 0).
+    pub fn greedy(params: MetricParams) -> Self {
+        Self::new(params, AgingMode::Normalized, 0.0)
+    }
+
+    /// The purely age-driven configuration (α = 1).
+    pub fn age_based(params: MetricParams) -> Self {
+        Self::new(params, AgingMode::Normalized, 1.0)
+    }
+
+    /// Current bias.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Adjusts the bias (the adaptive controller's knob).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
+        self.alpha = alpha;
+    }
+
+    /// Picks the best candidate index for the given time, or `None` if there
+    /// are no candidates. Exposed for metric-level tests and tooling.
+    pub fn pick_index(&self, now: SimTime, candidates: &[BucketSnapshot]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let scores = aged_scores(&self.params, self.mode, self.alpha, now, candidates);
+        // Max score; ties broken by longer queue (amortize more work per
+        // read), then by lower bucket ID for determinism.
+        let mut best = 0usize;
+        for i in 1..candidates.len() {
+            let better = scores[i] > scores[best]
+                || (scores[i] == scores[best]
+                    && (candidates[i].queue_len > candidates[best].queue_len
+                        || (candidates[i].queue_len == candidates[best].queue_len
+                            && candidates[i].bucket < candidates[best].bucket)));
+            if better {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+impl Scheduler for LifeRaftScheduler {
+    fn name(&self) -> String {
+        format!("LifeRaft(α={:.2})", self.alpha)
+    }
+
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
+        let candidates = view.candidates();
+        let idx = self.pick_index(view.now(), candidates)?;
+        Some(BatchSpec {
+            bucket: candidates[idx].bucket,
+            scope: BatchScope::AllQueued,
+            share_io: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FixtureView;
+    use liferaft_storage::{BucketId, SimDuration};
+
+    fn snap(bucket: u32, queue_len: u64, enq_s: u64, cached: bool) -> BucketSnapshot {
+        BucketSnapshot {
+            bucket: BucketId(bucket),
+            queue_len,
+            oldest_enqueue: SimTime::ZERO + SimDuration::from_secs(enq_s),
+            cached,
+            bucket_objects: 10_000,
+        }
+    }
+
+    fn view(candidates: Vec<BucketSnapshot>, now_s: u64) -> FixtureView {
+        FixtureView {
+            now: SimTime::ZERO + SimDuration::from_secs(now_s),
+            candidates,
+            oldest_query: None,
+            query_buckets: vec![],
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_cached_then_longest_queue() {
+        let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
+        // Cached small queue beats uncached huge queue at α=0.
+        let v = view(vec![snap(0, 5_000, 10, false), snap(1, 10, 10, true)], 20);
+        let pick = s.pick(&v).unwrap();
+        assert_eq!(pick.bucket, BucketId(1));
+        assert_eq!(pick.scope, BatchScope::AllQueued);
+        assert!(pick.share_io);
+        // Among uncached queues, longest wins.
+        let v = view(vec![snap(0, 100, 10, false), snap(1, 900, 10, false)], 20);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
+    }
+
+    #[test]
+    fn age_based_services_oldest_first() {
+        let mut s = LifeRaftScheduler::age_based(MetricParams::paper());
+        let v = view(vec![snap(0, 9_000, 15, false), snap(1, 1, 2, false)], 20);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
+    }
+
+    #[test]
+    fn no_candidates_yields_none() {
+        let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
+        assert!(s.pick(&view(vec![], 1)).is_none());
+    }
+
+    #[test]
+    fn ties_break_by_queue_then_bucket() {
+        let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
+        // Two identical cached buckets (both at max Ut): longer queue wins.
+        let v = view(vec![snap(3, 10, 5, true), snap(7, 20, 5, true)], 20);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(7));
+        // Fully identical: lower bucket ID wins.
+        let v = view(vec![snap(9, 10, 5, true), snap(4, 10, 5, true)], 20);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(4));
+    }
+
+    #[test]
+    fn alpha_is_tunable_at_runtime() {
+        let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
+        assert_eq!(s.alpha(), 0.0);
+        s.set_alpha(0.75);
+        assert_eq!(s.alpha(), 0.75);
+        assert!(s.name().contains("0.75"));
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be in")]
+    fn invalid_alpha_rejected() {
+        LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, -0.1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The workload throughput metric (Eq. 1) and its aged variant (Eq. 2).
+
+use liferaft_storage::CostModel;
+
+use crate::scheduler::BucketSnapshot;
+use liferaft_storage::SimTime;
+
+/// Cost parameters of the metric: the paper's `Tb` and `Tm`, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricParams {
+    /// Bucket read cost in milliseconds.
+    pub tb_ms: f64,
+    /// Per-object match cost in milliseconds.
+    pub tm_ms: f64,
+}
+
+impl MetricParams {
+    /// Extracts the metric constants from a [`CostModel`].
+    pub fn from_cost(cost: &CostModel) -> Self {
+        MetricParams {
+            tb_ms: cost.tb.as_millis_f64(),
+            tm_ms: cost.tm.as_millis_f64(),
+        }
+    }
+
+    /// The paper's constants: Tb = 1200 ms, Tm = 0.13 ms.
+    pub fn paper() -> Self {
+        Self::from_cost(&CostModel::paper())
+    }
+
+    /// Eq. 1: `Ut(i) = W / (Tb·φ(i) + Tm·W)`, in objects per millisecond.
+    ///
+    /// `φ(i)` is 0 when the bucket is cached and 1 otherwise; an empty queue
+    /// scores 0 (nothing to consume).
+    pub fn workload_throughput(&self, queue_len: u64, cached: bool) -> f64 {
+        if queue_len == 0 {
+            return 0.0;
+        }
+        let w = queue_len as f64;
+        let phi = if cached { 0.0 } else { 1.0 };
+        w / (self.tb_ms * phi + self.tm_ms * w)
+    }
+
+    /// Upper bound of Eq. 1: a cached bucket consumes `1/Tm` objects per ms
+    /// regardless of queue length.
+    pub fn max_throughput(&self) -> f64 {
+        1.0 / self.tm_ms
+    }
+}
+
+/// How the age term is combined with the throughput term in Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgingMode {
+    /// Min–max normalize both `Ut` and `A` over the candidate set before
+    /// blending (our default; see DESIGN.md §2 — the paper's raw sum mixes
+    /// objects/ms with milliseconds, letting age dominate for any α > 0).
+    Normalized,
+    /// The paper's Eq. 2 verbatim: `Ua = Ut·(1−α) + A·α` on raw values.
+    /// Kept for the ablation bench.
+    Raw,
+}
+
+/// Scores every candidate with the aged workload throughput metric.
+///
+/// Returns one score per snapshot, aligned with the input order. The caller
+/// picks the maximum (ties are the caller's policy).
+pub fn aged_scores(
+    params: &MetricParams,
+    mode: AgingMode,
+    alpha: f64,
+    now: SimTime,
+    candidates: &[BucketSnapshot],
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
+    let mut ut: Vec<f64> = candidates
+        .iter()
+        .map(|c| params.workload_throughput(c.queue_len, c.cached))
+        .collect();
+    let mut age: Vec<f64> = candidates.iter().map(|c| c.age_ms(now)).collect();
+    if mode == AgingMode::Normalized {
+        liferaft_metrics::min_max_normalize(&mut ut);
+        liferaft_metrics::min_max_normalize(&mut age);
+    }
+    ut.iter()
+        .zip(&age)
+        .map(|(&u, &a)| u * (1.0 - alpha) + a * alpha)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_storage::{BucketId, SimDuration};
+
+    fn snap(bucket: u32, queue_len: u64, age_ms: u64, cached: bool) -> (BucketSnapshot, SimTime) {
+        let now = SimTime::ZERO + SimDuration::from_secs(100);
+        let s = BucketSnapshot {
+            bucket: BucketId(bucket),
+            queue_len,
+            oldest_enqueue: SimTime::from_micros(
+                100_000_000 - age_ms * 1_000,
+            ),
+            cached,
+            bucket_objects: 10_000,
+        };
+        (s, now)
+    }
+
+    #[test]
+    fn eq1_known_values() {
+        let p = MetricParams { tb_ms: 1200.0, tm_ms: 0.13 };
+        // W=1000, uncached: 1000 / (1200 + 130) ≈ 0.7519 objects/ms.
+        let ut = p.workload_throughput(1000, false);
+        assert!((ut - 1000.0 / 1330.0).abs() < 1e-12);
+        // Cached: 1000 / 130 = 1/Tm.
+        let cached = p.workload_throughput(1000, true);
+        assert!((cached - p.max_throughput()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_monotone_in_queue_length_when_uncached() {
+        let p = MetricParams::paper();
+        let mut last = 0.0;
+        for w in [1u64, 10, 100, 1_000, 10_000] {
+            let ut = p.workload_throughput(w, false);
+            assert!(ut > last);
+            last = ut;
+        }
+        assert_eq!(p.workload_throughput(0, false), 0.0);
+    }
+
+    #[test]
+    fn cached_buckets_always_beat_uncached() {
+        let p = MetricParams::paper();
+        // Even a 1-object cached queue outranks a 10 000-object uncached one.
+        assert!(p.workload_throughput(1, true) > p.workload_throughput(10_000, false));
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_throughput() {
+        let p = MetricParams::paper();
+        let (a, now) = snap(0, 10_000, 0, false);
+        let (b, _) = snap(1, 10, 99_000, false); // ancient but tiny queue
+        let scores = aged_scores(&p, AgingMode::Normalized, 0.0, now, &[a, b]);
+        assert!(scores[0] > scores[1], "greedy must prefer contention");
+    }
+
+    #[test]
+    fn alpha_one_is_pure_age() {
+        let p = MetricParams::paper();
+        let (a, now) = snap(0, 10_000, 10, false);
+        let (b, _) = snap(1, 1, 90_000, false);
+        let scores = aged_scores(&p, AgingMode::Normalized, 1.0, now, &[a, b]);
+        assert!(scores[1] > scores[0], "α=1 must prefer the oldest request");
+    }
+
+    #[test]
+    fn intermediate_alpha_blends() {
+        let p = MetricParams::paper();
+        let (a, now) = snap(0, 10_000, 0, false);
+        let (b, _) = snap(1, 1, 90_000, false);
+        // A long-queue young bucket vs a short-queue old bucket: as α rises
+        // the old bucket must eventually win, with a crossover in between.
+        let pick = |alpha: f64| {
+            let s = aged_scores(&p, AgingMode::Normalized, alpha, now, &[a, b]);
+            if s[0] >= s[1] { 0 } else { 1 }
+        };
+        assert_eq!(pick(0.0), 0);
+        assert_eq!(pick(1.0), 1);
+        let crossover = (1..=9)
+            .map(|k| pick(k as f64 / 10.0))
+            .collect::<Vec<_>>();
+        assert!(crossover.windows(2).all(|w| w[0] <= w[1]), "one-way crossover");
+    }
+
+    #[test]
+    fn raw_mode_lets_age_dominate() {
+        // Documented pathology of the verbatim Eq. 2: with raw units even a
+        // tiny α makes milliseconds of age dwarf objects/ms of throughput.
+        let p = MetricParams::paper();
+        let (a, now) = snap(0, 10_000, 100, false);
+        let (b, _) = snap(1, 1, 5_000, false);
+        let scores = aged_scores(&p, AgingMode::Raw, 0.05, now, &[a, b]);
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_scores() {
+        let p = MetricParams::paper();
+        assert!(aged_scores(&p, AgingMode::Normalized, 0.5, SimTime::ZERO, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be in")]
+    fn alpha_out_of_range_panics() {
+        let p = MetricParams::paper();
+        aged_scores(&p, AgingMode::Normalized, 1.5, SimTime::ZERO, &[]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The scheduler abstraction: views, batch specifications, and the trait.
+
+use liferaft_query::QueryId;
+use liferaft_storage::{BucketId, SimTime};
+
+/// A per-decision snapshot of one candidate bucket (a non-empty workload
+/// queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// The bucket.
+    pub bucket: BucketId,
+    /// Objects pending in its workload queue (`Σ_j |W_j^i|`).
+    pub queue_len: u64,
+    /// Enqueue time of the oldest pending request (the age reference).
+    pub oldest_enqueue: SimTime,
+    /// Whether the bucket is resident in the bucket cache (φ(i) = 0).
+    pub cached: bool,
+    /// Catalog objects stored in the bucket (for hybrid-ratio context).
+    pub bucket_objects: u64,
+}
+
+impl BucketSnapshot {
+    /// Age of the oldest request in milliseconds at `now` — the paper's `A(i)`.
+    pub fn age_ms(&self, now: SimTime) -> f64 {
+        now.since(self.oldest_enqueue).as_millis_f64()
+    }
+}
+
+/// Which queued entries a batch consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchScope {
+    /// Everything queued at the bucket (the LifeRaft batch: "all queries
+    /// overlapping that data region in one batch").
+    AllQueued,
+    /// Only one query's entries (the NoShare evaluation unit).
+    SingleQuery(QueryId),
+}
+
+/// A scheduling decision: which bucket to service next, with what scope and
+/// I/O-sharing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// The bucket to read and join against.
+    pub bucket: BucketId,
+    /// Which entries to consume.
+    pub scope: BatchScope,
+    /// If false, the batch bypasses the bucket cache entirely — the NoShare
+    /// baseline's "no I/O is shared" discipline. Shared batches consult and
+    /// populate the cache.
+    pub share_io: bool,
+}
+
+/// What a scheduler may observe when making a decision.
+///
+/// The simulation engine implements this over its live state; unit tests
+/// implement it with fixtures.
+pub trait SchedulerView {
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Snapshots of all non-empty workload queues, sorted by bucket ID.
+    fn candidates(&self) -> &[BucketSnapshot];
+
+    /// The in-flight query with the earliest arrival, if any (FIFO cursor
+    /// for arrival-order baselines).
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)>;
+
+    /// Buckets that still hold queued entries of `query`, sorted by bucket ID.
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId>;
+}
+
+/// A batch scheduling policy.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports and figure rows).
+    fn name(&self) -> String;
+
+    /// Chooses the next batch, or `None` if the view offers no work.
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec>;
+
+    /// Notification of a query arrival (used by adaptive policies to track
+    /// workload saturation). Default: ignored.
+    fn on_query_arrival(&mut self, _now: SimTime) {}
+}
+
+/// A fixture view for scheduler unit tests.
+#[derive(Debug, Clone, Default)]
+pub struct FixtureView {
+    /// Current time reported by the fixture.
+    pub now: SimTime,
+    /// Candidate snapshots (keep sorted by bucket).
+    pub candidates: Vec<BucketSnapshot>,
+    /// Value returned by [`SchedulerView::oldest_pending_query`].
+    pub oldest_query: Option<(QueryId, SimTime)>,
+    /// Pending buckets per query for [`SchedulerView::pending_buckets_of`].
+    pub query_buckets: Vec<(QueryId, Vec<BucketId>)>,
+}
+
+impl SchedulerView for FixtureView {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn candidates(&self) -> &[BucketSnapshot] {
+        &self.candidates
+    }
+
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {
+        self.oldest_query
+    }
+
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId> {
+        self.query_buckets
+            .iter()
+            .find(|(q, _)| *q == query)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_storage::SimDuration;
+
+    #[test]
+    fn snapshot_age() {
+        let s = BucketSnapshot {
+            bucket: BucketId(1),
+            queue_len: 5,
+            oldest_enqueue: SimTime::ZERO,
+            cached: false,
+            bucket_objects: 100,
+        };
+        let now = SimTime::ZERO + SimDuration::from_millis(2500);
+        assert_eq!(s.age_ms(now), 2500.0);
+    }
+
+    #[test]
+    fn fixture_view_contract() {
+        let v = FixtureView {
+            now: SimTime::from_micros(7),
+            candidates: vec![],
+            oldest_query: Some((QueryId(3), SimTime::ZERO)),
+            query_buckets: vec![(QueryId(3), vec![BucketId(2), BucketId(5)])],
+        };
+        assert_eq!(v.now(), SimTime::from_micros(7));
+        assert!(v.candidates().is_empty());
+        assert_eq!(v.oldest_pending_query(), Some((QueryId(3), SimTime::ZERO)));
+        assert_eq!(v.pending_buckets_of(QueryId(3)), vec![BucketId(2), BucketId(5)]);
+        assert!(v.pending_buckets_of(QueryId(9)).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Starvation monitoring.
+//!
+//! The greedy policy "may starve requests […] there is no guarantee that a
+//! particular bucket or query receives service" (Section 3.2). The monitor
+//! quantifies this: it records, at every scheduling decision, the age of the
+//! oldest request left *waiting* (not serviced), giving a direct measure of
+//! how unfair a policy is and letting tests assert that α = 1 bounds waits
+//! while α = 0 does not.
+
+use liferaft_metrics::StreamingStats;
+use liferaft_storage::SimTime;
+
+use crate::scheduler::BucketSnapshot;
+
+/// Accumulates waiting-time observations across scheduling decisions.
+#[derive(Debug, Clone, Default)]
+pub struct StarvationMonitor {
+    waits_ms: StreamingStats,
+    max_wait_ms: f64,
+    decisions: u64,
+}
+
+impl StarvationMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        StarvationMonitor::default()
+    }
+
+    /// Records a decision: `candidates` were pending, `picked` (an index
+    /// into `candidates`) was serviced. The ages of everything left behind
+    /// are the waiting times of this decision.
+    pub fn record_decision(
+        &mut self,
+        now: SimTime,
+        candidates: &[BucketSnapshot],
+        picked: usize,
+    ) {
+        assert!(picked < candidates.len(), "picked index out of range");
+        self.decisions += 1;
+        for (i, c) in candidates.iter().enumerate() {
+            if i == picked {
+                continue;
+            }
+            let age = c.age_ms(now);
+            self.waits_ms.push(age);
+            self.max_wait_ms = self.max_wait_ms.max(age);
+        }
+    }
+
+    /// Number of decisions recorded.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Longest wait (ms) any pending bucket experienced at a decision point.
+    pub fn max_wait_ms(&self) -> f64 {
+        self.max_wait_ms
+    }
+
+    /// Mean wait (ms) across all passed-over buckets.
+    pub fn mean_wait_ms(&self) -> f64 {
+        self.waits_ms.mean()
+    }
+
+    /// Full wait statistics.
+    pub fn stats(&self) -> &StreamingStats {
+        &self.waits_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_storage::{BucketId, SimDuration};
+
+    fn snap(bucket: u32, enq_ms: u64) -> BucketSnapshot {
+        BucketSnapshot {
+            bucket: BucketId(bucket),
+            queue_len: 1,
+            oldest_enqueue: SimTime::ZERO + SimDuration::from_millis(enq_ms),
+            cached: false,
+            bucket_objects: 100,
+        }
+    }
+
+    #[test]
+    fn records_passed_over_ages() {
+        let mut m = StarvationMonitor::new();
+        let now = SimTime::ZERO + SimDuration::from_millis(1_000);
+        // Pick index 0; buckets at ages 0 (picked), 600, 900 ms.
+        let cands = vec![snap(0, 1_000), snap(1, 400), snap(2, 100)];
+        m.record_decision(now, &cands, 0);
+        assert_eq!(m.decisions(), 1);
+        assert_eq!(m.max_wait_ms(), 900.0);
+        assert_eq!(m.mean_wait_ms(), 750.0);
+        assert_eq!(m.stats().count(), 2);
+    }
+
+    #[test]
+    fn picked_bucket_is_not_a_wait() {
+        let mut m = StarvationMonitor::new();
+        let now = SimTime::ZERO + SimDuration::from_millis(500);
+        m.record_decision(now, &[snap(0, 0)], 0);
+        assert_eq!(m.stats().count(), 0);
+        assert_eq!(m.max_wait_ms(), 0.0);
+    }
+
+    #[test]
+    fn max_tracks_across_decisions() {
+        let mut m = StarvationMonitor::new();
+        let t1 = SimTime::ZERO + SimDuration::from_millis(100);
+        let t2 = SimTime::ZERO + SimDuration::from_millis(5_000);
+        m.record_decision(t1, &[snap(0, 0), snap(1, 50)], 0);
+        m.record_decision(t2, &[snap(0, 0), snap(1, 50)], 0);
+        assert_eq!(m.max_wait_ms(), 4_950.0);
+        assert_eq!(m.decisions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_pick_index() {
+        let mut m = StarvationMonitor::new();
+        m.record_decision(SimTime::ZERO, &[], 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Spherical caps: the circular sky regions used for cross-match error
+//! circles and region queries.
+
+use crate::trixel::Trixel;
+use crate::vector::Vec3;
+
+/// A spherical cap: all points within angular `radius` of `center`.
+///
+/// Cross-match is a *probabilistic* spatial join — instrument imprecision
+/// turns every observation into a small error circle, and two observations
+/// match when their circles' centers are within the combined radius. Caps are
+/// also the query footprint for "area of the sky" exploration queries.
+///
+/// Radii are restricted to `(0, π/2]`: caps no larger than a hemisphere are
+/// geodesically convex, which the coverage classifier relies on ("all three
+/// corners inside ⇒ whole trixel inside").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cap {
+    center: Vec3,
+    radius: f64,
+    /// Cached cos(radius): `p` inside ⇔ `p · center ≥ cos_radius`.
+    cos_radius: f64,
+}
+
+impl Cap {
+    /// Creates a cap from a unit-vector center and radius in radians.
+    ///
+    /// # Panics
+    /// Panics if the radius is not in `(0, π/2]` or the center is not unit.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius <= std::f64::consts::FRAC_PI_2,
+            "cap radius must be in (0, π/2], got {radius}"
+        );
+        assert!(
+            (center.norm() - 1.0).abs() < 1e-6,
+            "cap center must be a unit vector"
+        );
+        Cap {
+            center,
+            radius,
+            cos_radius: radius.cos(),
+        }
+    }
+
+    /// Convenience constructor from RA/Dec in degrees and radius in arcseconds.
+    pub fn from_radec_deg(ra_deg: f64, dec_deg: f64, radius_arcsec: f64) -> Self {
+        Cap::new(
+            Vec3::from_radec_deg(ra_deg, dec_deg),
+            (radius_arcsec / 3600.0).to_radians(),
+        )
+    }
+
+    /// The cap center (unit vector).
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// The angular radius in radians.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// True if the unit vector lies inside the cap (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.dot(self.center) >= self.cos_radius
+    }
+
+    /// Solid angle of the cap in steradians: `2π(1 − cos r)`.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::TAU * (1.0 - self.cos_radius)
+    }
+
+    /// Classifies a trixel against this cap for region coverage.
+    pub fn classify(&self, t: &Trixel) -> CapTrixelRelation {
+        let corners = t.corners();
+        let inside = corners.iter().filter(|&&v| self.contains(v)).count();
+        if inside == 3 {
+            // Caps with radius ≤ π/2 are convex, and so are trixels; the
+            // geodesic hull of the three corners (the whole trixel) is inside.
+            return CapTrixelRelation::Inside;
+        }
+        if inside > 0 {
+            return CapTrixelRelation::Partial;
+        }
+        // No corner inside. The cap may still poke through an edge or sit
+        // entirely within the trixel's interior.
+        if t.contains(self.center) {
+            return CapTrixelRelation::Partial;
+        }
+        for i in 0..3 {
+            let (a, b) = (corners[i], corners[(i + 1) % 3]);
+            if self.intersects_arc(a, b) {
+                return CapTrixelRelation::Partial;
+            }
+        }
+        CapTrixelRelation::Disjoint
+    }
+
+    /// True if the cap boundary/interior meets the great-circle arc `a→b`.
+    ///
+    /// Computes the point of the arc closest to the cap center: project the
+    /// center onto the arc's great-circle plane, then check the projection
+    /// falls between the endpoints (endpoint distances are handled by the
+    /// corner tests in [`Cap::classify`]).
+    fn intersects_arc(&self, a: Vec3, b: Vec3) -> bool {
+        let n = a.cross(b);
+        let n_norm = n.norm();
+        if n_norm < 1e-15 {
+            return false; // degenerate arc
+        }
+        let n = n.scale(1.0 / n_norm);
+        // Distance from center to the great circle.
+        let sin_dist = self.center.dot(n).abs().min(1.0);
+        if sin_dist.asin() > self.radius {
+            return false;
+        }
+        // Closest point on the great circle to the center.
+        let proj = self.center.sub(n.scale(self.center.dot(n)));
+        if proj.norm() < 1e-15 {
+            // Center is one of the circle's poles: every point of the circle
+            // is at π/2; covered only if radius == π/2 (checked above via
+            // asin(1) > radius). Reaching here means radius == π/2 exactly.
+            return true;
+        }
+        let p = proj.normalized();
+        // p between a and b along the arc (counter-clockwise w.r.t. n)?
+        a.cross(p).dot(n) >= 0.0 && p.cross(b).dot(n) >= 0.0
+    }
+}
+
+/// How a trixel relates to a cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapTrixelRelation {
+    /// The trixel lies entirely within the cap.
+    Inside,
+    /// The trixel and cap overlap partially (or the test is inconclusive and
+    /// conservatively reported as overlapping).
+    Partial,
+    /// The trixel and cap are disjoint.
+    Disjoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::locate_trixel;
+
+    #[test]
+    fn contains_basic() {
+        let cap = Cap::new(Vec3::from_radec_deg(0.0, 0.0), 0.1);
+        assert!(cap.contains(Vec3::from_radec_deg(0.0, 0.0)));
+        assert!(cap.contains(Vec3::from_radec_deg(5.0, 0.0)));
+        assert!(!cap.contains(Vec3::from_radec_deg(6.0, 0.0)));
+    }
+
+    #[test]
+    fn from_radec_arcsec() {
+        let cap = Cap::from_radec_deg(10.0, 10.0, 3600.0); // 1 degree
+        assert!((cap.radius() - 1.0_f64.to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap radius")]
+    fn rejects_oversized_radius() {
+        Cap::new(Vec3::NORTH, 2.0);
+    }
+
+    #[test]
+    fn area_of_hemisphere() {
+        let cap = Cap::new(Vec3::NORTH, std::f64::consts::FRAC_PI_2);
+        assert!((cap.area() - std::f64::consts::TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_inside() {
+        // A huge cap centered on a small trixel: trixel fully inside.
+        let t = locate_trixel(Vec3::from_radec_deg(45.0, 45.0), 8);
+        let cap = Cap::new(t.center(), 0.5);
+        assert_eq!(cap.classify(&t), CapTrixelRelation::Inside);
+    }
+
+    #[test]
+    fn classify_disjoint() {
+        let t = locate_trixel(Vec3::from_radec_deg(45.0, 45.0), 8);
+        let cap = Cap::new(Vec3::from_radec_deg(225.0, -45.0), 0.1);
+        assert_eq!(cap.classify(&t), CapTrixelRelation::Disjoint);
+    }
+
+    #[test]
+    fn classify_partial_cap_inside_trixel() {
+        // A tiny cap strictly inside a big trixel: no corners inside the cap,
+        // no edges crossed, but the center is contained -> Partial.
+        let t = Trixel::root(0);
+        let cap = Cap::new(t.center(), 1e-4);
+        assert_eq!(cap.classify(&t), CapTrixelRelation::Partial);
+    }
+
+    #[test]
+    fn classify_partial_edge_crossing() {
+        // Cap centered just outside an edge of a root trixel, poking through
+        // without containing any corner.
+        let t = Trixel::root(0); // corners at (RA 0, Dec 0), south pole, (RA 90, Dec 0)
+        // The N3/S0 boundary is the equator between RA 0 and RA 90.
+        let cap = Cap::new(Vec3::from_radec_deg(45.0, 1.0), 0.05); // ~2.9° radius
+        assert_eq!(cap.classify(&t), CapTrixelRelation::Partial);
+    }
+
+    #[test]
+    fn classify_corner_cases_consistent_with_sampling() {
+        // Randomised-ish consistency: classification must agree with point
+        // sampling (sampled points inside cap & trixel exist iff not Disjoint;
+        // Inside means all sampled trixel points are inside the cap).
+        let t = locate_trixel(Vec3::from_radec_deg(120.0, -30.0), 6);
+        let samples: Vec<Vec3> = {
+            let [a, b, c] = *t.corners();
+            let mut v = vec![t.center(), a, b, c];
+            v.push(a.midpoint(b));
+            v.push(b.midpoint(c));
+            v.push(a.midpoint(c));
+            v
+        };
+        for (center, radius) in [
+            (t.center(), 1.0),                              // giant: Inside
+            (t.center(), 1e-5),                             // tiny inside: Partial
+            (Vec3::from_radec_deg(300.0, 60.0), 0.05),      // far away: Disjoint
+        ] {
+            let cap = Cap::new(center, radius);
+            match cap.classify(&t) {
+                CapTrixelRelation::Inside => {
+                    assert!(samples.iter().all(|&p| cap.contains(p)));
+                }
+                CapTrixelRelation::Disjoint => {
+                    assert!(samples.iter().all(|&p| !cap.contains(p)));
+                }
+                CapTrixelRelation::Partial => {}
+            }
+        }
+    }
+}

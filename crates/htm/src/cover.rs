@@ -1,0 +1,216 @@
+//! Region coverage: turning a sky region (spherical cap) into HTM ID ranges.
+//!
+//! The pre-processor needs, for every cross-match object, "a range of HTM ID
+//! values, which serve as a bounding box covering all potential regions for
+//! cross matching" (Section 3.1). The coverer walks the mesh from the eight
+//! roots, pruning disjoint trixels, emitting whole subtrees for trixels fully
+//! inside the region, and recursing on partial overlaps until the target
+//! level, where partially-overlapping trixels are included conservatively.
+
+use crate::cap::{Cap, CapTrixelRelation};
+use crate::range::{HtmRange, HtmRangeSet};
+use crate::trixel::Trixel;
+use crate::MAX_LEVEL;
+
+/// Computes conservative HTM coverages of sky regions at a fixed level.
+#[derive(Debug, Clone, Copy)]
+pub struct Coverer {
+    level: u8,
+}
+
+impl Coverer {
+    /// Creates a coverer emitting ranges at the given mesh `level`.
+    pub fn new(level: u8) -> Self {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL");
+        Coverer { level }
+    }
+
+    /// The output level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Covers a spherical cap: returns the normalized set of level-`level`
+    /// IDs whose trixels (possibly) intersect the cap.
+    ///
+    /// The cover is **complete** (every point of the cap lies in some covered
+    /// trixel) and conservative (it may include trixels that only graze the
+    /// cap boundary).
+    pub fn cover(&self, cap: &Cap) -> HtmRangeSet {
+        let mut ranges = Vec::new();
+        for root in Trixel::roots() {
+            self.visit(cap, &root, &mut ranges);
+        }
+        HtmRangeSet::from_ranges(ranges)
+    }
+
+    fn visit(&self, cap: &Cap, t: &Trixel, out: &mut Vec<HtmRange>) {
+        match cap.classify(t) {
+            CapTrixelRelation::Disjoint => {}
+            CapTrixelRelation::Inside => {
+                out.push(t.id().descendant_range(self.level));
+            }
+            CapTrixelRelation::Partial => {
+                if t.id().level() == self.level {
+                    out.push(HtmRange::singleton(t.id()));
+                } else {
+                    for c in t.children() {
+                        self.visit(cap, &c, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Covers the cap but stops refining once the cover consists of at most
+    /// `max_ranges` ranges, re-expressing coarse trixels as deep ranges.
+    ///
+    /// Buckets only need *approximate* pruning; capping the range count keeps
+    /// per-object bounding boxes small, trading a looser cover for less
+    /// pre-processing work — the same reason the paper uses a single
+    /// `[start, end]` pair per object.
+    pub fn cover_bounded(&self, cap: &Cap, max_ranges: usize) -> HtmRangeSet {
+        assert!(max_ranges >= 1, "need at least one range");
+        // Breadth-first refinement: refine the frontier level by level and
+        // stop when the next refinement would exceed the budget.
+        let mut frontier: Vec<Trixel> = Vec::new();
+        let mut inside: Vec<HtmRange> = Vec::new();
+        for root in Trixel::roots() {
+            match cap.classify(&root) {
+                CapTrixelRelation::Disjoint => {}
+                CapTrixelRelation::Inside => inside.push(root.id().descendant_range(self.level)),
+                CapTrixelRelation::Partial => frontier.push(root),
+            }
+        }
+        for _level in 0..self.level {
+            let mut next: Vec<Trixel> = Vec::new();
+            for t in &frontier {
+                for c in t.children() {
+                    match cap.classify(&c) {
+                        CapTrixelRelation::Disjoint => {}
+                        CapTrixelRelation::Inside => {
+                            inside.push(c.id().descendant_range(self.level));
+                        }
+                        CapTrixelRelation::Partial => next.push(c),
+                    }
+                }
+            }
+            if inside.len() + next.len() > max_ranges {
+                // Refining further would blow the budget: emit the current
+                // frontier coarsely and stop.
+                break;
+            }
+            frontier = next;
+        }
+        let mut ranges = inside;
+        ranges.extend(
+            frontier
+                .iter()
+                .map(|t| t.id().descendant_range(self.level)),
+        );
+        HtmRangeSet::from_ranges(ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::HtmId;
+    use crate::index::locate;
+    use crate::vector::Vec3;
+
+    #[test]
+    fn cover_contains_cap_center() {
+        let cap = Cap::from_radec_deg(12.0, 34.0, 60.0);
+        let cover = Coverer::new(10).cover(&cap);
+        assert!(cover.contains(locate(cap.center(), 10)));
+    }
+
+    #[test]
+    fn cover_is_complete_for_boundary_samples() {
+        // Points on (just inside) the cap rim must be covered.
+        let center = Vec3::from_radec_deg(200.0, -10.0);
+        let radius = 0.01; // ~34 arcmin
+        let cap = Cap::new(center, radius);
+        let cover = Coverer::new(12).cover(&cap);
+        // March around the rim at 0.999 of the radius.
+        let (ra0, dec0) = center.to_radec();
+        for k in 0..36 {
+            let theta = k as f64 * std::f64::consts::TAU / 36.0;
+            let p = Vec3::from_radec(
+                ra0 + 0.999 * radius * theta.cos() / dec0.cos(),
+                dec0 + 0.999 * radius * theta.sin(),
+            );
+            assert!(cap.contains(p), "sample {k} escaped the cap");
+            assert!(cover.contains(locate(p, 12)), "sample {k} not covered");
+        }
+    }
+
+    #[test]
+    fn cover_excludes_far_away_ids() {
+        let cap = Cap::from_radec_deg(10.0, 10.0, 10.0);
+        let cover = Coverer::new(10).cover(&cap);
+        let far = locate(Vec3::from_radec_deg(190.0, -10.0), 10);
+        assert!(!cover.contains(far));
+    }
+
+    #[test]
+    fn tiny_cap_covers_few_trixels() {
+        // A 1-arcsecond error circle at level 14 touches at most a handful
+        // of trixels (typically 1–4 around a corner).
+        let cap = Cap::from_radec_deg(123.0, 45.0, 1.0);
+        let cover = Coverer::new(14).cover(&cap);
+        assert!(cover.len() <= 8, "cover unexpectedly large: {}", cover.len());
+        assert!(!cover.is_empty());
+    }
+
+    #[test]
+    fn cover_area_is_sane() {
+        // The summed real area of covered trixels must contain the cap and
+        // exceed it only by a thin boundary ring (HTM trixels are not
+        // equal-area, so the average-area estimate is useless here).
+        let cap = Cap::new(Vec3::from_radec_deg(80.0, 40.0), 0.02);
+        let level = 12;
+        let cover = Coverer::new(level).cover(&cap);
+        let covered: f64 = cover.iter_ids().map(|i| crate::index::trixel_of(i).area()).sum();
+        assert!(covered >= cap.area(), "cover must not undershoot");
+        assert!(
+            covered < cap.area() * 1.5,
+            "cover overshoots: {covered} vs cap {}",
+            cap.area()
+        );
+    }
+
+    #[test]
+    fn bounded_cover_is_superset_of_exact_cover() {
+        let cap = Cap::new(Vec3::from_radec_deg(45.0, -20.0), 0.05);
+        let exact = Coverer::new(12).cover(&cap);
+        for budget in [1, 2, 4, 16, 64] {
+            let bounded = Coverer::new(12).cover_bounded(&cap, budget);
+            assert!(bounded.num_ranges() <= budget.max(8), "budget {budget} violated");
+            // Superset check: every exact range is inside the bounded set.
+            for id in exact.iter_ids().take(500) {
+                assert!(bounded.contains(id), "budget {budget} dropped {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cover_with_large_budget_matches_exact() {
+        let cap = Cap::new(Vec3::from_radec_deg(300.0, 5.0), 0.01);
+        let exact = Coverer::new(10).cover(&cap);
+        let bounded = Coverer::new(10).cover_bounded(&cap, 10_000);
+        assert_eq!(exact, bounded);
+    }
+
+    #[test]
+    fn hemisphere_cover_is_half_the_sphere() {
+        let cap = Cap::new(Vec3::NORTH, std::f64::consts::FRAC_PI_2);
+        let cover = Coverer::new(6).cover(&cap);
+        let total = HtmId::count_at_level(6);
+        // Exactly half the trixels are strictly north; boundary trixels of the
+        // equator are included conservatively.
+        assert!(cover.len() >= total / 2);
+        assert!(cover.len() < total * 6 / 10);
+    }
+}

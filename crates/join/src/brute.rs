@@ -1,0 +1,76 @@
+//! O(N·W) reference join — the oracle the real engines are tested against.
+
+use liferaft_catalog::SkyObject;
+use liferaft_query::QueueEntry;
+
+use crate::types::{JoinOutput, MatchPair};
+
+/// Tests every (entry, catalog object) pair by exact angular distance.
+///
+/// No filtering, no ordering assumptions — deliberately the dumbest possible
+/// correct implementation.
+pub fn brute_force_join(bucket: &[SkyObject], entries: &[QueueEntry]) -> JoinOutput {
+    let mut out = JoinOutput::default();
+    for e in entries {
+        for (ci, obj) in bucket.iter().enumerate() {
+            out.candidates_tested += 1;
+            if e.pos.within_angle(obj.pos, e.radius) {
+                out.pairs.push(MatchPair {
+                    query: e.query,
+                    object_index: e.object_index,
+                    catalog_index: ci as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_htm::Vec3;
+    use liferaft_query::QueryId;
+    use liferaft_storage::SimTime;
+
+    fn obj(ra: f64, dec: f64) -> SkyObject {
+        SkyObject::at(Vec3::from_radec_deg(ra, dec), 10, 18.0)
+    }
+
+    fn entry(ra: f64, dec: f64, radius: f64) -> QueueEntry {
+        let pos = Vec3::from_radec_deg(ra, dec);
+        QueueEntry {
+            query: QueryId(1),
+            object_index: 0,
+            pos,
+            radius,
+            bbox: liferaft_htm::HtmRange::full(10),
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn finds_exact_coincidence() {
+        let bucket = [obj(10.0, 10.0), obj(50.0, -20.0)];
+        let out = brute_force_join(&bucket, &[entry(10.0, 10.0, 1e-6)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.pairs[0].catalog_index, 0);
+        assert_eq!(out.candidates_tested, 2);
+    }
+
+    #[test]
+    fn radius_controls_matching() {
+        let bucket = [obj(10.0, 10.0)];
+        // 0.5° separation: matches at 1° radius, not at 0.1°.
+        let near = entry(10.5, 10.0, 1.0_f64.to_radians());
+        let far = entry(10.5, 10.0, 0.1_f64.to_radians());
+        assert_eq!(brute_force_join(&bucket, &[near]).len(), 1);
+        assert_eq!(brute_force_join(&bucket, &[far]).len(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(brute_force_join(&[], &[entry(0.0, 0.0, 0.1)]).is_empty());
+        assert!(brute_force_join(&[obj(0.0, 0.0)], &[]).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Join inputs and outputs.
+
+use liferaft_query::QueryId;
+
+/// One successful cross-match: a (workload object, catalog object) pair
+/// within the error radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatchPair {
+    /// The query the workload object belongs to.
+    pub query: QueryId,
+    /// Index of the object within its parent query.
+    pub object_index: u32,
+    /// Index of the matched catalog object within the bucket slice.
+    pub catalog_index: u32,
+}
+
+/// The result of joining one bucket against (a subset of) its workload queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinOutput {
+    /// All matched pairs, in engine-specific order.
+    pub pairs: Vec<MatchPair>,
+    /// Candidate pairs whose exact distance was tested (filter selectivity).
+    pub candidates_tested: u64,
+    /// Index probes performed (indexed engine only; 0 for scans).
+    pub probes: u64,
+}
+
+impl JoinOutput {
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pair matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Pairs sorted canonically — for cross-engine equivalence checks.
+    pub fn sorted_pairs(&self) -> Vec<MatchPair> {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        p
+    }
+
+    /// Number of matches credited to each query, in (query, count) pairs
+    /// sorted by query — the per-query result separation of Section 3.1.
+    pub fn per_query_counts(&self) -> Vec<(QueryId, u64)> {
+        let mut sorted: Vec<QueryId> = self.pairs.iter().map(|p| p.query).collect();
+        sorted.sort_unstable();
+        let mut out: Vec<(QueryId, u64)> = Vec::new();
+        for q in sorted {
+            match out.last_mut() {
+                Some((last, n)) if *last == q => *n += 1,
+                _ => out.push((q, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(q: u64, o: u32, c: u32) -> MatchPair {
+        MatchPair { query: QueryId(q), object_index: o, catalog_index: c }
+    }
+
+    #[test]
+    fn sorted_pairs_is_canonical() {
+        let out = JoinOutput {
+            pairs: vec![pair(2, 0, 5), pair(1, 3, 2), pair(1, 0, 9)],
+            candidates_tested: 10,
+            probes: 0,
+        };
+        assert_eq!(
+            out.sorted_pairs(),
+            vec![pair(1, 0, 9), pair(1, 3, 2), pair(2, 0, 5)]
+        );
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn per_query_counts_groups() {
+        let out = JoinOutput {
+            pairs: vec![pair(2, 0, 5), pair(1, 3, 2), pair(2, 1, 7), pair(2, 2, 8)],
+            candidates_tested: 4,
+            probes: 0,
+        };
+        assert_eq!(
+            out.per_query_counts(),
+            vec![(QueryId(1), 1), (QueryId(2), 3)]
+        );
+    }
+
+    #[test]
+    fn empty_output() {
+        let out = JoinOutput::default();
+        assert!(out.is_empty());
+        assert!(out.per_query_counts().is_empty());
+    }
+}

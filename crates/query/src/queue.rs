@@ -1,0 +1,340 @@
+//! Per-bucket workload queues — the data structure LifeRaft schedules over.
+//!
+//! "The workload queue for a bucket Bj consists of the union of W_1^j,
+//! W_2^j, ..., and W_m^j. Thus, requests from multiple queries are
+//! interleaved in the same workload queue and are joined in one pass"
+//! — Section 3.1.
+
+use liferaft_htm::{HtmRange, Vec3};
+use liferaft_storage::{BucketId, SimTime};
+
+use crate::crossmatch::{CrossMatchQuery, QueryId};
+use crate::preprocess::WorkItem;
+
+/// One queued cross-match request: a single object of a single query,
+/// waiting to be joined against one bucket.
+///
+/// Entries are self-contained (position, radius, bounding range) so the join
+/// evaluator needs no back-reference to the query object list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueEntry {
+    /// The parent query.
+    pub query: QueryId,
+    /// Index of the object within the parent query.
+    pub object_index: u32,
+    /// Mean position of the observation.
+    pub pos: Vec3,
+    /// Error-circle radius in radians.
+    pub radius: f64,
+    /// Bounding HTM range of the error circle (object level).
+    pub bbox: HtmRange,
+    /// When the request entered the queue (the age term's clock).
+    pub enqueued_at: SimTime,
+}
+
+/// The workload queue of a single bucket.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadQueue {
+    entries: Vec<QueueEntry>,
+    /// Earliest enqueue time among current entries (None when empty).
+    oldest: Option<SimTime>,
+}
+
+impl WorkloadQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WorkloadQueue::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, e: QueueEntry) {
+        self.oldest = Some(match self.oldest {
+            Some(t) => t.min(e.enqueued_at),
+            None => e.enqueued_at,
+        });
+        self.entries.push(e);
+    }
+
+    /// Number of queued objects (`Σ_j W_i^j` for this bucket).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Queued entries in arrival order.
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.entries
+    }
+
+    /// Enqueue time of the oldest request (`A(i)`'s reference point).
+    pub fn oldest_enqueue(&self) -> Option<SimTime> {
+        self.oldest
+    }
+
+    /// Age of the oldest request in milliseconds at time `now` — the paper's
+    /// `A(i)`. Zero when empty.
+    pub fn oldest_age_ms(&self, now: SimTime) -> f64 {
+        match self.oldest {
+            Some(t) => now.since(t).as_millis_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Removes and returns all entries (a full-batch drain).
+    pub fn drain_all(&mut self) -> Vec<QueueEntry> {
+        self.oldest = None;
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Removes and returns only the entries of `query` (the NoShare batch
+    /// scope), recomputing the oldest timestamp for the remainder.
+    pub fn drain_query(&mut self, query: QueryId) -> Vec<QueueEntry> {
+        let mut drained = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if e.query == query {
+                drained.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        self.oldest = self.entries.iter().map(|e| e.enqueued_at).min();
+        drained
+    }
+
+    /// Distinct queries with work in this queue.
+    pub fn distinct_queries(&self) -> usize {
+        let mut ids: Vec<QueryId> = self.entries.iter().map(|e| e.query).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// All per-bucket workload queues of one archive, indexed by bucket.
+///
+/// This is the state behind the paper's Workload Manager: it "maintains
+/// state information such as a mapping of pending queries to workload queues
+/// and the age of the oldest query in each queue" (Section 4).
+#[derive(Debug, Clone)]
+pub struct WorkloadTable {
+    queues: Vec<WorkloadQueue>,
+    /// Sorted list of currently non-empty buckets (the scheduler's
+    /// candidate set; kept small relative to the partition).
+    non_empty: Vec<BucketId>,
+    /// Total queued objects across all buckets.
+    total_queued: u64,
+}
+
+impl WorkloadTable {
+    /// Creates a table for a partition of `n_buckets` buckets.
+    pub fn new(n_buckets: usize) -> Self {
+        WorkloadTable {
+            queues: vec![WorkloadQueue::new(); n_buckets],
+            non_empty: Vec::new(),
+            total_queued: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a work item produced by the pre-processor, expanding it into
+    /// self-contained queue entries using the parent query's object data.
+    ///
+    /// # Panics
+    /// Panics if the item's indices do not refer to `query`'s objects or the
+    /// item targets an unknown bucket.
+    pub fn enqueue(&mut self, item: &WorkItem, query: &CrossMatchQuery, now: SimTime) {
+        assert_eq!(item.query, query.id, "work item / query mismatch");
+        let idx = item.bucket.index();
+        assert!(idx < self.queues.len(), "unknown bucket {}", item.bucket);
+        let was_empty = self.queues[idx].is_empty();
+        for &oi in &item.object_indices {
+            let obj = &query.objects[oi as usize];
+            self.queues[idx].push(QueueEntry {
+                query: query.id,
+                object_index: oi,
+                pos: obj.pos,
+                radius: obj.radius,
+                bbox: obj.bounding_range(),
+                enqueued_at: now,
+            });
+            self.total_queued += 1;
+        }
+        if was_empty && !self.queues[idx].is_empty() {
+            let pos = self.non_empty.partition_point(|&b| b < item.bucket);
+            self.non_empty.insert(pos, item.bucket);
+        }
+    }
+
+    /// The queue of one bucket.
+    pub fn queue(&self, bucket: BucketId) -> &WorkloadQueue {
+        &self.queues[bucket.index()]
+    }
+
+    /// Sorted bucket IDs with pending work.
+    pub fn non_empty_buckets(&self) -> &[BucketId] {
+        &self.non_empty
+    }
+
+    /// Total queued objects across all buckets.
+    pub fn total_queued(&self) -> u64 {
+        self.total_queued
+    }
+
+    /// True if no work is pending anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.total_queued == 0
+    }
+
+    /// Drains a bucket's queue entirely (standard batch).
+    pub fn take_all(&mut self, bucket: BucketId) -> Vec<QueueEntry> {
+        let drained = self.queues[bucket.index()].drain_all();
+        self.after_drain(bucket, drained.len());
+        drained
+    }
+
+    /// Drains only one query's entries from a bucket (NoShare batch).
+    pub fn take_query(&mut self, bucket: BucketId, query: QueryId) -> Vec<QueueEntry> {
+        let drained = self.queues[bucket.index()].drain_query(query);
+        self.after_drain(bucket, drained.len());
+        drained
+    }
+
+    fn after_drain(&mut self, bucket: BucketId, n: usize) {
+        self.total_queued -= n as u64;
+        if self.queues[bucket.index()].is_empty() {
+            if let Ok(pos) = self.non_empty.binary_search(&bucket) {
+                self.non_empty.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossmatch::Predicate;
+    use liferaft_storage::SimDuration;
+
+    const LEVEL: u8 = 6;
+
+    fn entry_source(n: usize) -> CrossMatchQuery {
+        let positions: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::from_radec_deg(10.0 + i as f64 * 0.01, 5.0))
+            .collect();
+        CrossMatchQuery::from_positions(QueryId(1), &positions, 1e-5, LEVEL, Predicate::All)
+    }
+
+    fn item(query: &CrossMatchQuery, bucket: u32) -> WorkItem {
+        WorkItem {
+            query: query.id,
+            bucket: BucketId(bucket),
+            object_indices: (0..query.len() as u32).collect(),
+        }
+    }
+
+    #[test]
+    fn enqueue_tracks_counts_and_non_empty() {
+        let q = entry_source(3);
+        let mut t = WorkloadTable::new(8);
+        assert!(t.is_idle());
+        t.enqueue(&item(&q, 5), &q, SimTime::ZERO);
+        assert_eq!(t.total_queued(), 3);
+        assert_eq!(t.non_empty_buckets(), &[BucketId(5)]);
+        assert_eq!(t.queue(BucketId(5)).len(), 3);
+        assert_eq!(t.queue(BucketId(5)).distinct_queries(), 1);
+    }
+
+    #[test]
+    fn non_empty_stays_sorted() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(8);
+        for b in [6u32, 2, 4, 0] {
+            t.enqueue(&item(&q, b), &q, SimTime::ZERO);
+        }
+        assert_eq!(
+            t.non_empty_buckets(),
+            &[BucketId(0), BucketId(2), BucketId(4), BucketId(6)]
+        );
+    }
+
+    #[test]
+    fn oldest_age_tracks_minimum() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(4);
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(10);
+        t.enqueue(&item(&q, 2), &q, t1);
+        let q2 = {
+            let mut q2 = entry_source(1);
+            q2.id = QueryId(2);
+            q2
+        };
+        t.enqueue(&item(&q2, 2), &q2, t0);
+        let now = t1 + SimDuration::from_secs(5);
+        // Oldest is t0 → age 15s.
+        assert_eq!(t.queue(BucketId(2)).oldest_age_ms(now), 15_000.0);
+    }
+
+    #[test]
+    fn take_all_empties_and_updates_index() {
+        let q = entry_source(2);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
+        let drained = t.take_all(BucketId(1));
+        assert_eq!(drained.len(), 2);
+        assert!(t.is_idle());
+        assert!(t.non_empty_buckets().is_empty());
+        assert_eq!(t.queue(BucketId(1)).oldest_enqueue(), None);
+    }
+
+    #[test]
+    fn take_query_is_selective() {
+        let qa = entry_source(2);
+        let mut qb = entry_source(3);
+        qb.id = QueryId(2);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&qa, 1), &qa, SimTime::ZERO);
+        t.enqueue(&item(&qb, 1), &qb, SimTime::from_micros(10));
+        assert_eq!(t.queue(BucketId(1)).distinct_queries(), 2);
+        let drained = t.take_query(BucketId(1), QueryId(1));
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|e| e.query == QueryId(1)));
+        assert_eq!(t.total_queued(), 3);
+        assert_eq!(t.non_empty_buckets(), &[BucketId(1)]);
+        // Oldest recomputed to the remaining query's enqueue time.
+        assert_eq!(
+            t.queue(BucketId(1)).oldest_enqueue(),
+            Some(SimTime::from_micros(10))
+        );
+    }
+
+    #[test]
+    fn entries_are_self_contained() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&q, 0), &q, SimTime::ZERO);
+        let e = &t.queue(BucketId(0)).entries()[0];
+        assert_eq!(e.pos, q.objects[0].pos);
+        assert_eq!(e.radius, q.objects[0].radius);
+        assert_eq!(e.bbox, q.objects[0].bounding_range());
+        assert_eq!(e.object_index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bucket")]
+    fn enqueue_rejects_out_of_range_bucket() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(2);
+        t.enqueue(&item(&q, 7), &q, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-query lifecycle tracking.
+//!
+//! "A query cannot finish until every object is cross-matched" (Section 3.3)
+//! — response time is therefore governed by a query's *last* scheduled
+//! bucket, the "last mile bottleneck" that motivates the aging term. The
+//! tracker counts outstanding (object × bucket) assignments per query and
+//! reports completion times.
+
+use std::collections::HashMap;
+
+use liferaft_storage::{SimDuration, SimTime};
+
+use crate::crossmatch::QueryId;
+
+/// Outcome of one finished query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The query.
+    pub query: QueryId,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When its last assignment finished.
+    pub completion: SimTime,
+    /// Total (object × bucket) assignments it expanded to.
+    pub assignments: u64,
+}
+
+impl QueryOutcome {
+    /// Response time: completion − arrival.
+    pub fn response_time(&self) -> SimDuration {
+        self.completion.since(self.arrival)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    arrival: SimTime,
+    remaining: u64,
+    assignments: u64,
+}
+
+/// Tracks outstanding work per query and records completions.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTracker {
+    pending: HashMap<QueryId, Pending>,
+    completed: Vec<QueryOutcome>,
+}
+
+impl QueryTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        QueryTracker::default()
+    }
+
+    /// Registers an arriving query expanding to `assignments` (object ×
+    /// bucket) pairs. Queries with zero assignments complete immediately.
+    ///
+    /// # Panics
+    /// Panics on duplicate registration.
+    pub fn register(&mut self, query: QueryId, assignments: u64, arrival: SimTime) {
+        if assignments == 0 {
+            self.completed.push(QueryOutcome {
+                query,
+                arrival,
+                completion: arrival,
+                assignments: 0,
+            });
+            return;
+        }
+        let prev = self.pending.insert(
+            query,
+            Pending { arrival, remaining: assignments, assignments },
+        );
+        assert!(prev.is_none(), "query {query} registered twice");
+    }
+
+    /// Records that `n` assignments of `query` finished at `now`; returns
+    /// the outcome if this completed the query.
+    ///
+    /// # Panics
+    /// Panics if the query is unknown or over-completed — either means the
+    /// executor and the workload table disagree about outstanding work.
+    pub fn complete_assignments(
+        &mut self,
+        query: QueryId,
+        n: u64,
+        now: SimTime,
+    ) -> Option<QueryOutcome> {
+        let p = self
+            .pending
+            .get_mut(&query)
+            .unwrap_or_else(|| panic!("completion for unknown query {query}"));
+        assert!(
+            p.remaining >= n,
+            "query {query} over-completed: {} remaining, {n} reported",
+            p.remaining
+        );
+        p.remaining -= n;
+        if p.remaining == 0 {
+            let p = self.pending.remove(&query).expect("present above");
+            let outcome = QueryOutcome {
+                query,
+                arrival: p.arrival,
+                completion: now,
+                assignments: p.assignments,
+            };
+            self.completed.push(outcome);
+            Some(outcome)
+        } else {
+            None
+        }
+    }
+
+    /// Number of queries still in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The oldest in-flight query (by arrival), if any — NoShare's cursor.
+    pub fn oldest_pending(&self) -> Option<(QueryId, SimTime)> {
+        self.pending
+            .iter()
+            .map(|(&q, p)| (q, p.arrival))
+            .min_by_key(|&(q, t)| (t, q))
+    }
+
+    /// Arrival time of an in-flight query.
+    pub fn arrival_of(&self, query: QueryId) -> Option<SimTime> {
+        self.pending.get(&query).map(|p| p.arrival)
+    }
+
+    /// Outstanding assignments of an in-flight query.
+    pub fn remaining_of(&self, query: QueryId) -> Option<u64> {
+        self.pending.get(&query).map(|p| p.remaining)
+    }
+
+    /// All completed queries in completion order.
+    pub fn completed(&self) -> &[QueryOutcome] {
+        &self.completed
+    }
+
+    /// True when nothing is in flight.
+    pub fn all_complete(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn lifecycle_completes_at_last_assignment() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 3, t(0));
+        assert_eq!(tr.pending_count(), 1);
+        assert!(tr.complete_assignments(QueryId(1), 1, t(5)).is_none());
+        assert!(tr.complete_assignments(QueryId(1), 1, t(6)).is_none());
+        let out = tr.complete_assignments(QueryId(1), 1, t(9)).unwrap();
+        assert_eq!(out.response_time().as_secs_f64(), 9.0);
+        assert_eq!(out.assignments, 3);
+        assert!(tr.all_complete());
+        assert_eq!(tr.completed().len(), 1);
+    }
+
+    #[test]
+    fn batch_completion_in_one_call() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(2), 5, t(1));
+        let out = tr.complete_assignments(QueryId(2), 5, t(4)).unwrap();
+        assert_eq!(out.response_time().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn zero_assignment_query_completes_instantly() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(3), 0, t(2));
+        assert!(tr.all_complete());
+        assert_eq!(tr.completed()[0].response_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oldest_pending_is_fifo_cursor() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(10), 1, t(5));
+        tr.register(QueryId(11), 1, t(3));
+        tr.register(QueryId(12), 1, t(7));
+        assert_eq!(tr.oldest_pending(), Some((QueryId(11), t(3))));
+        tr.complete_assignments(QueryId(11), 1, t(8));
+        assert_eq!(tr.oldest_pending(), Some((QueryId(10), t(5))));
+    }
+
+    #[test]
+    fn oldest_pending_breaks_arrival_ties_by_id() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(2), 1, t(1));
+        tr.register(QueryId(1), 1, t(1));
+        assert_eq!(tr.oldest_pending(), Some((QueryId(1), t(1))));
+    }
+
+    #[test]
+    fn introspection_accessors() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 4, t(2));
+        assert_eq!(tr.arrival_of(QueryId(1)), Some(t(2)));
+        assert_eq!(tr.remaining_of(QueryId(1)), Some(4));
+        tr.complete_assignments(QueryId(1), 3, t(3));
+        assert_eq!(tr.remaining_of(QueryId(1)), Some(1));
+        assert_eq!(tr.arrival_of(QueryId(99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 1, t(0));
+        tr.register(QueryId(1), 1, t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-completed")]
+    fn over_completion_panics() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 1, t(0));
+        tr.complete_assignments(QueryId(1), 2, t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown query")]
+    fn unknown_completion_panics() {
+        let mut tr = QueryTracker::new();
+        tr.complete_assignments(QueryId(1), 1, t(1));
+    }
+}

@@ -1,0 +1,500 @@
+//! The discrete-event simulation engine.
+
+use std::collections::{BTreeSet, HashMap};
+
+use liferaft_catalog::Catalog;
+use liferaft_core::{BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView, StarvationMonitor};
+use liferaft_join::{hybrid, JoinStrategy};
+use liferaft_metrics::Summary;
+use liferaft_query::{
+    Predicate, QueryId, QueryPreProcessor, QueryTracker, QueueEntry, WorkloadTable,
+};
+use liferaft_storage::{BucketCache, BucketId, IoStats, SimDuration, SimTime};
+use liferaft_workload::TimedTrace;
+
+use crate::config::SimConfig;
+use crate::report::RunReport;
+
+/// A simulation of one archive under one catalog and configuration.
+///
+/// `run` is reentrant: each call replays a trace from scratch with fresh
+/// state, so the same `Simulation` drives whole parameter sweeps.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a, C: Catalog + ?Sized> {
+    catalog: &'a C,
+    config: SimConfig,
+}
+
+impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
+    /// Creates a simulation over `catalog` with the given configuration.
+    pub fn new(catalog: &'a C, config: SimConfig) -> Self {
+        config.validate();
+        Simulation { catalog, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `trace` under `scheduler` and reports the outcome.
+    ///
+    /// # Panics
+    /// Panics if the scheduler violates its contract (refuses to pick while
+    /// work is pending, picks an empty bucket, or picks a non-candidate) —
+    /// all of these are policy bugs that must fail loudly, not skew results.
+    pub fn run(&self, trace: &TimedTrace, scheduler: &mut dyn Scheduler) -> RunReport {
+        let partition = self.catalog.partition();
+        let pre = QueryPreProcessor::new(partition);
+        let mut st = EngineState {
+            table: WorkloadTable::new(partition.num_buckets()),
+            tracker: QueryTracker::new(),
+            cache: BucketCache::new(self.config.cache_buckets),
+            io: IoStats::new(),
+            per_query: HashMap::new(),
+            predicates: HashMap::new(),
+            starvation: StarvationMonitor::new(),
+            batches: 0,
+            scan_batches: 0,
+            indexed_batches: 0,
+            serviced_entries: 0,
+            cache_serviced_entries: 0,
+            total_matches: 0,
+        };
+
+        let arrivals = trace.entries();
+        let mut next_arrival = 0usize;
+        let mut now = SimTime::ZERO;
+
+        loop {
+            // Deliver every arrival due by `now` (ages reference the true
+            // arrival instants, not the batch boundary).
+            while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+                let (at, query) = &arrivals[next_arrival];
+                self.deliver(&mut st, &pre, query, *at);
+                scheduler.on_query_arrival(*at);
+                next_arrival += 1;
+            }
+
+            if st.table.is_idle() {
+                if next_arrival < arrivals.len() {
+                    // Idle until the next arrival.
+                    now = arrivals[next_arrival].0;
+                    continue;
+                }
+                break; // drained everything
+            }
+
+            // One scheduling decision + batch execution.
+            let candidates = self.build_candidates(&st);
+            let view = PickView {
+                now,
+                candidates: &candidates,
+                tracker: &st.tracker,
+                per_query: &st.per_query,
+            };
+            let spec = scheduler
+                .pick(&view)
+                .expect("scheduler must pick while work is pending");
+            let picked = candidates
+                .iter()
+                .position(|c| c.bucket == spec.bucket)
+                .expect("scheduler picked a bucket with no pending work");
+            st.starvation.record_decision(now, &candidates, picked);
+            let cost = self.execute_batch(&mut st, spec, now);
+            now = now + cost;
+        }
+
+        assert!(
+            st.tracker.all_complete(),
+            "simulation ended with incomplete queries"
+        );
+        self.finish(st, scheduler.name(), trace.len())
+    }
+
+    /// Preprocesses and enqueues one arriving query.
+    fn deliver(
+        &self,
+        st: &mut EngineState,
+        pre: &QueryPreProcessor<'_>,
+        query: &liferaft_query::CrossMatchQuery,
+        at: SimTime,
+    ) {
+        let items = pre.preprocess(query);
+        let assignments: u64 = items.iter().map(|i| i.len() as u64).sum();
+        st.tracker.register(query.id, assignments, at);
+        if assignments == 0 {
+            return;
+        }
+        let buckets: BTreeSet<BucketId> = items.iter().map(|i| i.bucket).collect();
+        st.per_query.insert(query.id, buckets);
+        if self.config.execute_joins {
+            st.predicates.insert(query.id, query.predicate);
+        }
+        for item in &items {
+            st.table.enqueue(item, query, at);
+        }
+    }
+
+    /// Snapshot of every non-empty workload queue.
+    fn build_candidates(&self, st: &EngineState) -> Vec<BucketSnapshot> {
+        let partition = self.catalog.partition();
+        st.table
+            .non_empty_buckets()
+            .iter()
+            .map(|&b| {
+                let q = st.table.queue(b);
+                BucketSnapshot {
+                    bucket: b,
+                    queue_len: q.len() as u64,
+                    oldest_enqueue: q.oldest_enqueue().expect("non-empty queue has an oldest"),
+                    cached: st.cache.contains(b),
+                    bucket_objects: partition.meta(b).object_count,
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one batch and returns its virtual-time cost.
+    fn execute_batch(&self, st: &mut EngineState, spec: BatchSpec, now: SimTime) -> SimDuration {
+        let entries: Vec<QueueEntry> = match spec.scope {
+            BatchScope::AllQueued => st.table.take_all(spec.bucket),
+            BatchScope::SingleQuery(q) => st.table.take_query(spec.bucket, q),
+        };
+        assert!(!entries.is_empty(), "scheduler scheduled an empty batch");
+        let w = entries.len() as u64;
+        let meta = self.catalog.meta(spec.bucket);
+
+        // The hybrid join decision belongs to LifeRaft's Join Evaluator
+        // (Figure 3). NoShare (share_io = false) models the pre-existing
+        // scan-based evaluation: no warm cache, no hybrid fallback.
+        let cached = spec.share_io && st.cache.contains(spec.bucket);
+        let strategy = if spec.share_io {
+            self.config.hybrid.choose(w, meta.object_count, cached)
+        } else {
+            JoinStrategy::SequentialScan
+        };
+
+        let cost = match strategy {
+            JoinStrategy::SequentialScan => {
+                if spec.share_io {
+                    let hit = st.cache.access(spec.bucket);
+                    debug_assert_eq!(hit, cached, "residency probe and access disagree");
+                }
+                if !cached {
+                    st.io.record_scan(meta.bytes, self.config.cost.tb);
+                }
+                st.io.record_match(self.config.cost.tm.times(w));
+                st.scan_batches += 1;
+                if cached {
+                    st.cache_serviced_entries += w;
+                }
+                self.config.cost.scan_batch(w, cached)
+            }
+            JoinStrategy::Indexed => {
+                // Random probes bypass the bucket cache entirely.
+                st.io.record_probes(w, self.config.cost.probe.times(w));
+                st.io.record_match(self.config.cost.tm.times(w));
+                st.indexed_batches += 1;
+                self.config.cost.indexed_batch(w)
+            }
+        };
+        st.batches += 1;
+        st.serviced_entries += w;
+
+        if self.config.execute_joins {
+            let objects = self.catalog.bucket_objects(spec.bucket);
+            let out = hybrid::execute(strategy, &objects, &entries);
+            for pair in &out.pairs {
+                let pred = st
+                    .predicates
+                    .get(&pair.query)
+                    .copied()
+                    .unwrap_or(Predicate::All);
+                if pred.accepts_mag(objects[pair.catalog_index as usize].mag) {
+                    st.total_matches += 1;
+                }
+            }
+        }
+
+        // Account completions at batch end. Grouped in QueryId order so the
+        // completion sequence (and thus the report) is deterministic even
+        // when one batch finishes several queries at the same instant.
+        let end = now + cost;
+        let mut per_query: std::collections::BTreeMap<QueryId, u64> = std::collections::BTreeMap::new();
+        for e in &entries {
+            *per_query.entry(e.query).or_insert(0) += 1;
+        }
+        for (q, n) in per_query {
+            if let Some(set) = st.per_query.get_mut(&q) {
+                set.remove(&spec.bucket);
+                if set.is_empty() {
+                    st.per_query.remove(&q);
+                }
+            }
+            st.tracker.complete_assignments(q, n, end);
+        }
+        cost
+    }
+
+    fn finish(&self, st: EngineState, scheduler: String, queries: usize) -> RunReport {
+        let outcomes = st.tracker.completed().to_vec();
+        let response = Summary::from_samples(
+            outcomes
+                .iter()
+                .map(|o| o.response_time().as_secs_f64())
+                .collect(),
+        );
+        let makespan_s = outcomes
+            .iter()
+            .map(|o| o.completion.as_secs_f64())
+            .fold(0.0, f64::max);
+        let throughput_qps = if makespan_s > 0.0 {
+            queries as f64 / makespan_s
+        } else {
+            0.0
+        };
+        RunReport {
+            scheduler,
+            queries,
+            makespan_s,
+            throughput_qps,
+            response,
+            cache: st.cache.stats(),
+            io: st.io,
+            batches: st.batches,
+            scan_batches: st.scan_batches,
+            indexed_batches: st.indexed_batches,
+            serviced_entries: st.serviced_entries,
+            cache_serviced_entries: st.cache_serviced_entries,
+            total_matches: st.total_matches,
+            max_wait_ms: st.starvation.max_wait_ms(),
+            outcomes,
+        }
+    }
+}
+
+struct EngineState {
+    table: WorkloadTable,
+    tracker: QueryTracker,
+    cache: BucketCache,
+    io: IoStats,
+    /// Buckets still holding queued entries, per in-flight query.
+    per_query: HashMap<QueryId, BTreeSet<BucketId>>,
+    /// Predicates of in-flight queries (populated only when joins execute).
+    predicates: HashMap<QueryId, Predicate>,
+    starvation: StarvationMonitor,
+    batches: u64,
+    scan_batches: u64,
+    indexed_batches: u64,
+    serviced_entries: u64,
+    cache_serviced_entries: u64,
+    total_matches: u64,
+}
+
+/// The scheduler's view at one decision point.
+struct PickView<'s> {
+    now: SimTime,
+    candidates: &'s [BucketSnapshot],
+    tracker: &'s QueryTracker,
+    per_query: &'s HashMap<QueryId, BTreeSet<BucketId>>,
+}
+
+impl SchedulerView for PickView<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn candidates(&self) -> &[BucketSnapshot] {
+        self.candidates
+    }
+
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {
+        self.tracker.oldest_pending()
+    }
+
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId> {
+        self.per_query
+            .get(&query)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_catalog::{generate::uniform_sky, MaterializedCatalog};
+    use liferaft_core::{
+        AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler,
+    };
+    use liferaft_query::{CrossMatchQuery, Predicate};
+    use liferaft_workload::arrivals::uniform_arrivals;
+    use liferaft_workload::Trace;
+
+    const LEVEL: u8 = 8;
+
+    fn catalog() -> MaterializedCatalog {
+        let sky = uniform_sky(2_000, LEVEL, 1);
+        MaterializedCatalog::build(&sky, LEVEL, 100, 4096)
+    }
+
+    fn small_trace(cat: &MaterializedCatalog, n: usize) -> Trace {
+        // Queries anchored on catalog objects so real joins find matches.
+        let queries: Vec<CrossMatchQuery> = (0..n)
+            .map(|i| {
+                let objs = cat.bucket_objects(BucketId((i % 5) as u32 * 3));
+                let positions: Vec<_> = objs.iter().step_by(10).map(|o| o.pos).collect();
+                CrossMatchQuery::from_positions(
+                    QueryId(i as u64),
+                    &positions,
+                    1e-4,
+                    LEVEL,
+                    Predicate::All,
+                )
+            })
+            .collect();
+        Trace::new(LEVEL, queries)
+    }
+
+    fn params() -> MetricParams {
+        MetricParams::paper()
+    }
+
+    #[test]
+    fn all_schedulers_complete_all_queries() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 12);
+        let timed = trace.with_arrivals(uniform_arrivals(0.5, 12));
+        let sim = Simulation::new(&cat, SimConfig::paper());
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(NoShareScheduler::new()),
+            Box::new(RoundRobinScheduler::new()),
+            Box::new(LifeRaftScheduler::greedy(params())),
+            Box::new(LifeRaftScheduler::age_based(params())),
+            Box::new(LifeRaftScheduler::new(params(), AgingMode::Normalized, 0.5)),
+        ];
+        for s in &mut schedulers {
+            let report = sim.run(&timed, s.as_mut());
+            assert_eq!(report.queries, 12, "{}", report.scheduler);
+            assert_eq!(report.outcomes.len(), 12);
+            assert!(report.throughput_qps > 0.0);
+            assert!(report.makespan_s > 0.0);
+            assert!(report.batches > 0);
+            assert_eq!(report.batches, report.scan_batches + report.indexed_batches);
+        }
+    }
+
+    #[test]
+    fn real_joins_produce_identical_matches_across_schedulers() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 8);
+        let timed = trace.with_arrivals(uniform_arrivals(0.5, 8));
+        let sim = Simulation::new(&cat, SimConfig::with_real_joins());
+        let mut baseline = None;
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(NoShareScheduler::new()),
+            Box::new(RoundRobinScheduler::new()),
+            Box::new(LifeRaftScheduler::greedy(params())),
+            Box::new(LifeRaftScheduler::age_based(params())),
+        ];
+        for s in &mut schedulers {
+            let report = sim.run(&timed, s.as_mut());
+            assert!(report.total_matches > 0, "{} found nothing", report.scheduler);
+            match baseline {
+                None => baseline = Some(report.total_matches),
+                Some(b) => assert_eq!(
+                    report.total_matches, b,
+                    "{} disagrees on matches",
+                    report.scheduler
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn batching_shares_io_relative_to_noshare() {
+        let cat = catalog();
+        // Many queries over the same few buckets, arriving together.
+        let trace = small_trace(&cat, 20);
+        let timed = trace.with_arrivals(uniform_arrivals(10.0, 20));
+        let sim = Simulation::new(&cat, SimConfig::paper());
+        let noshare = sim.run(&timed, &mut NoShareScheduler::new());
+        let greedy = sim.run(&timed, &mut LifeRaftScheduler::greedy(params()));
+        assert!(
+            greedy.io.bucket_reads < noshare.io.bucket_reads,
+            "sharing must reduce bucket reads: {} vs {}",
+            greedy.io.bucket_reads,
+            noshare.io.bucket_reads
+        );
+        assert!(greedy.throughput_qps > noshare.throughput_qps);
+        assert!(greedy.mean_batch_size() > noshare.mean_batch_size());
+    }
+
+    #[test]
+    fn response_times_are_positive_and_bounded_by_makespan() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 10);
+        let timed = trace.with_arrivals(uniform_arrivals(1.0, 10));
+        let sim = Simulation::new(&cat, SimConfig::paper());
+        let report = sim.run(&timed, &mut LifeRaftScheduler::greedy(params()));
+        for o in &report.outcomes {
+            let rt = o.response_time().as_secs_f64();
+            assert!(rt > 0.0);
+            assert!(rt <= report.makespan_s);
+        }
+    }
+
+    #[test]
+    fn conservation_every_assignment_serviced_exactly_once() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 15);
+        let pre = QueryPreProcessor::new(cat.partition());
+        let expected: u64 = trace
+            .queries()
+            .iter()
+            .map(|q| pre.preprocess(q).iter().map(|i| i.len() as u64).sum::<u64>())
+            .sum();
+        let timed = trace.with_arrivals(uniform_arrivals(2.0, 15));
+        let sim = Simulation::new(&cat, SimConfig::paper());
+        for s in [
+            &mut NoShareScheduler::new() as &mut dyn Scheduler,
+            &mut RoundRobinScheduler::new(),
+            &mut LifeRaftScheduler::greedy(params()),
+        ] {
+            let report = sim.run(&timed, s);
+            assert_eq!(report.serviced_entries, expected, "{}", report.scheduler);
+        }
+    }
+
+    #[test]
+    fn empty_trace_completes_trivially() {
+        let cat = catalog();
+        let trace = Trace::new(LEVEL, vec![]);
+        let timed = trace.with_arrivals(vec![]);
+        let sim = Simulation::new(&cat, SimConfig::paper());
+        let report = sim.run(&timed, &mut LifeRaftScheduler::greedy(params()));
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.throughput_qps, 0.0);
+    }
+
+    #[test]
+    fn greedy_uses_cache_more_than_age_based() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 30);
+        let timed = trace.with_arrivals(uniform_arrivals(5.0, 30));
+        let mut config = SimConfig::paper();
+        config.cache_buckets = 3;
+        let sim = Simulation::new(&cat, config);
+        let greedy = sim.run(&timed, &mut LifeRaftScheduler::greedy(params()));
+        let aged = sim.run(&timed, &mut LifeRaftScheduler::age_based(params()));
+        // Cached-bucket affinity is the greedy policy's defining behaviour.
+        assert!(
+            greedy.cache_service_fraction() >= aged.cache_service_fraction(),
+            "greedy {} < aged {}",
+            greedy.cache_service_fraction(),
+            aged.cache_service_fraction()
+        );
+    }
+}

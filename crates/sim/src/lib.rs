@@ -1,0 +1,35 @@
+//! Discrete-event simulation of a LifeRaft-scheduled archive.
+//!
+//! The paper measures a real SQL Server installation; we reproduce the
+//! experiments with a deterministic virtual-time simulation whose costs come
+//! from the same constants the paper reports (`Tb = 1.2 s`, `Tm = 0.13 ms`,
+//! a 20-bucket LRU cache, and random-I/O probe costs for the hybrid join).
+//! Everything *except* the clock is real: queries are pre-processed through
+//! the actual HTM machinery, workload queues are the actual scheduler
+//! inputs, and (optionally) every batch executes a real cross-match join
+//! whose results are identical across schedulers.
+//!
+//! # Model
+//!
+//! One executor (the database server) processes one batch at a time — a
+//! batch being a bucket read plus the cross-match of queued requests against
+//! it. Queries arrive by an open-loop arrival process ([`TimedTrace`]),
+//! enqueue their per-bucket sub-queries immediately, and complete when their
+//! last sub-query is serviced. Scheduling decisions happen at batch
+//! boundaries, exactly as in the paper's architecture (Figure 3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calibration;
+pub mod config;
+pub mod engine;
+pub mod federation;
+pub mod report;
+
+pub use calibration::calibrate_tradeoff_table;
+pub use config::SimConfig;
+pub use engine::Simulation;
+pub use federation::{run_chain, FederationReport};
+pub use liferaft_workload::TimedTrace;
+pub use report::RunReport;

@@ -1,0 +1,277 @@
+//! The LRU bucket cache.
+//!
+//! "The Bucket Cache either reads an existing bucket from memory or executes
+//! a range query to ask for the bucket from the database server. (We use a
+//! simple least recently used policy for cache replacement)" — Section 4.
+//! The experiments fix the capacity at 20 buckets and flush the DBMS buffer
+//! after every read, so this cache is the *only* source of I/O savings;
+//! its `contains` answer is exactly the φ(i) term of Eq. 1.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::bucket::BucketId;
+
+/// Cache access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the bucket resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Buckets evicted to make room.
+    pub evictions: u64,
+    /// Buckets inserted.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 if none) — the Section 6 statistic
+    /// ("40% and 7% of requests serviced from the cache").
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A least-recently-used cache of bucket residency.
+///
+/// Stores only identities, not payloads: the simulator tracks *which*
+/// buckets are memory-resident for cost accounting, while actual object
+/// data is materialized on demand by the catalog.
+#[derive(Debug, Clone)]
+pub struct BucketCache {
+    capacity: usize,
+    /// Recency queue, most-recent at the back.
+    queue: VecDeque<BucketId>,
+    /// Residency set mirroring `queue` for O(1) membership.
+    resident: HashMap<BucketId, ()>,
+    stats: CacheStats,
+}
+
+impl BucketCache {
+    /// Creates a cache holding at most `capacity` buckets.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero (the paper's smallest analogue is the
+    /// single-bucket "Map-Reduce" case; zero makes φ degenerate).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BucketCache {
+            capacity,
+            queue: VecDeque::with_capacity(capacity + 1),
+            resident: HashMap::with_capacity(capacity + 1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The paper's experimental configuration: 20 buckets (Section 5).
+    pub fn paper_default() -> Self {
+        Self::new(20)
+    }
+
+    /// Capacity in buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident buckets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Non-mutating residency probe: φ(i) = 0 iff `contains(i)`.
+    ///
+    /// Does **not** update recency or statistics — the scheduler calls this
+    /// for *every* candidate bucket on every decision, which must not
+    /// perturb the LRU order.
+    pub fn contains(&self, id: BucketId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Performs an access as part of executing a batch: returns `true` on a
+    /// hit (bucket already resident, moved to most-recent) or `false` on a
+    /// miss (bucket loaded, possibly evicting the least-recently-used one).
+    pub fn access(&mut self, id: BucketId) -> bool {
+        if self.contains(id) {
+            self.touch(id);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            self.insert(id);
+            false
+        }
+    }
+
+    /// Records a lookup that bypasses the cache entirely (e.g. an indexed
+    /// join probing random pages): counts a miss, loads nothing.
+    pub fn record_bypass(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Moves a resident bucket to most-recently-used.
+    fn touch(&mut self, id: BucketId) {
+        debug_assert!(self.contains(id));
+        if let Some(pos) = self.queue.iter().position(|&b| b == id) {
+            self.queue.remove(pos);
+            self.queue.push_back(id);
+        }
+    }
+
+    /// Inserts a bucket, evicting the LRU entry if full. Returns the evicted
+    /// bucket, if any.
+    pub fn insert(&mut self, id: BucketId) -> Option<BucketId> {
+        if self.contains(id) {
+            self.touch(id);
+            return None;
+        }
+        self.stats.insertions += 1;
+        let mut evicted = None;
+        if self.queue.len() == self.capacity {
+            let victim = self.queue.pop_front().expect("cache is full, so non-empty");
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+            evicted = Some(victim);
+        }
+        self.queue.push_back(id);
+        self.resident.insert(id, ());
+        evicted
+    }
+
+    /// Drops everything (the experiments' between-run flush).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.resident.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident buckets from least- to most-recently used.
+    pub fn resident_lru_order(&self) -> impl Iterator<Item = BucketId> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_until_capacity_then_evict_lru() {
+        let mut c = BucketCache::new(2);
+        assert_eq!(c.insert(BucketId(1)), None);
+        assert_eq!(c.insert(BucketId(2)), None);
+        assert_eq!(c.len(), 2);
+        // 1 is LRU, so inserting 3 evicts it.
+        assert_eq!(c.insert(BucketId(3)), Some(BucketId(1)));
+        assert!(!c.contains(BucketId(1)));
+        assert!(c.contains(BucketId(2)));
+        assert!(c.contains(BucketId(3)));
+    }
+
+    #[test]
+    fn access_updates_recency() {
+        let mut c = BucketCache::new(2);
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.access(BucketId(1)));
+        assert_eq!(c.insert(BucketId(3)), Some(BucketId(2)));
+        assert!(c.contains(BucketId(1)));
+    }
+
+    #[test]
+    fn access_counts_hits_and_misses() {
+        let mut c = BucketCache::new(2);
+        assert!(!c.access(BucketId(5))); // miss + load
+        assert!(c.access(BucketId(5))); // hit
+        assert!(c.access(BucketId(5))); // hit
+        assert!(!c.access(BucketId(6))); // miss
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_does_not_perturb_lru_or_stats() {
+        let mut c = BucketCache::new(2);
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        // Probe 1 many times; it must stay LRU.
+        for _ in 0..10 {
+            assert!(c.contains(BucketId(1)));
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.insert(BucketId(3)), Some(BucketId(1)));
+    }
+
+    #[test]
+    fn reinsert_resident_only_touches() {
+        let mut c = BucketCache::new(2);
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        assert_eq!(c.insert(BucketId(1)), None); // touch, no insert
+        assert_eq!(c.stats().insertions, 2);
+        assert_eq!(c.insert(BucketId(3)), Some(BucketId(2)));
+    }
+
+    #[test]
+    fn bypass_counts_miss_without_loading() {
+        let mut c = BucketCache::new(2);
+        c.record_bypass();
+        assert_eq!(c.stats().misses, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = BucketCache::new(2);
+        c.access(BucketId(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = BucketCache::new(3);
+        for i in 0..100 {
+            c.access(BucketId(i % 7));
+            assert!(c.len() <= 3);
+        }
+        assert_eq!(c.stats().evictions, c.stats().insertions - 3);
+    }
+
+    #[test]
+    fn lru_order_iterates_oldest_first() {
+        let mut c = BucketCache::new(3);
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        c.insert(BucketId(3));
+        c.access(BucketId(1));
+        let order: Vec<_> = c.resident_lru_order().collect();
+        assert_eq!(order, vec![BucketId(2), BucketId(3), BucketId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BucketCache::new(0);
+    }
+}

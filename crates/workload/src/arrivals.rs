@@ -1,0 +1,128 @@
+//! Arrival processes: the saturation axis of the evaluation.
+//!
+//! Figure 8 replays the same trace at saturations of 0.1–0.5 queries/second;
+//! the adaptive-α example additionally needs bursty, non-stationary
+//! arrivals (Section 6 stresses that real query streams have "no steady
+//! state").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use liferaft_storage::{SimDuration, SimTime};
+
+/// Generates `n` Poisson arrival instants at `rate_qps` queries/second.
+///
+/// Inter-arrival gaps are i.i.d. exponential with mean `1/rate`; the first
+/// arrival occurs after one gap (the simulation epoch is t = 0).
+///
+/// # Panics
+/// Panics unless the rate is finite and positive.
+pub fn poisson_arrivals(rate_qps: f64, n: usize, seed: u64) -> Vec<SimTime> {
+    assert!(
+        rate_qps.is_finite() && rate_qps > 0.0,
+        "arrival rate must be positive, got {rate_qps}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap_s = -u.ln() / rate_qps;
+            t = t + SimDuration::from_secs_f64(gap_s);
+            t
+        })
+        .collect()
+}
+
+/// Deterministic arrivals at a fixed period (useful for reproducible tests).
+pub fn uniform_arrivals(rate_qps: f64, n: usize) -> Vec<SimTime> {
+    assert!(rate_qps.is_finite() && rate_qps > 0.0);
+    let period = SimDuration::from_secs_f64(1.0 / rate_qps);
+    (1..=n as u64).map(|i| SimTime::ZERO + period.times(i)).collect()
+}
+
+/// On/off bursty arrivals: alternating phases of `phase` duration drawing
+/// from `high_qps` then `low_qps` Poisson rates.
+///
+/// Models the bursty, non-stationary streams Section 6 argues stationary
+/// schedulers mishandle.
+pub fn bursty_arrivals(
+    low_qps: f64,
+    high_qps: f64,
+    phase: SimDuration,
+    n: usize,
+    seed: u64,
+) -> Vec<SimTime> {
+    assert!(low_qps.is_finite() && low_qps > 0.0);
+    assert!(high_qps.is_finite() && high_qps >= low_qps);
+    assert!(phase > SimDuration::ZERO);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64; // seconds
+    let phase_s = phase.as_secs_f64();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Phase index alternates high (even) / low (odd), starting high.
+        let phase_idx = (t / phase_s) as u64;
+        let rate = if phase_idx % 2 == 0 { high_qps } else { low_qps };
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate;
+        out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_sorted_and_rate_accurate() {
+        let arrivals = poisson_arrivals(0.5, 4_000, 7);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let span = arrivals.last().unwrap().as_secs_f64();
+        let rate = 4_000.0 / span;
+        assert!(
+            (rate - 0.5).abs() < 0.03,
+            "empirical rate {rate} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        assert_eq!(poisson_arrivals(1.0, 50, 3), poisson_arrivals(1.0, 50, 3));
+        assert_ne!(poisson_arrivals(1.0, 50, 3), poisson_arrivals(1.0, 50, 4));
+    }
+
+    #[test]
+    fn uniform_arrivals_are_periodic() {
+        let a = uniform_arrivals(2.0, 4);
+        let times: Vec<f64> = a.iter().map(|t| t.as_secs_f64()).collect();
+        assert_eq!(times, vec![0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn bursty_has_two_regimes() {
+        let phase = SimDuration::from_secs(1_000);
+        let arrivals = bursty_arrivals(0.05, 2.0, phase, 3_000, 11);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals in the first high phase vs the first low phase.
+        let in_phase = |lo: f64, hi: f64| {
+            arrivals
+                .iter()
+                .filter(|t| t.as_secs_f64() >= lo && t.as_secs_f64() < hi)
+                .count()
+        };
+        let high = in_phase(0.0, 1_000.0);
+        let low = in_phase(1_000.0, 2_000.0);
+        assert!(
+            high > low * 5,
+            "burst not visible: high {high}, low {low}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        poisson_arrivals(0.0, 1, 0);
+    }
+}
