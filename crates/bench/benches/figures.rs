@@ -16,9 +16,8 @@ fn main() {
         .skip(1)
         .filter(|a| !a.starts_with('-'))
         .collect();
-    let wants = |name: &str| {
-        filters.is_empty() || filters.iter().any(|f| name.starts_with(f.as_str()))
-    };
+    let wants =
+        |name: &str| filters.is_empty() || filters.iter().any(|f| name.starts_with(f.as_str()));
 
     let scale = Scale::from_env();
     println!(
@@ -26,7 +25,11 @@ fn main() {
         scale.n_buckets,
         scale.objects_per_bucket,
         scale.n_queries,
-        if scale == Scale::quick() { "quick" } else { "full" },
+        if scale == Scale::quick() {
+            "quick"
+        } else {
+            "full"
+        },
     );
 
     let mut checks: Vec<Check> = Vec::new();

@@ -7,9 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use liferaft_catalog::{Catalog, VirtualCatalog};
-use liferaft_core::{
-    AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams,
-};
+use liferaft_core::{AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams};
 use liferaft_htm::{cap::Cap, cover::Coverer, locate, Vec3};
 use liferaft_join::zones::ZoneMap;
 use liferaft_join::{indexed::indexed_join, sweep::sweep_join};

@@ -34,7 +34,11 @@ pub struct Check {
 
 impl Check {
     fn new(name: impl Into<String>, ok: bool, detail: impl Into<String>) -> Self {
-        Check { name: name.into(), ok, detail: detail.into() }
+        Check {
+            name: name.into(),
+            ok,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -122,7 +126,10 @@ pub fn fig5_and_fig6(exp: &Experiment) -> Vec<Check> {
     }
     println!("{}", t5.render());
     let coverage = stats.top_k_query_coverage(10);
-    println!("top-10 buckets touched by {:.1}% of queries (paper: 61%)", coverage * 100.0);
+    println!(
+        "top-10 buckets touched by {:.1}% of queries (paper: 61%)",
+        coverage * 100.0
+    );
 
     // Figure 6: cumulative workload by bucket rank.
     let cdf = stats.cumulative_workload();
@@ -154,7 +161,11 @@ pub fn fig5_and_fig6(exp: &Experiment) -> Vec<Check> {
         Check::new(
             "fig5: reuse of hot buckets clusters temporally",
             stats.mean_reuse_gap(10) < stats.n_queries() as f64 / 4.0,
-            format!("mean gap {:.0} of {} queries", stats.mean_reuse_gap(10), stats.n_queries()),
+            format!(
+                "mean gap {:.0} of {} queries",
+                stats.mean_reuse_gap(10),
+                stats.n_queries()
+            ),
         ),
         Check::new(
             "fig6: ~2% of buckets carry ~half the workload (paper 50%)",
@@ -164,7 +175,11 @@ pub fn fig5_and_fig6(exp: &Experiment) -> Vec<Check> {
         Check::new(
             "fig6: the remaining buckets form a long tail",
             stats.touched_buckets() > stats.n_buckets() / 10,
-            format!("{} of {} buckets touched", stats.touched_buckets(), stats.n_buckets()),
+            format!(
+                "{} of {} buckets touched",
+                stats.touched_buckets(),
+                stats.n_buckets()
+            ),
         ),
     ]
 }
@@ -177,17 +192,24 @@ pub fn fig7(exp: &Experiment) -> (Vec<RunReport>, Vec<Check>) {
     println!("\n=== Figure 7: performance by scheduling algorithm ({FIG7_RATE} q/s) ===");
     let timed = exp
         .trace
-        .with_arrivals(poisson_arrivals(FIG7_RATE, exp.trace.len(), 0xF16_7));
+        .with_arrivals(poisson_arrivals(FIG7_RATE, exp.trace.len(), 0xF167));
     let sim = Simulation::new(&exp.catalog, exp.config);
     let params = MetricParams::from_cost(&exp.config.cost);
 
     let mut lineup: Vec<Box<dyn Scheduler>> = vec![Box::new(NoShareScheduler::new())];
     for alpha in [1.0, 0.75, 0.5, 0.25, 0.0] {
-        lineup.push(Box::new(LifeRaftScheduler::new(params, AgingMode::Normalized, alpha)));
+        lineup.push(Box::new(LifeRaftScheduler::new(
+            params,
+            AgingMode::Normalized,
+            alpha,
+        )));
     }
     lineup.push(Box::new(RoundRobinScheduler::new()));
 
-    let reports: Vec<RunReport> = lineup.iter_mut().map(|s| sim.run(&timed, s.as_mut())).collect();
+    let reports: Vec<RunReport> = lineup
+        .iter_mut()
+        .map(|s| sim.run(&timed, s.as_mut()))
+        .collect();
     let noshare_rt = reports[0].mean_response_s();
 
     let mut table = Table::new([
@@ -236,7 +258,9 @@ pub fn fig7(exp: &Experiment) -> (Vec<RunReport>, Vec<Check>) {
         ),
         Check::new(
             "fig7b: NoShare has the worst mean response time",
-            reports[1..].iter().all(|r| r.mean_response_s() <= noshare_rt * 1.02),
+            reports[1..]
+                .iter()
+                .all(|r| r.mean_response_s() <= noshare_rt * 1.02),
             format!(
                 "NoShare {:.0}s vs best {:.0}s",
                 noshare_rt,
@@ -249,12 +273,20 @@ pub fn fig7(exp: &Experiment) -> (Vec<RunReport>, Vec<Check>) {
         Check::new(
             "fig7b: greedy's response time exceeds the purely-aged scheduler's",
             greedy.mean_response_s() > aged.mean_response_s(),
-            format!("α=0: {:.0}s, α=1: {:.0}s", greedy.mean_response_s(), aged.mean_response_s()),
+            format!(
+                "α=0: {:.0}s, α=1: {:.0}s",
+                greedy.mean_response_s(),
+                aged.mean_response_s()
+            ),
         ),
         Check::new(
             "fig7b: greedy shows higher response-time variance than aged",
             greedy.response_cov() > aged.response_cov() * 0.9,
-            format!("CoV α=0 {:.2} vs α=1 {:.2}", greedy.response_cov(), aged.response_cov()),
+            format!(
+                "CoV α=0 {:.2} vs α=1 {:.2}",
+                greedy.response_cov(),
+                aged.response_cov()
+            ),
         ),
     ];
     (reports, checks)
@@ -262,9 +294,13 @@ pub fn fig7(exp: &Experiment) -> (Vec<RunReport>, Vec<Check>) {
 
 // ---------------------------------------------------------------- Figure 8
 
+/// Raw Figure-8 sweep output: one `Vec<RunReport>` (one per α) for each
+/// saturation level.
+pub type SaturationSweep = Vec<(f64, Vec<RunReport>)>;
+
 /// Figure 8: throughput and response time across saturations for every α.
 /// Returns the calibration table and raw reports (Figure 4 reuses them).
-pub fn fig8(exp: &Experiment) -> (TradeoffTable, Vec<(f64, Vec<RunReport>)>, Vec<Check>) {
+pub fn fig8(exp: &Experiment) -> (TradeoffTable, SaturationSweep, Vec<Check>) {
     println!("\n=== Figure 8: parameter selection by workload saturation ===");
     let (table, reports) = calibrate_tradeoff_table(
         &exp.catalog,
@@ -272,7 +308,7 @@ pub fn fig8(exp: &Experiment) -> (TradeoffTable, Vec<(f64, Vec<RunReport>)>, Vec
         &SATURATIONS,
         &ALPHAS,
         exp.config,
-        0xF16_8,
+        0xF168,
     );
 
     let mut tput_series: Vec<Series> = ALPHAS
@@ -470,17 +506,28 @@ pub fn ablations(exp: &Experiment) -> Vec<Check> {
     let r_raw = sim.run(&timed, &mut raw);
     let r_norm = sim.run(&timed, &mut norm);
     let r_aged = sim.run(&timed, &mut aged);
-    t.row(["raw (Eq. 2 verbatim)".to_string(), format!("{:.4}", r_raw.throughput_qps), format!("{:.0}", r_raw.mean_response_s())]);
-    t.row(["normalized (ours)".to_string(), format!("{:.4}", r_norm.throughput_qps), format!("{:.0}", r_norm.mean_response_s())]);
-    t.row(["pure age (α=1)".to_string(), format!("{:.4}", r_aged.throughput_qps), format!("{:.0}", r_aged.mean_response_s())]);
+    t.row([
+        "raw (Eq. 2 verbatim)".to_string(),
+        format!("{:.4}", r_raw.throughput_qps),
+        format!("{:.0}", r_raw.mean_response_s()),
+    ]);
+    t.row([
+        "normalized (ours)".to_string(),
+        format!("{:.4}", r_norm.throughput_qps),
+        format!("{:.0}", r_norm.mean_response_s()),
+    ]);
+    t.row([
+        "pure age (α=1)".to_string(),
+        format!("{:.4}", r_aged.throughput_qps),
+        format!("{:.0}", r_aged.mean_response_s()),
+    ]);
     println!("{}", t.render());
     // The units mismatch in the verbatim Eq. 2 (objects/ms + ms) lets any
     // α > 0 hand the decision entirely to the age term: the raw policy at
     // α = 0.25 must behave like the pure-age policy, not like the
     // normalized blend.
-    let like_aged = (r_raw.throughput_qps - r_aged.throughput_qps).abs()
-        / r_aged.throughput_qps
-        < 0.05;
+    let like_aged =
+        (r_raw.throughput_qps - r_aged.throughput_qps).abs() / r_aged.throughput_qps < 0.05;
     checks.push(Check::new(
         "ablation: raw Eq. 2 at α=0.25 degenerates to pure aging (units mismatch)",
         like_aged,
@@ -519,9 +566,27 @@ pub fn ablations(exp: &Experiment) -> Vec<Check> {
     let mut makespans = Vec::new();
     for (label, hybrid) in [
         ("off (scan only)", HybridConfig::scan_only()),
-        ("0.01", HybridConfig { threshold_ratio: 0.01, enabled: true }),
-        ("0.03 (paper)", HybridConfig { threshold_ratio: 0.03, enabled: true }),
-        ("0.10", HybridConfig { threshold_ratio: 0.10, enabled: true }),
+        (
+            "0.01",
+            HybridConfig {
+                threshold_ratio: 0.01,
+                enabled: true,
+            },
+        ),
+        (
+            "0.03 (paper)",
+            HybridConfig {
+                threshold_ratio: 0.03,
+                enabled: true,
+            },
+        ),
+        (
+            "0.10",
+            HybridConfig {
+                threshold_ratio: 0.10,
+                enabled: true,
+            },
+        ),
     ] {
         let mut cfg = exp.config;
         cfg.hybrid = hybrid;

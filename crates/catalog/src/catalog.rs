@@ -31,7 +31,11 @@ pub trait Catalog {
 
     /// Total declared object count.
     fn total_objects(&self) -> u64 {
-        self.partition().buckets().iter().map(|b| b.object_count).sum()
+        self.partition()
+            .buckets()
+            .iter()
+            .map(|b| b.object_count)
+            .sum()
     }
 }
 
@@ -47,12 +51,7 @@ pub struct MaterializedCatalog {
 
 impl MaterializedCatalog {
     /// Partitions an HTM-sorted object table into `per_bucket`-object buckets.
-    pub fn build(
-        objects: &[SkyObject],
-        level: u8,
-        per_bucket: usize,
-        object_bytes: u64,
-    ) -> Self {
+    pub fn build(objects: &[SkyObject], level: u8, per_bucket: usize, object_bytes: u64) -> Self {
         let (partition, groups) =
             Partition::build_from_objects(objects, level, per_bucket, object_bytes);
         MaterializedCatalog { partition, groups }
@@ -110,7 +109,11 @@ impl VirtualCatalog {
             min_span >= objects_per_bucket,
             "bucket span {min_span} cannot host {objects_per_bucket} distinct IDs"
         );
-        VirtualCatalog { partition, objects_per_bucket, seed }
+        VirtualCatalog {
+            partition,
+            objects_per_bucket,
+            seed,
+        }
     }
 
     /// The paper's experimental scale: level 14, ~20 000 buckets of 10 000

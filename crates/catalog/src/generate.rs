@@ -34,10 +34,14 @@ pub fn clustered_point<R: Rng>(rng: &mut R, center: Vec3, sigma: f64) -> Vec3 {
     let theta = std::f64::consts::TAU * u2;
     let (dx, dy) = (r * theta.cos(), r * theta.sin());
     // Build an orthonormal tangent basis at `center`.
-    let helper = if center.z.abs() < 0.9 { Vec3::NORTH } else { Vec3::new(1.0, 0.0, 0.0) };
+    let helper = if center.z.abs() < 0.9 {
+        Vec3::NORTH
+    } else {
+        Vec3::new(1.0, 0.0, 0.0)
+    };
     let e1 = center.cross(helper).normalized();
     let e2 = center.cross(e1).normalized();
-    center.add(e1.scale(dx)).add(e2.scale(dy)).normalized()
+    (center + e1.scale(dx) + e2.scale(dy)).normalized()
 }
 
 /// Generates `n` objects uniformly over the sphere, HTM-sorted.
@@ -135,7 +139,11 @@ mod tests {
 
     #[test]
     fn clustered_sky_is_skewed() {
-        let cfg = ClusterConfig { clusters: 4, sigma: 0.01, cluster_fraction: 0.9 };
+        let cfg = ClusterConfig {
+            clusters: 4,
+            sigma: 0.01,
+            cluster_fraction: 0.9,
+        };
         let sky = clustered_sky(4_000, 8, 99, cfg);
         assert!(is_htm_sorted(&sky));
         // Count objects per level-4 trixel; the top trixels should hold far
@@ -158,7 +166,11 @@ mod tests {
         let center = Vec3::from_radec_deg(100.0, 45.0);
         for _ in 0..200 {
             let p = clustered_point(&mut rng, center, 0.01);
-            assert!(center.angle_to(p) < 0.08, "outlier at {}", center.angle_to(p));
+            assert!(
+                center.angle_to(p) < 0.08,
+                "outlier at {}",
+                center.angle_to(p)
+            );
         }
     }
 
@@ -172,7 +184,11 @@ mod tests {
 
     #[test]
     fn zero_cluster_fraction_degenerates_to_uniform() {
-        let cfg = ClusterConfig { clusters: 1, sigma: 0.01, cluster_fraction: 0.0 };
+        let cfg = ClusterConfig {
+            clusters: 1,
+            sigma: 0.01,
+            cluster_fraction: 0.0,
+        };
         let sky = clustered_sky(1_000, 8, 5, cfg);
         let north = sky.iter().filter(|o| o.pos.z > 0.0).count() as f64 / 1_000.0;
         assert!((0.4..0.6).contains(&north));

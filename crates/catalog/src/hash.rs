@@ -74,6 +74,9 @@ mod tests {
         let a = splitmix64(0x1234_5678);
         let b = splitmix64(0x1234_5679);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 }

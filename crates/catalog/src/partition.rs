@@ -142,7 +142,11 @@ impl Partition {
                 }
             })
             .collect();
-        Partition { level, starts, buckets }
+        Partition {
+            level,
+            starts,
+            buckets,
+        }
     }
 
     /// The object-level of the partition.
@@ -167,7 +171,11 @@ impl Partition {
 
     /// The bucket owning an object-level HTM ID (total: every ID has one).
     pub fn bucket_of(&self, id: HtmId) -> BucketId {
-        assert_eq!(id.level(), self.level, "bucket_of requires object-level IDs");
+        assert_eq!(
+            id.level(),
+            self.level,
+            "bucket_of requires object-level IDs"
+        );
         let raw = id.raw();
         // partition_point returns the first start > raw; the owner is the
         // bucket before it.

@@ -46,7 +46,9 @@ impl TradeoffCurve {
         assert!(saturation_qps.is_finite() && saturation_qps > 0.0);
         for p in &points {
             assert!(
-                p.alpha.is_finite() && p.throughput_qps.is_finite() && p.mean_response_s.is_finite(),
+                p.alpha.is_finite()
+                    && p.throughput_qps.is_finite()
+                    && p.mean_response_s.is_finite(),
                 "non-finite calibration point {p:?}"
             );
             assert!((0.0..=1.0).contains(&p.alpha), "α out of range in {p:?}");
@@ -56,7 +58,10 @@ impl TradeoffCurve {
             points.windows(2).all(|w| w[0].alpha < w[1].alpha),
             "duplicate α in calibration points"
         );
-        TradeoffCurve { saturation_qps, points }
+        TradeoffCurve {
+            saturation_qps,
+            points,
+        }
     }
 
     /// The saturation this curve was calibrated at.
@@ -100,7 +105,8 @@ impl TradeoffCurve {
                 Some(b) => Some(b),
             };
         }
-        best.expect("the max-throughput point is always feasible").alpha
+        best.expect("the max-throughput point is always feasible")
+            .alpha
     }
 }
 
@@ -177,7 +183,10 @@ impl SaturationEstimator {
     /// Panics on a zero-length window.
     pub fn new(window: SimDuration) -> Self {
         assert!(window > SimDuration::ZERO, "window must be positive");
-        SaturationEstimator { window, arrivals: VecDeque::new() }
+        SaturationEstimator {
+            window,
+            arrivals: VecDeque::new(),
+        }
     }
 
     /// Records a query arrival.
@@ -314,7 +323,11 @@ mod tests {
     use super::*;
 
     fn pt(alpha: f64, tput: f64, resp: f64) -> TradeoffPoint {
-        TradeoffPoint { alpha, throughput_qps: tput, mean_response_s: resp }
+        TradeoffPoint {
+            alpha,
+            throughput_qps: tput,
+            mean_response_s: resp,
+        }
     }
 
     /// Curves shaped like Figure 4: at low saturation, throughput is nearly
@@ -370,7 +383,7 @@ mod tests {
         let table = TradeoffTable::new(vec![low_curve(), high_curve()]);
         assert_eq!(table.select_alpha(0.09, 0.20), 1.0); // near 0.1
         assert_eq!(table.select_alpha(0.6, 0.20), 0.25); // near 0.5
-        // Geometric midpoint of 0.1 and 0.5 is ~0.224; below it → low curve.
+                                                         // Geometric midpoint of 0.1 and 0.5 is ~0.224; below it → low curve.
         assert_eq!(table.select_alpha(0.2, 0.20), 1.0);
         assert_eq!(table.select_alpha(0.25, 0.20), 0.25);
     }

@@ -26,8 +26,15 @@ impl LifeRaftScheduler {
     /// # Panics
     /// Panics if α is outside `[0, 1]`.
     pub fn new(params: MetricParams, mode: AgingMode, alpha: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
-        LifeRaftScheduler { params, mode, alpha }
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "α must be in [0,1], got {alpha}"
+        );
+        LifeRaftScheduler {
+            params,
+            mode,
+            alpha,
+        }
     }
 
     /// The greedy, maximum-throughput configuration (α = 0).
@@ -47,7 +54,10 @@ impl LifeRaftScheduler {
 
     /// Adjusts the bias (the adaptive controller's knob).
     pub fn set_alpha(&mut self, alpha: f64) {
-        assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "α must be in [0,1], got {alpha}"
+        );
         self.alpha = alpha;
     }
 

@@ -71,7 +71,10 @@ pub fn aged_scores(
     now: SimTime,
     candidates: &[BucketSnapshot],
 ) -> Vec<f64> {
-    assert!((0.0..=1.0).contains(&alpha), "α must be in [0,1], got {alpha}");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "α must be in [0,1], got {alpha}"
+    );
     let mut ut: Vec<f64> = candidates
         .iter()
         .map(|c| params.workload_throughput(c.queue_len, c.cached))
@@ -97,9 +100,7 @@ mod tests {
         let s = BucketSnapshot {
             bucket: BucketId(bucket),
             queue_len,
-            oldest_enqueue: SimTime::from_micros(
-                100_000_000 - age_ms * 1_000,
-            ),
+            oldest_enqueue: SimTime::from_micros(100_000_000 - age_ms * 1_000),
             cached,
             bucket_objects: 10_000,
         };
@@ -108,7 +109,10 @@ mod tests {
 
     #[test]
     fn eq1_known_values() {
-        let p = MetricParams { tb_ms: 1200.0, tm_ms: 0.13 };
+        let p = MetricParams {
+            tb_ms: 1200.0,
+            tm_ms: 0.13,
+        };
         // W=1000, uncached: 1000 / (1200 + 130) ≈ 0.7519 objects/ms.
         let ut = p.workload_throughput(1000, false);
         assert!((ut - 1000.0 / 1330.0).abs() < 1e-12);
@@ -163,14 +167,19 @@ mod tests {
         // the old bucket must eventually win, with a crossover in between.
         let pick = |alpha: f64| {
             let s = aged_scores(&p, AgingMode::Normalized, alpha, now, &[a, b]);
-            if s[0] >= s[1] { 0 } else { 1 }
+            if s[0] >= s[1] {
+                0
+            } else {
+                1
+            }
         };
         assert_eq!(pick(0.0), 0);
         assert_eq!(pick(1.0), 1);
-        let crossover = (1..=9)
-            .map(|k| pick(k as f64 / 10.0))
-            .collect::<Vec<_>>();
-        assert!(crossover.windows(2).all(|w| w[0] <= w[1]), "one-way crossover");
+        let crossover = (1..=9).map(|k| pick(k as f64 / 10.0)).collect::<Vec<_>>();
+        assert!(
+            crossover.windows(2).all(|w| w[0] <= w[1]),
+            "one-way crossover"
+        );
     }
 
     #[test]

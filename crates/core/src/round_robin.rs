@@ -112,7 +112,7 @@ mod tests {
     }
 
     #[test]
-    fn batches_are_shared(){
+    fn batches_are_shared() {
         let mut rr = RoundRobinScheduler::new();
         let v = view(&[0]);
         let pick = rr.pick(&v).unwrap();

@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(v.now(), SimTime::from_micros(7));
         assert!(v.candidates().is_empty());
         assert_eq!(v.oldest_pending_query(), Some((QueryId(3), SimTime::ZERO)));
-        assert_eq!(v.pending_buckets_of(QueryId(3)), vec![BucketId(2), BucketId(5)]);
+        assert_eq!(
+            v.pending_buckets_of(QueryId(3)),
+            vec![BucketId(2), BucketId(5)]
+        );
         assert!(v.pending_buckets_of(QueryId(9)).is_empty());
     }
 }

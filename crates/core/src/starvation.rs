@@ -29,12 +29,7 @@ impl StarvationMonitor {
     /// Records a decision: `candidates` were pending, `picked` (an index
     /// into `candidates`) was serviced. The ages of everything left behind
     /// are the waiting times of this decision.
-    pub fn record_decision(
-        &mut self,
-        now: SimTime,
-        candidates: &[BucketSnapshot],
-        picked: usize,
-    ) {
+    pub fn record_decision(&mut self, now: SimTime, candidates: &[BucketSnapshot], picked: usize) {
         assert!(picked < candidates.len(), "picked index out of range");
         self.decisions += 1;
         for (i, c) in candidates.iter().enumerate() {

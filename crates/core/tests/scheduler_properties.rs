@@ -1,15 +1,20 @@
 //! Property tests for the LifeRaft scheduling policy.
 
+use liferaft_core::scheduler::FixtureView;
 use liferaft_core::{
     AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams, RoundRobinScheduler, Scheduler,
 };
-use liferaft_core::scheduler::FixtureView;
 use liferaft_storage::{BucketId, SimTime};
 use proptest::prelude::*;
 
 fn arb_candidates() -> impl Strategy<Value = Vec<BucketSnapshot>> {
     proptest::collection::vec(
-        (0u32..500, 1u64..5_000, 0u64..1_000_000u64, proptest::bool::ANY),
+        (
+            0u32..500,
+            1u64..5_000,
+            0u64..1_000_000u64,
+            proptest::bool::ANY,
+        ),
         1..40,
     )
     .prop_map(|raw| {

@@ -119,7 +119,7 @@ impl Cap {
             return false;
         }
         // Closest point on the great circle to the center.
-        let proj = self.center.sub(n.scale(self.center.dot(n)));
+        let proj = self.center - n.scale(self.center.dot(n));
         if proj.norm() < 1e-15 {
             // Center is one of the circle's poles: every point of the circle
             // is at π/2; covered only if radius == π/2 (checked above via
@@ -204,7 +204,7 @@ mod tests {
         // Cap centered just outside an edge of a root trixel, poking through
         // without containing any corner.
         let t = Trixel::root(0); // corners at (RA 0, Dec 0), south pole, (RA 90, Dec 0)
-        // The N3/S0 boundary is the equator between RA 0 and RA 90.
+                                 // The N3/S0 boundary is the equator between RA 0 and RA 90.
         let cap = Cap::new(Vec3::from_radec_deg(45.0, 1.0), 0.05); // ~2.9° radius
         assert_eq!(cap.classify(&t), CapTrixelRelation::Partial);
     }
@@ -224,9 +224,9 @@ mod tests {
             v
         };
         for (center, radius) in [
-            (t.center(), 1.0),                              // giant: Inside
-            (t.center(), 1e-5),                             // tiny inside: Partial
-            (Vec3::from_radec_deg(300.0, 60.0), 0.05),      // far away: Disjoint
+            (t.center(), 1.0),                         // giant: Inside
+            (t.center(), 1e-5),                        // tiny inside: Partial
+            (Vec3::from_radec_deg(300.0, 60.0), 0.05), // far away: Disjoint
         ] {
             let cap = Cap::new(center, radius);
             match cap.classify(&t) {

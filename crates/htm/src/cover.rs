@@ -103,11 +103,7 @@ impl Coverer {
             frontier = next;
         }
         let mut ranges = inside;
-        ranges.extend(
-            frontier
-                .iter()
-                .map(|t| t.id().descendant_range(self.level)),
-        );
+        ranges.extend(frontier.iter().map(|t| t.id().descendant_range(self.level)));
         HtmRangeSet::from_ranges(ranges)
     }
 }
@@ -160,7 +156,11 @@ mod tests {
         // of trixels (typically 1–4 around a corner).
         let cap = Cap::from_radec_deg(123.0, 45.0, 1.0);
         let cover = Coverer::new(14).cover(&cap);
-        assert!(cover.len() <= 8, "cover unexpectedly large: {}", cover.len());
+        assert!(
+            cover.len() <= 8,
+            "cover unexpectedly large: {}",
+            cover.len()
+        );
         assert!(!cover.is_empty());
     }
 
@@ -172,7 +172,10 @@ mod tests {
         let cap = Cap::new(Vec3::from_radec_deg(80.0, 40.0), 0.02);
         let level = 12;
         let cover = Coverer::new(level).cover(&cap);
-        let covered: f64 = cover.iter_ids().map(|i| crate::index::trixel_of(i).area()).sum();
+        let covered: f64 = cover
+            .iter_ids()
+            .map(|i| crate::index::trixel_of(i).area())
+            .sum();
         assert!(covered >= cap.area(), "cover must not undershoot");
         assert!(
             covered < cap.area() * 1.5,
@@ -187,7 +190,10 @@ mod tests {
         let exact = Coverer::new(12).cover(&cap);
         for budget in [1, 2, 4, 16, 64] {
             let bounded = Coverer::new(12).cover_bounded(&cap, budget);
-            assert!(bounded.num_ranges() <= budget.max(8), "budget {budget} violated");
+            assert!(
+                bounded.num_ranges() <= budget.max(8),
+                "budget {budget} violated"
+            );
             // Superset check: every exact range is inside the bounded set.
             for id in exact.iter_ids().take(500) {
                 assert!(bounded.contains(id), "budget {budget} dropped {id}");

@@ -20,7 +20,10 @@ pub fn locate(p: Vec3, level: u8) -> HtmId {
 
 /// Like [`locate`], but returns the full [`Trixel`] (corners included).
 pub fn locate_trixel(p: Vec3, level: u8) -> Trixel {
-    assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+    assert!(
+        level <= MAX_LEVEL,
+        "level {level} exceeds MAX_LEVEL {MAX_LEVEL}"
+    );
     assert!(
         (p.norm() - 1.0).abs() < 1e-6,
         "locate requires a unit vector, |p| = {}",

@@ -100,7 +100,8 @@ impl HtmRange {
     #[inline]
     pub fn touches(self, o: HtmRange) -> bool {
         debug_assert_eq!(self.level(), o.level());
-        self.lo.raw() <= o.hi.raw().saturating_add(1) && o.lo.raw() <= self.hi.raw().saturating_add(1)
+        self.lo.raw() <= o.hi.raw().saturating_add(1)
+            && o.lo.raw() <= self.hi.raw().saturating_add(1)
     }
 
     /// Re-expresses the range at a **deeper** level (descendant expansion).
@@ -114,9 +115,8 @@ impl HtmRange {
 
     /// Iterates over every ID in the range (use with care on wide ranges).
     pub fn iter(self) -> impl Iterator<Item = HtmId> {
-        (self.lo.raw()..=self.hi.raw()).map(|r| {
-            HtmId::from_raw(r).expect("all raw values inside a valid range are valid IDs")
-        })
+        (self.lo.raw()..=self.hi.raw())
+            .map(|r| HtmId::from_raw(r).expect("all raw values inside a valid range are valid IDs"))
     }
 }
 

@@ -72,10 +72,7 @@ impl Trixel {
 
     /// The normalized centroid of the corners — a representative interior point.
     pub fn center(&self) -> Vec3 {
-        self.corners[0]
-            .add(self.corners[1])
-            .add(self.corners[2])
-            .normalized()
+        (self.corners[0] + self.corners[1] + self.corners[2]).normalized()
     }
 
     /// An upper bound (radians) on the angular distance from [`Trixel::center`]
@@ -101,10 +98,22 @@ impl Trixel {
         let w1 = v0.midpoint(v2);
         let w2 = v0.midpoint(v1);
         [
-            Trixel { id: self.id.child(0), corners: [v0, w2, w1] },
-            Trixel { id: self.id.child(1), corners: [v1, w0, w2] },
-            Trixel { id: self.id.child(2), corners: [v2, w1, w0] },
-            Trixel { id: self.id.child(3), corners: [w0, w1, w2] },
+            Trixel {
+                id: self.id.child(0),
+                corners: [v0, w2, w1],
+            },
+            Trixel {
+                id: self.id.child(1),
+                corners: [v1, w0, w2],
+            },
+            Trixel {
+                id: self.id.child(2),
+                corners: [v2, w1, w0],
+            },
+            Trixel {
+                id: self.id.child(3),
+                corners: [w0, w1, w2],
+            },
         ]
     }
 
@@ -159,7 +168,11 @@ mod tests {
     fn roots_have_ccw_orientation() {
         // CCW corners seen from outside means each root contains its center.
         for t in Trixel::roots() {
-            assert!(t.contains(t.center()), "{:?} does not contain center", t.id());
+            assert!(
+                t.contains(t.center()),
+                "{:?} does not contain center",
+                t.id()
+            );
             assert!(t.contains_strict(t.center()));
         }
     }
@@ -196,7 +209,10 @@ mod tests {
     fn every_point_is_in_exactly_one_strict_root() {
         // Interior points (not on octahedron edges) are in exactly one root.
         let p = Vec3::from_radec_deg(33.0, 12.0);
-        let n = Trixel::roots().iter().filter(|t| t.contains_strict(p)).count();
+        let n = Trixel::roots()
+            .iter()
+            .filter(|t| t.contains_strict(p))
+            .count();
         assert_eq!(n, 1);
     }
 

@@ -97,18 +97,6 @@ impl Vec3 {
         Vec3::new(self.x / n, self.y / n, self.z / n)
     }
 
-    /// Component-wise sum.
-    #[inline]
-    pub fn add(self, o: Vec3) -> Vec3 {
-        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
-    }
-
-    /// Component-wise difference.
-    #[inline]
-    pub fn sub(self, o: Vec3) -> Vec3 {
-        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
-    }
-
     /// Scalar multiplication.
     #[inline]
     pub fn scale(self, s: f64) -> Vec3 {
@@ -118,7 +106,7 @@ impl Vec3 {
     /// Normalized midpoint of two unit vectors (the HTM edge-bisection rule).
     #[inline]
     pub fn midpoint(self, o: Vec3) -> Vec3 {
-        self.add(o).normalized()
+        (self + o).normalized()
     }
 
     /// Angular distance to another unit vector, in radians.
@@ -137,9 +125,29 @@ impl Vec3 {
     /// inner loop: `angle ≤ r  ⇔  |a−b|² ≤ (2·sin(r/2))²` for unit vectors.
     #[inline]
     pub fn within_angle(self, o: Vec3, radius: f64) -> bool {
-        let d = self.sub(o);
+        let d = self - o;
         let chord = 2.0 * (radius * 0.5).sin();
         d.dot(d) <= chord * chord
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+
+    /// Component-wise sum.
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+
+    /// Component-wise difference.
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
 }
 
@@ -166,7 +174,10 @@ impl ChordBound {
     pub fn new(radius: f64) -> Self {
         debug_assert!((0.0..=std::f64::consts::PI).contains(&radius));
         let chord = 2.0 * (radius * 0.5).sin();
-        ChordBound { radius, chord2: chord * chord }
+        ChordBound {
+            radius,
+            chord2: chord * chord,
+        }
     }
 
     /// The angular radius this bound was constructed from, in radians.
@@ -178,7 +189,7 @@ impl ChordBound {
     /// True if unit vectors `a` and `b` are within the angular radius.
     #[inline]
     pub fn matches(self, a: Vec3, b: Vec3) -> bool {
-        let d = a.sub(b);
+        let d = a - b;
         d.dot(d) <= self.chord2
     }
 }

@@ -47,12 +47,18 @@ pub struct HybridConfig {
 impl HybridConfig {
     /// The paper's configuration: hybrid enabled at the 3% break-even.
     pub fn paper() -> Self {
-        HybridConfig { threshold_ratio: 0.03, enabled: true }
+        HybridConfig {
+            threshold_ratio: 0.03,
+            enabled: true,
+        }
     }
 
     /// Scan-only (hybrid disabled).
     pub fn scan_only() -> Self {
-        HybridConfig { threshold_ratio: 0.0, enabled: false }
+        HybridConfig {
+            threshold_ratio: 0.0,
+            enabled: false,
+        }
     }
 
     /// Derives the threshold from a cost model and bucket size instead of
@@ -94,11 +100,7 @@ impl Default for HybridConfig {
 
 /// Executes a batch with the given strategy (result is strategy-independent;
 /// only the access pattern differs).
-pub fn execute(
-    strategy: JoinStrategy,
-    bucket: &[SkyObject],
-    entries: &[QueueEntry],
-) -> JoinOutput {
+pub fn execute(strategy: JoinStrategy, bucket: &[SkyObject], entries: &[QueueEntry]) -> JoinOutput {
     match strategy {
         JoinStrategy::SequentialScan => sweep_join(bucket, entries),
         JoinStrategy::Indexed => indexed_join(bucket, entries),
@@ -134,7 +136,10 @@ mod tests {
         let cost = CostModel::paper();
         let h = HybridConfig::from_cost(&cost, 10_000);
         let w = cost.break_even_queue_len();
-        assert_eq!(h.choose(w.saturating_sub(1), 10_000, false), JoinStrategy::Indexed);
+        assert_eq!(
+            h.choose(w.saturating_sub(1), 10_000, false),
+            JoinStrategy::Indexed
+        );
         assert_eq!(h.choose(w + 1, 10_000, false), JoinStrategy::SequentialScan);
     }
 

@@ -96,7 +96,9 @@ mod tests {
     fn empty_inputs_yield_empty_output() {
         let sky = uniform_sky(10, LEVEL, 1);
         assert!(sweep_join(&sky, &[]).is_empty());
-        assert!(sweep_join(&[], &[entry_at(Vec3::from_radec_deg(0.0, 0.0), 0.01, 1, 0)]).is_empty());
+        assert!(
+            sweep_join(&[], &[entry_at(Vec3::from_radec_deg(0.0, 0.0), 0.01, 1, 0)]).is_empty()
+        );
     }
 
     #[test]
@@ -110,7 +112,10 @@ mod tests {
             .map(|(i, o)| entry_at(o.pos, 1e-4, 1, i as u32))
             .collect();
         let out = sweep_join(&sky, &entries);
-        assert!(out.len() >= entries.len(), "anchored entries must all match");
+        assert!(
+            out.len() >= entries.len(),
+            "anchored entries must all match"
+        );
     }
 
     #[test]
@@ -121,7 +126,12 @@ mod tests {
             // Mix of radii, some offset positions.
             let (ra, dec) = o.pos.to_radec_deg();
             let pos = Vec3::from_radec_deg(ra + 0.01, dec - 0.005);
-            entries.push(entry_at(pos, 0.02 + (i % 3) as f64 * 0.01, i as u64, i as u32));
+            entries.push(entry_at(
+                pos,
+                0.02 + (i % 3) as f64 * 0.01,
+                i as u64,
+                i as u32,
+            ));
         }
         let fast = sweep_join(&sky, &entries);
         let slow = brute_force_join(&sky, &entries);

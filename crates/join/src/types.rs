@@ -64,7 +64,11 @@ mod tests {
     use super::*;
 
     fn pair(q: u64, o: u32, c: u32) -> MatchPair {
-        MatchPair { query: QueryId(q), object_index: o, catalog_index: c }
+        MatchPair {
+            query: QueryId(q),
+            object_index: o,
+            catalog_index: c,
+        }
     }
 
     #[test]

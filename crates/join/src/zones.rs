@@ -70,8 +70,16 @@ impl ZoneMap {
         for e in entries {
             let (ra, dec) = e.pos.to_radec();
             let r = e.radius;
-            let z_lo = Self::zone_of_dec((dec - r).max(-std::f64::consts::FRAC_PI_2), self.zone_height, n_zones);
-            let z_hi = Self::zone_of_dec((dec + r).min(std::f64::consts::FRAC_PI_2), self.zone_height, n_zones);
+            let z_lo = Self::zone_of_dec(
+                (dec - r).max(-std::f64::consts::FRAC_PI_2),
+                self.zone_height,
+                n_zones,
+            );
+            let z_hi = Self::zone_of_dec(
+                (dec + r).min(std::f64::consts::FRAC_PI_2),
+                self.zone_height,
+                n_zones,
+            );
             let bound = ChordBound::new(r);
             for z in z_lo..=z_hi {
                 self.probe_zone(z, ra, r, bound, e, objects, &mut out);
@@ -99,7 +107,10 @@ impl ZoneMap {
         // Near the poles the window degenerates to the full circle.
         let zone_dec_lo = z as f64 * self.zone_height - std::f64::consts::FRAC_PI_2;
         let zone_dec_hi = zone_dec_lo + self.zone_height;
-        let max_abs_dec = zone_dec_lo.abs().max(zone_dec_hi.abs()).min(std::f64::consts::FRAC_PI_2);
+        let max_abs_dec = zone_dec_lo
+            .abs()
+            .max(zone_dec_hi.abs())
+            .min(std::f64::consts::FRAC_PI_2);
         let cos_dec = max_abs_dec.cos();
         let full_circle = cos_dec < 1e-6 || r / cos_dec >= std::f64::consts::PI;
         if full_circle {
@@ -182,7 +193,11 @@ mod tests {
             .enumerate()
             .map(|(i, o)| {
                 let (ra, dec) = o.pos.to_radec_deg();
-                entry_at(Vec3::from_radec_deg(ra + 0.004, dec - 0.003), 0.015, i as u32)
+                entry_at(
+                    Vec3::from_radec_deg(ra + 0.004, dec - 0.003),
+                    0.015,
+                    i as u32,
+                )
             })
             .collect();
         let zoned = zm.crossmatch(&sky, &entries);

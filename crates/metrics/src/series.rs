@@ -12,7 +12,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series label.
@@ -37,7 +40,10 @@ impl Series {
 
     /// The y value at a given x, if present (exact bit-match).
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
     }
 
     /// Linear interpolation of y at `x` over points sorted by x.

@@ -142,7 +142,10 @@ impl Summary {
         );
         let stats = samples.iter().copied().collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after check"));
-        Summary { sorted: samples, stats }
+        Summary {
+            sorted: samples,
+            stats,
+        }
     }
 
     /// Number of observations.
@@ -219,7 +222,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);

@@ -101,7 +101,11 @@ pub struct CrossMatchQuery {
 impl CrossMatchQuery {
     /// Creates a query from prepared match objects.
     pub fn new(id: QueryId, objects: Vec<MatchObject>, predicate: Predicate) -> Self {
-        CrossMatchQuery { id, objects, predicate }
+        CrossMatchQuery {
+            id,
+            objects,
+            predicate,
+        }
     }
 
     /// Convenience: builds a query from raw positions sharing one error
@@ -117,7 +121,11 @@ impl CrossMatchQuery {
             .iter()
             .map(|&p| MatchObject::new(p, radius, level))
             .collect();
-        CrossMatchQuery { id, objects, predicate }
+        CrossMatchQuery {
+            id,
+            objects,
+            predicate,
+        }
     }
 
     /// Number of objects to cross-match.
@@ -151,7 +159,10 @@ mod tests {
     #[test]
     fn predicate_semantics() {
         assert!(Predicate::All.accepts_mag(99.0));
-        let r = Predicate::MagRange { min: 15.0, max: 20.0 };
+        let r = Predicate::MagRange {
+            min: 15.0,
+            max: 20.0,
+        };
         assert!(r.accepts_mag(15.0));
         assert!(r.accepts_mag(19.99));
         assert!(!r.accepts_mag(20.0));
@@ -166,13 +177,7 @@ mod tests {
         let ps: Vec<Vec3> = (0..5)
             .map(|i| Vec3::from_radec_deg(10.0 + i as f64, 5.0))
             .collect();
-        let q = CrossMatchQuery::from_positions(
-            QueryId(3),
-            &ps,
-            ARCSEC,
-            10,
-            Predicate::All,
-        );
+        let q = CrossMatchQuery::from_positions(QueryId(3), &ps, ARCSEC, 10, Predicate::All);
         assert_eq!(q.len(), 5);
         assert!(!q.is_empty());
         assert_eq!(q.id, QueryId(3));

@@ -77,10 +77,7 @@ impl<'a> QueryPreProcessor<'a> {
     /// Total number of (object, bucket) assignments a query expands to —
     /// the amount of workload-queue space it will occupy.
     pub fn workload_size(&self, query: &CrossMatchQuery) -> u64 {
-        self.preprocess(query)
-            .iter()
-            .map(|w| w.len() as u64)
-            .sum()
+        self.preprocess(query).iter().map(|w| w.len() as u64).sum()
     }
 }
 
@@ -147,7 +144,13 @@ mod tests {
     fn every_object_appears_somewhere() {
         let p = partition();
         let q = query_at(
-            &[(0.1, 0.1), (90.0, 45.0), (180.0, -45.0), (270.0, 80.0), (45.0, -80.0)],
+            &[
+                (0.1, 0.1),
+                (90.0, 45.0),
+                (180.0, -45.0),
+                (270.0, 80.0),
+                (45.0, -80.0),
+            ],
             1e-4,
         );
         let items = QueryPreProcessor::new(&p).preprocess(&q);
@@ -201,6 +204,8 @@ mod tests {
             "boundary object should hit both neighbouring buckets, got {}",
             items.len()
         );
-        assert!(items.iter().any(|i| i.bucket == liferaft_storage::BucketId(10)));
+        assert!(items
+            .iter()
+            .any(|i| i.bucket == liferaft_storage::BucketId(10)));
     }
 }

@@ -69,7 +69,11 @@ impl QueryTracker {
         }
         let prev = self.pending.insert(
             query,
-            Pending { arrival, remaining: assignments, assignments },
+            Pending {
+                arrival,
+                remaining: assignments,
+                assignments,
+            },
         );
         assert!(prev.is_none(), "query {query} registered twice");
     }

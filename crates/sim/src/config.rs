@@ -33,12 +33,18 @@ impl SimConfig {
     /// Small-scale configuration with real join execution, for correctness
     /// tests and examples.
     pub fn with_real_joins() -> Self {
-        SimConfig { execute_joins: true, ..Self::paper() }
+        SimConfig {
+            execute_joins: true,
+            ..Self::paper()
+        }
     }
 
     /// Validates invariants.
     pub fn validate(&self) {
-        assert!(self.cache_buckets > 0, "cache must hold at least one bucket");
+        assert!(
+            self.cache_buckets > 0,
+            "cache must hold at least one bucket"
+        );
         assert!(
             self.hybrid.threshold_ratio >= 0.0,
             "hybrid threshold must be non-negative"

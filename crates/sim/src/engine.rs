@@ -3,7 +3,9 @@
 use std::collections::{BTreeSet, HashMap};
 
 use liferaft_catalog::Catalog;
-use liferaft_core::{BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView, StarvationMonitor};
+use liferaft_core::{
+    BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView, StarvationMonitor,
+};
 use liferaft_join::{hybrid, JoinStrategy};
 use liferaft_metrics::Summary;
 use liferaft_query::{
@@ -102,7 +104,7 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
                 .expect("scheduler picked a bucket with no pending work");
             st.starvation.record_decision(now, &candidates, picked);
             let cost = self.execute_batch(&mut st, spec, now);
-            now = now + cost;
+            now += cost;
         }
 
         assert!(
@@ -221,7 +223,8 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
         // completion sequence (and thus the report) is deterministic even
         // when one batch finishes several queries at the same instant.
         let end = now + cost;
-        let mut per_query: std::collections::BTreeMap<QueryId, u64> = std::collections::BTreeMap::new();
+        let mut per_query: std::collections::BTreeMap<QueryId, u64> =
+            std::collections::BTreeMap::new();
         for e in &entries {
             *per_query.entry(e.query).or_insert(0) += 1;
         }
@@ -400,7 +403,11 @@ mod tests {
         ];
         for s in &mut schedulers {
             let report = sim.run(&timed, s.as_mut());
-            assert!(report.total_matches > 0, "{} found nothing", report.scheduler);
+            assert!(
+                report.total_matches > 0,
+                "{} found nothing",
+                report.scheduler
+            );
             match baseline {
                 None => baseline = Some(report.total_matches),
                 Some(b) => assert_eq!(
@@ -453,7 +460,12 @@ mod tests {
         let expected: u64 = trace
             .queries()
             .iter()
-            .map(|q| pre.preprocess(q).iter().map(|i| i.len() as u64).sum::<u64>())
+            .map(|q| {
+                pre.preprocess(q)
+                    .iter()
+                    .map(|i| i.len() as u64)
+                    .sum::<u64>()
+            })
             .sum();
         let timed = trace.with_arrivals(uniform_arrivals(2.0, 15));
         let sim = Simulation::new(&cat, SimConfig::paper());

@@ -68,11 +68,8 @@ pub fn run_chain(
     let mut dropped = Vec::with_capacity(sites.len());
 
     // Arrival time at site 0 per query, for end-to-end accounting.
-    let origin: std::collections::HashMap<QueryId, SimTime> = trace
-        .entries()
-        .iter()
-        .map(|(t, q)| (q.id, *t))
-        .collect();
+    let origin: std::collections::HashMap<QueryId, SimTime> =
+        trace.entries().iter().map(|(t, q)| (q.id, *t)).collect();
 
     let mut current = trace.clone();
     let mut final_completions: Vec<(QueryId, SimTime)> = Vec::new();
@@ -117,11 +114,9 @@ pub fn run_chain(
         dropped.push(dropped_here);
         reports.push(report);
 
-        if next_level.is_some() {
+        if let Some(level) = next_level {
             next.sort_by_key(|(t, _)| *t);
-            let level = next_level.expect("checked above");
-            let (times, queries): (Vec<SimTime>, Vec<CrossMatchQuery>) =
-                next.into_iter().unzip();
+            let (times, queries): (Vec<SimTime>, Vec<CrossMatchQuery>) = next.into_iter().unzip();
             current = Trace::new(level, queries).with_arrivals(times);
         }
     }
@@ -129,12 +124,15 @@ pub fn run_chain(
     let end_to_end = Summary::from_samples(
         final_completions
             .iter()
-            .map(|(q, done)| {
-                done.since(origin[q]).as_secs_f64()
-            })
+            .map(|(q, done)| done.since(origin[q]).as_secs_f64())
             .collect(),
     );
-    FederationReport { sites: reports, entered, dropped, end_to_end }
+    FederationReport {
+        sites: reports,
+        entered,
+        dropped,
+        end_to_end,
+    }
 }
 
 /// The deterministic (scheduler-independent) cross-match result of one query
@@ -286,7 +284,10 @@ mod tests {
             SimConfig::paper(),
         );
         assert_eq!(report.entered[0], 4);
-        assert!(report.dropped[0] >= 1, "the orphan query must drop at site 0");
+        assert!(
+            report.dropped[0] >= 1,
+            "the orphan query must drop at site 0"
+        );
         assert_eq!(report.entered[1], 4 - report.dropped[0]);
     }
 

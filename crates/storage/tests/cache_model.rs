@@ -14,7 +14,13 @@ struct ReferenceLru {
 
 impl ReferenceLru {
     fn new(capacity: usize) -> Self {
-        ReferenceLru { capacity, order: Vec::new(), hits: 0, misses: 0, evictions: 0 }
+        ReferenceLru {
+            capacity,
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     fn access(&mut self, id: u32) -> bool {

@@ -28,7 +28,7 @@ pub fn poisson_arrivals(rate_qps: f64, n: usize, seed: u64) -> Vec<SimTime> {
         .map(|_| {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             let gap_s = -u.ln() / rate_qps;
-            t = t + SimDuration::from_secs_f64(gap_s);
+            t += SimDuration::from_secs_f64(gap_s);
             t
         })
         .collect()
@@ -38,7 +38,9 @@ pub fn poisson_arrivals(rate_qps: f64, n: usize, seed: u64) -> Vec<SimTime> {
 pub fn uniform_arrivals(rate_qps: f64, n: usize) -> Vec<SimTime> {
     assert!(rate_qps.is_finite() && rate_qps > 0.0);
     let period = SimDuration::from_secs_f64(1.0 / rate_qps);
-    (1..=n as u64).map(|i| SimTime::ZERO + period.times(i)).collect()
+    (1..=n as u64)
+        .map(|i| SimTime::ZERO + period.times(i))
+        .collect()
 }
 
 /// On/off bursty arrivals: alternating phases of `phase` duration drawing
@@ -63,7 +65,11 @@ pub fn bursty_arrivals(
     while out.len() < n {
         // Phase index alternates high (even) / low (odd), starting high.
         let phase_idx = (t / phase_s) as u64;
-        let rate = if phase_idx % 2 == 0 { high_qps } else { low_qps };
+        let rate = if phase_idx % 2 == 0 {
+            high_qps
+        } else {
+            low_qps
+        };
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         t += -u.ln() / rate;
         out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
@@ -114,10 +120,7 @@ mod tests {
         };
         let high = in_phase(0.0, 1_000.0);
         let low = in_phase(1_000.0, 2_000.0);
-        assert!(
-            high > low * 5,
-            "burst not visible: high {high}, low {low}"
-        );
+        assert!(high > low * 5, "burst not visible: high {high}, low {low}");
     }
 
     #[test]

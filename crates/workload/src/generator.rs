@@ -163,9 +163,7 @@ impl TraceGenerator {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         // Hotspot centers, fixed for the whole trace.
-        let centers: Vec<Vec3> = (0..cfg.hotspots)
-            .map(|_| uniform_point(&mut rng))
-            .collect();
+        let centers: Vec<Vec3> = (0..cfg.hotspots).map(|_| uniform_point(&mut rng)).collect();
         let popularity = Zipf::new(cfg.hotspots, cfg.hotspot_zipf);
 
         // Active hotspots per epoch: the most popular few are always active
@@ -208,7 +206,7 @@ impl TraceGenerator {
         // Footprint radius: hotspot base × a log-uniform spread multiplier,
         // capped below a hemisphere (the Cap type's domain).
         let (m_lo, m_hi) = cfg.region_spread;
-        let mult = (m_lo.ln() + rng.gen_range(0.0..=1.0) * (m_hi / m_lo).ln()).exp();
+        let mult = (m_lo.ln() + rng.gen_range(0.0f64..=1.0) * (m_hi / m_lo).ln()).exp();
         let radius = (cfg.hotspot_radius * mult).min(std::f64::consts::FRAC_PI_2 * 0.99);
 
         fn sample_size(rng: &mut StdRng, cfg: &WorkloadConfig, large_fraction: f64) -> usize {
@@ -232,17 +230,13 @@ impl TraceGenerator {
             let h = active[slot_dist.sample(rng)];
             let center = centers[h];
             let n = sample_size(rng, cfg, cfg.hot_large_fraction);
-            (0..n)
-                .map(|_| point_in_cap(rng, center, radius))
-                .collect()
+            (0..n).map(|_| point_in_cap(rng, center, radius)).collect()
         } else {
             // Background exploration: a random region of the same extent,
             // typically carrying a large object list.
             let center = uniform_point(rng);
             let n = sample_size(rng, cfg, cfg.large_fraction);
-            (0..n)
-                .map(|_| point_in_cap(rng, center, radius))
-                .collect()
+            (0..n).map(|_| point_in_cap(rng, center, radius)).collect()
         };
 
         let predicate = match rng.gen_range(0..4u8) {
@@ -250,7 +244,10 @@ impl TraceGenerator {
             1 => Predicate::BrighterThan(rng.gen_range(18.0f32..23.0)),
             _ => {
                 let min = rng.gen_range(14.0f32..19.0);
-                Predicate::MagRange { min, max: min + rng.gen_range(1.0f32..5.0) }
+                Predicate::MagRange {
+                    min,
+                    max: min + rng.gen_range(1.0f32..5.0),
+                }
             }
         };
 
@@ -284,11 +281,7 @@ fn point_in_cap<R: Rng + ?Sized>(rng: &mut R, center: Vec3, radius: f64) -> Vec3
     };
     let e1 = center.cross(helper).normalized();
     let e2 = center.cross(e1).normalized();
-    center
-        .scale(cos_t)
-        .add(e1.scale(sin_t * phi.cos()))
-        .add(e2.scale(sin_t * phi.sin()))
-        .normalized()
+    (center.scale(cos_t) + e1.scale(sin_t * phi.cos()) + e2.scale(sin_t * phi.sin())).normalized()
 }
 
 #[cfg(test)]
@@ -359,7 +352,10 @@ mod tests {
         for _ in 0..500 {
             max_angle = max_angle.max(center.angle_to(point_in_cap(&mut rng, center, 0.1)));
         }
-        assert!(max_angle > 0.08, "samples should reach the rim, max {max_angle}");
+        assert!(
+            max_angle > 0.08,
+            "samples should reach the rim, max {max_angle}"
+        );
     }
 
     #[test]

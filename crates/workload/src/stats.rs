@@ -113,7 +113,14 @@ impl WorkloadStats {
             .enumerate()
             .map(|(i, &c)| {
                 acc += c;
-                (i + 1, if total == 0 { 0.0 } else { acc as f64 / total as f64 })
+                (
+                    i + 1,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        acc as f64 / total as f64
+                    },
+                )
             })
             .collect()
     }
@@ -231,7 +238,10 @@ mod tests {
         // spread... at minimum, finite and small relative to the trace.
         let gap = stats.mean_reuse_gap(5);
         assert!(gap.is_finite());
-        assert!(gap < trace.len() as f64 / 4.0, "mean reuse gap {gap} too large");
+        assert!(
+            gap < trace.len() as f64 / 4.0,
+            "mean reuse gap {gap} too large"
+        );
     }
 
     #[test]

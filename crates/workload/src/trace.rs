@@ -106,7 +106,10 @@ impl Trace {
 
         let (n, header) = next("header")?;
         if header.trim() != "liferaft-trace v1" {
-            return Err(TraceReadError::Malformed(n, format!("bad header {header:?}")));
+            return Err(TraceReadError::Malformed(
+                n,
+                format!("bad header {header:?}"),
+            ));
         }
         let (n, level_line) = next("level")?;
         let level: u8 = parse_kv(&level_line, "level", n)?;
@@ -118,7 +121,10 @@ impl Trace {
             let (n, qline) = next("query")?;
             let mut parts = qline.split_whitespace();
             if parts.next() != Some("query") {
-                return Err(TraceReadError::Malformed(n, format!("expected query line, got {qline:?}")));
+                return Err(TraceReadError::Malformed(
+                    n,
+                    format!("expected query line, got {qline:?}"),
+                ));
             }
             let id: u64 = parse_field(parts.next(), "query id", n)?;
             let n_objects: usize = parse_field(parts.next(), "object count", n)?;
@@ -143,7 +149,10 @@ impl Trace {
                 let (n, oline) = next("object")?;
                 let mut parts = oline.split_whitespace();
                 if parts.next() != Some("o") {
-                    return Err(TraceReadError::Malformed(n, format!("expected object line, got {oline:?}")));
+                    return Err(TraceReadError::Malformed(
+                        n,
+                        format!("expected object line, got {oline:?}"),
+                    ));
                 }
                 let ra: f64 = parse_field(parts.next(), "ra", n)?;
                 let dec: f64 = parse_field(parts.next(), "dec", n)?;
@@ -163,7 +172,10 @@ impl Trace {
 fn parse_kv<T: std::str::FromStr>(line: &str, key: &str, n: usize) -> Result<T, TraceReadError> {
     let mut parts = line.split_whitespace();
     if parts.next() != Some(key) {
-        return Err(TraceReadError::Malformed(n, format!("expected `{key} <value>`, got {line:?}")));
+        return Err(TraceReadError::Malformed(
+            n,
+            format!("expected `{key} <value>`, got {line:?}"),
+        ));
     }
     parse_field(parts.next(), key, n)
 }
@@ -194,8 +206,12 @@ impl fmt::Display for TraceReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceReadError::Io(line, e) => write!(f, "I/O error at line {line}: {e}"),
-            TraceReadError::Malformed(line, what) => write!(f, "malformed trace at line {line}: {what}"),
-            TraceReadError::UnexpectedEof(what) => write!(f, "unexpected end of trace while reading {what}"),
+            TraceReadError::Malformed(line, what) => {
+                write!(f, "malformed trace at line {line}: {what}")
+            }
+            TraceReadError::UnexpectedEof(what) => {
+                write!(f, "unexpected end of trace while reading {what}")
+            }
         }
     }
 }
@@ -264,7 +280,14 @@ mod tests {
             8,
             vec![
                 mk(0, 10.0, Predicate::All),
-                mk(1, 120.0, Predicate::MagRange { min: 15.0, max: 18.5 }),
+                mk(
+                    1,
+                    120.0,
+                    Predicate::MagRange {
+                        min: 15.0,
+                        max: 18.5,
+                    },
+                ),
                 mk(2, 250.0, Predicate::BrighterThan(20.25)),
             ],
         )
@@ -308,10 +331,7 @@ mod tests {
             .rposition(|&b| b == b'\n')
             .expect("multi-line trace");
         let err = Trace::read_from(&buf[..=cut]).unwrap_err();
-        assert!(
-            matches!(err, TraceReadError::UnexpectedEof(_)),
-            "{err}"
-        );
+        assert!(matches!(err, TraceReadError::UnexpectedEof(_)), "{err}");
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
         // First rank whose cdf exceeds u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -112,8 +114,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let freq = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
             assert!(
                 (freq - z.pmf(k)).abs() < 0.01,
                 "rank {k}: freq {freq} vs pmf {}",

@@ -58,18 +58,15 @@ fn main() {
     const TOLERANCE: f64 = 0.2;
     let mut sel = Table::new(["saturation (q/s)", "selected alpha (20% tolerance)"]);
     for &sat in &saturations {
-        sel.row([format!("{sat}"), format!("{}", table.select_alpha(sat, TOLERANCE))]);
+        sel.row([
+            format!("{sat}"),
+            format!("{}", table.select_alpha(sat, TOLERANCE)),
+        ]);
     }
     println!("{}", sel.render());
 
     // --- 3. Bursty replay with the adaptive controller ------------------
-    let burst = bursty_arrivals(
-        0.05,
-        0.5,
-        SimDuration::from_secs(600),
-        trace.len(),
-        4,
-    );
+    let burst = bursty_arrivals(0.05, 0.5, SimDuration::from_secs(600), trace.len(), 4);
     let timed = trace.with_arrivals(burst);
     let sim = Simulation::new(&catalog, SimConfig::paper());
     let params = MetricParams::paper();

@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --release --example interactive_vs_batch`
 
-use liferaft::prelude::*;
 use liferaft::metrics::Summary;
+use liferaft::prelude::*;
 
 const LEVEL: u8 = 8;
 

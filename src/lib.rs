@@ -65,7 +65,9 @@ pub use liferaft_workload as workload;
 
 /// The types most applications need, in one import.
 pub mod prelude {
-    pub use liferaft_catalog::{Catalog, MaterializedCatalog, Partition, SkyObject, VirtualCatalog};
+    pub use liferaft_catalog::{
+        Catalog, MaterializedCatalog, Partition, SkyObject, VirtualCatalog,
+    };
     pub use liferaft_core::{
         AdaptiveScheduler, AgingMode, AlphaController, LifeRaftScheduler, MetricParams,
         NoShareScheduler, RoundRobinScheduler, Scheduler, TradeoffTable,
@@ -73,13 +75,9 @@ pub mod prelude {
     pub use liferaft_htm::{Cap, Coverer, HtmId, HtmRange, HtmRangeSet, Vec3};
     pub use liferaft_join::{HybridConfig, JoinStrategy};
     pub use liferaft_metrics::{Series, StreamingStats, Summary, Table};
-    pub use liferaft_query::{
-        CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor,
-    };
+    pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
     pub use liferaft_sim::{calibrate_tradeoff_table, RunReport, SimConfig, Simulation};
-    pub use liferaft_storage::{
-        BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime,
-    };
+    pub use liferaft_storage::{BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime};
     pub use liferaft_workload::arrivals::{bursty_arrivals, poisson_arrivals, uniform_arrivals};
     pub use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig, WorkloadStats};
 }

@@ -57,14 +57,8 @@ fn tolerance_threshold_semantics_hold_on_calibrated_curves() {
 fn adaptive_scheduler_is_sane_on_bursty_load() {
     let (cat, trace) = setup();
     let alphas = [0.0, 0.5, 1.0];
-    let (table, _) = calibrate_tradeoff_table(
-        &cat,
-        &trace,
-        &[0.05, 0.5],
-        &alphas,
-        SimConfig::paper(),
-        67,
-    );
+    let (table, _) =
+        calibrate_tradeoff_table(&cat, &trace, &[0.05, 0.5], &alphas, SimConfig::paper(), 67);
     let arrivals = bursty_arrivals(0.05, 0.5, SimDuration::from_secs(400), trace.len(), 71);
     let timed = trace.with_arrivals(arrivals);
     let sim = Simulation::new(&cat, SimConfig::paper());
@@ -152,21 +146,35 @@ fn virtual_catalog_replay() {
     let expected: u64 = trace
         .queries()
         .iter()
-        .map(|q| pre.preprocess(q).iter().map(|i| i.len() as u64).sum::<u64>())
+        .map(|q| {
+            pre.preprocess(q)
+                .iter()
+                .map(|i| i.len() as u64)
+                .sum::<u64>()
+        })
         .sum();
 
     let sim = Simulation::new(&cat, SimConfig::paper());
-    let r = sim.run(&timed, &mut LifeRaftScheduler::greedy(MetricParams::paper()));
+    let r = sim.run(
+        &timed,
+        &mut LifeRaftScheduler::greedy(MetricParams::paper()),
+    );
     assert_eq!(r.queries, 50);
     assert_eq!(r.serviced_entries, expected);
 
     // Real joins over the virtual catalog: deterministic match counts.
     let sim_real = Simulation::new(&cat, SimConfig::with_real_joins());
     let m1 = sim_real
-        .run(&timed, &mut LifeRaftScheduler::greedy(MetricParams::paper()))
+        .run(
+            &timed,
+            &mut LifeRaftScheduler::greedy(MetricParams::paper()),
+        )
         .total_matches;
     let m2 = sim_real
         .run(&timed, &mut NoShareScheduler::new())
         .total_matches;
-    assert_eq!(m1, m2, "virtual-catalog joins must be scheduler-independent");
+    assert_eq!(
+        m1, m2,
+        "virtual-catalog joins must be scheduler-independent"
+    );
 }

@@ -46,7 +46,10 @@ fn schedulers_agree_on_query_answers() {
             Some(m) => assert_eq!(m, r.total_matches, "{} disagrees", r.scheduler),
         }
     }
-    assert!(matches.unwrap() > 0, "the workload must actually match things");
+    assert!(
+        matches.unwrap() > 0,
+        "the workload must actually match things"
+    );
 }
 
 /// The paper's headline ordering: on a contended workload, data-driven
@@ -117,7 +120,12 @@ fn conservation_of_work() {
     let expected: u64 = trace
         .queries()
         .iter()
-        .map(|q| pre.preprocess(q).iter().map(|i| i.len() as u64).sum::<u64>())
+        .map(|q| {
+            pre.preprocess(q)
+                .iter()
+                .map(|i| i.len() as u64)
+                .sum::<u64>()
+        })
         .sum();
     let timed = trace.with_arrivals(poisson_arrivals(0.3, trace.len(), 23));
     let sim = Simulation::new(&cat, SimConfig::paper());
@@ -140,8 +148,14 @@ fn simulation_is_deterministic() {
     let trace = contended_trace(cat.partition().num_buckets() as u32, 30, 29);
     let timed = trace.with_arrivals(poisson_arrivals(0.4, trace.len(), 31));
     let sim = Simulation::new(&cat, SimConfig::paper());
-    let a = sim.run(&timed, &mut LifeRaftScheduler::greedy(MetricParams::paper()));
-    let b = sim.run(&timed, &mut LifeRaftScheduler::greedy(MetricParams::paper()));
+    let a = sim.run(
+        &timed,
+        &mut LifeRaftScheduler::greedy(MetricParams::paper()),
+    );
+    let b = sim.run(
+        &timed,
+        &mut LifeRaftScheduler::greedy(MetricParams::paper()),
+    );
     assert_eq!(a.throughput_qps, b.throughput_qps);
     assert_eq!(a.batches, b.batches);
     assert_eq!(a.io.bucket_reads, b.io.bucket_reads);

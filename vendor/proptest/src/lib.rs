@@ -1,0 +1,358 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same surface the
+//! tests were written against: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], [`ProptestConfig::with_cases`], and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: failures panic immediately with the failing
+//! inputs **without shrinking**, and value streams are deterministic per
+//! test name (no `PROPTEST_` env handling). That is sufficient for CI: a
+//! failure is still reproducible because the rng seed is a pure function of
+//! the test name.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use config::ProptestConfig;
+
+/// Run-loop configuration.
+pub mod config {
+    /// Mirrors `proptest::test_runner::Config` (the subset used here).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is executed against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The deterministic rng driving value generation.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A seeded generator handed to [`crate::Strategy::sample`].
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Builds the rng for a named test: the seed is a pure function of
+        /// the name, so every run of a given test sees the same cases.
+        /// FNV-1a rather than std's `DefaultHasher`, whose output is not
+        /// guaranteed stable across Rust releases.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream there is no shrinking: a strategy is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy yielding `true`/`false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(&mut rng.0, 0.5)
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification: an exact size or a range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "vec: empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(&mut rng.0, self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// upstream proptest) that runs `body` against `config.cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one property fn, then
+/// recurses on the rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+///
+/// Failures panic immediately (no shrinking) with the standard `assert!`
+/// message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, -1.0..1.0f64), n in 1usize..5) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4), "elements in range: {:?}", v);
+        }
+
+        #[test]
+        fn map_and_bool(flag in crate::bool::ANY, x in (0u64..100).prop_map(|v| v * 2)) {
+            let _: bool = flag;
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn exact_vec_len(v in crate::collection::vec(Just(7u8), 3)) {
+            prop_assert_eq!(v, vec![7u8; 3]);
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("x");
+        let mut r2 = crate::test_runner::TestRng::deterministic("x");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(
+                crate::Strategy::sample(&s, &mut r1),
+                crate::Strategy::sample(&s, &mut r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the subset of the `rand_distr` 0.4 API this
+//! workspace may use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the distributions it needs. Currently that is only [`Exp`]
+//! (inverse-CDF exponential sampling, used by open-loop arrival processes);
+//! add distributions here as call sites appear rather than growing the stub
+//! speculatively.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The exponential distribution `Exp(λ)`, sampled by inversion.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// Returns `Err` on a non-positive or non-finite rate, mirroring the
+    /// upstream constructor's fallibility.
+    pub fn new(lambda: f64) -> Result<Self, &'static str> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err("Exp: rate must be finite and positive")
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Exp};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn exp_mean_is_one_over_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Exp::new(4.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean} far from 0.25");
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+}
