@@ -11,7 +11,9 @@ use liferaft_core::{AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams};
 use liferaft_htm::{cap::Cap, cover::Coverer, locate, Vec3};
 use liferaft_join::zones::ZoneMap;
 use liferaft_join::{indexed::indexed_join, sweep::sweep_join};
-use liferaft_query::{MatchObject, QueryId, QueueEntry};
+use liferaft_query::{
+    CrossMatchQuery, MatchObject, Predicate, QueryId, QueueEntry, WorkItem, WorkloadTable,
+};
 use liferaft_storage::{BucketCache, BucketId, SimDuration, SimTime};
 
 fn bench_htm(c: &mut Criterion) {
@@ -102,6 +104,59 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_candidates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("candidates");
+    for n in [256usize, 2_048] {
+        let positions: Vec<Vec3> = (0..4)
+            .map(|i| Vec3::from_radec_deg(10.0 + i as f64 * 0.01, 5.0))
+            .collect();
+        let query =
+            CrossMatchQuery::from_positions(QueryId(1), &positions, 1e-5, 14, Predicate::All);
+        let mut table = WorkloadTable::new(n).with_object_counts(|_| 10_000);
+        for b in 0..n {
+            let item = WorkItem {
+                query: query.id,
+                bucket: BucketId(b as u32),
+                object_indices: (0..positions.len() as u32).collect(),
+            };
+            table.enqueue(&item, &query, SimTime::from_micros(b as u64));
+        }
+        let mut cache = BucketCache::new(20);
+        for b in 0..20 {
+            cache.insert(BucketId(b * 7 % n as u32));
+        }
+        // The incremental path: memcpy the maintained snapshots, refresh φ.
+        g.bench_with_input(BenchmarkId::new("refresh_into", n), &n, |bench, _| {
+            let mut out = Vec::new();
+            bench.iter(|| {
+                table.snapshots_into(black_box(&mut out), &cache);
+                out.len()
+            })
+        });
+        // The pre-refactor path: rebuild every snapshot from the queues.
+        g.bench_with_input(BenchmarkId::new("rebuild", n), &n, |bench, _| {
+            bench.iter(|| {
+                let v: Vec<BucketSnapshot> = table
+                    .non_empty_buckets()
+                    .iter()
+                    .map(|&b| {
+                        let q = table.queue(b);
+                        BucketSnapshot {
+                            bucket: b,
+                            queue_len: q.len() as u64,
+                            oldest_enqueue: q.oldest_enqueue().expect("non-empty"),
+                            cached: cache.contains(b),
+                            bucket_objects: 10_000,
+                        }
+                    })
+                    .collect();
+                v.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("bucket_cache_access_20", |b| {
         let mut cache = BucketCache::new(20);
@@ -153,7 +208,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_htm, bench_joins, bench_scheduler, bench_cache, bench_preprocess, bench_materialize
+    targets = bench_htm, bench_joins, bench_scheduler, bench_candidates, bench_cache, bench_preprocess, bench_materialize
 }
 criterion_main!(benches);
 

@@ -1,0 +1,202 @@
+//! End-to-end scheduler throughput benchmark — the perf trajectory anchor.
+//!
+//! Replays a large synthetic trace through the full decision path (workload
+//! table → snapshots → scheduler → batch execution) for each policy and
+//! reports *wall-clock* decisions/second and entries/second, i.e. how fast
+//! the engine itself runs, independent of the virtual-time cost model. The
+//! results are written as machine-readable JSON (`BENCH_sim.json` at the
+//! workspace root by default) so every later PR has a number to beat.
+//!
+//! Usage:
+//!   cargo bench -p liferaft-bench --bench sim_throughput            # full
+//!   LIFERAFT_SCALE=quick cargo bench -p liferaft-bench --bench sim_throughput
+//!   LIFERAFT_BENCH_OUT=/tmp/x.json cargo bench ... # override output path
+//!
+//! Full scale is ~2k buckets / 10k queries (thousands of live candidates
+//! per decision); quick is CI-sized.
+
+use std::time::Instant;
+
+use liferaft_bench::experiments::Scale;
+use liferaft_catalog::VirtualCatalog;
+use liferaft_core::{
+    AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
+};
+use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_workload::arrivals::poisson_arrivals;
+use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
+
+/// The benchmark's own scales: wider than the figure fixtures (the point is
+/// scheduler stress, not figure shapes).
+fn scale(quick: bool) -> Scale {
+    if quick {
+        Scale {
+            level: 10,
+            n_buckets: 512,
+            objects_per_bucket: 500,
+            n_queries: 600,
+            seed: 2009,
+        }
+    } else {
+        Scale {
+            level: 12,
+            n_buckets: 2_048,
+            objects_per_bucket: 1_000,
+            n_queries: 10_000,
+            seed: 2009,
+        }
+    }
+}
+
+struct Measured {
+    report: RunReport,
+    /// Best (minimum) wall time over the repetitions — the standard
+    /// estimator under noisy schedulers/frequency scaling.
+    wall_s: f64,
+    reps: u32,
+}
+
+fn measure(
+    sim: &Simulation<'_, VirtualCatalog>,
+    timed: &TimedTrace,
+    scheduler: &mut dyn Scheduler,
+    reps: u32,
+) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = sim.run(timed, scheduler);
+        let wall_s = t0.elapsed().as_secs_f64();
+        if best.as_ref().map_or(true, |b| wall_s < b.wall_s) {
+            best = Some(Measured {
+                report,
+                wall_s,
+                reps,
+            });
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn json_row(m: &Measured) -> String {
+    let r = &m.report;
+    let wall = m.wall_s.max(1e-12);
+    format!(
+        concat!(
+            "    {{\"scheduler\": {:?}, \"wall_s\": {:.6}, \"reps\": {}, \"batches\": {}, ",
+            "\"decisions_per_sec\": {:.1}, \"entries_per_sec\": {:.1}, ",
+            "\"serviced_entries\": {}, \"sim_makespan_s\": {:.3}, ",
+            "\"sim_throughput_qps\": {:.6}, \"mean_response_s\": {:.3}}}"
+        ),
+        r.scheduler,
+        m.wall_s,
+        m.reps,
+        r.batches,
+        r.batches as f64 / wall,
+        r.serviced_entries as f64 / wall,
+        r.serviced_entries,
+        r.makespan_s,
+        r.throughput_qps,
+        r.mean_response_s(),
+    )
+}
+
+fn main() {
+    let quick = matches!(std::env::var("LIFERAFT_SCALE").as_deref(), Ok("quick"));
+    let sc = scale(quick);
+    println!(
+        "sim_throughput — {} buckets x {} objects, {} queries ({})",
+        sc.n_buckets,
+        sc.objects_per_bucket,
+        sc.n_queries,
+        if quick { "quick" } else { "full" }
+    );
+
+    let t0 = Instant::now();
+    let object_bytes = (40 * 1024 * 1024) / sc.objects_per_bucket;
+    let catalog = VirtualCatalog::new(
+        sc.level,
+        sc.n_buckets,
+        sc.objects_per_bucket,
+        object_bytes,
+        sc.seed,
+    );
+    let cfg = WorkloadConfig::paper_like(sc.level, sc.n_buckets, sc.n_queries, sc.seed ^ 0x51);
+    let trace = TraceGenerator::new(cfg).generate();
+    // A hard arrival rate so queues are deep and candidate sets are wide —
+    // the regime where decision cost dominates.
+    let timed = trace.with_arrivals(poisson_arrivals(2.0, trace.len(), 0xBE7C));
+    let fixture_s = t0.elapsed().as_secs_f64();
+    println!(
+        "fixture built in {fixture_s:.1}s ({} queued objects)",
+        trace.total_objects()
+    );
+
+    let sim = Simulation::new(&catalog, SimConfig::paper());
+    let params = MetricParams::paper();
+    let mut runs: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        (
+            "liferaft_greedy",
+            Box::new(LifeRaftScheduler::greedy(params)),
+        ),
+        (
+            "liferaft_alpha05",
+            Box::new(LifeRaftScheduler::new(params, AgingMode::Normalized, 0.5)),
+        ),
+        (
+            "liferaft_age_based",
+            Box::new(LifeRaftScheduler::age_based(params)),
+        ),
+        ("round_robin", Box::new(RoundRobinScheduler::new())),
+        ("noshare", Box::new(NoShareScheduler::new())),
+    ];
+
+    let reps: u32 = std::env::var("LIFERAFT_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 3 });
+    let mut rows = Vec::new();
+    for (key, s) in &mut runs {
+        let m = measure(&sim, &timed, s.as_mut(), reps);
+        println!(
+            "{key:<20} wall={:.3}s  decisions/s={:>12.0}  entries/s={:>12.0}  batches={}",
+            m.wall_s,
+            m.report.batches as f64 / m.wall_s.max(1e-12),
+            m.report.serviced_entries as f64 / m.wall_s.max(1e-12),
+            m.report.batches,
+        );
+        rows.push(json_row(&m));
+    }
+
+    let out_path = std::env::var("LIFERAFT_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!
+    (
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim_throughput\",\n",
+            "  \"mode\": {:?},\n",
+            "  \"scale\": {{\"level\": {}, \"n_buckets\": {}, \"objects_per_bucket\": {}, \"n_queries\": {}, \"seed\": {}}},\n",
+            "  \"fixture_build_s\": {:.3},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        sc.level,
+        sc.n_buckets,
+        sc.objects_per_bucket,
+        sc.n_queries,
+        sc.seed,
+        fixture_s,
+        rows.join(",\n"),
+    );
+    // Fail loudly: a swallowed write error would let CI upload the stale
+    // committed baseline as this run's artifact.
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -39,5 +39,5 @@ pub use liferaft::LifeRaftScheduler;
 pub use metric::{AgingMode, MetricParams};
 pub use noshare::NoShareScheduler;
 pub use round_robin::RoundRobinScheduler;
-pub use scheduler::{BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView};
+pub use scheduler::{BatchScope, BatchSpec, BucketSnapshot, Pick, Scheduler, SchedulerView};
 pub use starvation::StarvationMonitor;

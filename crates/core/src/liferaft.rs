@@ -1,9 +1,11 @@
 //! The LifeRaft scheduling policy.
 
+use std::cmp::Ordering;
+
 use liferaft_storage::SimTime;
 
-use crate::metric::{aged_scores, AgingMode, MetricParams};
-use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView};
+use crate::metric::{AgingMode, MetricParams, ScorePass};
+use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Pick, Scheduler, SchedulerView};
 
 /// LifeRaft at a fixed age bias α.
 ///
@@ -63,25 +65,41 @@ impl LifeRaftScheduler {
 
     /// Picks the best candidate index for the given time, or `None` if there
     /// are no candidates. Exposed for metric-level tests and tooling.
+    ///
+    /// The decision is fully fused and allocation-free: one sweep bounds the
+    /// metric terms ([`ScorePass`]), a second scores and arg-maxes. Scores
+    /// are compared with [`f64::total_cmp`], so the ordering is total and a
+    /// NaN (impossible upstream, but defended against) cannot poison every
+    /// subsequent `>` comparison the way partial ordering would; ties are
+    /// broken by longer queue (amortize more work per read), then by lower
+    /// bucket ID for determinism.
     pub fn pick_index(&self, now: SimTime, candidates: &[BucketSnapshot]) -> Option<usize> {
-        if candidates.is_empty() {
-            return None;
-        }
-        let scores = aged_scores(&self.params, self.mode, self.alpha, now, candidates);
-        // Max score; ties broken by longer queue (amortize more work per
-        // read), then by lower bucket ID for determinism.
+        let first = candidates.first()?;
+        let pass = ScorePass::new(&self.params, self.mode, self.alpha, now, candidates);
         let mut best = 0usize;
-        for i in 1..candidates.len() {
-            let better = scores[i] > scores[best]
-                || (scores[i] == scores[best]
-                    && (candidates[i].queue_len > candidates[best].queue_len
-                        || (candidates[i].queue_len == candidates[best].queue_len
-                            && candidates[i].bucket < candidates[best].bucket)));
-            if better {
+        let mut best_score = pass.score(first);
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let score = pass.score(c);
+            if better(score, best_score, c, &candidates[best]) {
                 best = i;
+                best_score = score;
             }
         }
         Some(best)
+    }
+}
+
+/// The decision ordering: score (total order via `total_cmp`), then longer
+/// queue (amortize more work per read), then lower bucket ID.
+#[inline]
+fn better(score: f64, best_score: f64, c: &BucketSnapshot, best: &BucketSnapshot) -> bool {
+    match score.total_cmp(&best_score) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => {
+            c.queue_len > best.queue_len
+                || (c.queue_len == best.queue_len && c.bucket < best.bucket)
+        }
     }
 }
 
@@ -90,14 +108,17 @@ impl Scheduler for LifeRaftScheduler {
         format!("LifeRaft(α={:.2})", self.alpha)
     }
 
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick> {
         let candidates = view.candidates();
         let idx = self.pick_index(view.now(), candidates)?;
-        Some(BatchSpec {
-            bucket: candidates[idx].bucket,
-            scope: BatchScope::AllQueued,
-            share_io: true,
-        })
+        Some(Pick::of_candidate(
+            idx,
+            BatchSpec {
+                bucket: candidates[idx].bucket,
+                scope: BatchScope::AllQueued,
+                share_io: true,
+            },
+        ))
     }
 }
 
@@ -132,19 +153,20 @@ mod tests {
         // Cached small queue beats uncached huge queue at α=0.
         let v = view(vec![snap(0, 5_000, 10, false), snap(1, 10, 10, true)], 20);
         let pick = s.pick(&v).unwrap();
-        assert_eq!(pick.bucket, BucketId(1));
-        assert_eq!(pick.scope, BatchScope::AllQueued);
-        assert!(pick.share_io);
+        assert_eq!(pick.candidate, Some(1));
+        assert_eq!(pick.spec.bucket, BucketId(1));
+        assert_eq!(pick.spec.scope, BatchScope::AllQueued);
+        assert!(pick.spec.share_io);
         // Among uncached queues, longest wins.
         let v = view(vec![snap(0, 100, 10, false), snap(1, 900, 10, false)], 20);
-        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
+        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(1));
     }
 
     #[test]
     fn age_based_services_oldest_first() {
         let mut s = LifeRaftScheduler::age_based(MetricParams::paper());
         let v = view(vec![snap(0, 9_000, 15, false), snap(1, 1, 2, false)], 20);
-        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
+        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(1));
     }
 
     #[test]
@@ -158,10 +180,10 @@ mod tests {
         let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
         // Two identical cached buckets (both at max Ut): longer queue wins.
         let v = view(vec![snap(3, 10, 5, true), snap(7, 20, 5, true)], 20);
-        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(7));
+        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(7));
         // Fully identical: lower bucket ID wins.
         let v = view(vec![snap(9, 10, 5, true), snap(4, 10, 5, true)], 20);
-        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(4));
+        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(4));
     }
 
     #[test]

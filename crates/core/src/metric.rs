@@ -60,10 +60,104 @@ pub enum AgingMode {
     Raw,
 }
 
+/// A prepared scoring pass over one candidate set: the min–max bounds of
+/// both metric terms, computed in a single sweep so individual scores can
+/// then be evaluated on the fly — no per-decision vectors of `Ut` and `A`.
+///
+/// The normalization conventions match
+/// [`min_max_normalize`](liferaft_metrics::min_max_normalize) exactly (a
+/// constant term maps to all-zeros), so fused scoring is bit-identical to
+/// the materialized [`aged_scores`] path.
+#[derive(Debug, Clone, Copy)]
+pub struct ScorePass {
+    params: MetricParams,
+    mode: AgingMode,
+    alpha: f64,
+    now: SimTime,
+    ut_lo: f64,
+    ut_span: f64,
+    age_lo: f64,
+    age_span: f64,
+}
+
+impl ScorePass {
+    /// Prepares a pass over `candidates` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if α is outside `[0, 1]` or a metric term is NaN (an upstream
+    /// accounting bug, mirroring `liferaft_metrics::bounds`).
+    pub fn new(
+        params: &MetricParams,
+        mode: AgingMode,
+        alpha: f64,
+        now: SimTime,
+        candidates: &[BucketSnapshot],
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "α must be in [0,1], got {alpha}"
+        );
+        let mut pass = ScorePass {
+            params: *params,
+            mode,
+            alpha,
+            now,
+            ut_lo: 0.0,
+            ut_span: 0.0,
+            age_lo: 0.0,
+            age_span: 0.0,
+        };
+        if mode == AgingMode::Normalized && !candidates.is_empty() {
+            let (mut ut_lo, mut ut_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut age_lo, mut age_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for c in candidates {
+                let ut = params.workload_throughput(c.queue_len, c.cached);
+                let age = c.age_ms(now);
+                assert!(!ut.is_nan() && !age.is_nan(), "metric term is NaN");
+                ut_lo = ut_lo.min(ut);
+                ut_hi = ut_hi.max(ut);
+                age_lo = age_lo.min(age);
+                age_hi = age_hi.max(age);
+            }
+            pass.ut_lo = ut_lo;
+            pass.ut_span = ut_hi - ut_lo;
+            pass.age_lo = age_lo;
+            pass.age_span = age_hi - age_lo;
+        }
+        pass
+    }
+
+    /// Eq. 2's score of one candidate from the prepared set.
+    #[inline]
+    pub fn score(&self, c: &BucketSnapshot) -> f64 {
+        let ut = self.params.workload_throughput(c.queue_len, c.cached);
+        let age = c.age_ms(self.now);
+        let (u, a) = match self.mode {
+            AgingMode::Raw => (ut, age),
+            AgingMode::Normalized => (
+                normalized(ut, self.ut_lo, self.ut_span),
+                normalized(age, self.age_lo, self.age_span),
+            ),
+        };
+        u * (1.0 - self.alpha) + a * self.alpha
+    }
+}
+
+/// `min_max_normalize`'s per-value rule: constant slices map to zero.
+#[inline]
+fn normalized(v: f64, lo: f64, span: f64) -> f64 {
+    if span <= 0.0 {
+        0.0
+    } else {
+        (v - lo) / span
+    }
+}
+
 /// Scores every candidate with the aged workload throughput metric.
 ///
 /// Returns one score per snapshot, aligned with the input order. The caller
-/// picks the maximum (ties are the caller's policy).
+/// picks the maximum (ties are the caller's policy). Allocation-sensitive
+/// callers should use [`aged_scores_into`] with a reused buffer instead.
 pub fn aged_scores(
     params: &MetricParams,
     mode: AgingMode,
@@ -71,23 +165,24 @@ pub fn aged_scores(
     now: SimTime,
     candidates: &[BucketSnapshot],
 ) -> Vec<f64> {
-    assert!(
-        (0.0..=1.0).contains(&alpha),
-        "α must be in [0,1], got {alpha}"
-    );
-    let mut ut: Vec<f64> = candidates
-        .iter()
-        .map(|c| params.workload_throughput(c.queue_len, c.cached))
-        .collect();
-    let mut age: Vec<f64> = candidates.iter().map(|c| c.age_ms(now)).collect();
-    if mode == AgingMode::Normalized {
-        liferaft_metrics::min_max_normalize(&mut ut);
-        liferaft_metrics::min_max_normalize(&mut age);
-    }
-    ut.iter()
-        .zip(&age)
-        .map(|(&u, &a)| u * (1.0 - alpha) + a * alpha)
-        .collect()
+    let mut out = Vec::with_capacity(candidates.len());
+    aged_scores_into(params, mode, alpha, now, candidates, &mut out);
+    out
+}
+
+/// Scores every candidate into `out` (cleared first) without allocating
+/// beyond `out`'s growth — the scratch-buffer variant of [`aged_scores`].
+pub fn aged_scores_into(
+    params: &MetricParams,
+    mode: AgingMode,
+    alpha: f64,
+    now: SimTime,
+    candidates: &[BucketSnapshot],
+    out: &mut Vec<f64>,
+) {
+    let pass = ScorePass::new(params, mode, alpha, now, candidates);
+    out.clear();
+    out.extend(candidates.iter().map(|c| pass.score(c)));
 }
 
 #[cfg(test)]
@@ -204,5 +299,55 @@ mod tests {
     fn alpha_out_of_range_panics() {
         let p = MetricParams::paper();
         aged_scores(&p, AgingMode::Normalized, 1.5, SimTime::ZERO, &[]);
+    }
+
+    /// The fused pass must agree bit-for-bit with materializing both term
+    /// vectors and normalizing them via `liferaft_metrics`.
+    #[test]
+    fn fused_pass_matches_materialized_scoring_exactly() {
+        let p = MetricParams::paper();
+        let now = SimTime::ZERO + SimDuration::from_secs(100);
+        let cands: Vec<BucketSnapshot> = (0..17)
+            .map(|i| {
+                snap(
+                    i,
+                    (i as u64 * 37) % 900 + 1,
+                    (i as u64 * 7_993) % 90_000,
+                    i % 5 == 0,
+                )
+                .0
+            })
+            .collect();
+        for mode in [AgingMode::Normalized, AgingMode::Raw] {
+            for alpha in [0.0, 0.25, 0.5, 1.0] {
+                let mut ut: Vec<f64> = cands
+                    .iter()
+                    .map(|c| p.workload_throughput(c.queue_len, c.cached))
+                    .collect();
+                let mut age: Vec<f64> = cands.iter().map(|c| c.age_ms(now)).collect();
+                if mode == AgingMode::Normalized {
+                    liferaft_metrics::min_max_normalize(&mut ut);
+                    liferaft_metrics::min_max_normalize(&mut age);
+                }
+                let reference: Vec<f64> = ut
+                    .iter()
+                    .zip(&age)
+                    .map(|(&u, &a)| u * (1.0 - alpha) + a * alpha)
+                    .collect();
+                let fused = aged_scores(&p, mode, alpha, now, &cands);
+                for (f, r) in fused.iter().zip(&reference) {
+                    assert_eq!(f.to_bits(), r.to_bits(), "mode {mode:?} α={alpha}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scores_into_reuses_the_buffer() {
+        let p = MetricParams::paper();
+        let (a, now) = snap(0, 10, 5, false);
+        let mut out = vec![99.0; 8];
+        aged_scores_into(&p, AgingMode::Normalized, 0.3, now, &[a], &mut out);
+        assert_eq!(out.len(), 1);
     }
 }

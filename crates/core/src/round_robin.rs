@@ -9,7 +9,7 @@
 
 use liferaft_storage::BucketId;
 
-use crate::scheduler::{BatchScope, BatchSpec, Scheduler, SchedulerView};
+use crate::scheduler::{BatchScope, BatchSpec, Pick, Scheduler, SchedulerView};
 
 /// Cyclic sweep over buckets in HTM-ID order, servicing any non-empty queue
 /// encountered. Batches share I/O like LifeRaft's (RR *is* a batch processor
@@ -37,23 +37,25 @@ impl Scheduler for RoundRobinScheduler {
         "RR".to_string()
     }
 
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick> {
         let candidates = view.candidates();
         if candidates.is_empty() {
             return None;
         }
         // Candidates are sorted by bucket; take the first at/after the
-        // cursor, wrapping to the smallest if none.
-        let next = candidates
-            .iter()
-            .find(|c| c.bucket.0 >= self.cursor)
-            .unwrap_or(&candidates[0]);
+        // cursor (binary search, not a scan), wrapping to the smallest.
+        let pos = candidates.partition_point(|c| c.bucket.0 < self.cursor);
+        let idx = if pos == candidates.len() { 0 } else { pos };
+        let next = &candidates[idx];
         self.cursor = next.bucket.0.wrapping_add(1);
-        Some(BatchSpec {
-            bucket: next.bucket,
-            scope: BatchScope::AllQueued,
-            share_io: true,
-        })
+        Some(Pick::of_candidate(
+            idx,
+            BatchSpec {
+                bucket: next.bucket,
+                scope: BatchScope::AllQueued,
+                share_io: true,
+            },
+        ))
     }
 }
 
@@ -86,11 +88,11 @@ mod tests {
     fn sweeps_in_htm_order_and_wraps() {
         let mut rr = RoundRobinScheduler::new();
         let v = view(&[2, 5, 9]);
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(2));
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(5));
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(9));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(2));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(5));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(9));
         // Wraps to the smallest again.
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(2));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(2));
     }
 
     #[test]
@@ -98,7 +100,7 @@ mod tests {
         let mut rr = RoundRobinScheduler::new();
         // Cursor at 0 but first candidate is 7.
         let v = view(&[7]);
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(7));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(7));
         assert_eq!(rr.cursor(), BucketId(8));
     }
 
@@ -108,7 +110,7 @@ mod tests {
         let mut v = view(&[1, 3]);
         // Make bucket 3 hugely contended; RR must still take 1 first.
         v.candidates[1].queue_len = 1_000_000;
-        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(1));
+        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(1));
     }
 
     #[test]
@@ -116,8 +118,9 @@ mod tests {
         let mut rr = RoundRobinScheduler::new();
         let v = view(&[0]);
         let pick = rr.pick(&v).unwrap();
-        assert!(pick.share_io);
-        assert_eq!(pick.scope, BatchScope::AllQueued);
+        assert_eq!(pick.candidate, Some(0));
+        assert!(pick.spec.share_io);
+        assert_eq!(pick.spec.scope, BatchScope::AllQueued);
     }
 
     #[test]

@@ -3,28 +3,10 @@
 use liferaft_query::QueryId;
 use liferaft_storage::{BucketId, SimTime};
 
-/// A per-decision snapshot of one candidate bucket (a non-empty workload
-/// queue).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BucketSnapshot {
-    /// The bucket.
-    pub bucket: BucketId,
-    /// Objects pending in its workload queue (`Σ_j |W_j^i|`).
-    pub queue_len: u64,
-    /// Enqueue time of the oldest pending request (the age reference).
-    pub oldest_enqueue: SimTime,
-    /// Whether the bucket is resident in the bucket cache (φ(i) = 0).
-    pub cached: bool,
-    /// Catalog objects stored in the bucket (for hybrid-ratio context).
-    pub bucket_objects: u64,
-}
-
-impl BucketSnapshot {
-    /// Age of the oldest request in milliseconds at `now` — the paper's `A(i)`.
-    pub fn age_ms(&self, now: SimTime) -> f64 {
-        now.since(self.oldest_enqueue).as_millis_f64()
-    }
-}
+// The snapshot type lives in the query crate so the Workload Manager can
+// maintain snapshots incrementally; re-exported here because it is the
+// scheduler's decision input.
+pub use liferaft_query::snapshot::BucketSnapshot;
 
 /// Which queued entries a batch consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +32,38 @@ pub struct BatchSpec {
     pub share_io: bool,
 }
 
+/// A decision plus its provenance: the batch to run and, when the policy
+/// derived the choice from [`SchedulerView::candidates`], the index of the
+/// chosen snapshot — so the engine locates the bucket in O(1) instead of
+/// re-scanning the candidate slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pick {
+    /// The batch to execute.
+    pub spec: BatchSpec,
+    /// Index of `spec.bucket` in the candidate slice the decision was made
+    /// over, if the policy knows it. `None` for policies that choose the
+    /// bucket through another lens (e.g. NoShare's per-query cursor).
+    pub candidate: Option<usize>,
+}
+
+impl Pick {
+    /// A decision over candidate `idx` of the view's candidate slice.
+    pub fn of_candidate(idx: usize, spec: BatchSpec) -> Self {
+        Pick {
+            spec,
+            candidate: Some(idx),
+        }
+    }
+
+    /// A decision made without reference to the candidate slice.
+    pub fn unindexed(spec: BatchSpec) -> Self {
+        Pick {
+            spec,
+            candidate: None,
+        }
+    }
+}
+
 /// What a scheduler may observe when making a decision.
 ///
 /// The simulation engine implements this over its live state; unit tests
@@ -67,6 +81,13 @@ pub trait SchedulerView {
 
     /// Buckets that still hold queued entries of `query`, sorted by bucket ID.
     fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId>;
+
+    /// The lowest-ID bucket still holding queued entries of `query`, if any
+    /// — the allocation-free cursor used by arrival-order policies. Views
+    /// with an indexed per-query structure should override the default.
+    fn first_pending_bucket_of(&self, query: QueryId) -> Option<BucketId> {
+        self.pending_buckets_of(query).into_iter().next()
+    }
 }
 
 /// A batch scheduling policy.
@@ -75,7 +96,7 @@ pub trait Scheduler {
     fn name(&self) -> String;
 
     /// Chooses the next batch, or `None` if the view offers no work.
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec>;
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick>;
 
     /// Notification of a query arrival (used by adaptive policies to track
     /// workload saturation). Default: ignored.
@@ -123,7 +144,7 @@ mod tests {
     use liferaft_storage::SimDuration;
 
     #[test]
-    fn snapshot_age() {
+    fn snapshot_age_is_visible_through_the_reexport() {
         let s = BucketSnapshot {
             bucket: BucketId(1),
             queue_len: 5,
@@ -133,6 +154,18 @@ mod tests {
         };
         let now = SimTime::ZERO + SimDuration::from_millis(2500);
         assert_eq!(s.age_ms(now), 2500.0);
+    }
+
+    #[test]
+    fn pick_constructors() {
+        let spec = BatchSpec {
+            bucket: BucketId(3),
+            scope: BatchScope::AllQueued,
+            share_io: true,
+        };
+        assert_eq!(Pick::of_candidate(2, spec).candidate, Some(2));
+        assert_eq!(Pick::unindexed(spec).candidate, None);
+        assert_eq!(Pick::unindexed(spec).spec, spec);
     }
 
     #[test]
@@ -151,5 +184,7 @@ mod tests {
             vec![BucketId(2), BucketId(5)]
         );
         assert!(v.pending_buckets_of(QueryId(9)).is_empty());
+        assert_eq!(v.first_pending_bucket_of(QueryId(3)), Some(BucketId(2)));
+        assert_eq!(v.first_pending_bucket_of(QueryId(9)), None);
     }
 }

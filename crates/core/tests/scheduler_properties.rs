@@ -100,6 +100,34 @@ proptest! {
         prop_assert_eq!(a.bucket, b.bucket);
     }
 
+    /// The fused, allocation-free pick must agree with a reference
+    /// implementation that materializes the score vector and applies the
+    /// pre-refactor `>`/`==` comparison chain.
+    #[test]
+    fn fused_pick_matches_materialized_reference(
+        cands in arb_candidates(),
+        alpha in 0.0..=1.0f64,
+    ) {
+        let now = SimTime::from_micros(2_000_000);
+        let params = MetricParams::paper();
+        let s = LifeRaftScheduler::new(params, AgingMode::Normalized, alpha);
+        let idx = s.pick_index(now, &cands).expect("non-empty");
+        let scores =
+            liferaft_core::metric::aged_scores(&params, AgingMode::Normalized, alpha, now, &cands);
+        let mut best = 0usize;
+        for i in 1..cands.len() {
+            let better = scores[i] > scores[best]
+                || (scores[i] == scores[best]
+                    && (cands[i].queue_len > cands[best].queue_len
+                        || (cands[i].queue_len == cands[best].queue_len
+                            && cands[i].bucket < cands[best].bucket)));
+            if better {
+                best = i;
+            }
+        }
+        prop_assert_eq!(idx, best);
+    }
+
     /// Round-robin visits every candidate exactly once per rotation when
     /// the candidate set is stable.
     #[test]
@@ -114,7 +142,12 @@ proptest! {
         let mut seen = Vec::new();
         for _ in 0..cands.len() {
             let pick = rr.pick(&view).expect("non-empty");
-            seen.push(pick.bucket);
+            prop_assert_eq!(
+                pick.candidate.map(|i| cands[i].bucket),
+                Some(pick.spec.bucket),
+                "returned candidate index must point at the picked bucket"
+            );
+            seen.push(pick.spec.bucket);
         }
         let mut expected: Vec<BucketId> = cands.iter().map(|c| c.bucket).collect();
         seen.sort();

@@ -15,7 +15,9 @@
 //! 2. The [`preprocess::QueryPreProcessor`] maps every object to the buckets
 //!    its bounding box overlaps, yielding per-bucket [`WorkItem`]s.
 //! 3. [`queue::WorkloadTable`] accumulates work items into per-bucket
-//!    workload queues — the unit the LifeRaft scheduler reasons about.
+//!    workload queues — the unit the LifeRaft scheduler reasons about —
+//!    and incrementally maintains the [`snapshot::BucketSnapshot`]s the
+//!    scheduler scores, so decisions never rebuild state from the queues.
 //! 4. [`tracker::QueryTracker`] watches per-query completion ("a query
 //!    cannot finish until every object is cross-matched").
 
@@ -25,9 +27,11 @@
 pub mod crossmatch;
 pub mod preprocess;
 pub mod queue;
+pub mod snapshot;
 pub mod tracker;
 
 pub use crossmatch::{CrossMatchQuery, MatchObject, Predicate, QueryId};
 pub use preprocess::{QueryPreProcessor, WorkItem};
 pub use queue::{QueueEntry, WorkloadQueue, WorkloadTable};
+pub use snapshot::{BucketSnapshot, NoResidency, Residency};
 pub use tracker::QueryTracker;

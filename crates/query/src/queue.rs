@@ -10,6 +10,7 @@ use liferaft_storage::{BucketId, SimTime};
 
 use crate::crossmatch::{CrossMatchQuery, QueryId};
 use crate::preprocess::WorkItem;
+use crate::snapshot::{BucketSnapshot, Residency};
 
 /// One queued cross-match request: a single object of a single query,
 /// waiting to be joined against one bucket.
@@ -90,21 +91,44 @@ impl WorkloadQueue {
         std::mem::take(&mut self.entries)
     }
 
+    /// Moves all entries into `out` (cleared first), preserving arrival
+    /// order. Unlike [`drain_all`](Self::drain_all) this keeps the queue's
+    /// allocation, so a steady-state enqueue/drain cycle performs no heap
+    /// traffic on either side.
+    pub fn drain_all_into(&mut self, out: &mut Vec<QueueEntry>) {
+        out.clear();
+        out.append(&mut self.entries);
+        self.oldest = None;
+    }
+
     /// Removes and returns only the entries of `query` (the NoShare batch
     /// scope), recomputing the oldest timestamp for the remainder.
     pub fn drain_query(&mut self, query: QueryId) -> Vec<QueueEntry> {
-        let mut drained = Vec::new();
-        let mut kept = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
-            if e.query == query {
-                drained.push(e);
+        let mut out = Vec::new();
+        self.drain_query_into(query, &mut out);
+        out
+    }
+
+    /// Moves the entries of `query` into `out` (cleared first) in a single
+    /// in-place pass: kept entries are compacted toward the front in order,
+    /// so neither side allocates beyond `out`'s growth. The oldest timestamp
+    /// is only recomputed when something was actually drained.
+    pub fn drain_query_into(&mut self, query: QueryId, out: &mut Vec<QueueEntry>) {
+        out.clear();
+        let mut write = 0;
+        for read in 0..self.entries.len() {
+            if self.entries[read].query == query {
+                out.push(self.entries[read].clone());
             } else {
-                kept.push(e);
+                self.entries.swap(write, read);
+                write += 1;
             }
         }
-        self.entries = kept;
+        if out.is_empty() {
+            return; // nothing left the queue: `oldest` is still correct
+        }
+        self.entries.truncate(write);
         self.oldest = self.entries.iter().map(|e| e.enqueued_at).min();
-        drained
     }
 
     /// Distinct queries with work in this queue.
@@ -121,12 +145,25 @@ impl WorkloadQueue {
 /// This is the state behind the paper's Workload Manager: it "maintains
 /// state information such as a mapping of pending queries to workload queues
 /// and the age of the oldest query in each queue" (Section 4).
+///
+/// The table keeps a live [`BucketSnapshot`] slot per bucket, updated in
+/// O(1) on [`enqueue`](Self::enqueue) and the drain paths, so a scheduling
+/// decision costs one gather plus a residency probe per candidate
+/// ([`snapshots_into`](Self::snapshots_into)) instead of an O(non-empty
+/// buckets) rebuild from the queues. Slots are updated in place (never
+/// shifted), which keeps hot drain/refill cycles free of the O(candidates)
+/// memmoves a dense sorted snapshot vector would pay.
 #[derive(Debug, Clone)]
 pub struct WorkloadTable {
     queues: Vec<WorkloadQueue>,
     /// Sorted list of currently non-empty buckets (the scheduler's
     /// candidate set; kept small relative to the partition).
     non_empty: Vec<BucketId>,
+    /// Live snapshot slots indexed by bucket like `queues`. A slot is
+    /// meaningful only while its bucket appears in `non_empty`; the
+    /// `bucket` and `bucket_objects` fields are static, and the `cached`
+    /// bit is refreshed by `snapshots_into`, not maintained here.
+    snapshot_slots: Vec<BucketSnapshot>,
     /// Total queued objects across all buckets.
     total_queued: u64,
 }
@@ -137,8 +174,35 @@ impl WorkloadTable {
         WorkloadTable {
             queues: vec![WorkloadQueue::new(); n_buckets],
             non_empty: Vec::new(),
+            snapshot_slots: (0..n_buckets)
+                .map(|i| BucketSnapshot {
+                    bucket: BucketId(i as u32),
+                    queue_len: 0,
+                    oldest_enqueue: SimTime::ZERO,
+                    cached: false,
+                    bucket_objects: 0,
+                })
+                .collect(),
             total_queued: 0,
         }
+    }
+
+    /// Installs the static per-bucket catalog object counts that snapshots
+    /// carry (`BucketSnapshot::bucket_objects`). Call once at setup, before
+    /// any work is enqueued.
+    ///
+    /// # Panics
+    /// Panics if work is already queued — counts are snapshot state and
+    /// must not change underneath live snapshots.
+    pub fn with_object_counts(mut self, mut count_of: impl FnMut(BucketId) -> u64) -> Self {
+        assert!(
+            self.non_empty.is_empty(),
+            "object counts must be installed before enqueuing work"
+        );
+        for slot in self.snapshot_slots.iter_mut() {
+            slot.bucket_objects = count_of(slot.bucket);
+        }
+        self
     }
 
     /// Number of buckets.
@@ -169,7 +233,14 @@ impl WorkloadTable {
             });
             self.total_queued += 1;
         }
-        if was_empty && !self.queues[idx].is_empty() {
+        let q = &self.queues[idx];
+        if q.is_empty() {
+            return; // the item carried no object indices
+        }
+        let slot = &mut self.snapshot_slots[idx];
+        slot.queue_len = q.len() as u64;
+        slot.oldest_enqueue = q.oldest_enqueue().expect("non-empty queue has an oldest");
+        if was_empty {
             let pos = self.non_empty.partition_point(|&b| b < item.bucket);
             self.non_empty.insert(pos, item.bucket);
         }
@@ -197,24 +268,69 @@ impl WorkloadTable {
 
     /// Drains a bucket's queue entirely (standard batch).
     pub fn take_all(&mut self, bucket: BucketId) -> Vec<QueueEntry> {
-        let drained = self.queues[bucket.index()].drain_all();
-        self.after_drain(bucket, drained.len());
-        drained
+        let mut out = Vec::new();
+        self.take_all_into(bucket, &mut out);
+        out
+    }
+
+    /// Drains a bucket's queue entirely into `out` (cleared first), keeping
+    /// both the queue's and `out`'s allocations for reuse.
+    pub fn take_all_into(&mut self, bucket: BucketId, out: &mut Vec<QueueEntry>) {
+        self.queues[bucket.index()].drain_all_into(out);
+        self.after_drain(bucket, out.len());
     }
 
     /// Drains only one query's entries from a bucket (NoShare batch).
     pub fn take_query(&mut self, bucket: BucketId, query: QueryId) -> Vec<QueueEntry> {
-        let drained = self.queues[bucket.index()].drain_query(query);
-        self.after_drain(bucket, drained.len());
-        drained
+        let mut out = Vec::new();
+        self.take_query_into(bucket, query, &mut out);
+        out
+    }
+
+    /// Drains only one query's entries from a bucket into `out` (cleared
+    /// first); the single-pass, allocation-reusing variant.
+    pub fn take_query_into(&mut self, bucket: BucketId, query: QueryId, out: &mut Vec<QueueEntry>) {
+        self.queues[bucket.index()].drain_query_into(query, out);
+        self.after_drain(bucket, out.len());
+    }
+
+    /// The live snapshot of one bucket, or `None` if it has no queued work.
+    /// The `cached` bit is not maintained here; see
+    /// [`snapshots_into`](Self::snapshots_into) for decision-ready copies.
+    pub fn snapshot_of(&self, bucket: BucketId) -> Option<BucketSnapshot> {
+        if self.queues[bucket.index()].is_empty() {
+            None
+        } else {
+            Some(self.snapshot_slots[bucket.index()])
+        }
+    }
+
+    /// Gathers the candidate snapshots into `out` (cleared first, sorted by
+    /// bucket) and refreshes only their `cached` bits against `residency` —
+    /// the scheduler's per-decision view, built without touching the queues.
+    pub fn snapshots_into(&self, out: &mut Vec<BucketSnapshot>, residency: &dyn Residency) {
+        out.clear();
+        out.extend(self.non_empty.iter().map(|&b| {
+            let mut s = self.snapshot_slots[b.index()];
+            s.cached = residency.is_resident(b);
+            s
+        }));
     }
 
     fn after_drain(&mut self, bucket: BucketId, n: usize) {
+        if n == 0 {
+            return; // nothing drained: membership and slot are unchanged
+        }
         self.total_queued -= n as u64;
-        if self.queues[bucket.index()].is_empty() {
+        let q = &self.queues[bucket.index()];
+        if q.is_empty() {
             if let Ok(pos) = self.non_empty.binary_search(&bucket) {
                 self.non_empty.remove(pos);
             }
+        } else {
+            let slot = &mut self.snapshot_slots[bucket.index()];
+            slot.queue_len = q.len() as u64;
+            slot.oldest_enqueue = q.oldest_enqueue().expect("non-empty queue has an oldest");
         }
     }
 }
@@ -336,5 +452,134 @@ mod tests {
         let q = entry_source(1);
         let mut t = WorkloadTable::new(2);
         t.enqueue(&item(&q, 7), &q, SimTime::ZERO);
+    }
+
+    /// Gathers the maintained snapshots through the public decision-path
+    /// API (cold residency, to match `rebuild`'s default).
+    fn gather(t: &WorkloadTable) -> Vec<BucketSnapshot> {
+        let mut out = Vec::new();
+        t.snapshots_into(&mut out, &crate::snapshot::NoResidency);
+        out
+    }
+
+    /// From-scratch snapshot rebuild via the public queue accessors — the
+    /// reference the incrementally-maintained snapshots must match.
+    fn rebuild(t: &WorkloadTable) -> Vec<BucketSnapshot> {
+        t.non_empty_buckets()
+            .iter()
+            .map(|&b| {
+                let q = t.queue(b);
+                BucketSnapshot {
+                    bucket: b,
+                    queue_len: q.len() as u64,
+                    oldest_enqueue: q.oldest_enqueue().expect("non-empty"),
+                    cached: false,
+                    bucket_objects: 0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshots_track_enqueue_and_drains() {
+        let qa = entry_source(2);
+        let mut qb = entry_source(3);
+        qb.id = QueryId(2);
+        let mut t = WorkloadTable::new(8);
+        t.enqueue(&item(&qa, 5), &qa, SimTime::ZERO);
+        t.enqueue(&item(&qb, 5), &qb, SimTime::from_micros(10));
+        t.enqueue(&item(&qa, 2), &qa, SimTime::from_micros(20));
+        assert_eq!(gather(&t), rebuild(&t));
+        t.take_query(BucketId(5), QueryId(1));
+        assert_eq!(gather(&t), rebuild(&t));
+        t.take_all(BucketId(5));
+        assert_eq!(gather(&t), rebuild(&t));
+        assert_eq!(t.snapshot_of(BucketId(5)), None);
+        t.take_all(BucketId(2));
+        assert!(gather(&t).is_empty());
+    }
+
+    #[test]
+    fn snapshots_into_refreshes_residency_only() {
+        use crate::snapshot::Residency;
+        struct Always;
+        impl Residency for Always {
+            fn is_resident(&self, _b: BucketId) -> bool {
+                true
+            }
+        }
+        let q = entry_source(2);
+        let mut t = WorkloadTable::new(4).with_object_counts(|b| 100 + b.0 as u64);
+        t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
+        let mut out = vec![BucketSnapshot {
+            bucket: BucketId(9),
+            queue_len: 0,
+            oldest_enqueue: SimTime::ZERO,
+            cached: false,
+            bucket_objects: 0,
+        }];
+        t.snapshots_into(&mut out, &Always);
+        assert_eq!(out.len(), 1, "scratch must be cleared first");
+        assert_eq!(out[0].bucket, BucketId(1));
+        assert_eq!(out[0].queue_len, 2);
+        assert!(out[0].cached);
+        assert_eq!(out[0].bucket_objects, 101);
+        // The maintained slot keeps its cold default.
+        assert!(!t.snapshot_of(BucketId(1)).expect("non-empty").cached);
+    }
+
+    #[test]
+    fn drain_query_into_reuses_and_preserves_order() {
+        let qa = entry_source(3);
+        let mut qb = entry_source(2);
+        qb.id = QueryId(2);
+        let mut wq = WorkloadQueue::new();
+        for (i, e) in [&qa, &qb, &qa, &qa, &qb]
+            .iter()
+            .flat_map(|q| {
+                std::iter::once(QueueEntry {
+                    query: q.id,
+                    object_index: 0,
+                    pos: q.objects[0].pos,
+                    radius: q.objects[0].radius,
+                    bbox: q.objects[0].bounding_range(),
+                    enqueued_at: SimTime::ZERO,
+                })
+            })
+            .enumerate()
+        {
+            let mut e = e;
+            e.object_index = i as u32;
+            e.enqueued_at = SimTime::from_micros(i as u64);
+            wq.push(e);
+        }
+        let mut out = Vec::new();
+        wq.drain_query_into(QueryId(1), &mut out);
+        assert_eq!(
+            out.iter().map(|e| e.object_index).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert_eq!(
+            wq.entries()
+                .iter()
+                .map(|e| e.object_index)
+                .collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        assert_eq!(wq.oldest_enqueue(), Some(SimTime::from_micros(1)));
+        // Draining an absent query leaves state (and `oldest`) untouched.
+        wq.drain_query_into(QueryId(99), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(wq.len(), 2);
+        assert_eq!(wq.oldest_enqueue(), Some(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before enqueuing work")]
+    fn object_counts_after_enqueue_rejected() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
+        let _ = t.with_object_counts(|_| 1);
     }
 }

@@ -1,0 +1,98 @@
+//! Per-bucket candidate snapshots and cache-residency probing.
+//!
+//! [`BucketSnapshot`] is the unit the scheduler reasons about: one
+//! non-empty workload queue, reduced to the fields Eq. 1 and Eq. 2 consume.
+//! It lives here (rather than in the scheduler crate) so the Workload
+//! Manager can maintain snapshots *incrementally* as queues change — the
+//! paper's "state information such as a mapping of pending queries to
+//! workload queues and the age of the oldest query in each queue"
+//! (Section 4) — instead of rebuilding them from the queues on every
+//! scheduling decision.
+//!
+//! Only the `cached` bit (φ(i)) is owned by another component, the bucket
+//! cache; the [`Residency`] trait is how the table refreshes it at decision
+//! time without depending on a concrete cache type.
+
+use liferaft_storage::{BucketCache, BucketId, SimTime};
+
+/// A per-decision snapshot of one candidate bucket (a non-empty workload
+/// queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// The bucket.
+    pub bucket: BucketId,
+    /// Objects pending in its workload queue (`Σ_j |W_j^i|`).
+    pub queue_len: u64,
+    /// Enqueue time of the oldest pending request (the age reference).
+    pub oldest_enqueue: SimTime,
+    /// Whether the bucket is resident in the bucket cache (φ(i) = 0).
+    pub cached: bool,
+    /// Catalog objects stored in the bucket (for hybrid-ratio context).
+    pub bucket_objects: u64,
+}
+
+impl BucketSnapshot {
+    /// Age of the oldest request in milliseconds at `now` — the paper's `A(i)`.
+    pub fn age_ms(&self, now: SimTime) -> f64 {
+        now.since(self.oldest_enqueue).as_millis_f64()
+    }
+}
+
+/// Answers "is this bucket memory-resident?" — the φ(i) term of Eq. 1.
+///
+/// The probe must be read-only: the scheduler consults it for *every*
+/// candidate on every decision, which must not perturb cache state.
+pub trait Residency {
+    /// True if `bucket` is resident (φ(i) = 0).
+    fn is_resident(&self, bucket: BucketId) -> bool;
+}
+
+impl Residency for BucketCache {
+    fn is_resident(&self, bucket: BucketId) -> bool {
+        self.contains(bucket)
+    }
+}
+
+/// A residency oracle that reports nothing resident — cold-cache tests and
+/// tools that score queues without a cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoResidency;
+
+impl Residency for NoResidency {
+    fn is_resident(&self, _bucket: BucketId) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_storage::SimDuration;
+
+    #[test]
+    fn snapshot_age() {
+        let s = BucketSnapshot {
+            bucket: BucketId(1),
+            queue_len: 5,
+            oldest_enqueue: SimTime::ZERO,
+            cached: false,
+            bucket_objects: 100,
+        };
+        let now = SimTime::ZERO + SimDuration::from_millis(2500);
+        assert_eq!(s.age_ms(now), 2500.0);
+    }
+
+    #[test]
+    fn bucket_cache_is_a_residency_oracle() {
+        let mut cache = BucketCache::new(2);
+        cache.insert(BucketId(3));
+        let r: &dyn Residency = &cache;
+        assert!(r.is_resident(BucketId(3)));
+        assert!(!r.is_resident(BucketId(4)));
+    }
+
+    #[test]
+    fn no_residency_is_always_cold() {
+        assert!(!NoResidency.is_resident(BucketId(0)));
+    }
+}

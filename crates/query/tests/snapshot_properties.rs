@@ -1,0 +1,164 @@
+//! Property tests for the incrementally-maintained candidate snapshots.
+//!
+//! The workload table updates its per-bucket `BucketSnapshot`s on every
+//! `enqueue`/`take_all`/`take_query` instead of rebuilding them at decision
+//! time. These properties interleave arbitrary enqueues and drains and
+//! assert the maintained state always equals a from-scratch rebuild through
+//! the public queue accessors.
+
+use liferaft_htm::Vec3;
+use liferaft_query::snapshot::{BucketSnapshot, NoResidency};
+use liferaft_query::{CrossMatchQuery, Predicate, QueryId, WorkItem, WorkloadTable};
+use liferaft_storage::{BucketId, SimTime};
+use proptest::prelude::*;
+
+const LEVEL: u8 = 6;
+const N_BUCKETS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Enqueue `n` objects of `query` at `bucket`.
+    Enqueue { bucket: u32, query: u64, n: u8 },
+    /// Drain everything at `bucket`.
+    TakeAll { bucket: u32 },
+    /// Drain one query's entries at `bucket`.
+    TakeQuery { bucket: u32, query: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..4, 0u32..N_BUCKETS as u32, 0u64..5, 1u8..4), 1..60).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, bucket, query, n)| match kind {
+                    0 | 1 => Op::Enqueue { bucket, query, n },
+                    2 => Op::TakeAll { bucket },
+                    _ => Op::TakeQuery { bucket, query },
+                })
+                .collect()
+        },
+    )
+}
+
+/// A small query whose objects are at distinct positions.
+fn query_of(id: u64, n: usize, salt: u64) -> CrossMatchQuery {
+    let positions: Vec<Vec3> = (0..n)
+        .map(|i| Vec3::from_radec_deg(10.0 + (salt % 97) as f64 + i as f64 * 0.01, 5.0))
+        .collect();
+    CrossMatchQuery::from_positions(QueryId(id), &positions, 1e-5, LEVEL, Predicate::All)
+}
+
+/// From-scratch snapshot rebuild through the public accessors — the
+/// reference the incremental maintenance must match.
+fn rebuild(t: &WorkloadTable) -> Vec<BucketSnapshot> {
+    t.non_empty_buckets()
+        .iter()
+        .map(|&b| {
+            let q = t.queue(b);
+            BucketSnapshot {
+                bucket: b,
+                queue_len: q.len() as u64,
+                oldest_enqueue: q.oldest_enqueue().expect("non-empty queue has an oldest"),
+                cached: false,
+                bucket_objects: 1_000 + b.0 as u64,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any interleaving of enqueues and drains, the maintained
+    /// snapshots equal the from-scratch rebuild, and the aggregate counters
+    /// agree with the queues.
+    #[test]
+    fn snapshots_always_equal_a_from_scratch_rebuild(ops in arb_ops()) {
+        let mut t = WorkloadTable::new(N_BUCKETS).with_object_counts(|b| 1_000 + b.0 as u64);
+        for (step, op) in ops.iter().enumerate() {
+            let now = SimTime::from_micros(step as u64 * 1_000);
+            match *op {
+                Op::Enqueue { bucket, query, n } => {
+                    let q = query_of(query, n as usize, step as u64);
+                    let item = WorkItem {
+                        query: q.id,
+                        bucket: BucketId(bucket),
+                        object_indices: (0..q.len() as u32).collect(),
+                    };
+                    t.enqueue(&item, &q, now);
+                }
+                Op::TakeAll { bucket } => {
+                    let drained = t.take_all(BucketId(bucket));
+                    prop_assert!(drained.iter().all(|e| !t
+                        .queue(BucketId(bucket))
+                        .entries()
+                        .contains(e)));
+                }
+                Op::TakeQuery { bucket, query } => {
+                    let drained = t.take_query(BucketId(bucket), QueryId(query));
+                    prop_assert!(drained.iter().all(|e| e.query == QueryId(query)));
+                }
+            }
+            let mut gathered = Vec::new();
+            t.snapshots_into(&mut gathered, &NoResidency);
+            prop_assert_eq!(
+                gathered,
+                rebuild(&t),
+                "maintained snapshots diverged from rebuild after step {}",
+                step
+            );
+            let total: u64 = t
+                .non_empty_buckets()
+                .iter()
+                .map(|&b| t.queue(b).len() as u64)
+                .sum();
+            prop_assert_eq!(t.total_queued(), total);
+            prop_assert_eq!(t.is_idle(), total == 0);
+        }
+    }
+
+    /// `drain_query_into` is equivalent to filtering: drained ∪ kept is a
+    /// partition of the original entries with order preserved on both sides.
+    #[test]
+    fn drain_query_is_an_order_preserving_partition(
+        queries in proptest::collection::vec(0u64..4, 1..30),
+        victim in 0u64..4,
+    ) {
+        let mut t = WorkloadTable::new(2);
+        for (i, &qid) in queries.iter().enumerate() {
+            let q = query_of(qid, 1, i as u64);
+            let item = WorkItem {
+                query: q.id,
+                bucket: BucketId(0),
+                object_indices: vec![0],
+            };
+            t.enqueue(&item, &q, SimTime::from_micros(i as u64));
+        }
+        let before: Vec<(QueryId, SimTime)> = t
+            .queue(BucketId(0))
+            .entries()
+            .iter()
+            .map(|e| (e.query, e.enqueued_at))
+            .collect();
+        let drained = t.take_query(BucketId(0), QueryId(victim));
+        let kept: Vec<(QueryId, SimTime)> = t
+            .queue(BucketId(0))
+            .entries()
+            .iter()
+            .map(|e| (e.query, e.enqueued_at))
+            .collect();
+        let expected_drained: Vec<(QueryId, SimTime)> = before
+            .iter()
+            .copied()
+            .filter(|(q, _)| *q == QueryId(victim))
+            .collect();
+        let expected_kept: Vec<(QueryId, SimTime)> = before
+            .iter()
+            .copied()
+            .filter(|(q, _)| *q != QueryId(victim))
+            .collect();
+        let drained_keys: Vec<(QueryId, SimTime)> =
+            drained.iter().map(|e| (e.query, e.enqueued_at)).collect();
+        prop_assert_eq!(drained_keys, expected_drained);
+        prop_assert_eq!(kept, expected_kept);
+    }
+}

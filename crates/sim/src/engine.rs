@@ -49,13 +49,17 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
         let partition = self.catalog.partition();
         let pre = QueryPreProcessor::new(partition);
         let mut st = EngineState {
-            table: WorkloadTable::new(partition.num_buckets()),
+            table: WorkloadTable::new(partition.num_buckets())
+                .with_object_counts(|b| partition.meta(b).object_count),
             tracker: QueryTracker::new(),
             cache: BucketCache::new(self.config.cache_buckets),
             io: IoStats::new(),
             per_query: HashMap::new(),
             predicates: HashMap::new(),
             starvation: StarvationMonitor::new(),
+            candidates: Vec::new(),
+            batch_entries: Vec::new(),
+            completion_scratch: Vec::new(),
             batches: 0,
             scan_batches: 0,
             indexed_batches: 0,
@@ -87,22 +91,37 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
                 break; // drained everything
             }
 
-            // One scheduling decision + batch execution.
-            let candidates = self.build_candidates(&st);
+            // One scheduling decision + batch execution. The candidate
+            // snapshots are maintained incrementally by the workload table;
+            // this copies them into the reused scratch vec and refreshes
+            // only the residency (φ) bits.
+            st.table.snapshots_into(&mut st.candidates, &st.cache);
             let view = PickView {
                 now,
-                candidates: &candidates,
+                candidates: &st.candidates,
                 tracker: &st.tracker,
                 per_query: &st.per_query,
             };
-            let spec = scheduler
+            let pick = scheduler
                 .pick(&view)
                 .expect("scheduler must pick while work is pending");
-            let picked = candidates
-                .iter()
-                .position(|c| c.bucket == spec.bucket)
-                .expect("scheduler picked a bucket with no pending work");
-            st.starvation.record_decision(now, &candidates, picked);
+            let spec = pick.spec;
+            let picked = match pick.candidate {
+                Some(i) => {
+                    assert!(
+                        st.candidates.get(i).map(|c| c.bucket) == Some(spec.bucket),
+                        "scheduler returned a candidate index that does not match its pick"
+                    );
+                    i
+                }
+                // Candidates are sorted by bucket, so policies that chose
+                // the bucket through another lens resolve in O(log n).
+                None => st
+                    .candidates
+                    .binary_search_by_key(&spec.bucket, |c| c.bucket)
+                    .expect("scheduler picked a bucket with no pending work"),
+            };
+            st.starvation.record_decision(now, &st.candidates, picked);
             let cost = self.execute_batch(&mut st, spec, now);
             now += cost;
         }
@@ -138,33 +157,20 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
         }
     }
 
-    /// Snapshot of every non-empty workload queue.
-    fn build_candidates(&self, st: &EngineState) -> Vec<BucketSnapshot> {
-        let partition = self.catalog.partition();
-        st.table
-            .non_empty_buckets()
-            .iter()
-            .map(|&b| {
-                let q = st.table.queue(b);
-                BucketSnapshot {
-                    bucket: b,
-                    queue_len: q.len() as u64,
-                    oldest_enqueue: q.oldest_enqueue().expect("non-empty queue has an oldest"),
-                    cached: st.cache.contains(b),
-                    bucket_objects: partition.meta(b).object_count,
-                }
-            })
-            .collect()
-    }
-
     /// Executes one batch and returns its virtual-time cost.
     fn execute_batch(&self, st: &mut EngineState, spec: BatchSpec, now: SimTime) -> SimDuration {
-        let entries: Vec<QueueEntry> = match spec.scope {
-            BatchScope::AllQueued => st.table.take_all(spec.bucket),
-            BatchScope::SingleQuery(q) => st.table.take_query(spec.bucket, q),
-        };
-        assert!(!entries.is_empty(), "scheduler scheduled an empty batch");
-        let w = entries.len() as u64;
+        match spec.scope {
+            BatchScope::AllQueued => st.table.take_all_into(spec.bucket, &mut st.batch_entries),
+            BatchScope::SingleQuery(q) => {
+                st.table
+                    .take_query_into(spec.bucket, q, &mut st.batch_entries)
+            }
+        }
+        assert!(
+            !st.batch_entries.is_empty(),
+            "scheduler scheduled an empty batch"
+        );
+        let w = st.batch_entries.len() as u64;
         let meta = self.catalog.meta(spec.bucket);
 
         // The hybrid join decision belongs to LifeRaft's Join Evaluator
@@ -206,7 +212,7 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
 
         if self.config.execute_joins {
             let objects = self.catalog.bucket_objects(spec.bucket);
-            let out = hybrid::execute(strategy, &objects, &entries);
+            let out = hybrid::execute(strategy, &objects, &st.batch_entries);
             for pair in &out.pairs {
                 let pred = st
                     .predicates
@@ -221,14 +227,22 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
 
         // Account completions at batch end. Grouped in QueryId order so the
         // completion sequence (and thus the report) is deterministic even
-        // when one batch finishes several queries at the same instant.
+        // when one batch finishes several queries at the same instant. The
+        // grouping sorts a reused scratch of query IDs and walks the runs —
+        // no per-batch map allocation.
         let end = now + cost;
-        let mut per_query: std::collections::BTreeMap<QueryId, u64> =
-            std::collections::BTreeMap::new();
-        for e in &entries {
-            *per_query.entry(e.query).or_insert(0) += 1;
-        }
-        for (q, n) in per_query {
+        st.completion_scratch.clear();
+        st.completion_scratch
+            .extend(st.batch_entries.iter().map(|e| e.query));
+        st.completion_scratch.sort_unstable();
+        let mut i = 0;
+        while i < st.completion_scratch.len() {
+            let q = st.completion_scratch[i];
+            let mut n = 0u64;
+            while i < st.completion_scratch.len() && st.completion_scratch[i] == q {
+                n += 1;
+                i += 1;
+            }
             if let Some(set) = st.per_query.get_mut(&q) {
                 set.remove(&spec.bucket);
                 if set.is_empty() {
@@ -287,6 +301,12 @@ struct EngineState {
     /// Predicates of in-flight queries (populated only when joins execute).
     predicates: HashMap<QueryId, Predicate>,
     starvation: StarvationMonitor,
+    /// Scratch: the per-decision candidate view (refreshed, never rebuilt).
+    candidates: Vec<BucketSnapshot>,
+    /// Scratch: entries drained by the batch in flight.
+    batch_entries: Vec<QueueEntry>,
+    /// Scratch: query IDs of the batch in flight, for completion grouping.
+    completion_scratch: Vec<QueryId>,
     batches: u64,
     scan_batches: u64,
     indexed_batches: u64,
@@ -321,6 +341,12 @@ impl SchedulerView for PickView<'_> {
             .get(&query)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    fn first_pending_bucket_of(&self, query: QueryId) -> Option<BucketId> {
+        self.per_query
+            .get(&query)
+            .and_then(|s| s.iter().next().copied())
     }
 }
 
