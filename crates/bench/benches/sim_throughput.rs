@@ -59,13 +59,17 @@ struct Measured {
 fn measure(
     sim: &Simulation<'_, VirtualCatalog>,
     timed: &TimedTrace,
-    scheduler: &mut dyn Scheduler,
+    mk_scheduler: &dyn Fn() -> Box<dyn Scheduler>,
     reps: u32,
 ) -> Measured {
     let mut best: Option<Measured> = None;
     for _ in 0..reps {
+        // A fresh scheduler per repetition: stateful policies (RR's cursor,
+        // adaptive controllers) must not leak state between reps, or the
+        // reported row depends on which rep happened to be fastest.
+        let mut scheduler = mk_scheduler();
         let t0 = Instant::now();
-        let report = sim.run(timed, scheduler);
+        let report = sim.run(timed, scheduler.as_mut());
         let wall_s = t0.elapsed().as_secs_f64();
         if best.as_ref().map_or(true, |b| wall_s < b.wall_s) {
             best = Some(Measured {
@@ -134,21 +138,25 @@ fn main() {
 
     let sim = Simulation::new(&catalog, SimConfig::paper());
     let params = MetricParams::paper();
-    let mut runs: Vec<(&str, Box<dyn Scheduler>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let runs: Vec<(&str, Factory)> = vec![
         (
             "liferaft_greedy",
-            Box::new(LifeRaftScheduler::greedy(params)),
+            Box::new(move || Box::new(LifeRaftScheduler::greedy(params))),
         ),
         (
             "liferaft_alpha05",
-            Box::new(LifeRaftScheduler::new(params, AgingMode::Normalized, 0.5)),
+            Box::new(move || Box::new(LifeRaftScheduler::new(params, AgingMode::Normalized, 0.5))),
         ),
         (
             "liferaft_age_based",
-            Box::new(LifeRaftScheduler::age_based(params)),
+            Box::new(move || Box::new(LifeRaftScheduler::age_based(params))),
         ),
-        ("round_robin", Box::new(RoundRobinScheduler::new())),
-        ("noshare", Box::new(NoShareScheduler::new())),
+        (
+            "round_robin",
+            Box::new(|| Box::new(RoundRobinScheduler::new())),
+        ),
+        ("noshare", Box::new(|| Box::new(NoShareScheduler::new()))),
     ];
 
     let reps: u32 = std::env::var("LIFERAFT_BENCH_REPS")
@@ -156,8 +164,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 2 } else { 3 });
     let mut rows = Vec::new();
-    for (key, s) in &mut runs {
-        let m = measure(&sim, &timed, s.as_mut(), reps);
+    for (key, mk) in &runs {
+        let m = measure(&sim, &timed, mk.as_ref(), reps);
         println!(
             "{key:<20} wall={:.3}s  decisions/s={:>12.0}  entries/s={:>12.0}  batches={}",
             m.wall_s,

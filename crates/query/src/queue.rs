@@ -162,8 +162,13 @@ pub struct WorkloadTable {
     /// Live snapshot slots indexed by bucket like `queues`. A slot is
     /// meaningful only while its bucket appears in `non_empty`; the
     /// `bucket` and `bucket_objects` fields are static, and the `cached`
-    /// bit is refreshed by `snapshots_into`, not maintained here.
+    /// bit is refreshed lazily by `snapshots_into` against the residency
+    /// oracle's epoch.
     snapshot_slots: Vec<BucketSnapshot>,
+    /// Residency-oracle epoch at which each slot's `cached` bit was last
+    /// probed (0 = never). While the oracle's epoch matches, the stored bit
+    /// is served without re-probing.
+    phi_stamp: Vec<u64>,
     /// Total queued objects across all buckets.
     total_queued: u64,
 }
@@ -183,6 +188,7 @@ impl WorkloadTable {
                     bucket_objects: 0,
                 })
                 .collect(),
+            phi_stamp: vec![0; n_buckets],
             total_queued: 0,
         }
     }
@@ -308,13 +314,35 @@ impl WorkloadTable {
     /// Gathers the candidate snapshots into `out` (cleared first, sorted by
     /// bucket) and refreshes only their `cached` bits against `residency` —
     /// the scheduler's per-decision view, built without touching the queues.
-    pub fn snapshots_into(&self, out: &mut Vec<BucketSnapshot>, residency: &dyn Residency) {
+    ///
+    /// When the oracle exposes a residency epoch (see
+    /// [`Residency::residency_epoch`]), φ bits are cached in the slots and
+    /// stamped with the epoch they were probed at: between cache mutations
+    /// the gather performs **zero** residency probes. Oracles without an
+    /// epoch are probed per candidate per call, as before, and leave the
+    /// stored bits untouched.
+    pub fn snapshots_into(&mut self, out: &mut Vec<BucketSnapshot>, residency: &dyn Residency) {
         out.clear();
-        out.extend(self.non_empty.iter().map(|&b| {
-            let mut s = self.snapshot_slots[b.index()];
-            s.cached = residency.is_resident(b);
-            s
-        }));
+        out.reserve(self.non_empty.len());
+        match residency.residency_epoch() {
+            Some(epoch) => {
+                for &b in &self.non_empty {
+                    let i = b.index();
+                    if self.phi_stamp[i] != epoch {
+                        self.snapshot_slots[i].cached = residency.is_resident(b);
+                        self.phi_stamp[i] = epoch;
+                    }
+                    out.push(self.snapshot_slots[i]);
+                }
+            }
+            None => {
+                for &b in &self.non_empty {
+                    let mut s = self.snapshot_slots[b.index()];
+                    s.cached = residency.is_resident(b);
+                    out.push(s);
+                }
+            }
+        }
     }
 
     fn after_drain(&mut self, bucket: BucketId, n: usize) {
@@ -456,7 +484,7 @@ mod tests {
 
     /// Gathers the maintained snapshots through the public decision-path
     /// API (cold residency, to match `rebuild`'s default).
-    fn gather(t: &WorkloadTable) -> Vec<BucketSnapshot> {
+    fn gather(t: &mut WorkloadTable) -> Vec<BucketSnapshot> {
         let mut out = Vec::new();
         t.snapshots_into(&mut out, &crate::snapshot::NoResidency);
         out
@@ -489,14 +517,17 @@ mod tests {
         t.enqueue(&item(&qa, 5), &qa, SimTime::ZERO);
         t.enqueue(&item(&qb, 5), &qb, SimTime::from_micros(10));
         t.enqueue(&item(&qa, 2), &qa, SimTime::from_micros(20));
-        assert_eq!(gather(&t), rebuild(&t));
+        let r = rebuild(&t);
+        assert_eq!(gather(&mut t), r);
         t.take_query(BucketId(5), QueryId(1));
-        assert_eq!(gather(&t), rebuild(&t));
+        let r = rebuild(&t);
+        assert_eq!(gather(&mut t), r);
         t.take_all(BucketId(5));
-        assert_eq!(gather(&t), rebuild(&t));
+        let r = rebuild(&t);
+        assert_eq!(gather(&mut t), r);
         assert_eq!(t.snapshot_of(BucketId(5)), None);
         t.take_all(BucketId(2));
-        assert!(gather(&t).is_empty());
+        assert!(gather(&mut t).is_empty());
     }
 
     #[test]
@@ -526,6 +557,56 @@ mod tests {
         assert_eq!(out[0].bucket_objects, 101);
         // The maintained slot keeps its cold default.
         assert!(!t.snapshot_of(BucketId(1)).expect("non-empty").cached);
+    }
+
+    #[test]
+    fn epoch_stamped_phi_skips_probes_between_mutations() {
+        use crate::snapshot::Residency;
+        use std::cell::Cell;
+        /// An epoch-bearing oracle that counts `is_resident` probes.
+        struct Counting {
+            epoch: Cell<u64>,
+            resident: Cell<bool>,
+            probes: Cell<u64>,
+        }
+        impl Residency for Counting {
+            fn is_resident(&self, _b: BucketId) -> bool {
+                self.probes.set(self.probes.get() + 1);
+                self.resident.get()
+            }
+            fn residency_epoch(&self) -> Option<u64> {
+                Some(self.epoch.get())
+            }
+        }
+        let oracle = Counting {
+            epoch: Cell::new(7),
+            resident: Cell::new(false),
+            probes: Cell::new(0),
+        };
+        let qa = entry_source(2);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&qa, 1), &qa, SimTime::ZERO);
+        t.enqueue(&item(&qa, 3), &qa, SimTime::ZERO);
+        let mut out = Vec::new();
+        // First gather at epoch 7: one probe per candidate, bits stamped.
+        t.snapshots_into(&mut out, &oracle);
+        assert_eq!(oracle.probes.get(), 2);
+        assert!(out.iter().all(|s| !s.cached));
+        // Same epoch: zero probes, stored bits served.
+        t.snapshots_into(&mut out, &oracle);
+        t.snapshots_into(&mut out, &oracle);
+        assert_eq!(oracle.probes.get(), 2);
+        // Epoch bump (resident set changed): every candidate re-probed once.
+        oracle.epoch.set(8);
+        oracle.resident.set(true);
+        t.snapshots_into(&mut out, &oracle);
+        assert_eq!(oracle.probes.get(), 4);
+        assert!(
+            out.iter().all(|s| s.cached),
+            "refreshed bits must be served"
+        );
+        t.snapshots_into(&mut out, &oracle);
+        assert_eq!(oracle.probes.get(), 4);
     }
 
     #[test]

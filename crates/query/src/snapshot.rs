@@ -45,11 +45,29 @@ impl BucketSnapshot {
 pub trait Residency {
     /// True if `bucket` is resident (φ(i) = 0).
     fn is_resident(&self, bucket: BucketId) -> bool;
+
+    /// A stamp that changes whenever the resident set may have changed, or
+    /// `None` if the oracle cannot promise stability between calls.
+    ///
+    /// When `Some(e)` is returned, a φ bit probed while the epoch was `e`
+    /// stays valid for as long as the oracle keeps returning `e` — which
+    /// lets the workload table cache φ bits in its snapshot slots and skip
+    /// the per-candidate residency probe entirely between cache mutations.
+    /// Stamps are only comparable against a single oracle: re-pointing a
+    /// table at a different oracle requires fresh slots (epochs from
+    /// different oracles may collide).
+    fn residency_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl Residency for BucketCache {
     fn is_resident(&self, bucket: BucketId) -> bool {
         self.contains(bucket)
+    }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        Some(self.residency_epoch())
     }
 }
 
@@ -61,6 +79,11 @@ pub struct NoResidency;
 impl Residency for NoResidency {
     fn is_resident(&self, _bucket: BucketId) -> bool {
         false
+    }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        // The (empty) resident set never changes.
+        Some(1)
     }
 }
 
@@ -89,10 +112,14 @@ mod tests {
         let r: &dyn Residency = &cache;
         assert!(r.is_resident(BucketId(3)));
         assert!(!r.is_resident(BucketId(4)));
+        let e = r.residency_epoch().expect("caches expose epochs");
+        cache.insert(BucketId(4));
+        assert_ne!(Residency::residency_epoch(&cache), Some(e));
     }
 
     #[test]
     fn no_residency_is_always_cold() {
         assert!(!NoResidency.is_resident(BucketId(0)));
+        assert_eq!(NoResidency.residency_epoch(), Some(1));
     }
 }

@@ -6,7 +6,7 @@
 //! tracker counts outstanding (object × bucket) assignments per query and
 //! reports completion times.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use liferaft_storage::{SimDuration, SimTime};
 
@@ -44,6 +44,14 @@ struct Pending {
 pub struct QueryTracker {
     pending: HashMap<QueryId, Pending>,
     completed: Vec<QueryOutcome>,
+    /// In-flight queries ordered by (arrival, id) — the NoShare cursor.
+    ///
+    /// Entries *behind* the front may be stale (already completed); the
+    /// front is always a live pending query, restored eagerly on every
+    /// completion, so `oldest_pending` is O(1) instead of a scan over all
+    /// in-flight queries. Stale entries are dropped exactly once when they
+    /// reach the front, so maintenance is amortized O(1) per completion.
+    arrival_order: VecDeque<(SimTime, QueryId)>,
 }
 
 impl QueryTracker {
@@ -76,6 +84,17 @@ impl QueryTracker {
             },
         );
         assert!(prev.is_none(), "query {query} registered twice");
+        // Trace arrivals are (near-)monotone, so this is almost always a
+        // push; the partition-point insert handles the rare out-of-order
+        // registration (e.g. arrival ties registered out of id order).
+        let key = (arrival, query);
+        match self.arrival_order.back() {
+            Some(&back) if back > key => {
+                let pos = self.arrival_order.partition_point(|&e| e < key);
+                self.arrival_order.insert(pos, key);
+            }
+            _ => self.arrival_order.push_back(key),
+        }
     }
 
     /// Records that `n` assignments of `query` finished at `now`; returns
@@ -102,6 +121,14 @@ impl QueryTracker {
         p.remaining -= n;
         if p.remaining == 0 {
             let p = self.pending.remove(&query).expect("present above");
+            // Restore the front-is-pending invariant: stale entries that
+            // surfaced at the front are dropped here, once each.
+            while let Some(&(_, q)) = self.arrival_order.front() {
+                if self.pending.contains_key(&q) {
+                    break;
+                }
+                self.arrival_order.pop_front();
+            }
             let outcome = QueryOutcome {
                 query,
                 arrival: p.arrival,
@@ -120,12 +147,10 @@ impl QueryTracker {
         self.pending.len()
     }
 
-    /// The oldest in-flight query (by arrival), if any — NoShare's cursor.
+    /// The oldest in-flight query (by arrival, ties by id), if any —
+    /// NoShare's cursor. O(1): the front of the arrival-ordered index.
     pub fn oldest_pending(&self) -> Option<(QueryId, SimTime)> {
-        self.pending
-            .iter()
-            .map(|(&q, p)| (q, p.arrival))
-            .min_by_key(|&(q, t)| (t, q))
+        self.arrival_order.front().map(|&(t, q)| (q, t))
     }
 
     /// Arrival time of an in-flight query.
@@ -215,6 +240,27 @@ mod tests {
         tr.complete_assignments(QueryId(1), 3, t(3));
         assert_eq!(tr.remaining_of(QueryId(1)), Some(1));
         assert_eq!(tr.arrival_of(QueryId(99)), None);
+    }
+
+    #[test]
+    fn index_survives_out_of_order_registration_and_tombstones() {
+        let mut tr = QueryTracker::new();
+        // Monotone arrivals, then two out-of-order registrations.
+        tr.register(QueryId(5), 1, t(10));
+        tr.register(QueryId(6), 1, t(20));
+        tr.register(QueryId(2), 1, t(5)); // earlier than the front
+        tr.register(QueryId(4), 1, t(10)); // tie with 5, smaller id
+        assert_eq!(tr.oldest_pending(), Some((QueryId(2), t(5))));
+        // Complete mid-deque queries (tombstones), then the front.
+        tr.complete_assignments(QueryId(4), 1, t(30));
+        tr.complete_assignments(QueryId(5), 1, t(31));
+        assert_eq!(tr.oldest_pending(), Some((QueryId(2), t(5))));
+        tr.complete_assignments(QueryId(2), 1, t(32));
+        // Tombstones of 4 and 5 must be skipped in one hop.
+        assert_eq!(tr.oldest_pending(), Some((QueryId(6), t(20))));
+        tr.complete_assignments(QueryId(6), 1, t(33));
+        assert_eq!(tr.oldest_pending(), None);
+        assert!(tr.all_complete());
     }
 
     #[test]

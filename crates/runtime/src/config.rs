@@ -1,0 +1,132 @@
+//! Runtime configuration: shard layout, admission control, execution mode.
+
+use liferaft_sim::SimConfig;
+
+use crate::shard::ShardAssignment;
+
+/// Per-shard admission control (backpressure) policy.
+///
+/// Each shard owns a bounded ingress: once its queued (object × bucket)
+/// backlog reaches `max_backlog_entries`, newly arriving fragments park in
+/// the shard's ingress queue and are admitted — in arrival order — as batch
+/// executions drain the backlog below the limit. Ages still reference the
+/// *true* arrival instants, so deferral shows up as response time, exactly
+/// like queueing at a loaded server. Admission is a pure function of the
+/// shard's own input stream, which is what keeps threaded execution
+/// bit-identical to the stepped merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionConfig {
+    /// Queued-entry backlog at which a shard stops admitting fragments
+    /// (`None` = unbounded). The check runs *before* each admission, so a
+    /// fragment larger than the limit still admits once the backlog drains
+    /// to zero — bounded admission can never deadlock.
+    pub max_backlog_entries: Option<u64>,
+}
+
+impl AdmissionConfig {
+    /// Unbounded admission (the default).
+    pub fn unbounded() -> Self {
+        AdmissionConfig::default()
+    }
+
+    /// Backpressure at `entries` queued (object × bucket) entries per shard.
+    pub fn bounded(entries: u64) -> Self {
+        AdmissionConfig {
+            max_backlog_entries: Some(entries),
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        if let Some(limit) = self.max_backlog_entries {
+            assert!(limit > 0, "a zero backlog limit would admit nothing");
+        }
+    }
+}
+
+/// Knobs of one sharded runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Per-shard simulation configuration (cost model, cache size, joins).
+    /// Each shard owns its *own* bucket cache of `sim.cache_buckets`.
+    pub sim: SimConfig,
+    /// Number of shards the bucket space is partitioned across.
+    pub n_shards: u32,
+    /// Bucket → shard assignment policy.
+    pub assignment: ShardAssignment,
+    /// Per-shard admission control.
+    pub admission: AdmissionConfig,
+}
+
+impl RuntimeConfig {
+    /// A single-shard runtime — behaviourally identical to [`liferaft_sim::Simulation`].
+    pub fn single(sim: SimConfig) -> Self {
+        RuntimeConfig {
+            sim,
+            n_shards: 1,
+            assignment: ShardAssignment::Contiguous,
+            admission: AdmissionConfig::unbounded(),
+        }
+    }
+
+    /// `n` contiguous shards with unbounded admission.
+    pub fn contiguous(sim: SimConfig, n_shards: u32) -> Self {
+        RuntimeConfig {
+            sim,
+            n_shards,
+            assignment: ShardAssignment::Contiguous,
+            admission: AdmissionConfig::unbounded(),
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        self.sim.validate();
+        self.admission.validate();
+        assert!(self.n_shards > 0, "need at least one shard");
+    }
+}
+
+/// How the shard pool executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Deterministic single-threaded virtual-time merge of the shard event
+    /// queues: at each step the shard with the earliest next event (ties by
+    /// shard id) advances one event. Pinnable by golden tests; the
+    /// reference semantics.
+    Stepped,
+    /// One `std::thread` worker per shard, results returned over `mpsc`.
+    /// Bit-identical to [`Stepped`](Self::Stepped): shards interact only
+    /// through the up-front routing and the post-hoc aggregation, both of
+    /// which are independent of interleaving.
+    Threaded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        RuntimeConfig::single(SimConfig::paper()).validate();
+        RuntimeConfig::contiguous(SimConfig::paper(), 8).validate();
+        let mut c = RuntimeConfig::single(SimConfig::paper());
+        c.admission = AdmissionConfig::bounded(1_000);
+        c.validate();
+        assert_eq!(AdmissionConfig::unbounded().max_backlog_entries, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let mut c = RuntimeConfig::single(SimConfig::paper());
+        c.n_shards = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero backlog")]
+    fn zero_backlog_rejected() {
+        AdmissionConfig::bounded(0).validate();
+    }
+}

@@ -1,0 +1,57 @@
+//! `liferaft-runtime` — a sharded multi-worker serving runtime for LifeRaft.
+//!
+//! The paper evaluates one server; its discussion points at clusters: "our
+//! solution allows individual sites in a cluster or federation to batch
+//! queries independently" (Section 6). This crate is that layer for a
+//! *single* archive: the bucket space — already an equal-sized tiling of
+//! the HTM curve — is partitioned across N **shards**, each owning its own
+//! workload table, bucket cache, and pluggable scheduler; a front-end
+//! router splits every arriving query's bucket work into per-shard
+//! fragments and applies per-shard admission control (backpressure); a
+//! cross-shard query completes when all of its fragments finish.
+//!
+//! # Execution modes
+//!
+//! [`ExecMode::Stepped`] is the deterministic reference: a single-threaded
+//! virtual-time merge of the shard event queues (earliest next event first,
+//! ties by shard id). [`ExecMode::Threaded`] runs one `std::thread` worker
+//! per shard with results over `mpsc`. The two are **bit-identical** for
+//! the same configuration and trace — shards interact only through the
+//! up-front routing and the order-canonicalized aggregation — and a
+//! single-shard runtime reproduces `liferaft_sim::Simulation` exactly
+//! (both drive the same [`liferaft_sim::EngineCore`]); golden and property
+//! tests pin both claims.
+//!
+//! # Sweep driver
+//!
+//! [`sweep`] fans independent runs — α sweeps, cache-size sweeps,
+//! shard-count sweeps, per-seed replications — across a thread pool with
+//! results in input order whatever the thread count ([`parallel_map`]).
+//!
+//! # Layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`shard`] | shard identity, bucket → shard maps (contiguous / hashed) |
+//! | [`router`] | query → per-shard fragment routing |
+//! | [`worker`] | the per-shard admission-controlled serving loop |
+//! | [`runtime`] | stepped/threaded drivers and global aggregation |
+//! | [`config`] | runtime + admission configuration, execution mode |
+//! | [`sweep`] | the deterministic parallel sweep driver |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod router;
+pub mod runtime;
+pub mod shard;
+pub mod sweep;
+pub mod worker;
+
+pub use config::{AdmissionConfig, ExecMode, RuntimeConfig};
+pub use router::{route, Fragment, Routing};
+pub use runtime::{RuntimeReport, ShardedRuntime};
+pub use shard::{ShardAssignment, ShardId, ShardMap};
+pub use sweep::{alpha_sweep, cache_sweep, parallel_map, seed_sweep, shard_sweep, SweepPoint};
+pub use worker::{AdmissionStats, ShardRun};

@@ -1,0 +1,247 @@
+//! The front-end router: queries → per-shard work fragments.
+//!
+//! Arriving queries are pre-processed once (the paper's Query Pre-Processor)
+//! and their per-bucket work items are split by the [`ShardMap`] into
+//! per-shard **fragments**. A fragment is the unit a shard admits, tracks,
+//! and completes; the cross-shard query completes when *all* its fragments
+//! have finished (the aggregation in `runtime` counts them down).
+//!
+//! Routing is a pure function of (partition, shard map, trace) — it depends
+//! on no execution state, which is the property that lets the threaded
+//! executor run shards fully independently yet bit-identically to the
+//! stepped reference.
+
+use liferaft_catalog::Partition;
+use liferaft_query::{QueryId, QueryPreProcessor, WorkItem};
+use liferaft_storage::SimTime;
+use liferaft_workload::TimedTrace;
+
+use crate::shard::ShardMap;
+
+/// One shard's slice of one query: the work items whose buckets the shard
+/// owns, plus arrival/identity metadata.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Index of the parent query within the routed trace.
+    pub query_index: usize,
+    /// The parent query.
+    pub query: QueryId,
+    /// Arrival instant of the parent query (ages reference this).
+    pub arrival: SimTime,
+    /// The shard-local work items, sorted by bucket.
+    pub items: Vec<WorkItem>,
+    /// Total (object × bucket) assignments in `items`.
+    pub assignments: u64,
+}
+
+/// The routing of one trace across one shard map.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// Per-shard fragment streams, each in arrival order.
+    pub shards: Vec<Vec<Fragment>>,
+    /// Per trace index: number of fragments the query split into (always at
+    /// least 1 — a query whose pre-processing produced no work ships as one
+    /// empty fragment, see [`route`]).
+    pub fragments_of: Vec<u32>,
+    /// Per trace index: total assignments across all fragments.
+    pub assignments_of: Vec<u64>,
+    /// Queries that split across more than one shard.
+    pub cross_shard_queries: usize,
+    /// Total assignments across the whole trace.
+    pub total_assignments: u64,
+}
+
+impl Routing {
+    /// Total fragments across all shards.
+    pub fn total_fragments(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Routes `trace` across `map`, splitting every query's work items by the
+/// shard that owns their bucket.
+///
+/// A query whose pre-processing yields no work items still produces one
+/// **empty** fragment, routed to shard 0: the owning worker registers it
+/// (it completes instantly at its arrival) and notifies its scheduler of
+/// the arrival — mirroring what the single-engine `Simulation` does, so
+/// arrival-driven policies (the adaptive controller) see the same stream.
+pub fn route(partition: &Partition, map: &ShardMap, trace: &TimedTrace) -> Routing {
+    assert_eq!(
+        partition.num_buckets(),
+        map.num_buckets(),
+        "shard map must cover the partition"
+    );
+    let pre = QueryPreProcessor::new(partition);
+    let n = map.n_shards() as usize;
+    let mut shards: Vec<Vec<Fragment>> = vec![Vec::new(); n];
+    let mut fragments_of = Vec::with_capacity(trace.len());
+    let mut assignments_of = Vec::with_capacity(trace.len());
+    let mut cross_shard_queries = 0usize;
+    let mut total_assignments = 0u64;
+    // Per-query scratch: items grouped by shard (reused across queries).
+    let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n];
+
+    for (query_index, (arrival, query)) in trace.entries().iter().enumerate() {
+        let items = pre.preprocess(query);
+        let mut assignments = 0u64;
+        for item in items {
+            assignments += item.len() as u64;
+            split[map.shard_of(item.bucket).index()].push(item);
+        }
+        let mut fragments = 0u32;
+        for (shard, items) in split.iter_mut().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            fragments += 1;
+            let items = std::mem::take(items);
+            let assignments = items.iter().map(|i| i.len() as u64).sum();
+            shards[shard].push(Fragment {
+                query_index,
+                query: query.id,
+                arrival: *arrival,
+                items,
+                assignments,
+            });
+        }
+        if fragments == 0 {
+            // No work anywhere: ship the arrival itself to shard 0.
+            fragments = 1;
+            shards[0].push(Fragment {
+                query_index,
+                query: query.id,
+                arrival: *arrival,
+                items: Vec::new(),
+                assignments: 0,
+            });
+        }
+        if fragments > 1 {
+            cross_shard_queries += 1;
+        }
+        fragments_of.push(fragments);
+        assignments_of.push(assignments);
+        total_assignments += assignments;
+    }
+
+    Routing {
+        shards,
+        fragments_of,
+        assignments_of,
+        cross_shard_queries,
+        total_assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_catalog::{generate::uniform_sky, Catalog, MaterializedCatalog};
+    use liferaft_query::{CrossMatchQuery, Predicate};
+    use liferaft_workload::arrivals::uniform_arrivals;
+    use liferaft_workload::Trace;
+
+    const LEVEL: u8 = 8;
+
+    fn fixture() -> (MaterializedCatalog, TimedTrace) {
+        let sky = uniform_sky(2_000, LEVEL, 3);
+        let cat = MaterializedCatalog::build(&sky, LEVEL, 100, 4096);
+        // Each query anchors on objects of several scattered buckets, so
+        // multi-shard maps must split it.
+        let queries: Vec<CrossMatchQuery> = (0..10)
+            .map(|i| {
+                let mut positions = Vec::new();
+                for k in 0..4u32 {
+                    let b = (i as u32 * 3 + k * 7) % 20;
+                    let objs = cat.bucket_objects(liferaft_storage::BucketId(b));
+                    positions.extend(objs.iter().step_by(25).map(|o| o.pos));
+                }
+                CrossMatchQuery::from_positions(
+                    QueryId(i as u64),
+                    &positions,
+                    1e-4,
+                    LEVEL,
+                    Predicate::All,
+                )
+            })
+            .collect();
+        let trace = Trace::new(LEVEL, queries);
+        let timed = trace.with_arrivals(uniform_arrivals(1.0, 10));
+        (cat, timed)
+    }
+
+    #[test]
+    fn routing_conserves_assignments_and_respects_ownership() {
+        let (cat, timed) = fixture();
+        let pre = QueryPreProcessor::new(cat.partition());
+        let expected: u64 = timed
+            .entries()
+            .iter()
+            .map(|(_, q)| pre.workload_size(q))
+            .sum();
+        for map in [
+            ShardMap::contiguous(cat.partition().num_buckets(), 4),
+            ShardMap::hashed(cat.partition().num_buckets(), 4, 7),
+        ] {
+            let routing = route(cat.partition(), &map, &timed);
+            assert_eq!(routing.total_assignments, expected);
+            let by_fragment: u64 = routing.shards.iter().flatten().map(|f| f.assignments).sum();
+            assert_eq!(by_fragment, expected);
+            // Every item landed on the shard that owns its bucket, and
+            // per-shard fragments are in arrival order.
+            for (s, fragments) in routing.shards.iter().enumerate() {
+                for w in fragments.windows(2) {
+                    assert!(w[0].arrival <= w[1].arrival);
+                }
+                for f in fragments {
+                    assert!(!f.items.is_empty());
+                    for item in &f.items {
+                        assert_eq!(map.shard_of(item.bucket).index(), s);
+                    }
+                }
+            }
+            // fragments_of counts match the shard streams.
+            let mut counts = vec![0u32; timed.len()];
+            for f in routing.shards.iter().flatten() {
+                counts[f.query_index] += 1;
+            }
+            assert_eq!(counts, routing.fragments_of);
+        }
+    }
+
+    #[test]
+    fn single_shard_routing_is_whole_queries() {
+        let (cat, timed) = fixture();
+        let map = ShardMap::contiguous(cat.partition().num_buckets(), 1);
+        let routing = route(cat.partition(), &map, &timed);
+        assert_eq!(routing.cross_shard_queries, 0);
+        assert_eq!(routing.total_fragments(), timed.len());
+        assert!(routing.fragments_of.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_work_queries_ship_one_empty_fragment_to_shard_zero() {
+        let (cat, _) = fixture();
+        let empty = CrossMatchQuery::new(QueryId(7), vec![], Predicate::All);
+        let timed = Trace::new(LEVEL, vec![empty]).with_arrivals(uniform_arrivals(1.0, 1));
+        let map = ShardMap::contiguous(cat.partition().num_buckets(), 4);
+        let routing = route(cat.partition(), &map, &timed);
+        assert_eq!(routing.fragments_of, vec![1]);
+        assert_eq!(routing.shards[0].len(), 1);
+        let f = &routing.shards[0][0];
+        assert!(f.items.is_empty());
+        assert_eq!(f.assignments, 0);
+        assert!(routing.shards[1..].iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn multi_shard_routing_splits_wide_queries() {
+        let (cat, timed) = fixture();
+        let map = ShardMap::hashed(cat.partition().num_buckets(), 4, 1);
+        let routing = route(cat.partition(), &map, &timed);
+        // The fixture's queries span several buckets; under hashing some
+        // must split across shards.
+        assert!(routing.cross_shard_queries > 0);
+        assert!(routing.total_fragments() > timed.len());
+    }
+}

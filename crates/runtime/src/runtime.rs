@@ -1,0 +1,521 @@
+//! The sharded serving runtime: route → execute (stepped or threaded) →
+//! aggregate.
+//!
+//! # Determinism contract
+//!
+//! Both execution modes produce **bit-identical** [`RuntimeReport`]s for
+//! the same (catalog, config, trace, scheduler factory):
+//!
+//! - Routing is a pure function of the shard map and the trace.
+//! - Each shard's behaviour is a pure function of its own fragment stream
+//!   (admission is shard-local), so workers never observe each other and
+//!   any stepping order yields the same per-shard results.
+//! - Aggregation merges per-shard completion streams in the canonical
+//!   `(completion time, shard id, shard event order)` order, which is
+//!   independent of how the shards were driven.
+//!
+//! The stepped mode is the reference: a single-threaded virtual-time merge
+//! of the shard event queues (earliest next event first, ties by shard id),
+//! pinnable by golden tests and steppable under a debugger. The threaded
+//! mode runs one `std::thread` worker per shard and collects results over
+//! an `mpsc` channel.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+use liferaft_catalog::Catalog;
+use liferaft_core::Scheduler;
+use liferaft_metrics::Summary;
+use liferaft_query::{tracker::QueryOutcome, QueryId};
+use liferaft_sim::RunReport;
+use liferaft_storage::{cache::CacheStats, IoStats, SimTime};
+use liferaft_workload::TimedTrace;
+
+use crate::config::{ExecMode, RuntimeConfig};
+use crate::router::route;
+use crate::shard::{ShardId, ShardMap};
+use crate::worker::{ShardRun, ShardWorker};
+
+/// The outcome of one sharded runtime execution.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// The query-level global summary, shaped exactly like a single-engine
+    /// [`RunReport`]: counters are summed across shards, response statistics
+    /// are computed over whole-query completions (a cross-shard query
+    /// completes when its last fragment finishes), and `outcomes` are in the
+    /// canonical merged completion order.
+    pub global: RunReport,
+    /// Per-shard runs, in shard order.
+    pub shards: Vec<ShardRun>,
+    /// Queries that split across more than one shard.
+    pub cross_shard_queries: usize,
+    /// Total fragments routed.
+    pub total_fragments: usize,
+}
+
+impl RuntimeReport {
+    /// Virtual-time load imbalance across shards: max over mean per-shard
+    /// busy makespan (1.0 = perfectly balanced; 0 if no shard did work).
+    pub fn shard_imbalance(&self) -> f64 {
+        let spans: Vec<f64> = self.shards.iter().map(|s| s.report.makespan_s).collect();
+        let max = spans.iter().copied().fold(0.0, f64::max);
+        let mean = spans.iter().sum::<f64>() / spans.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A sharded serving runtime over one catalog.
+///
+/// Reentrant like [`liferaft_sim::Simulation`]: every `run` replays a trace
+/// from scratch with fresh per-shard state.
+#[derive(Debug, Clone)]
+pub struct ShardedRuntime<'a, C: Catalog + Sync + ?Sized> {
+    catalog: &'a C,
+    config: RuntimeConfig,
+    map: ShardMap,
+}
+
+impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
+    /// Creates a runtime over `catalog` with the given configuration.
+    pub fn new(catalog: &'a C, config: RuntimeConfig) -> Self {
+        config.validate();
+        let map = ShardMap::new(
+            catalog.partition().num_buckets(),
+            config.n_shards,
+            config.assignment,
+        );
+        ShardedRuntime {
+            catalog,
+            config,
+            map,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The bucket → shard map in force.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Replays `trace`, scheduling shard `i` with `mk_scheduler(i)`.
+    ///
+    /// # Panics
+    /// Panics if any shard's scheduler violates its contract, or if the run
+    /// ends with incomplete queries — both are bugs that must fail loudly.
+    pub fn run(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+        mode: ExecMode,
+    ) -> RuntimeReport {
+        let routing = route(self.catalog.partition(), &self.map, trace);
+        let total_fragments = routing.total_fragments();
+        let fragments_of = routing.fragments_of;
+        let assignments_of = routing.assignments_of;
+        let cross_shard_queries = routing.cross_shard_queries;
+
+        let workers: Vec<ShardWorker<'_, C>> = routing
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, fragments)| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    trace.entries(),
+                    fragments,
+                    mk_scheduler(i),
+                )
+            })
+            .collect();
+
+        let shard_runs = match mode {
+            ExecMode::Stepped => run_stepped(workers),
+            ExecMode::Threaded => run_threaded(workers),
+        };
+
+        let global = aggregate(trace, &fragments_of, &assignments_of, &shard_runs);
+        RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+        }
+    }
+}
+
+/// The reference executor: a deterministic virtual-time merge. Repeatedly
+/// advance the shard with the earliest next event (ties broken by shard id)
+/// by exactly one event until every shard has drained.
+fn run_stepped<C: Catalog + ?Sized>(mut workers: Vec<ShardWorker<'_, C>>) -> Vec<ShardRun> {
+    loop {
+        let mut earliest: Option<(SimTime, usize)> = None;
+        for (i, w) in workers.iter().enumerate() {
+            if let Some(t) = w.next_time() {
+                // Strict `<` keeps the lowest shard index on time ties.
+                if earliest.map_or(true, |(bt, _)| t < bt) {
+                    earliest = Some((t, i));
+                }
+            }
+        }
+        let Some((_, i)) = earliest else { break };
+        let advanced = workers[i].step();
+        debug_assert!(advanced, "a shard with a next event must advance");
+    }
+    workers.into_iter().map(ShardWorker::into_run).collect()
+}
+
+/// The parallel executor: one OS thread per shard, fragment streams fixed
+/// up-front, finished runs returned over an `mpsc` channel and re-ordered
+/// by shard id.
+fn run_threaded<C: Catalog + Sync + ?Sized>(workers: Vec<ShardWorker<'_, C>>) -> Vec<ShardRun> {
+    let n = workers.len();
+    let (tx, rx) = mpsc::channel::<(usize, ShardRun)>();
+    std::thread::scope(|scope| {
+        for (i, mut worker) in workers.into_iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                while worker.step() {}
+                tx.send((i, worker.into_run()))
+                    .expect("the driver outlives its workers");
+            });
+        }
+    });
+    drop(tx);
+    crate::sweep::collect_indexed(rx, n)
+}
+
+/// Folds per-shard fragment runs into the query-level global report.
+///
+/// Fragment completions are merged in the canonical `(shard clock, shard,
+/// shard event order)` order; a query completes at the merged position of
+/// its last fragment, with completion *time* the max over its fragments
+/// (for a zero-work query's single empty fragment: its arrival).
+fn aggregate(
+    trace: &TimedTrace,
+    fragments_of: &[u32],
+    assignments_of: &[u64],
+    shard_runs: &[ShardRun],
+) -> RunReport {
+    let entries = trace.entries();
+    let index_of: HashMap<QueryId, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (_, q))| (q.id, i))
+        .collect();
+
+    // Canonical merged completion stream. Every query has at least one
+    // fragment (zero-work queries ship an empty fragment to shard 0), so
+    // per-shard outcomes cover the whole trace. The merge key is the
+    // shard's *running clock* (the prefix-max of completion times — the
+    // shard-local virtual time at which each outcome was recorded), not the
+    // raw completion: a zero-work fragment completes at its arrival but is
+    // recorded at the following batch boundary, and keying on the clock
+    // preserves each shard's record order — which is exactly the
+    // single-engine push order, so a 1-shard runtime reproduces
+    // `Simulation`'s outcome sequence bit-for-bit.
+    let mut events: Vec<(SimTime, u32, u32, QueryId, SimTime)> = Vec::new();
+    for run in shard_runs {
+        let mut clock = SimTime::ZERO;
+        for (seq, o) in run.report.outcomes.iter().enumerate() {
+            clock = clock.max(o.completion);
+            events.push((clock, run.shard.0, seq as u32, o.query, o.completion));
+        }
+    }
+    events.sort_unstable_by_key(|&(clock, shard, seq, _, _)| (clock, shard, seq));
+
+    let mut remaining: Vec<u32> = fragments_of.to_vec();
+    let mut last_done: Vec<SimTime> = vec![SimTime::ZERO; entries.len()];
+    let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(entries.len());
+    for (_, _, _, query, completion) in events {
+        let i = index_of[&query];
+        remaining[i] -= 1;
+        last_done[i] = last_done[i].max(completion);
+        if remaining[i] > 0 {
+            continue; // more fragments outstanding elsewhere
+        }
+        outcomes.push(QueryOutcome {
+            query,
+            // A query completes when its last fragment finishes; for the
+            // zero-work single-fragment case this is its arrival.
+            arrival: entries[i].0,
+            completion: last_done[i],
+            assignments: assignments_of[i],
+        });
+    }
+    assert_eq!(
+        outcomes.len(),
+        entries.len(),
+        "every routed query must complete exactly once"
+    );
+
+    let response = Summary::from_samples(
+        outcomes
+            .iter()
+            .map(|o| o.response_time().as_secs_f64())
+            .collect(),
+    );
+    let makespan_s = outcomes
+        .iter()
+        .map(|o| o.completion.as_secs_f64())
+        .fold(0.0, f64::max);
+    let throughput_qps = if makespan_s > 0.0 {
+        entries.len() as f64 / makespan_s
+    } else {
+        0.0
+    };
+
+    let mut cache = CacheStats::default();
+    let mut io = IoStats::new();
+    let (mut batches, mut scan_batches, mut indexed_batches) = (0u64, 0u64, 0u64);
+    let (mut serviced_entries, mut cache_serviced_entries, mut total_matches) = (0u64, 0u64, 0u64);
+    let mut max_wait_ms = 0.0f64;
+    for run in shard_runs {
+        let r = &run.report;
+        cache.merge(&r.cache);
+        io.merge(&r.io);
+        batches += r.batches;
+        scan_batches += r.scan_batches;
+        indexed_batches += r.indexed_batches;
+        serviced_entries += r.serviced_entries;
+        cache_serviced_entries += r.cache_serviced_entries;
+        total_matches += r.total_matches;
+        max_wait_ms = max_wait_ms.max(r.max_wait_ms);
+    }
+
+    let scheduler = format!(
+        "Sharded[{}×{}]",
+        shard_runs.len(),
+        shard_runs
+            .first()
+            .map(|r| r.report.scheduler.as_str())
+            .unwrap_or("∅")
+    );
+    RunReport {
+        scheduler,
+        queries: entries.len(),
+        makespan_s,
+        throughput_qps,
+        response,
+        cache,
+        io,
+        batches,
+        scan_batches,
+        indexed_batches,
+        serviced_entries,
+        cache_serviced_entries,
+        total_matches,
+        max_wait_ms,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdmissionConfig;
+    use crate::shard::ShardAssignment;
+    use liferaft_catalog::{generate::uniform_sky, MaterializedCatalog};
+    use liferaft_core::{LifeRaftScheduler, MetricParams, NoShareScheduler};
+    use liferaft_query::{CrossMatchQuery, Predicate};
+    use liferaft_sim::SimConfig;
+    use liferaft_workload::arrivals::uniform_arrivals;
+    use liferaft_workload::Trace;
+
+    const LEVEL: u8 = 8;
+
+    fn fixture(n_queries: usize, rate_qps: f64) -> (MaterializedCatalog, TimedTrace) {
+        let sky = uniform_sky(2_000, LEVEL, 5);
+        let cat = MaterializedCatalog::build(&sky, LEVEL, 100, 4096);
+        // Queries anchor on objects of several scattered buckets so that
+        // multi-shard maps split them into cross-shard fragments.
+        let queries: Vec<CrossMatchQuery> = (0..n_queries)
+            .map(|i| {
+                let mut positions = Vec::new();
+                for k in 0..4u32 {
+                    let b = (i as u32 * 3 + k * 7) % 20;
+                    let objs = cat.bucket_objects(liferaft_storage::BucketId(b));
+                    positions.extend(objs.iter().step_by(20).map(|o| o.pos));
+                }
+                CrossMatchQuery::from_positions(
+                    QueryId(i as u64),
+                    &positions,
+                    1e-4,
+                    LEVEL,
+                    Predicate::All,
+                )
+            })
+            .collect();
+        let trace = Trace::new(LEVEL, queries);
+        let timed = trace.with_arrivals(uniform_arrivals(rate_qps, n_queries));
+        (cat, timed)
+    }
+
+    fn greedy() -> Box<dyn Scheduler + Send> {
+        Box::new(LifeRaftScheduler::greedy(MetricParams::paper()))
+    }
+
+    #[test]
+    fn both_modes_complete_all_queries_and_agree() {
+        let (cat, timed) = fixture(12, 0.5);
+        for assignment in [
+            ShardAssignment::Contiguous,
+            ShardAssignment::Hashed { seed: 3 },
+        ] {
+            let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+            config.assignment = assignment;
+            let rt = ShardedRuntime::new(&cat, config);
+            let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+            let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+            assert_eq!(stepped.global.queries, 12);
+            assert_eq!(stepped.global.outcomes.len(), 12);
+            assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+            assert_eq!(stepped.global.batches, threaded.global.batches);
+            assert_eq!(stepped.global.io, threaded.global.io);
+            assert_eq!(stepped.global.cache, threaded.global.cache);
+            assert_eq!(stepped.shards.len(), 4);
+            for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+                assert_eq!(a.report.outcomes, b.report.outcomes);
+                assert_eq!(a.admission, b.admission);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_queries_complete_at_their_last_fragment() {
+        let (cat, timed) = fixture(10, 0.5);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.assignment = ShardAssignment::Hashed { seed: 1 };
+        let rt = ShardedRuntime::new(&cat, config);
+        let report = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        assert!(report.cross_shard_queries > 0, "fixture must split queries");
+        // Each query's global completion is the max over its fragments.
+        for o in &report.global.outcomes {
+            let frag_max = report
+                .shards
+                .iter()
+                .flat_map(|s| s.report.outcomes.iter())
+                .filter(|f| f.query == o.query)
+                .map(|f| f.completion)
+                .max()
+                .expect("query has fragments");
+            assert_eq!(o.completion, frag_max, "query {}", o.query);
+            assert!(o.completion >= o.arrival);
+        }
+        // Conservation: fragment assignments sum to query assignments.
+        let frag_total: u64 = report
+            .shards
+            .iter()
+            .map(|s| s.report.serviced_entries)
+            .sum();
+        assert_eq!(frag_total, report.global.serviced_entries);
+    }
+
+    #[test]
+    fn admission_bound_defers_but_preserves_completion() {
+        let (cat, timed) = fixture(20, 5.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 2);
+        config.admission = AdmissionConfig::bounded(40);
+        let rt = ShardedRuntime::new(&cat, config);
+        let bounded_stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let bounded_threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(
+            bounded_stepped.global.outcomes, bounded_threaded.global.outcomes,
+            "backpressure must stay deterministic across modes"
+        );
+        assert_eq!(bounded_stepped.global.outcomes.len(), 20);
+        let deferred: u64 = bounded_stepped
+            .shards
+            .iter()
+            .map(|s| s.admission.deferred_fragments)
+            .sum();
+        assert!(deferred > 0, "a tight bound must actually defer");
+        for s in &bounded_stepped.shards {
+            // Peak backlog may overshoot by at most one fragment's worth of
+            // entries (the limit is checked before admission), but stays
+            // near the bound rather than absorbing the whole trace.
+            assert!(s.admission.peak_backlog >= 1);
+        }
+        // Unbounded admission never defers.
+        let mut open = config;
+        open.admission = AdmissionConfig::unbounded();
+        let rt = ShardedRuntime::new(&cat, open);
+        let free = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        assert!(free
+            .shards
+            .iter()
+            .all(|s| s.admission.deferred_fragments == 0));
+    }
+
+    #[test]
+    fn noshare_runs_sharded() {
+        let (cat, timed) = fixture(8, 0.5);
+        let rt = ShardedRuntime::new(&cat, RuntimeConfig::contiguous(SimConfig::paper(), 2));
+        let report = rt.run(
+            &timed,
+            &mut |_| Box::new(NoShareScheduler::new()),
+            ExecMode::Threaded,
+        );
+        assert_eq!(report.global.outcomes.len(), 8);
+        assert_eq!(report.global.scheduler, "Sharded[2×NoShare]");
+        assert!(report.shard_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn zero_work_queries_complete_at_arrival_in_both_modes() {
+        let (cat, timed) = fixture(6, 0.5);
+        // Splice a workless query into the trace.
+        let mut queries: Vec<CrossMatchQuery> =
+            timed.entries().iter().map(|(_, q)| q.clone()).collect();
+        queries.insert(3, CrossMatchQuery::new(QueryId(99), vec![], Predicate::All));
+        let timed = Trace::new(LEVEL, queries).with_arrivals(uniform_arrivals(0.5, 7));
+        let rt = ShardedRuntime::new(&cat, RuntimeConfig::contiguous(SimConfig::paper(), 4));
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = rt.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(report.global.outcomes.len(), 7);
+            let o = report
+                .global
+                .outcomes
+                .iter()
+                .find(|o| o.query == QueryId(99))
+                .expect("workless query completes");
+            assert_eq!(o.completion, o.arrival);
+            assert_eq!(o.assignments, 0);
+        }
+        // At 1 shard the runtime reproduces the single engine exactly —
+        // including the zero-work corner: same outcome values in the same
+        // (push) order, because the aggregation merges by shard clock.
+        let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
+        let reference = liferaft_sim::Simulation::new(&cat, SimConfig::paper()).run(&timed, &mut s);
+        let single = ShardedRuntime::new(&cat, RuntimeConfig::single(SimConfig::paper()));
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let sharded = single.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(reference.outcomes, sharded.global.outcomes, "{mode:?}");
+            assert_eq!(reference.batches, sharded.global.batches);
+            assert_eq!(reference.io, sharded.global.io);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_trivial() {
+        let (cat, _) = fixture(1, 1.0);
+        let timed = Trace::new(LEVEL, vec![]).with_arrivals(vec![]);
+        let rt = ShardedRuntime::new(&cat, RuntimeConfig::contiguous(SimConfig::paper(), 4));
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = rt.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(report.global.queries, 0);
+            assert_eq!(report.global.batches, 0);
+            assert_eq!(report.total_fragments, 0);
+        }
+    }
+}

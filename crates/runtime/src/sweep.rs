@@ -1,0 +1,205 @@
+//! The deterministic parallel sweep driver.
+//!
+//! Parameter sweeps (figures, calibration, capacity planning) are
+//! embarrassingly parallel across *runs*: every run is a pure function of
+//! its configuration and seed, so the only thing a thread pool may change
+//! is wall-clock time. [`parallel_map`] enforces that contract — results
+//! come back in input order whatever the thread count — and the typed
+//! sweeps ([`alpha_sweep`], [`cache_sweep`], [`shard_sweep`], [`seed_sweep`])
+//! are thin, composable wrappers over it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use liferaft_catalog::Catalog;
+use liferaft_core::{AgingMode, LifeRaftScheduler, MetricParams, Scheduler};
+use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_workload::TimedTrace;
+
+use crate::config::{ExecMode, RuntimeConfig};
+use crate::runtime::ShardedRuntime;
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// results **in input order** regardless of thread count or completion
+/// order. `f` receives `(index, item)`; with a pure `f` the output is a
+/// pure function of the input — the sweep determinism contract.
+///
+/// `threads == 1` degenerates to a serial map on the calling thread (no
+/// spawn), which is the reference the parallel path must match.
+pub fn parallel_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(i, &items[i])))
+                    .expect("the driver outlives its workers");
+            });
+        }
+    });
+    drop(tx);
+    collect_indexed(rx, n)
+}
+
+/// Drains an `(index, value)` channel into a dense, index-ordered vector —
+/// the re-ordering tail shared by [`parallel_map`] and the threaded shard
+/// executor. All senders must be dropped before calling (the drain runs to
+/// channel disconnect).
+///
+/// # Panics
+/// Panics if any of the `n` indices never arrives (a worker died without
+/// reporting).
+pub(crate) fn collect_indexed<T>(rx: mpsc::Receiver<(usize, T)>, n: usize) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        debug_assert!(slots[i].is_none(), "job {i} completed twice");
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} never completed")))
+        .collect()
+}
+
+/// One sweep sample: a human label, the swept coordinate, and the run.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Row label (e.g. `α=0.50`, `cache=128`, `shards=4`).
+    pub label: String,
+    /// The swept coordinate as a number (for plotting).
+    pub x: f64,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// Sweeps the age bias α across `alphas`, one `Simulation::run` per point
+/// (the Figure 7/8 x-axis), fanned across `threads`.
+pub fn alpha_sweep<C: Catalog + Sync + ?Sized>(
+    catalog: &C,
+    trace: &TimedTrace,
+    config: SimConfig,
+    params: MetricParams,
+    alphas: &[f64],
+    threads: usize,
+) -> Vec<SweepPoint> {
+    parallel_map(alphas, threads, |_, &alpha| {
+        let mut s = LifeRaftScheduler::new(params, AgingMode::Normalized, alpha);
+        let report = Simulation::new(catalog, config).run(trace, &mut s);
+        SweepPoint {
+            label: format!("α={alpha:.2}"),
+            x: alpha,
+            report,
+        }
+    })
+}
+
+/// Sweeps the bucket-cache capacity across `sizes` under the greedy policy
+/// (the cache-scaling experiment), fanned across `threads`.
+pub fn cache_sweep<C: Catalog + Sync + ?Sized>(
+    catalog: &C,
+    trace: &TimedTrace,
+    config: SimConfig,
+    params: MetricParams,
+    sizes: &[usize],
+    threads: usize,
+) -> Vec<SweepPoint> {
+    parallel_map(sizes, threads, |_, &cache_buckets| {
+        let mut config = config;
+        config.cache_buckets = cache_buckets;
+        let mut s = LifeRaftScheduler::greedy(params);
+        let report = Simulation::new(catalog, config).run(trace, &mut s);
+        SweepPoint {
+            label: format!("cache={cache_buckets}"),
+            x: cache_buckets as f64,
+            report,
+        }
+    })
+}
+
+/// Sweeps the shard count across `counts`, one [`ShardedRuntime`] run per
+/// point; each point's report is the runtime's global summary. The
+/// per-point scheduler factory must be `Sync` (points run concurrently).
+pub fn shard_sweep<C, F>(
+    catalog: &C,
+    trace: &TimedTrace,
+    base: RuntimeConfig,
+    counts: &[u32],
+    mode: ExecMode,
+    threads: usize,
+    mk_scheduler: F,
+) -> Vec<SweepPoint>
+where
+    C: Catalog + Sync + ?Sized,
+    F: Fn(usize) -> Box<dyn Scheduler + Send> + Sync,
+{
+    parallel_map(counts, threads, |_, &n_shards| {
+        let mut config = base;
+        config.n_shards = n_shards;
+        let runtime = ShardedRuntime::new(catalog, config);
+        let report = runtime.run(trace, &mut |i| mk_scheduler(i), mode);
+        SweepPoint {
+            label: format!("shards={n_shards}"),
+            x: n_shards as f64,
+            report: report.global,
+        }
+    })
+}
+
+/// Fans replicated runs with per-run seeds across `threads`: `f(seed)`
+/// builds and executes one replication (generate a trace from the seed, run
+/// it, reduce). Output order matches `seeds` order whatever the thread
+/// count.
+pub fn seed_sweep<O: Send>(seeds: &[u64], threads: usize, f: impl Fn(u64) -> O + Sync) -> Vec<O> {
+    parallel_map(seeds, threads, |_, &seed| f(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(items[i], x);
+                x * x + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn seed_sweep_is_ordered() {
+        let seeds = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let got = seed_sweep(&seeds, 4, |s| s.wrapping_mul(0x9E37_79B9));
+        let expect: Vec<u64> = seeds.iter().map(|s| s.wrapping_mul(0x9E37_79B9)).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,201 @@
+//! One shard's serving loop: admission-controlled fragment ingress over an
+//! [`EngineCore`].
+//!
+//! A worker is an event-stepped state machine with exactly the semantics of
+//! `liferaft_sim::Simulation::run`, restricted to the fragments routed to
+//! its shard: deliver every due fragment (subject to admission), then make
+//! one scheduling decision and execute the batch, advancing the shard-local
+//! virtual clock by the batch cost. Because a worker's behaviour is a pure
+//! function of its own fragment stream, stepping workers in *any* order —
+//! the stepped driver's virtual-time merge or one OS thread per shard —
+//! produces bit-identical per-shard results.
+
+use std::collections::VecDeque;
+
+use liferaft_catalog::Catalog;
+use liferaft_core::Scheduler;
+use liferaft_query::CrossMatchQuery;
+use liferaft_sim::{EngineCore, RunReport, SimConfig};
+use liferaft_storage::SimTime;
+
+use crate::config::AdmissionConfig;
+use crate::router::Fragment;
+use crate::shard::ShardId;
+
+/// Backpressure statistics of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Fragments that were parked at least once before admission.
+    pub deferred_fragments: u64,
+    /// Highest queued-entry backlog observed.
+    pub peak_backlog: u64,
+}
+
+/// The finished record of one shard: a fragment-level [`RunReport`] (its
+/// `queries` field counts *fragments*) plus admission statistics.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The shard.
+    pub shard: ShardId,
+    /// Fragment-level run report (outcomes are fragment completions in
+    /// shard event order).
+    pub report: RunReport,
+    /// Backpressure statistics.
+    pub admission: AdmissionStats,
+}
+
+/// One shard's engine, scheduler, clock, and ingress.
+pub(crate) struct ShardWorker<'a, C: Catalog + ?Sized> {
+    shard: ShardId,
+    core: EngineCore<'a, C>,
+    scheduler: Box<dyn Scheduler + Send>,
+    /// The routed trace entries (shared, read-only: fragments reference
+    /// queries by index).
+    trace: &'a [(SimTime, CrossMatchQuery)],
+    fragments: Vec<Fragment>,
+    /// Next not-yet-seen fragment (fragments before `next` are admitted or
+    /// parked in `deferred`).
+    next: usize,
+    /// Parked fragment indices, in arrival order.
+    deferred: VecDeque<usize>,
+    now: SimTime,
+    max_backlog_entries: Option<u64>,
+    stats: AdmissionStats,
+}
+
+impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
+    pub(crate) fn new(
+        shard: ShardId,
+        catalog: &'a C,
+        sim: SimConfig,
+        admission: AdmissionConfig,
+        trace: &'a [(SimTime, CrossMatchQuery)],
+        fragments: Vec<Fragment>,
+        scheduler: Box<dyn Scheduler + Send>,
+    ) -> Self {
+        ShardWorker {
+            shard,
+            core: EngineCore::new(catalog, sim),
+            scheduler,
+            trace,
+            fragments,
+            next: 0,
+            deferred: VecDeque::new(),
+            now: SimTime::ZERO,
+            max_backlog_entries: admission.max_backlog_entries,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Virtual time of the worker's next event, or `None` when fully done.
+    /// Pending work (or parked ingress) is an event "now"; an idle worker's
+    /// next event is its next fragment arrival.
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        if !self.core.is_idle() || !self.deferred.is_empty() {
+            return Some(self.now);
+        }
+        self.fragments.get(self.next).map(|f| f.arrival)
+    }
+
+    /// Admits every due fragment the backlog limit allows: parked fragments
+    /// first (FIFO), then newly due arrivals; arrivals due while the shard
+    /// is over its limit are parked. The limit is checked *before* each
+    /// admission, so progress is always possible from an empty backlog.
+    fn deliver_due(&mut self) {
+        loop {
+            let backlog = self.core.total_queued();
+            self.stats.peak_backlog = self.stats.peak_backlog.max(backlog);
+            if self
+                .max_backlog_entries
+                .is_some_and(|limit| backlog >= limit)
+            {
+                // Over the limit: park everything already due and stop.
+                while self
+                    .fragments
+                    .get(self.next)
+                    .is_some_and(|f| f.arrival <= self.now)
+                {
+                    self.deferred.push_back(self.next);
+                    self.stats.deferred_fragments += 1;
+                    self.next += 1;
+                }
+                return;
+            }
+            if let Some(&idx) = self.deferred.front() {
+                self.deferred.pop_front();
+                self.admit(idx);
+                continue;
+            }
+            if self
+                .fragments
+                .get(self.next)
+                .is_some_and(|f| f.arrival <= self.now)
+            {
+                let idx = self.next;
+                self.next += 1;
+                self.admit(idx);
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn admit(&mut self, idx: usize) {
+        let f = &self.fragments[idx];
+        let (_, query) = &self.trace[f.query_index];
+        debug_assert_eq!(query.id, f.query, "routing and trace disagree");
+        self.core.deliver_items(query, &f.items, f.arrival);
+        self.scheduler.on_query_arrival(f.arrival);
+    }
+
+    /// Executes one event: delivery (plus an idle-time jump to the next
+    /// arrival if needed) and one batch. Returns `false` when the shard has
+    /// drained everything — no state changes on a `false` return.
+    pub(crate) fn step(&mut self) -> bool {
+        self.deliver_due();
+        if self.core.is_idle() {
+            // An empty backlog admits at least one fragment, so a parked
+            // queue can never coexist with an idle core here.
+            debug_assert!(self.deferred.is_empty());
+            let Some(f) = self.fragments.get(self.next) else {
+                return false; // drained everything
+            };
+            self.now = f.arrival;
+            self.deliver_due();
+            if self.core.is_idle() {
+                // Only zero-work fragments arrived at this instant (they
+                // register and complete immediately); nothing to schedule.
+                return true;
+            }
+        }
+        self.now += self
+            .core
+            .decide_and_execute(self.scheduler.as_mut(), self.now);
+        true
+    }
+
+    /// Finishes the shard into its run record.
+    ///
+    /// # Panics
+    /// Panics if fragments are still outstanding (the driver must step the
+    /// worker to completion first).
+    pub(crate) fn into_run(self) -> ShardRun {
+        assert!(
+            self.next >= self.fragments.len() && self.deferred.is_empty(),
+            "shard {} finished with unadmitted fragments",
+            self.shard
+        );
+        assert!(
+            self.core.all_complete(),
+            "shard {} finished with incomplete fragments",
+            self.shard
+        );
+        let name = self.scheduler.name();
+        let fragments = self.fragments.len();
+        ShardRun {
+            shard: self.shard,
+            report: self.core.into_report(name, fragments),
+            admission: self.stats,
+        }
+    }
+}

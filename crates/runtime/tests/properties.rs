@@ -1,0 +1,138 @@
+//! Property tests for the sharded runtime's determinism contract.
+//!
+//! Over random catalogs, traces, shard counts, placements, and admission
+//! bounds:
+//!
+//! - threaded execution is bit-identical to the stepped virtual-time merge
+//!   (globally and per shard);
+//! - a single-shard unbounded runtime reproduces `Simulation::run` exactly;
+//! - work is conserved: every routed assignment is serviced exactly once,
+//!   and every query completes no earlier than its arrival.
+
+use liferaft_catalog::{Catalog, VirtualCatalog};
+use liferaft_core::{
+    AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
+};
+use liferaft_query::QueryPreProcessor;
+use liferaft_runtime::{AdmissionConfig, ExecMode, RuntimeConfig, ShardAssignment, ShardedRuntime};
+use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_workload::arrivals::poisson_arrivals;
+use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
+use proptest::prelude::*;
+
+const LEVEL: u8 = 10;
+const BUCKETS: u32 = 64;
+
+/// Exact digest of everything the decision path influences.
+fn fp(r: &RunReport) -> String {
+    let outcomes: Vec<(u64, u64, u64, u64)> = r
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.query.0,
+                o.arrival.as_micros(),
+                o.completion.as_micros(),
+                o.assignments,
+            )
+        })
+        .collect();
+    format!(
+        "{} {} {} {} {} {:?} {:?} {:x} {:x} {:?}",
+        r.batches,
+        r.scan_batches,
+        r.indexed_batches,
+        r.serviced_entries,
+        r.cache_serviced_entries,
+        r.io,
+        r.cache,
+        r.makespan_s.to_bits(),
+        r.max_wait_ms.to_bits(),
+        outcomes,
+    )
+}
+
+fn fixture(seed: u64, n_queries: usize, rate_qps: f64) -> (VirtualCatalog, TimedTrace) {
+    let catalog = VirtualCatalog::new(LEVEL, BUCKETS, 50, 4096, seed);
+    let cfg = WorkloadConfig::paper_like(LEVEL, BUCKETS, n_queries, seed ^ 0x51);
+    let trace = TraceGenerator::new(cfg).generate();
+    let arrivals = poisson_arrivals(rate_qps, trace.len(), seed ^ 0xBEEF);
+    let timed = trace.with_arrivals(arrivals);
+    (catalog, timed)
+}
+
+fn policy(kind: u8) -> Box<dyn Scheduler + Send> {
+    match kind % 4 {
+        0 => Box::new(NoShareScheduler::new()),
+        1 => Box::new(RoundRobinScheduler::new()),
+        2 => Box::new(LifeRaftScheduler::greedy(MetricParams::paper())),
+        _ => Box::new(LifeRaftScheduler::new(
+            MetricParams::paper(),
+            AgingMode::Normalized,
+            0.5,
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Threaded == stepped, bit for bit, whatever the sharding and
+    /// admission policy; and the sharded pool conserves assignments.
+    #[test]
+    fn threaded_matches_stepped_under_arbitrary_sharding(
+        seed in 0u64..10_000,
+        n_shards in 1u32..6,
+        hashed in proptest::bool::ANY,
+        kind in 0u8..4,
+        bounded in proptest::bool::ANY,
+        rate_deci in 2u64..20,
+    ) {
+        let (catalog, timed) = fixture(seed, 24, rate_deci as f64 / 10.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        if hashed {
+            config.assignment = ShardAssignment::Hashed { seed: seed ^ 0x5AD };
+        }
+        if bounded {
+            config.admission = AdmissionConfig::bounded(50);
+        }
+        let rt = ShardedRuntime::new(&catalog, config);
+        let stepped = rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| policy(kind), ExecMode::Threaded);
+
+        prop_assert_eq!(fp(&stepped.global), fp(&threaded.global));
+        prop_assert_eq!(stepped.shards.len(), threaded.shards.len());
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            prop_assert_eq!(fp(&a.report), fp(&b.report));
+            prop_assert_eq!(a.admission, b.admission);
+        }
+
+        // Conservation: every routed assignment serviced exactly once.
+        let pre = QueryPreProcessor::new(catalog.partition());
+        let expected: u64 = timed.entries().iter().map(|(_, q)| pre.workload_size(q)).sum();
+        prop_assert_eq!(stepped.global.serviced_entries, expected);
+        prop_assert_eq!(stepped.global.outcomes.len(), timed.len());
+        for o in &stepped.global.outcomes {
+            prop_assert!(o.completion >= o.arrival);
+        }
+    }
+
+    /// A single-shard unbounded runtime is `Simulation::run`, exactly —
+    /// in both execution modes.
+    #[test]
+    fn one_shard_reproduces_the_simulation(
+        seed in 0u64..10_000,
+        kind in 0u8..4,
+        rate_deci in 2u64..20,
+    ) {
+        let (catalog, timed) = fixture(seed, 20, rate_deci as f64 / 10.0);
+        let mut scheduler = policy(kind);
+        let reference = Simulation::new(&catalog, SimConfig::paper())
+            .run(&timed, scheduler.as_mut());
+        let rt = ShardedRuntime::new(&catalog, RuntimeConfig::single(SimConfig::paper()));
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let sharded = rt.run(&timed, &mut |_| policy(kind), mode);
+            prop_assert_eq!(fp(&reference), fp(&sharded.global), "mode {:?}", mode);
+        }
+    }
+}

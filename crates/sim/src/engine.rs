@@ -1,4 +1,10 @@
 //! The discrete-event simulation engine.
+//!
+//! The batch-execution machinery lives in [`EngineCore`], a stepped state
+//! machine over one workload table + bucket cache + tracker. `Simulation`
+//! drives one core with a simple arrival/decision loop; the sharded runtime
+//! (`liferaft-runtime`) drives one core *per shard* under its own event
+//! merge, so both execute bit-identical batch semantics by construction.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -9,7 +15,8 @@ use liferaft_core::{
 use liferaft_join::{hybrid, JoinStrategy};
 use liferaft_metrics::Summary;
 use liferaft_query::{
-    Predicate, QueryId, QueryPreProcessor, QueryTracker, QueueEntry, WorkloadTable,
+    CrossMatchQuery, Predicate, QueryId, QueryPreProcessor, QueryTracker, QueueEntry, WorkItem,
+    WorkloadTable,
 };
 use liferaft_storage::{BucketCache, BucketId, IoStats, SimDuration, SimTime};
 use liferaft_workload::TimedTrace;
@@ -46,28 +53,7 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
     /// work is pending, picks an empty bucket, or picks a non-candidate) —
     /// all of these are policy bugs that must fail loudly, not skew results.
     pub fn run(&self, trace: &TimedTrace, scheduler: &mut dyn Scheduler) -> RunReport {
-        let partition = self.catalog.partition();
-        let pre = QueryPreProcessor::new(partition);
-        let mut st = EngineState {
-            table: WorkloadTable::new(partition.num_buckets())
-                .with_object_counts(|b| partition.meta(b).object_count),
-            tracker: QueryTracker::new(),
-            cache: BucketCache::new(self.config.cache_buckets),
-            io: IoStats::new(),
-            per_query: HashMap::new(),
-            predicates: HashMap::new(),
-            starvation: StarvationMonitor::new(),
-            candidates: Vec::new(),
-            batch_entries: Vec::new(),
-            completion_scratch: Vec::new(),
-            batches: 0,
-            scan_batches: 0,
-            indexed_batches: 0,
-            serviced_entries: 0,
-            cache_serviced_entries: 0,
-            total_matches: 0,
-        };
-
+        let mut core = EngineCore::new(self.catalog, self.config);
         let arrivals = trace.entries();
         let mut next_arrival = 0usize;
         let mut now = SimTime::ZERO;
@@ -77,12 +63,12 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
             // arrival instants, not the batch boundary).
             while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
                 let (at, query) = &arrivals[next_arrival];
-                self.deliver(&mut st, &pre, query, *at);
+                core.deliver(query, *at);
                 scheduler.on_query_arrival(*at);
                 next_arrival += 1;
             }
 
-            if st.table.is_idle() {
+            if core.is_idle() {
                 if next_arrival < arrivals.len() {
                     // Idle until the next arrival.
                     now = arrivals[next_arrival].0;
@@ -91,207 +77,30 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
                 break; // drained everything
             }
 
-            // One scheduling decision + batch execution. The candidate
-            // snapshots are maintained incrementally by the workload table;
-            // this copies them into the reused scratch vec and refreshes
-            // only the residency (φ) bits.
-            st.table.snapshots_into(&mut st.candidates, &st.cache);
-            let view = PickView {
-                now,
-                candidates: &st.candidates,
-                tracker: &st.tracker,
-                per_query: &st.per_query,
-            };
-            let pick = scheduler
-                .pick(&view)
-                .expect("scheduler must pick while work is pending");
-            let spec = pick.spec;
-            let picked = match pick.candidate {
-                Some(i) => {
-                    assert!(
-                        st.candidates.get(i).map(|c| c.bucket) == Some(spec.bucket),
-                        "scheduler returned a candidate index that does not match its pick"
-                    );
-                    i
-                }
-                // Candidates are sorted by bucket, so policies that chose
-                // the bucket through another lens resolve in O(log n).
-                None => st
-                    .candidates
-                    .binary_search_by_key(&spec.bucket, |c| c.bucket)
-                    .expect("scheduler picked a bucket with no pending work"),
-            };
-            st.starvation.record_decision(now, &st.candidates, picked);
-            let cost = self.execute_batch(&mut st, spec, now);
-            now += cost;
+            now += core.decide_and_execute(scheduler, now);
         }
 
         assert!(
-            st.tracker.all_complete(),
+            core.all_complete(),
             "simulation ended with incomplete queries"
         );
-        self.finish(st, scheduler.name(), trace.len())
-    }
-
-    /// Preprocesses and enqueues one arriving query.
-    fn deliver(
-        &self,
-        st: &mut EngineState,
-        pre: &QueryPreProcessor<'_>,
-        query: &liferaft_query::CrossMatchQuery,
-        at: SimTime,
-    ) {
-        let items = pre.preprocess(query);
-        let assignments: u64 = items.iter().map(|i| i.len() as u64).sum();
-        st.tracker.register(query.id, assignments, at);
-        if assignments == 0 {
-            return;
-        }
-        let buckets: BTreeSet<BucketId> = items.iter().map(|i| i.bucket).collect();
-        st.per_query.insert(query.id, buckets);
-        if self.config.execute_joins {
-            st.predicates.insert(query.id, query.predicate);
-        }
-        for item in &items {
-            st.table.enqueue(item, query, at);
-        }
-    }
-
-    /// Executes one batch and returns its virtual-time cost.
-    fn execute_batch(&self, st: &mut EngineState, spec: BatchSpec, now: SimTime) -> SimDuration {
-        match spec.scope {
-            BatchScope::AllQueued => st.table.take_all_into(spec.bucket, &mut st.batch_entries),
-            BatchScope::SingleQuery(q) => {
-                st.table
-                    .take_query_into(spec.bucket, q, &mut st.batch_entries)
-            }
-        }
-        assert!(
-            !st.batch_entries.is_empty(),
-            "scheduler scheduled an empty batch"
-        );
-        let w = st.batch_entries.len() as u64;
-        let meta = self.catalog.meta(spec.bucket);
-
-        // The hybrid join decision belongs to LifeRaft's Join Evaluator
-        // (Figure 3). NoShare (share_io = false) models the pre-existing
-        // scan-based evaluation: no warm cache, no hybrid fallback.
-        let cached = spec.share_io && st.cache.contains(spec.bucket);
-        let strategy = if spec.share_io {
-            self.config.hybrid.choose(w, meta.object_count, cached)
-        } else {
-            JoinStrategy::SequentialScan
-        };
-
-        let cost = match strategy {
-            JoinStrategy::SequentialScan => {
-                if spec.share_io {
-                    let hit = st.cache.access(spec.bucket);
-                    debug_assert_eq!(hit, cached, "residency probe and access disagree");
-                }
-                if !cached {
-                    st.io.record_scan(meta.bytes, self.config.cost.tb);
-                }
-                st.io.record_match(self.config.cost.tm.times(w));
-                st.scan_batches += 1;
-                if cached {
-                    st.cache_serviced_entries += w;
-                }
-                self.config.cost.scan_batch(w, cached)
-            }
-            JoinStrategy::Indexed => {
-                // Random probes bypass the bucket cache entirely.
-                st.io.record_probes(w, self.config.cost.probe.times(w));
-                st.io.record_match(self.config.cost.tm.times(w));
-                st.indexed_batches += 1;
-                self.config.cost.indexed_batch(w)
-            }
-        };
-        st.batches += 1;
-        st.serviced_entries += w;
-
-        if self.config.execute_joins {
-            let objects = self.catalog.bucket_objects(spec.bucket);
-            let out = hybrid::execute(strategy, &objects, &st.batch_entries);
-            for pair in &out.pairs {
-                let pred = st
-                    .predicates
-                    .get(&pair.query)
-                    .copied()
-                    .unwrap_or(Predicate::All);
-                if pred.accepts_mag(objects[pair.catalog_index as usize].mag) {
-                    st.total_matches += 1;
-                }
-            }
-        }
-
-        // Account completions at batch end. Grouped in QueryId order so the
-        // completion sequence (and thus the report) is deterministic even
-        // when one batch finishes several queries at the same instant. The
-        // grouping sorts a reused scratch of query IDs and walks the runs —
-        // no per-batch map allocation.
-        let end = now + cost;
-        st.completion_scratch.clear();
-        st.completion_scratch
-            .extend(st.batch_entries.iter().map(|e| e.query));
-        st.completion_scratch.sort_unstable();
-        let mut i = 0;
-        while i < st.completion_scratch.len() {
-            let q = st.completion_scratch[i];
-            let mut n = 0u64;
-            while i < st.completion_scratch.len() && st.completion_scratch[i] == q {
-                n += 1;
-                i += 1;
-            }
-            if let Some(set) = st.per_query.get_mut(&q) {
-                set.remove(&spec.bucket);
-                if set.is_empty() {
-                    st.per_query.remove(&q);
-                }
-            }
-            st.tracker.complete_assignments(q, n, end);
-        }
-        cost
-    }
-
-    fn finish(&self, st: EngineState, scheduler: String, queries: usize) -> RunReport {
-        let outcomes = st.tracker.completed().to_vec();
-        let response = Summary::from_samples(
-            outcomes
-                .iter()
-                .map(|o| o.response_time().as_secs_f64())
-                .collect(),
-        );
-        let makespan_s = outcomes
-            .iter()
-            .map(|o| o.completion.as_secs_f64())
-            .fold(0.0, f64::max);
-        let throughput_qps = if makespan_s > 0.0 {
-            queries as f64 / makespan_s
-        } else {
-            0.0
-        };
-        RunReport {
-            scheduler,
-            queries,
-            makespan_s,
-            throughput_qps,
-            response,
-            cache: st.cache.stats(),
-            io: st.io,
-            batches: st.batches,
-            scan_batches: st.scan_batches,
-            indexed_batches: st.indexed_batches,
-            serviced_entries: st.serviced_entries,
-            cache_serviced_entries: st.cache_serviced_entries,
-            total_matches: st.total_matches,
-            max_wait_ms: st.starvation.max_wait_ms(),
-            outcomes,
-        }
+        core.into_report(scheduler.name(), trace.len())
     }
 }
 
-struct EngineState {
+/// The batch-execution core: one workload table, bucket cache, tracker, and
+/// starvation monitor, advanced one scheduling decision at a time.
+///
+/// The core owns no clock and no arrival process — callers deliver work
+/// ([`deliver`](Self::deliver) / [`deliver_items`](Self::deliver_items)) and
+/// ask for decisions ([`decide_and_execute`](Self::decide_and_execute)) at
+/// times of their choosing. `Simulation` wraps one core in a serial loop;
+/// the sharded runtime runs one core per shard and merges their event
+/// streams, reusing this exact execution semantics per shard.
+pub struct EngineCore<'a, C: Catalog + ?Sized> {
+    catalog: &'a C,
+    config: SimConfig,
+    pre: QueryPreProcessor<'a>,
     table: WorkloadTable,
     tracker: QueryTracker,
     cache: BucketCache,
@@ -313,6 +122,265 @@ struct EngineState {
     serviced_entries: u64,
     cache_serviced_entries: u64,
     total_matches: u64,
+}
+
+impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
+    /// A fresh core over `catalog` with the given configuration.
+    pub fn new(catalog: &'a C, config: SimConfig) -> Self {
+        config.validate();
+        let partition = catalog.partition();
+        EngineCore {
+            catalog,
+            config,
+            pre: QueryPreProcessor::new(partition),
+            table: WorkloadTable::new(partition.num_buckets())
+                .with_object_counts(|b| partition.meta(b).object_count),
+            tracker: QueryTracker::new(),
+            cache: BucketCache::new(config.cache_buckets),
+            io: IoStats::new(),
+            per_query: HashMap::new(),
+            predicates: HashMap::new(),
+            starvation: StarvationMonitor::new(),
+            candidates: Vec::new(),
+            batch_entries: Vec::new(),
+            completion_scratch: Vec::new(),
+            batches: 0,
+            scan_batches: 0,
+            indexed_batches: 0,
+            serviced_entries: 0,
+            cache_serviced_entries: 0,
+            total_matches: 0,
+        }
+    }
+
+    /// Preprocesses and enqueues one arriving query in full.
+    pub fn deliver(&mut self, query: &CrossMatchQuery, at: SimTime) {
+        let items = self.pre.preprocess(query);
+        self.deliver_items(query, &items, at);
+    }
+
+    /// Enqueues a pre-routed subset of a query's work items (all belonging
+    /// to `query`) — the sharded runtime's per-fragment delivery path. The
+    /// tracker registers exactly the delivered assignments, so a query split
+    /// across several cores completes *per core* when its local fragment
+    /// drains.
+    pub fn deliver_items(&mut self, query: &CrossMatchQuery, items: &[WorkItem], at: SimTime) {
+        let assignments: u64 = items.iter().map(|i| i.len() as u64).sum();
+        self.tracker.register(query.id, assignments, at);
+        if assignments == 0 {
+            return;
+        }
+        let buckets: BTreeSet<BucketId> = items.iter().map(|i| i.bucket).collect();
+        self.per_query.insert(query.id, buckets);
+        if self.config.execute_joins {
+            self.predicates.insert(query.id, query.predicate);
+        }
+        for item in items {
+            self.table.enqueue(item, query, at);
+        }
+    }
+
+    /// True if no work is queued anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.table.is_idle()
+    }
+
+    /// Total queued (object × bucket) entries — the backpressure signal.
+    pub fn total_queued(&self) -> u64 {
+        self.table.total_queued()
+    }
+
+    /// True when every delivered query has completed.
+    pub fn all_complete(&self) -> bool {
+        self.tracker.all_complete()
+    }
+
+    /// The per-query lifecycle tracker (completions appear in push order).
+    pub fn tracker(&self) -> &QueryTracker {
+        &self.tracker
+    }
+
+    /// Makes one scheduling decision at `now`, executes the chosen batch,
+    /// and returns its virtual-time cost.
+    ///
+    /// # Panics
+    /// Panics if no work is pending or the scheduler violates its contract.
+    pub fn decide_and_execute(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        now: SimTime,
+    ) -> SimDuration {
+        // The candidate snapshots are maintained incrementally by the
+        // workload table; this copies them into the reused scratch vec and
+        // refreshes only the residency (φ) bits stale against the cache's
+        // epoch.
+        self.table.snapshots_into(&mut self.candidates, &self.cache);
+        let view = PickView {
+            now,
+            candidates: &self.candidates,
+            tracker: &self.tracker,
+            per_query: &self.per_query,
+        };
+        let pick = scheduler
+            .pick(&view)
+            .expect("scheduler must pick while work is pending");
+        let spec = pick.spec;
+        let picked = match pick.candidate {
+            Some(i) => {
+                assert!(
+                    self.candidates.get(i).map(|c| c.bucket) == Some(spec.bucket),
+                    "scheduler returned a candidate index that does not match its pick"
+                );
+                i
+            }
+            // Candidates are sorted by bucket, so policies that chose
+            // the bucket through another lens resolve in O(log n).
+            None => self
+                .candidates
+                .binary_search_by_key(&spec.bucket, |c| c.bucket)
+                .expect("scheduler picked a bucket with no pending work"),
+        };
+        self.starvation
+            .record_decision(now, &self.candidates, picked);
+        self.execute_batch(spec, now)
+    }
+
+    /// Executes one batch and returns its virtual-time cost.
+    fn execute_batch(&mut self, spec: BatchSpec, now: SimTime) -> SimDuration {
+        match spec.scope {
+            BatchScope::AllQueued => self
+                .table
+                .take_all_into(spec.bucket, &mut self.batch_entries),
+            BatchScope::SingleQuery(q) => {
+                self.table
+                    .take_query_into(spec.bucket, q, &mut self.batch_entries)
+            }
+        }
+        assert!(
+            !self.batch_entries.is_empty(),
+            "scheduler scheduled an empty batch"
+        );
+        let w = self.batch_entries.len() as u64;
+        let meta = self.catalog.meta(spec.bucket);
+
+        // The hybrid join decision belongs to LifeRaft's Join Evaluator
+        // (Figure 3). NoShare (share_io = false) models the pre-existing
+        // scan-based evaluation: no warm cache, no hybrid fallback.
+        let cached = spec.share_io && self.cache.contains(spec.bucket);
+        let strategy = if spec.share_io {
+            self.config.hybrid.choose(w, meta.object_count, cached)
+        } else {
+            JoinStrategy::SequentialScan
+        };
+
+        let cost = match strategy {
+            JoinStrategy::SequentialScan => {
+                if spec.share_io {
+                    let hit = self.cache.access(spec.bucket);
+                    debug_assert_eq!(hit, cached, "residency probe and access disagree");
+                }
+                if !cached {
+                    self.io.record_scan(meta.bytes, self.config.cost.tb);
+                }
+                self.io.record_match(self.config.cost.tm.times(w));
+                self.scan_batches += 1;
+                if cached {
+                    self.cache_serviced_entries += w;
+                }
+                self.config.cost.scan_batch(w, cached)
+            }
+            JoinStrategy::Indexed => {
+                // Random probes bypass the bucket cache entirely.
+                self.io.record_probes(w, self.config.cost.probe.times(w));
+                self.io.record_match(self.config.cost.tm.times(w));
+                self.indexed_batches += 1;
+                self.config.cost.indexed_batch(w)
+            }
+        };
+        self.batches += 1;
+        self.serviced_entries += w;
+
+        if self.config.execute_joins {
+            let objects = self.catalog.bucket_objects(spec.bucket);
+            let out = hybrid::execute(strategy, &objects, &self.batch_entries);
+            for pair in &out.pairs {
+                let pred = self
+                    .predicates
+                    .get(&pair.query)
+                    .copied()
+                    .unwrap_or(Predicate::All);
+                if pred.accepts_mag(objects[pair.catalog_index as usize].mag) {
+                    self.total_matches += 1;
+                }
+            }
+        }
+
+        // Account completions at batch end. Grouped in QueryId order so the
+        // completion sequence (and thus the report) is deterministic even
+        // when one batch finishes several queries at the same instant. The
+        // grouping sorts a reused scratch of query IDs and walks the runs —
+        // no per-batch map allocation.
+        let end = now + cost;
+        self.completion_scratch.clear();
+        self.completion_scratch
+            .extend(self.batch_entries.iter().map(|e| e.query));
+        self.completion_scratch.sort_unstable();
+        let mut i = 0;
+        while i < self.completion_scratch.len() {
+            let q = self.completion_scratch[i];
+            let mut n = 0u64;
+            while i < self.completion_scratch.len() && self.completion_scratch[i] == q {
+                n += 1;
+                i += 1;
+            }
+            if let Some(set) = self.per_query.get_mut(&q) {
+                set.remove(&spec.bucket);
+                if set.is_empty() {
+                    self.per_query.remove(&q);
+                }
+            }
+            self.tracker.complete_assignments(q, n, end);
+        }
+        cost
+    }
+
+    /// Consumes the core into a [`RunReport`] labelled `scheduler`, with
+    /// `queries` as the denominator of the throughput statistic.
+    pub fn into_report(self, scheduler: String, queries: usize) -> RunReport {
+        let outcomes = self.tracker.completed().to_vec();
+        let response = Summary::from_samples(
+            outcomes
+                .iter()
+                .map(|o| o.response_time().as_secs_f64())
+                .collect(),
+        );
+        let makespan_s = outcomes
+            .iter()
+            .map(|o| o.completion.as_secs_f64())
+            .fold(0.0, f64::max);
+        let throughput_qps = if makespan_s > 0.0 {
+            queries as f64 / makespan_s
+        } else {
+            0.0
+        };
+        RunReport {
+            scheduler,
+            queries,
+            makespan_s,
+            throughput_qps,
+            response,
+            cache: self.cache.stats(),
+            io: self.io,
+            batches: self.batches,
+            scan_batches: self.scan_batches,
+            indexed_batches: self.indexed_batches,
+            serviced_entries: self.serviced_entries,
+            cache_serviced_entries: self.cache_serviced_entries,
+            total_matches: self.total_matches,
+            max_wait_ms: self.starvation.max_wait_ms(),
+            outcomes,
+        }
+    }
 }
 
 /// The scheduler's view at one decision point.

@@ -6,9 +6,13 @@
 //! The experiments fix the capacity at 20 buckets and flush the DBMS buffer
 //! after every read, so this cache is the *only* source of I/O savings;
 //! its `contains` answer is exactly the φ(i) term of Eq. 1.
+//!
+//! The recency order is an intrusive doubly-linked list threaded through a
+//! slab of nodes, so `access`/`insert`/evict are all O(1) — the paper's 20
+//! buckets never noticed, but per-shard thousand-bucket caches would have
+//! paid O(resident) per touch under the previous `VecDeque::remove`.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
 
 use crate::bucket::BucketId;
 
@@ -36,6 +40,25 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Adds another accumulator into this one (per-shard → global roll-up).
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+        self.insertions += o.insertions;
+    }
+}
+
+/// Slab sentinel for "no neighbour".
+const NIL: u32 = u32::MAX;
+
+/// One slab node of the intrusive recency list.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    id: BucketId,
+    prev: u32,
+    next: u32,
 }
 
 /// A least-recently-used cache of bucket residency.
@@ -46,11 +69,19 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct BucketCache {
     capacity: usize,
-    /// Recency queue, most-recent at the back.
-    queue: VecDeque<BucketId>,
-    /// Residency set mirroring `queue` for O(1) membership.
-    resident: HashMap<BucketId, ()>,
+    /// Slab of resident entries; `nodes.len()` == resident count (evictions
+    /// reuse the victim's slot, so the slab never exceeds `capacity`).
+    nodes: Vec<Node>,
+    /// Least-recently-used end of the intrusive list (`NIL` when empty).
+    head: u32,
+    /// Most-recently-used end of the intrusive list (`NIL` when empty).
+    tail: u32,
+    /// Bucket → slab slot, for O(1) membership and unlinking.
+    slot_of: HashMap<BucketId, u32>,
     stats: CacheStats,
+    /// Bumped whenever the *resident set* may have changed (insert, evict,
+    /// clear) — never on a pure recency touch. See [`residency_epoch`](Self::residency_epoch).
+    epoch: u64,
 }
 
 impl BucketCache {
@@ -63,9 +94,12 @@ impl BucketCache {
         assert!(capacity > 0, "cache capacity must be positive");
         BucketCache {
             capacity,
-            queue: VecDeque::with_capacity(capacity + 1),
-            resident: HashMap::with_capacity(capacity + 1),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            slot_of: HashMap::with_capacity(capacity + 1),
             stats: CacheStats::default(),
+            epoch: 1,
         }
     }
 
@@ -81,12 +115,22 @@ impl BucketCache {
 
     /// Current number of resident buckets.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.nodes.len()
     }
 
     /// True if nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.nodes.is_empty()
+    }
+
+    /// A stamp that changes whenever the resident set may have changed.
+    ///
+    /// Recency touches do **not** bump it: the φ(i) bits a scheduler cached
+    /// at epoch `e` remain valid for as long as `residency_epoch()` still
+    /// returns `e`, which is what lets the workload table skip per-candidate
+    /// residency probes between cache mutations.
+    pub fn residency_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Non-mutating residency probe: φ(i) = 0 iff `contains(i)`.
@@ -95,15 +139,15 @@ impl BucketCache {
     /// for *every* candidate bucket on every decision, which must not
     /// perturb the LRU order.
     pub fn contains(&self, id: BucketId) -> bool {
-        self.resident.contains_key(&id)
+        self.slot_of.contains_key(&id)
     }
 
     /// Performs an access as part of executing a batch: returns `true` on a
     /// hit (bucket already resident, moved to most-recent) or `false` on a
     /// miss (bucket loaded, possibly evicting the least-recently-used one).
     pub fn access(&mut self, id: BucketId) -> bool {
-        if self.contains(id) {
-            self.touch(id);
+        if let Some(&slot) = self.slot_of.get(&id) {
+            self.touch(slot);
             self.stats.hits += 1;
             true
         } else {
@@ -119,39 +163,84 @@ impl BucketCache {
         self.stats.misses += 1;
     }
 
-    /// Moves a resident bucket to most-recently-used.
-    fn touch(&mut self, id: BucketId) {
-        debug_assert!(self.contains(id));
-        if let Some(pos) = self.queue.iter().position(|&b| b == id) {
-            self.queue.remove(pos);
-            self.queue.push_back(id);
+    /// Unlinks a slot from the recency list (its `prev`/`next` stay stale).
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
         }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Appends a slot at the most-recently-used end.
+    fn push_mru(&mut self, slot: u32) {
+        let old_tail = self.tail;
+        {
+            let node = &mut self.nodes[slot as usize];
+            node.prev = old_tail;
+            node.next = NIL;
+        }
+        match old_tail {
+            NIL => self.head = slot,
+            t => self.nodes[t as usize].next = slot,
+        }
+        self.tail = slot;
+    }
+
+    /// Moves a resident slot to most-recently-used — O(1).
+    fn touch(&mut self, slot: u32) {
+        if self.tail == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_mru(slot);
     }
 
     /// Inserts a bucket, evicting the LRU entry if full. Returns the evicted
     /// bucket, if any.
     pub fn insert(&mut self, id: BucketId) -> Option<BucketId> {
-        if self.contains(id) {
-            self.touch(id);
+        if let Some(&slot) = self.slot_of.get(&id) {
+            self.touch(slot);
             return None;
         }
         self.stats.insertions += 1;
+        self.epoch += 1;
         let mut evicted = None;
-        if self.queue.len() == self.capacity {
-            let victim = self.queue.pop_front().expect("cache is full, so non-empty");
-            self.resident.remove(&victim);
+        let slot = if self.nodes.len() == self.capacity {
+            // Evict the LRU head and reuse its slab slot for the newcomer.
+            let victim_slot = self.head;
+            debug_assert_ne!(victim_slot, NIL, "cache is full, so non-empty");
+            let victim = self.nodes[victim_slot as usize].id;
+            self.unlink(victim_slot);
+            self.slot_of.remove(&victim);
             self.stats.evictions += 1;
             evicted = Some(victim);
-        }
-        self.queue.push_back(id);
-        self.resident.insert(id, ());
+            self.nodes[victim_slot as usize].id = id;
+            victim_slot
+        } else {
+            self.nodes.push(Node {
+                id,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        self.push_mru(slot);
+        self.slot_of.insert(id, slot);
         evicted
     }
 
     /// Drops everything (the experiments' between-run flush).
     pub fn clear(&mut self) {
-        self.queue.clear();
-        self.resident.clear();
+        self.nodes.clear();
+        self.slot_of.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.epoch += 1;
     }
 
     /// Accumulated statistics.
@@ -161,7 +250,15 @@ impl BucketCache {
 
     /// Resident buckets from least- to most-recently used.
     pub fn resident_lru_order(&self) -> impl Iterator<Item = BucketId> + '_ {
-        self.queue.iter().copied()
+        let mut cursor = self.head;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let node = &self.nodes[cursor as usize];
+            cursor = node.next;
+            Some(node.id)
+        })
     }
 }
 
@@ -267,6 +364,72 @@ mod tests {
         c.access(BucketId(1));
         let order: Vec<_> = c.resident_lru_order().collect();
         assert_eq!(order, vec![BucketId(2), BucketId(3), BucketId(1)]);
+    }
+
+    #[test]
+    fn epoch_tracks_residency_changes_only() {
+        let mut c = BucketCache::new(2);
+        let e0 = c.residency_epoch();
+        c.insert(BucketId(1));
+        let e1 = c.residency_epoch();
+        assert_ne!(e0, e1, "insert changes the resident set");
+        // Hits touch recency but leave the resident set alone.
+        c.access(BucketId(1));
+        c.insert(BucketId(1));
+        assert_eq!(c.residency_epoch(), e1);
+        // A miss loads (and may evict): the set changed.
+        c.access(BucketId(2));
+        assert_ne!(c.residency_epoch(), e1);
+        let e2 = c.residency_epoch();
+        c.clear();
+        assert_ne!(c.residency_epoch(), e2);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            insertions: 4,
+        };
+        a.merge(&CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            insertions: 40,
+        });
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.misses, 22);
+        assert_eq!(a.evictions, 33);
+        assert_eq!(a.insertions, 44);
+    }
+
+    /// The intrusive list must agree with a straightforward VecDeque model
+    /// under a long adversarial access pattern.
+    #[test]
+    fn model_check_against_vecdeque_lru() {
+        use std::collections::VecDeque;
+        let mut c = BucketCache::new(4);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..5_000 {
+            // xorshift for a deterministic, scattered id stream over 9 ids.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let id = (x % 9) as u32;
+            c.access(BucketId(id));
+            if let Some(pos) = model.iter().position(|&b| b == id) {
+                model.remove(pos);
+            } else if model.len() == 4 {
+                model.pop_front();
+            }
+            model.push_back(id);
+            let got: Vec<u32> = c.resident_lru_order().map(|b| b.0).collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`core`] | the schedulers: LifeRaft(α), NoShare, RR, adaptive α |
 //! | [`workload`] | SkyQuery-shaped trace synthesis and analysis |
 //! | [`sim`] | discrete-event simulation engine and run reports |
+//! | [`runtime`] | sharded multi-worker serving runtime + parallel sweep driver |
 //! | [`metrics`] | statistics, normalization, reporting tables |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@ pub use liferaft_htm as htm;
 pub use liferaft_join as join;
 pub use liferaft_metrics as metrics;
 pub use liferaft_query as query;
+pub use liferaft_runtime as runtime;
 pub use liferaft_sim as sim;
 pub use liferaft_storage as storage;
 pub use liferaft_workload as workload;
@@ -76,7 +78,13 @@ pub mod prelude {
     pub use liferaft_join::{HybridConfig, JoinStrategy};
     pub use liferaft_metrics::{Series, StreamingStats, Summary, Table};
     pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
-    pub use liferaft_sim::{calibrate_tradeoff_table, RunReport, SimConfig, Simulation};
+    pub use liferaft_runtime::{
+        AdmissionConfig, ExecMode, RuntimeConfig, RuntimeReport, ShardAssignment, ShardId,
+        ShardMap, ShardedRuntime,
+    };
+    pub use liferaft_sim::{
+        calibrate_tradeoff_table, EngineCore, RunReport, SimConfig, Simulation,
+    };
     pub use liferaft_storage::{BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime};
     pub use liferaft_workload::arrivals::{bursty_arrivals, poisson_arrivals, uniform_arrivals};
     pub use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig, WorkloadStats};

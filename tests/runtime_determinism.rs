@@ -1,0 +1,132 @@
+//! Sharded-runtime determinism suite.
+//!
+//! Three pins, all against the shared fixture:
+//!
+//! 1. A **single-shard** runtime (stepped *and* threaded) reproduces the
+//!    recorded single-engine goldens bit-for-bit — the runtime is a strict
+//!    generalization of `Simulation`.
+//! 2. **Threaded == stepped**, bit-for-bit, at 2/4/8 shards (contiguous and
+//!    hashed placement) for all six schedulers — parallelism may only buy
+//!    wall-clock time, never change an answer.
+//! 3. The **sweep driver** returns identical results at any thread count.
+
+mod common;
+
+use common::{fingerprint, fixture, goldens, scheduler_factories};
+use liferaft::prelude::*;
+use liferaft::runtime::{alpha_sweep, shard_sweep};
+
+#[test]
+fn single_shard_runtime_reproduces_the_recorded_goldens() {
+    let (catalog, timed) = fixture();
+    let rt = ShardedRuntime::new(&catalog, RuntimeConfig::single(SimConfig::paper()));
+    for ((label, mk), (_, golden)) in scheduler_factories().into_iter().zip(goldens()) {
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = rt.run(&timed, &mut |_| mk(), mode);
+            assert_eq!(
+                fingerprint(&report.global).as_str(),
+                golden,
+                "{label} via {mode:?}: single-shard runtime diverged from the simulation golden"
+            );
+            assert_eq!(report.cross_shard_queries, 0);
+        }
+    }
+}
+
+#[test]
+fn threaded_is_bit_identical_to_stepped_across_shard_counts() {
+    let (catalog, timed) = fixture();
+    for n_shards in [2u32, 4, 8] {
+        for assignment in [
+            ShardAssignment::Contiguous,
+            ShardAssignment::Hashed { seed: 0xC1D2 },
+        ] {
+            let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+            config.assignment = assignment;
+            let rt = ShardedRuntime::new(&catalog, config);
+            for (label, mk) in scheduler_factories() {
+                let stepped = rt.run(&timed, &mut |_| mk(), ExecMode::Stepped);
+                let threaded = rt.run(&timed, &mut |_| mk(), ExecMode::Threaded);
+                let ctx = format!("{label} @ {n_shards} shards ({assignment:?})");
+                assert_eq!(
+                    fingerprint(&stepped.global),
+                    fingerprint(&threaded.global),
+                    "{ctx}: global reports diverged"
+                );
+                assert_eq!(
+                    stepped.shards.len(),
+                    n_shards as usize,
+                    "{ctx}: shard count"
+                );
+                for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+                    assert_eq!(
+                        fingerprint(&a.report),
+                        fingerprint(&b.report),
+                        "{ctx}: shard {} diverged",
+                        a.shard
+                    );
+                    assert_eq!(a.admission, b.admission, "{ctx}: admission stats");
+                }
+                // The sharded pool conserves work: fragment-level servicing
+                // sums to the single-engine total.
+                assert_eq!(
+                    stepped.global.serviced_entries, 59_935,
+                    "{ctx}: serviced entries"
+                );
+                assert_eq!(stepped.global.outcomes.len(), timed.len(), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_driver_results_are_independent_of_thread_count() {
+    let (catalog, timed) = fixture();
+    let params = MetricParams::paper();
+    let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let serial = alpha_sweep(&catalog, &timed, SimConfig::paper(), params, &alphas, 1);
+    let fanned = alpha_sweep(&catalog, &timed, SimConfig::paper(), params, &alphas, 4);
+    assert_eq!(serial.len(), fanned.len());
+    for (a, b) in serial.iter().zip(&fanned) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            fingerprint(&a.report),
+            fingerprint(&b.report),
+            "α sweep point {} changed with thread count",
+            a.label
+        );
+    }
+
+    let counts = [1u32, 2, 4];
+    let base = RuntimeConfig::single(SimConfig::paper());
+    let mk = || -> Box<dyn Scheduler + Send> { Box::new(LifeRaftScheduler::greedy(params)) };
+    let serial = shard_sweep(
+        &catalog,
+        &timed,
+        base,
+        &counts,
+        ExecMode::Stepped,
+        1,
+        |_| mk(),
+    );
+    let fanned = shard_sweep(
+        &catalog,
+        &timed,
+        base,
+        &counts,
+        ExecMode::Threaded,
+        3,
+        |_| mk(),
+    );
+    for (a, b) in serial.iter().zip(&fanned) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            fingerprint(&a.report),
+            fingerprint(&b.report),
+            "shard sweep point {} changed with thread count / exec mode",
+            a.label
+        );
+    }
+    // The 1-shard sweep point is the simulation golden once more.
+    assert_eq!(fingerprint(&serial[0].report), common::GOLDEN_GREEDY);
+}
