@@ -7,10 +7,13 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use liferaft_catalog::{Catalog, VirtualCatalog};
-use liferaft_core::{AgingMode, BucketSnapshot, LifeRaftScheduler, MetricParams};
+use liferaft_core::{
+    AgingMode, BucketSnapshot, IndexedSchedulerView, LifeRaftScheduler, MetricParams, Scheduler,
+};
 use liferaft_htm::{cap::Cap, cover::Coverer, locate, Vec3};
 use liferaft_join::zones::ZoneMap;
 use liferaft_join::{indexed::indexed_join, sweep::sweep_join};
+use liferaft_query::QueryId as CoreQueryId;
 use liferaft_query::{
     CrossMatchQuery, MatchObject, Predicate, QueryId, QueueEntry, WorkItem, WorkloadTable,
 };
@@ -157,6 +160,121 @@ fn bench_candidates(c: &mut Criterion) {
     g.finish();
 }
 
+/// A minimal indexed view over a workload table — the blanket
+/// [`IndexedSchedulerView`] impl gives it the exact candidate dispatch the
+/// engine's decision loop uses.
+struct TableView<'a> {
+    now: SimTime,
+    table: &'a WorkloadTable,
+}
+
+impl IndexedSchedulerView for TableView<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn table(&self) -> &WorkloadTable {
+        self.table
+    }
+    fn oldest_pending_query(&self) -> Option<(CoreQueryId, SimTime)> {
+        None
+    }
+    fn pending_buckets_of(&self, _query: CoreQueryId) -> Vec<BucketId> {
+        Vec::new()
+    }
+}
+
+/// A table with `n` non-empty buckets of varied depth and age, φ synced
+/// against a 20-bucket resident set — the decision-path fixture.
+fn decision_fixture(n: usize) -> (WorkloadTable, BucketCache) {
+    let positions: Vec<Vec3> = (0..8)
+        .map(|i| Vec3::from_radec_deg(10.0 + i as f64 * 0.01, 5.0))
+        .collect();
+    let query = CrossMatchQuery::from_positions(QueryId(1), &positions, 1e-5, 14, Predicate::All);
+    let mut table = WorkloadTable::new(n).with_object_counts(|_| 10_000);
+    for b in 0..n {
+        let item = WorkItem {
+            query: query.id,
+            bucket: BucketId(b as u32),
+            object_indices: (0..((b as u32 * 31) % 8 + 1)).collect(),
+        };
+        table.enqueue(
+            &item,
+            &query,
+            SimTime::from_micros((b as u64 * 7_919) % 1_000_000),
+        );
+    }
+    let mut cache = BucketCache::new(20);
+    for b in 0..20u32 {
+        cache.access(BucketId(b * 31 % n as u32));
+    }
+    table.sync_residency(&cache);
+    (table, cache)
+}
+
+/// The tentpole's microscope: indexed `pick_top` vs the legacy
+/// gather-and-score sweep, plus the index-maintenance cost itself, at
+/// candidate-set sizes bracketing the e2e bench (256 / 2k / 16k).
+fn bench_decision_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_path");
+    let now = SimTime::from_micros(2_000_000);
+    for n in [256usize, 2_048, 16_384] {
+        let (table, cache) = decision_fixture(n);
+        let view = TableView { now, table: &table };
+        for (label, alpha) in [("greedy", 0.0), ("alpha05", 0.5), ("aged", 1.0)] {
+            // The indexed pick: O(log n + resident) at the extremes, a
+            // bounded frontier re-rank at mixed α.
+            g.bench_with_input(
+                BenchmarkId::new(format!("pick_top_{label}"), n),
+                &n,
+                |b, _| {
+                    let mut s =
+                        LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, alpha);
+                    b.iter(|| s.pick(black_box(&view)).expect("non-empty"))
+                },
+            );
+            // The legacy path: materialize every snapshot, score them all.
+            g.bench_with_input(
+                BenchmarkId::new(format!("gather_score_{label}"), n),
+                &n,
+                |b, _| {
+                    let mut table = table.clone();
+                    let s =
+                        LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, alpha);
+                    let mut out = Vec::new();
+                    b.iter(|| {
+                        table.snapshots_into(black_box(&mut out), &cache);
+                        s.pick_index(black_box(now), black_box(&out))
+                            .expect("non-empty")
+                    })
+                },
+            );
+        }
+        // Index maintenance: one empty→non-empty enqueue plus a full drain
+        // (two inserts + two removes across the index's orders).
+        g.bench_with_input(BenchmarkId::new("index_enqueue_drain", n), &n, |b, _| {
+            let (mut table, _) = decision_fixture(n);
+            let positions: Vec<Vec3> = (0..4)
+                .map(|i| Vec3::from_radec_deg(10.0 + i as f64 * 0.01, 5.0))
+                .collect();
+            let query =
+                CrossMatchQuery::from_positions(QueryId(2), &positions, 1e-5, 14, Predicate::All);
+            let item = WorkItem {
+                query: query.id,
+                bucket: BucketId(0),
+                object_indices: (0..4).collect(),
+            };
+            let mut drained = Vec::new();
+            table.take_all_into(BucketId(0), &mut drained);
+            b.iter(|| {
+                table.enqueue(black_box(&item), &query, SimTime::from_micros(5));
+                table.take_all_into(BucketId(0), &mut drained);
+                drained.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("bucket_cache_access_20", |b| {
         let mut cache = BucketCache::new(20);
@@ -208,7 +326,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_htm, bench_joins, bench_scheduler, bench_candidates, bench_cache, bench_preprocess, bench_materialize
+    targets = bench_htm, bench_joins, bench_scheduler, bench_candidates, bench_decision_path, bench_cache, bench_preprocess, bench_materialize
 }
 criterion_main!(benches);
 

@@ -307,7 +307,7 @@ impl crate::scheduler::Scheduler for AdaptiveScheduler {
     fn pick(
         &mut self,
         view: &dyn crate::scheduler::SchedulerView,
-    ) -> Option<crate::scheduler::Pick> {
+    ) -> Option<crate::scheduler::BatchSpec> {
         let alpha = self.controller.alpha(view.now());
         self.inner.set_alpha(alpha);
         self.inner.pick(view)

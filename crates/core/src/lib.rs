@@ -39,5 +39,7 @@ pub use liferaft::LifeRaftScheduler;
 pub use metric::{AgingMode, MetricParams};
 pub use noshare::NoShareScheduler;
 pub use round_robin::RoundRobinScheduler;
-pub use scheduler::{BatchScope, BatchSpec, BucketSnapshot, Pick, Scheduler, SchedulerView};
+pub use scheduler::{
+    BatchScope, BatchSpec, BucketSnapshot, IndexedSchedulerView, Lens, Scheduler, SchedulerView,
+};
 pub use starvation::StarvationMonitor;

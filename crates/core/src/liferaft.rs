@@ -2,24 +2,55 @@
 
 use std::cmp::Ordering;
 
-use liferaft_storage::SimTime;
+use liferaft_storage::{BucketId, SimTime};
 
 use crate::metric::{AgingMode, MetricParams, ScorePass};
-use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Pick, Scheduler, SchedulerView};
+use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Lens, Scheduler, SchedulerView};
+
+/// How many frontier candidates the mixed-α pick examines per lens before
+/// its first prune check; doubles until the score bound closes.
+const FRONTIER_SEED: usize = 4;
 
 /// LifeRaft at a fixed age bias α.
 ///
-/// Every decision scores all non-empty workload queues with the aged
-/// workload throughput metric and services the maximum: "buckets are
-/// evaluated greedily in order of decreasing workload throughput"
-/// (Section 3.2), with α trading throughput against arrival-order fairness
-/// (Section 3.3). The batch always consumes the whole queue and shares I/O
-/// through the bucket cache.
+/// Every decision services the candidate maximal under the aged workload
+/// throughput metric: "buckets are evaluated greedily in order of
+/// decreasing workload throughput" (Section 3.2), with α trading throughput
+/// against arrival-order fairness (Section 3.3). The batch always consumes
+/// the whole queue and shares I/O through the bucket cache.
+///
+/// # How the pick uses the candidate index
+///
+/// At α = 1 the blended score is a monotone image of the age term, so the
+/// pick is a single [`top_candidate`](SchedulerView::top_candidate) lookup
+/// under [`Lens::Age`] (tie-breaks are the order's tail).
+///
+/// At α = 0 the score is a monotone image of `Ut` — but the floating-point
+/// `Ut` of *resident* candidates wobbles around `1/Tm` non-monotonically in
+/// queue length, so the pick re-scores, exactly, the small resident pool
+/// (bounded by the cache capacity) plus the one uncached candidate that can
+/// win: the [`Lens::UncachedThroughput`] maximum.
+///
+/// For mixed α the pick runs a threshold (Fagin-style) scan: score the
+/// resident pool and the top-k frontier of both lens orders, and stop as
+/// soon as the score upper bound of every *unseen* candidate —
+/// `(1−α)·ût(uncached frontier) + α·â(age frontier)` — drops strictly below
+/// the best seen score. Both terms are monotone non-increasing along their
+/// lists and float rounding is monotone, so the bound is sound;
+/// normalization bounds come from the resident scan plus the index
+/// extremes, which realize the candidate-set extremes of both terms. If the
+/// bound cannot close by the time the frontier covers most of the set, the
+/// pick falls back to a full streamed scan — still allocation-free, and
+/// bit-identical to the legacy gather-and-score path.
 #[derive(Debug, Clone)]
 pub struct LifeRaftScheduler {
     params: MetricParams,
     mode: AgingMode,
     alpha: f64,
+    /// Frontier scratch for the mixed-α threshold scan (throughput lens).
+    scratch_t: Vec<BucketSnapshot>,
+    /// Frontier scratch for the mixed-α threshold scan (age lens).
+    scratch_a: Vec<BucketSnapshot>,
 }
 
 impl LifeRaftScheduler {
@@ -36,6 +67,8 @@ impl LifeRaftScheduler {
             params,
             mode,
             alpha,
+            scratch_t: Vec::new(),
+            scratch_a: Vec::new(),
         }
     }
 
@@ -64,7 +97,10 @@ impl LifeRaftScheduler {
     }
 
     /// Picks the best candidate index for the given time, or `None` if there
-    /// are no candidates. Exposed for metric-level tests and tooling.
+    /// are no candidates — the legacy full-materialization path, kept as the
+    /// bit-exact reference for the indexed pick (equivalence proptests, the
+    /// `decision_path` micro-bench) and for tooling that already holds a
+    /// snapshot slice.
     ///
     /// The decision is fully fused and allocation-free: one sweep bounds the
     /// metric terms ([`ScorePass`]), a second scores and arg-maxes. Scores
@@ -87,6 +123,139 @@ impl LifeRaftScheduler {
         }
         Some(best)
     }
+
+    /// The candidate snapshots realizing the exact min and max float `Ut`
+    /// over the whole set: the resident pool is scanned (its `Ut` wobble is
+    /// not monotone in any key), the uncached pool contributes its key-order
+    /// extremes (where the float `Ut` order *is* the key order).
+    fn ut_extreme_snaps(
+        &self,
+        view: &dyn SchedulerView,
+    ) -> Option<(BucketSnapshot, BucketSnapshot)> {
+        let params = self.params;
+        let mut lo: Option<(f64, BucketSnapshot)> = None;
+        let mut hi: Option<(f64, BucketSnapshot)> = None;
+        let fold = |c: &BucketSnapshot,
+                    lo: &mut Option<(f64, BucketSnapshot)>,
+                    hi: &mut Option<(f64, BucketSnapshot)>| {
+            let ut = params.workload_throughput(c.queue_len, c.cached);
+            if lo.map_or(true, |(v, _)| ut < v) {
+                *lo = Some((ut, *c));
+            }
+            if hi.map_or(true, |(v, _)| ut > v) {
+                *hi = Some((ut, *c));
+            }
+        };
+        view.for_each_cached_candidate(&mut |c| fold(c, &mut lo, &mut hi));
+        if let Some(t) = view.top_candidate(Lens::UncachedThroughput) {
+            fold(&t, &mut lo, &mut hi);
+            let b = view
+                .bottom_candidate(Lens::UncachedThroughput)
+                .expect("pool with a top has a bottom");
+            fold(&b, &mut lo, &mut hi);
+        }
+        lo.map(|(_, lo_snap)| (lo_snap, hi.expect("hi set with lo").1))
+    }
+
+    /// The α = 0 indexed pick: exact re-rank of the resident pool plus the
+    /// best uncached candidate. Any other uncached candidate is dominated
+    /// by the uncached maximum under the score order *and* under the
+    /// tie-break that decides collapsed scores, so it can never win.
+    fn pick_greedy(&self, view: &dyn SchedulerView) -> Option<BucketId> {
+        let top_uncached = view.top_candidate(Lens::UncachedThroughput);
+        let (ut_lo, ut_hi) = self.ut_extreme_snaps(view)?;
+        // At α = 0 the age term contributes exactly ±0.0 to every score, so
+        // the pass only needs the `Ut` bounds to normalize bit-identically
+        // to the legacy full-slice pass.
+        let pass = ScorePass::new(
+            &self.params,
+            self.mode,
+            self.alpha,
+            view.now(),
+            &[ut_lo, ut_hi],
+        );
+        let mut best: Option<(f64, BucketSnapshot)> = None;
+        let mut consider = |c: &BucketSnapshot| {
+            let score = pass.score(c);
+            best = Some(match best {
+                Some((bs, b)) if !better(score, bs, c, &b) => (bs, b),
+                _ => (score, *c),
+            });
+        };
+        view.for_each_cached_candidate(&mut consider);
+        if let Some(t) = top_uncached {
+            consider(&t);
+        }
+        best.map(|(_, b)| b.bucket)
+    }
+
+    /// The mixed-α indexed pick: threshold scan over the resident pool and
+    /// both lens frontiers, falling back to a full streamed scan when the
+    /// bound cannot prune.
+    fn pick_blended(&mut self, view: &dyn SchedulerView) -> Option<BucketId> {
+        let n = view.candidate_count();
+        let a_hi = view.top_candidate(Lens::Age)?;
+        let a_lo = view.bottom_candidate(Lens::Age)?;
+        let (ut_lo, ut_hi) = self.ut_extreme_snaps(view)?;
+        // These four snapshots realize the candidate set's exact min/max of
+        // both metric terms, so this pass normalizes bit-identically to one
+        // prepared over the full candidate slice.
+        let pass = ScorePass::new(
+            &self.params,
+            self.mode,
+            self.alpha,
+            view.now(),
+            &[ut_lo, ut_hi, a_lo, a_hi],
+        );
+        let mut k = FRONTIER_SEED;
+        loop {
+            view.top_candidates(Lens::UncachedThroughput, k, &mut self.scratch_t);
+            view.top_candidates(Lens::Age, k, &mut self.scratch_a);
+            let mut best: Option<(f64, BucketSnapshot)> = None;
+            let mut consider = |c: &BucketSnapshot| {
+                let score = pass.score(c);
+                best = Some(match best {
+                    Some((bs, b)) if !better(score, bs, c, &b) => (bs, b),
+                    _ => (score, *c),
+                });
+            };
+            view.for_each_cached_candidate(&mut consider);
+            for c in self.scratch_t.iter().chain(self.scratch_a.iter()) {
+                consider(c);
+            }
+            let (best_score, best_snap) = best?;
+            if k >= n || self.scratch_t.len() < k {
+                // The age list (k ≥ n) or the resident pool + uncached list
+                // (uncached exhausted) covered every candidate.
+                return Some(best_snap.bucket);
+            }
+            // Unseen candidates are uncached beyond the `Ut` frontier and
+            // beyond the age frontier; both terms are monotone along their
+            // lists and float rounding is monotone, so this bounds every
+            // unseen score from above. Strictly below the best seen score,
+            // nothing unseen can win — a score-tie would lose only to a
+            // *seen* candidate under the tie-break.
+            let bound = pass.ut_term(&self.scratch_t[k - 1]) * (1.0 - self.alpha)
+                + pass.age_term(&self.scratch_a[k - 1]) * self.alpha;
+            if bound < best_score {
+                return Some(best_snap.bucket);
+            }
+            if 2 * k >= n {
+                // The bound will not close much later than this; finish with
+                // one streamed scan (the legacy argmax, unmaterialized).
+                let mut full: Option<(f64, BucketSnapshot)> = None;
+                view.for_each_candidate(&mut |c| {
+                    let score = pass.score(c);
+                    full = Some(match full.take() {
+                        Some((bs, b)) if !better(score, bs, c, &b) => (bs, b),
+                        _ => (score, *c),
+                    });
+                });
+                return full.map(|(_, b)| b.bucket);
+            }
+            k *= 2;
+        }
+    }
 }
 
 /// The decision ordering: score (total order via `total_cmp`), then longer
@@ -108,17 +277,22 @@ impl Scheduler for LifeRaftScheduler {
         format!("LifeRaft(α={:.2})", self.alpha)
     }
 
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick> {
-        let candidates = view.candidates();
-        let idx = self.pick_index(view.now(), candidates)?;
-        Some(Pick::of_candidate(
-            idx,
-            BatchSpec {
-                bucket: candidates[idx].bucket,
-                scope: BatchScope::AllQueued,
-                share_io: true,
-            },
-        ))
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
+        // At the α extremes the blended score is a monotone image of a
+        // single term (the other coefficient is exactly 0.0 and both terms
+        // are finite, so it contributes ±0.0 to every score).
+        let bucket = if self.alpha == 0.0 {
+            self.pick_greedy(view)?
+        } else if self.alpha == 1.0 {
+            view.top_candidate(Lens::Age)?.bucket
+        } else {
+            self.pick_blended(view)?
+        };
+        Some(BatchSpec {
+            bucket,
+            scope: BatchScope::AllQueued,
+            share_io: true,
+        })
     }
 }
 
@@ -153,26 +327,27 @@ mod tests {
         // Cached small queue beats uncached huge queue at α=0.
         let v = view(vec![snap(0, 5_000, 10, false), snap(1, 10, 10, true)], 20);
         let pick = s.pick(&v).unwrap();
-        assert_eq!(pick.candidate, Some(1));
-        assert_eq!(pick.spec.bucket, BucketId(1));
-        assert_eq!(pick.spec.scope, BatchScope::AllQueued);
-        assert!(pick.spec.share_io);
+        assert_eq!(pick.bucket, BucketId(1));
+        assert_eq!(pick.scope, BatchScope::AllQueued);
+        assert!(pick.share_io);
         // Among uncached queues, longest wins.
         let v = view(vec![snap(0, 100, 10, false), snap(1, 900, 10, false)], 20);
-        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(1));
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
     }
 
     #[test]
     fn age_based_services_oldest_first() {
         let mut s = LifeRaftScheduler::age_based(MetricParams::paper());
         let v = view(vec![snap(0, 9_000, 15, false), snap(1, 1, 2, false)], 20);
-        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(1));
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(1));
     }
 
     #[test]
     fn no_candidates_yields_none() {
         let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
         assert!(s.pick(&view(vec![], 1)).is_none());
+        let mut mid = LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5);
+        assert!(mid.pick(&view(vec![], 1)).is_none());
     }
 
     #[test]
@@ -180,10 +355,50 @@ mod tests {
         let mut s = LifeRaftScheduler::greedy(MetricParams::paper());
         // Two identical cached buckets (both at max Ut): longer queue wins.
         let v = view(vec![snap(3, 10, 5, true), snap(7, 20, 5, true)], 20);
-        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(7));
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(7));
         // Fully identical: lower bucket ID wins.
         let v = view(vec![snap(9, 10, 5, true), snap(4, 10, 5, true)], 20);
-        assert_eq!(s.pick(&v).unwrap().spec.bucket, BucketId(4));
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(4));
+    }
+
+    /// Every α, every aging mode: the indexed pick through a view must equal
+    /// the legacy `pick_index` over the materialized slice — the same
+    /// contract the cross-scheduler proptests pin at engine scale.
+    #[test]
+    fn indexed_pick_matches_legacy_pick_index() {
+        let candidates: Vec<BucketSnapshot> = (0..57)
+            .map(|i| {
+                snap(
+                    i,
+                    (i as u64 * 37) % 900 + 1,
+                    (i as u64 * 7_993) % 90,
+                    i % 5 == 0,
+                )
+            })
+            .collect();
+        let v = view(candidates.clone(), 100);
+        for mode in [AgingMode::Normalized, AgingMode::Raw] {
+            for alpha in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+                let mut s = LifeRaftScheduler::new(MetricParams::paper(), mode, alpha);
+                let legacy = s.pick_index(v.now, &candidates).unwrap();
+                let picked = s.pick(&v).unwrap().bucket;
+                assert_eq!(picked, candidates[legacy].bucket, "mode {mode:?} α={alpha}");
+            }
+        }
+    }
+
+    /// Near-total ties force the threshold bound to stay open: the blended
+    /// pick must fall back to the full scan and still agree with the legacy
+    /// path.
+    #[test]
+    fn blended_pick_survives_degenerate_ties() {
+        // All cached, identical queues and ages → every score is equal.
+        let candidates: Vec<BucketSnapshot> = (0..33).map(|i| snap(i, 10, 5, true)).collect();
+        let v = view(candidates.clone(), 20);
+        let mut s = LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5);
+        let legacy = s.pick_index(v.now, &candidates).unwrap();
+        assert_eq!(s.pick(&v).unwrap().bucket, candidates[legacy].bucket);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(0));
     }
 
     #[test]

@@ -130,16 +130,38 @@ impl ScorePass {
     /// Eq. 2's score of one candidate from the prepared set.
     #[inline]
     pub fn score(&self, c: &BucketSnapshot) -> f64 {
-        let ut = self.params.workload_throughput(c.queue_len, c.cached);
-        let age = c.age_ms(self.now);
-        let (u, a) = match self.mode {
-            AgingMode::Raw => (ut, age),
-            AgingMode::Normalized => (
-                normalized(ut, self.ut_lo, self.ut_span),
-                normalized(age, self.age_lo, self.age_span),
-            ),
-        };
+        let u = self.ut_term(c);
+        let a = self.age_term(c);
         u * (1.0 - self.alpha) + a * self.alpha
+    }
+
+    /// The throughput term of one candidate — `Ut` raw, or min–max
+    /// normalized over the prepared set. Exposed so indexed pick paths can
+    /// form score *upper bounds* from frontier candidates.
+    #[inline]
+    pub fn ut_term(&self, c: &BucketSnapshot) -> f64 {
+        let ut = self.params.workload_throughput(c.queue_len, c.cached);
+        match self.mode {
+            AgingMode::Raw => ut,
+            AgingMode::Normalized => normalized(ut, self.ut_lo, self.ut_span),
+        }
+    }
+
+    /// The age term of one candidate — `A` raw, or min–max normalized over
+    /// the prepared set.
+    #[inline]
+    pub fn age_term(&self, c: &BucketSnapshot) -> f64 {
+        let age = c.age_ms(self.now);
+        match self.mode {
+            AgingMode::Raw => age,
+            AgingMode::Normalized => normalized(age, self.age_lo, self.age_span),
+        }
+    }
+
+    /// The bias the pass was prepared with.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
     }
 }
 

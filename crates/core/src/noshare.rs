@@ -6,7 +6,7 @@
 //! oldest query runs to completion, reading every bucket it needs by
 //! itself, before the next query starts.
 
-use crate::scheduler::{BatchScope, BatchSpec, Pick, Scheduler, SchedulerView};
+use crate::scheduler::{BatchScope, BatchSpec, Scheduler, SchedulerView};
 
 /// Strict arrival-order, share-nothing query evaluation.
 ///
@@ -28,14 +28,14 @@ impl Scheduler for NoShareScheduler {
         "NoShare".to_string()
     }
 
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick> {
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
         let (query, _arrival) = view.oldest_pending_query()?;
         let bucket = view.first_pending_bucket_of(query)?;
-        Some(Pick::unindexed(BatchSpec {
+        Some(BatchSpec {
             bucket,
             scope: BatchScope::SingleQuery(query),
             share_io: false,
-        }))
+        })
     }
 }
 
@@ -62,10 +62,9 @@ mod tests {
             query_buckets: vec![(QueryId(7), vec![BucketId(4), BucketId(9)])],
         };
         let pick = s.pick(&v).unwrap();
-        assert_eq!(pick.candidate, None, "NoShare does not index candidates");
-        assert_eq!(pick.spec.bucket, BucketId(4));
-        assert_eq!(pick.spec.scope, BatchScope::SingleQuery(QueryId(7)));
-        assert!(!pick.spec.share_io, "NoShare must not share I/O");
+        assert_eq!(pick.bucket, BucketId(4));
+        assert_eq!(pick.scope, BatchScope::SingleQuery(QueryId(7)));
+        assert!(!pick.share_io, "NoShare must not share I/O");
     }
 
     #[test]

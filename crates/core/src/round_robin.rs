@@ -9,11 +9,13 @@
 
 use liferaft_storage::BucketId;
 
-use crate::scheduler::{BatchScope, BatchSpec, Pick, Scheduler, SchedulerView};
+use crate::scheduler::{BatchScope, BatchSpec, Scheduler, SchedulerView};
 
 /// Cyclic sweep over buckets in HTM-ID order, servicing any non-empty queue
 /// encountered. Batches share I/O like LifeRaft's (RR *is* a batch processor
-/// — only its ordering is data-oblivious).
+/// — only its ordering is data-oblivious). The cursor resolves against the
+/// view's bucket-order probe ([`SchedulerView::candidate_at_or_after`]), so
+/// a decision is one O(log n) lookup, not a candidate scan.
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobinScheduler {
     /// Next bucket index to consider (wraps around).
@@ -37,25 +39,17 @@ impl Scheduler for RoundRobinScheduler {
         "RR".to_string()
     }
 
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick> {
-        let candidates = view.candidates();
-        if candidates.is_empty() {
-            return None;
-        }
-        // Candidates are sorted by bucket; take the first at/after the
-        // cursor (binary search, not a scan), wrapping to the smallest.
-        let pos = candidates.partition_point(|c| c.bucket.0 < self.cursor);
-        let idx = if pos == candidates.len() { 0 } else { pos };
-        let next = &candidates[idx];
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec> {
+        // The first candidate at/after the cursor, wrapping to the smallest.
+        let next = view
+            .candidate_at_or_after(BucketId(self.cursor))
+            .or_else(|| view.candidate_at_or_after(BucketId(0)))?;
         self.cursor = next.bucket.0.wrapping_add(1);
-        Some(Pick::of_candidate(
-            idx,
-            BatchSpec {
-                bucket: next.bucket,
-                scope: BatchScope::AllQueued,
-                share_io: true,
-            },
-        ))
+        Some(BatchSpec {
+            bucket: next.bucket,
+            scope: BatchScope::AllQueued,
+            share_io: true,
+        })
     }
 }
 
@@ -88,11 +82,11 @@ mod tests {
     fn sweeps_in_htm_order_and_wraps() {
         let mut rr = RoundRobinScheduler::new();
         let v = view(&[2, 5, 9]);
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(2));
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(5));
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(9));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(2));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(5));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(9));
         // Wraps to the smallest again.
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(2));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(2));
     }
 
     #[test]
@@ -100,7 +94,7 @@ mod tests {
         let mut rr = RoundRobinScheduler::new();
         // Cursor at 0 but first candidate is 7.
         let v = view(&[7]);
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(7));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(7));
         assert_eq!(rr.cursor(), BucketId(8));
     }
 
@@ -110,7 +104,7 @@ mod tests {
         let mut v = view(&[1, 3]);
         // Make bucket 3 hugely contended; RR must still take 1 first.
         v.candidates[1].queue_len = 1_000_000;
-        assert_eq!(rr.pick(&v).unwrap().spec.bucket, BucketId(1));
+        assert_eq!(rr.pick(&v).unwrap().bucket, BucketId(1));
     }
 
     #[test]
@@ -118,9 +112,9 @@ mod tests {
         let mut rr = RoundRobinScheduler::new();
         let v = view(&[0]);
         let pick = rr.pick(&v).unwrap();
-        assert_eq!(pick.candidate, Some(0));
-        assert!(pick.spec.share_io);
-        assert_eq!(pick.spec.scope, BatchScope::AllQueued);
+        assert_eq!(pick.bucket, BucketId(0));
+        assert!(pick.share_io);
+        assert_eq!(pick.scope, BatchScope::AllQueued);
     }
 
     #[test]

@@ -1,6 +1,16 @@
 //! The scheduler abstraction: views, batch specifications, and the trait.
+//!
+//! Since the candidate index landed, a view is no longer "a slice of every
+//! candidate snapshot": it is a query surface over an *incrementally
+//! maintained* candidate set — top/bottom/frontier lookups under the two
+//! α-decomposed orderings ([`Lens`]), a bucket-order cursor probe, and the
+//! per-query accessors arrival-order policies use. Policies that truly need
+//! every candidate stream them through
+//! [`for_each_candidate`](SchedulerView::for_each_candidate); nothing
+//! materializes a snapshot vector per decision anymore.
 
-use liferaft_query::QueryId;
+use liferaft_query::index::{age_key, uncached_key};
+use liferaft_query::{QueryId, WorkloadTable};
 use liferaft_storage::{BucketId, SimTime};
 
 // The snapshot type lives in the query crate so the Workload Manager can
@@ -32,48 +42,133 @@ pub struct BatchSpec {
     pub share_io: bool,
 }
 
-/// A decision plus its provenance: the batch to run and, when the policy
-/// derived the choice from [`SchedulerView::candidates`], the index of the
-/// chosen snapshot — so the engine locates the bucket in O(1) instead of
-/// re-scanning the candidate slice.
+/// The exact candidate orderings the index maintains — the α-decomposed
+/// terms of the aged metric (Eq. 2).
+///
+/// Both orders embed the decision tie-break (longer queue, then lower
+/// bucket) in their tails. The `Age` maximum *is* the exact α = 1 pick; the
+/// `UncachedThroughput` maximum is the only non-resident candidate an α = 0
+/// pick can choose (resident candidates — φ = 0, whose float `Ut` values
+/// wobble non-monotonically around `1/Tm` — are streamed via
+/// [`SchedulerView::for_each_cached_candidate`] and re-scored exactly).
+/// Mixed α re-ranks a frontier of both orders plus the resident pool (see
+/// [`LifeRaftScheduler`](crate::liferaft::LifeRaftScheduler)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Pick {
-    /// The batch to execute.
-    pub spec: BatchSpec,
-    /// Index of `spec.bucket` in the candidate slice the decision was made
-    /// over, if the policy knows it. `None` for policies that choose the
-    /// bucket through another lens (e.g. NoShare's per-query cursor).
-    pub candidate: Option<usize>,
+pub enum Lens {
+    /// Order among *uncached* candidates by workload throughput `Ut`
+    /// (Eq. 1): longer queue, then lower bucket.
+    UncachedThroughput,
+    /// Order over all candidates by request age `A`: older oldest-enqueue
+    /// first, then longer queue, then lower bucket.
+    Age,
 }
 
-impl Pick {
-    /// A decision over candidate `idx` of the view's candidate slice.
-    pub fn of_candidate(idx: usize, spec: BatchSpec) -> Self {
-        Pick {
-            spec,
-            candidate: Some(idx),
+impl Lens {
+    /// The lens ordering between two candidates. For `UncachedThroughput`
+    /// both must be uncached (the lens is only defined over that pool).
+    #[inline]
+    pub fn cmp(self, a: &BucketSnapshot, b: &BucketSnapshot) -> std::cmp::Ordering {
+        match self {
+            Lens::UncachedThroughput => uncached_key(a).cmp(&uncached_key(b)),
+            Lens::Age => age_key(a).cmp(&age_key(b)),
         }
     }
 
-    /// A decision made without reference to the candidate slice.
-    pub fn unindexed(spec: BatchSpec) -> Self {
-        Pick {
-            spec,
-            candidate: None,
+    /// True if `c` belongs to the lens's candidate pool.
+    #[inline]
+    fn covers(self, c: &BucketSnapshot) -> bool {
+        match self {
+            Lens::UncachedThroughput => !c.cached,
+            Lens::Age => true,
         }
     }
 }
 
 /// What a scheduler may observe when making a decision.
 ///
-/// The simulation engine implements this over its live state; unit tests
-/// implement it with fixtures.
+/// The engine implements this over the workload table's candidate index;
+/// unit tests implement it with [`FixtureView`], whose scan-based defaults
+/// double as the reference semantics the indexed implementations must
+/// match.
 pub trait SchedulerView {
     /// Current virtual time.
     fn now(&self) -> SimTime;
 
-    /// Snapshots of all non-empty workload queues, sorted by bucket ID.
-    fn candidates(&self) -> &[BucketSnapshot];
+    /// Number of candidates (non-empty workload queues).
+    fn candidate_count(&self) -> usize;
+
+    /// Streams every candidate snapshot, in ascending bucket order.
+    fn for_each_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot));
+
+    /// Streams the resident (φ = 0) candidates — a small pool, bounded by
+    /// the bucket cache capacity, that throughput-driven picks re-score
+    /// exactly. The default filters the full stream.
+    fn for_each_cached_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        self.for_each_candidate(&mut |c| {
+            if c.cached {
+                f(c);
+            }
+        });
+    }
+
+    /// The candidate of `lens`'s pool maximal under `lens` — exact,
+    /// tie-breaks included. Indexed views answer in O(log n); the default
+    /// scans.
+    fn top_candidate(&self, lens: Lens) -> Option<BucketSnapshot> {
+        let mut best: Option<BucketSnapshot> = None;
+        self.for_each_candidate(&mut |c| {
+            if !lens.covers(c) {
+                return;
+            }
+            best = Some(match best.take() {
+                Some(b) if lens.cmp(c, &b).is_le() => b,
+                _ => *c,
+            });
+        });
+        best
+    }
+
+    /// The candidate of `lens`'s pool minimal under `lens` (normalization
+    /// lower bound).
+    fn bottom_candidate(&self, lens: Lens) -> Option<BucketSnapshot> {
+        let mut worst: Option<BucketSnapshot> = None;
+        self.for_each_candidate(&mut |c| {
+            if !lens.covers(c) {
+                return;
+            }
+            worst = Some(match worst.take() {
+                Some(w) if lens.cmp(c, &w).is_ge() => w,
+                _ => *c,
+            });
+        });
+        worst
+    }
+
+    /// Fills `out` (cleared first) with up to `k` candidates of `lens`'s
+    /// pool in descending `lens` order — the mixed-α frontier. The default
+    /// collects and sorts; indexed views walk their order directly.
+    fn top_candidates(&self, lens: Lens, k: usize, out: &mut Vec<BucketSnapshot>) {
+        out.clear();
+        self.for_each_candidate(&mut |c| {
+            if lens.covers(c) {
+                out.push(*c);
+            }
+        });
+        out.sort_by(|a, b| lens.cmp(b, a));
+        out.truncate(k);
+    }
+
+    /// The first candidate at or after `bucket` in bucket order — the
+    /// round-robin cursor probe (callers wrap to `BucketId(0)` themselves).
+    fn candidate_at_or_after(&self, bucket: BucketId) -> Option<BucketSnapshot> {
+        let mut found: Option<BucketSnapshot> = None;
+        self.for_each_candidate(&mut |c| {
+            if c.bucket >= bucket && found.map_or(true, |f| c.bucket < f.bucket) {
+                found = Some(*c);
+            }
+        });
+        found
+    }
 
     /// The in-flight query with the earliest arrival, if any (FIFO cursor
     /// for arrival-order baselines).
@@ -90,20 +185,107 @@ pub trait SchedulerView {
     }
 }
 
+/// Views whose candidate surface *is* a [`WorkloadTable`]'s candidate
+/// index. Implementors supply the clock, the table, and the per-query
+/// cursor state; a blanket impl derives the whole [`SchedulerView`]
+/// candidate surface from the table's indexed accessors — so the engine,
+/// the benches, and the equivalence tests all run the exact same dispatch
+/// instead of hand-mirrored adapter copies.
+///
+/// φ freshness is the implementor's contract: call
+/// [`WorkloadTable::sync_residency`] before handing the view to a
+/// scheduler.
+pub trait IndexedSchedulerView {
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// The workload table whose index answers candidate queries.
+    fn table(&self) -> &WorkloadTable;
+
+    /// See [`SchedulerView::oldest_pending_query`].
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)>;
+
+    /// See [`SchedulerView::pending_buckets_of`].
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId>;
+
+    /// See [`SchedulerView::first_pending_bucket_of`].
+    fn first_pending_bucket_of(&self, query: QueryId) -> Option<BucketId> {
+        IndexedSchedulerView::pending_buckets_of(self, query)
+            .into_iter()
+            .next()
+    }
+}
+
+impl<T: IndexedSchedulerView> SchedulerView for T {
+    fn now(&self) -> SimTime {
+        IndexedSchedulerView::now(self)
+    }
+
+    fn candidate_count(&self) -> usize {
+        self.table().candidate_count()
+    }
+
+    fn for_each_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        self.table().for_each_candidate(f);
+    }
+
+    fn for_each_cached_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        self.table().for_each_cached_candidate(f);
+    }
+
+    fn top_candidate(&self, lens: Lens) -> Option<BucketSnapshot> {
+        match lens {
+            Lens::UncachedThroughput => self.table().top_candidate_uncached(),
+            Lens::Age => self.table().top_candidate_age(),
+        }
+    }
+
+    fn bottom_candidate(&self, lens: Lens) -> Option<BucketSnapshot> {
+        match lens {
+            Lens::UncachedThroughput => self.table().bottom_candidate_uncached(),
+            Lens::Age => self.table().bottom_candidate_age(),
+        }
+    }
+
+    fn top_candidates(&self, lens: Lens, k: usize, out: &mut Vec<BucketSnapshot>) {
+        match lens {
+            Lens::UncachedThroughput => self.table().uncached_frontier_into(k, out),
+            Lens::Age => self.table().age_frontier_into(k, out),
+        }
+    }
+
+    fn candidate_at_or_after(&self, bucket: BucketId) -> Option<BucketSnapshot> {
+        self.table().candidate_at_or_after(bucket)
+    }
+
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {
+        IndexedSchedulerView::oldest_pending_query(self)
+    }
+
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId> {
+        IndexedSchedulerView::pending_buckets_of(self, query)
+    }
+
+    fn first_pending_bucket_of(&self, query: QueryId) -> Option<BucketId> {
+        IndexedSchedulerView::first_pending_bucket_of(self, query)
+    }
+}
+
 /// A batch scheduling policy.
 pub trait Scheduler {
     /// Human-readable policy name (used in reports and figure rows).
     fn name(&self) -> String;
 
     /// Chooses the next batch, or `None` if the view offers no work.
-    fn pick(&mut self, view: &dyn SchedulerView) -> Option<Pick>;
+    fn pick(&mut self, view: &dyn SchedulerView) -> Option<BatchSpec>;
 
     /// Notification of a query arrival (used by adaptive policies to track
     /// workload saturation). Default: ignored.
     fn on_query_arrival(&mut self, _now: SimTime) {}
 }
 
-/// A fixture view for scheduler unit tests.
+/// A fixture view for scheduler unit tests: the scan-based reference
+/// implementation of every indexed accessor.
 #[derive(Debug, Clone, Default)]
 pub struct FixtureView {
     /// Current time reported by the fixture.
@@ -121,8 +303,14 @@ impl SchedulerView for FixtureView {
         self.now
     }
 
-    fn candidates(&self) -> &[BucketSnapshot] {
-        &self.candidates
+    fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn for_each_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        for c in &self.candidates {
+            f(c);
+        }
     }
 
     fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {
@@ -143,29 +331,21 @@ mod tests {
     use super::*;
     use liferaft_storage::SimDuration;
 
-    #[test]
-    fn snapshot_age_is_visible_through_the_reexport() {
-        let s = BucketSnapshot {
-            bucket: BucketId(1),
-            queue_len: 5,
-            oldest_enqueue: SimTime::ZERO,
-            cached: false,
+    fn snap(bucket: u32, queue_len: u64, enq_us: u64, cached: bool) -> BucketSnapshot {
+        BucketSnapshot {
+            bucket: BucketId(bucket),
+            queue_len,
+            oldest_enqueue: SimTime::from_micros(enq_us),
+            cached,
             bucket_objects: 100,
-        };
-        let now = SimTime::ZERO + SimDuration::from_millis(2500);
-        assert_eq!(s.age_ms(now), 2500.0);
+        }
     }
 
     #[test]
-    fn pick_constructors() {
-        let spec = BatchSpec {
-            bucket: BucketId(3),
-            scope: BatchScope::AllQueued,
-            share_io: true,
-        };
-        assert_eq!(Pick::of_candidate(2, spec).candidate, Some(2));
-        assert_eq!(Pick::unindexed(spec).candidate, None);
-        assert_eq!(Pick::unindexed(spec).spec, spec);
+    fn snapshot_age_is_visible_through_the_reexport() {
+        let s = snap(1, 5, 0, false);
+        let now = SimTime::ZERO + SimDuration::from_millis(2500);
+        assert_eq!(s.age_ms(now), 2500.0);
     }
 
     #[test]
@@ -177,7 +357,8 @@ mod tests {
             query_buckets: vec![(QueryId(3), vec![BucketId(2), BucketId(5)])],
         };
         assert_eq!(v.now(), SimTime::from_micros(7));
-        assert!(v.candidates().is_empty());
+        assert_eq!(v.candidate_count(), 0);
+        assert_eq!(v.top_candidate(Lens::UncachedThroughput), None);
         assert_eq!(v.oldest_pending_query(), Some((QueryId(3), SimTime::ZERO)));
         assert_eq!(
             v.pending_buckets_of(QueryId(3)),
@@ -186,5 +367,67 @@ mod tests {
         assert!(v.pending_buckets_of(QueryId(9)).is_empty());
         assert_eq!(v.first_pending_bucket_of(QueryId(3)), Some(BucketId(2)));
         assert_eq!(v.first_pending_bucket_of(QueryId(9)), None);
+    }
+
+    #[test]
+    fn default_lens_accessors_scan_correctly() {
+        let v = FixtureView {
+            now: SimTime::from_micros(1_000),
+            candidates: vec![
+                snap(0, 10, 500, false),
+                snap(3, 2, 100, true),
+                snap(7, 90, 300, false),
+            ],
+            ..FixtureView::default()
+        };
+        // The cached candidate is outside the uncached-throughput pool.
+        assert_eq!(
+            v.top_candidate(Lens::UncachedThroughput).unwrap().bucket,
+            BucketId(7)
+        );
+        assert_eq!(
+            v.bottom_candidate(Lens::UncachedThroughput).unwrap().bucket,
+            BucketId(0)
+        );
+        // ... but is streamed through the resident pool.
+        let mut cached = Vec::new();
+        v.for_each_cached_candidate(&mut |c| cached.push(c.bucket));
+        assert_eq!(cached, vec![BucketId(3)]);
+        // Oldest enqueue wins the age lens; youngest is the bottom.
+        assert_eq!(v.top_candidate(Lens::Age).unwrap().bucket, BucketId(3));
+        assert_eq!(v.bottom_candidate(Lens::Age).unwrap().bucket, BucketId(0));
+        let mut out = Vec::new();
+        v.top_candidates(Lens::UncachedThroughput, 2, &mut out);
+        assert_eq!(
+            out.iter().map(|c| c.bucket).collect::<Vec<_>>(),
+            vec![BucketId(7), BucketId(0)]
+        );
+        v.top_candidates(Lens::Age, 5, &mut out);
+        assert_eq!(
+            out.iter().map(|c| c.bucket).collect::<Vec<_>>(),
+            vec![BucketId(3), BucketId(7), BucketId(0)]
+        );
+        // Cursor probe.
+        assert_eq!(
+            v.candidate_at_or_after(BucketId(0)).unwrap().bucket,
+            BucketId(0)
+        );
+        assert_eq!(
+            v.candidate_at_or_after(BucketId(1)).unwrap().bucket,
+            BucketId(3)
+        );
+        assert_eq!(v.candidate_at_or_after(BucketId(8)), None);
+    }
+
+    #[test]
+    fn lens_ties_break_by_queue_then_bucket() {
+        let a = snap(4, 10, 100, false);
+        let b = snap(9, 10, 100, false);
+        // Equal keys except bucket: the lower bucket orders higher.
+        assert!(Lens::UncachedThroughput.cmp(&a, &b).is_gt());
+        assert!(Lens::Age.cmp(&a, &b).is_gt());
+        let long = snap(9, 20, 100, false);
+        assert!(Lens::UncachedThroughput.cmp(&long, &a).is_gt());
+        assert!(Lens::Age.cmp(&long, &a).is_gt());
     }
 }

@@ -6,18 +6,26 @@
 //! oldest request left *waiting* (not serviced), giving a direct measure of
 //! how unfair a policy is and letting tests assert that α = 1 bounds waits
 //! while α = 0 does not.
+//!
+//! Recording is O(1) per decision: the caller supplies the *summary* of the
+//! passed-over set — how many candidates waited and the enqueue time of the
+//! oldest among them, both of which the candidate index answers without a
+//! scan. (The monitor used to walk every candidate per decision, which put
+//! an O(candidates) floor under every scheduler — including NoShare, which
+//! never looks at candidates at all.)
 
 use liferaft_metrics::StreamingStats;
 use liferaft_storage::SimTime;
 
-use crate::scheduler::BucketSnapshot;
-
 /// Accumulates waiting-time observations across scheduling decisions.
 #[derive(Debug, Clone, Default)]
 pub struct StarvationMonitor {
+    /// Per-decision *oldest* passed-over wait (ms); empty-field decisions
+    /// contribute nothing.
     waits_ms: StreamingStats,
     max_wait_ms: f64,
     decisions: u64,
+    passed_over: u64,
 }
 
 impl StarvationMonitor {
@@ -26,17 +34,24 @@ impl StarvationMonitor {
         StarvationMonitor::default()
     }
 
-    /// Records a decision: `candidates` were pending, `picked` (an index
-    /// into `candidates`) was serviced. The ages of everything left behind
-    /// are the waiting times of this decision.
-    pub fn record_decision(&mut self, now: SimTime, candidates: &[BucketSnapshot], picked: usize) {
-        assert!(picked < candidates.len(), "picked index out of range");
+    /// Records a decision that passed over `passed_over` candidates, the
+    /// oldest of which was enqueued at `oldest_passed` (`None` iff the
+    /// picked bucket was the only candidate).
+    pub fn record_decision(
+        &mut self,
+        now: SimTime,
+        passed_over: u64,
+        oldest_passed: Option<SimTime>,
+    ) {
         self.decisions += 1;
-        for (i, c) in candidates.iter().enumerate() {
-            if i == picked {
-                continue;
-            }
-            let age = c.age_ms(now);
+        self.passed_over += passed_over;
+        debug_assert_eq!(
+            oldest_passed.is_none(),
+            passed_over == 0,
+            "oldest-passed must be present exactly when candidates waited"
+        );
+        if let Some(enqueued) = oldest_passed {
+            let age = now.since(enqueued).as_millis_f64();
             self.waits_ms.push(age);
             self.max_wait_ms = self.max_wait_ms.max(age);
         }
@@ -47,17 +62,23 @@ impl StarvationMonitor {
         self.decisions
     }
 
+    /// Total candidates passed over across all decisions.
+    pub fn passed_over(&self) -> u64 {
+        self.passed_over
+    }
+
     /// Longest wait (ms) any pending bucket experienced at a decision point.
     pub fn max_wait_ms(&self) -> f64 {
         self.max_wait_ms
     }
 
-    /// Mean wait (ms) across all passed-over buckets.
+    /// Mean per-decision oldest wait (ms), over decisions that left
+    /// something waiting.
     pub fn mean_wait_ms(&self) -> f64 {
         self.waits_ms.mean()
     }
 
-    /// Full wait statistics.
+    /// Full statistics over the per-decision oldest waits.
     pub fn stats(&self) -> &StreamingStats {
         &self.waits_ms
     }
@@ -66,36 +87,30 @@ impl StarvationMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liferaft_storage::{BucketId, SimDuration};
+    use liferaft_storage::SimDuration;
 
-    fn snap(bucket: u32, enq_ms: u64) -> BucketSnapshot {
-        BucketSnapshot {
-            bucket: BucketId(bucket),
-            queue_len: 1,
-            oldest_enqueue: SimTime::ZERO + SimDuration::from_millis(enq_ms),
-            cached: false,
-            bucket_objects: 100,
-        }
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
     #[test]
-    fn records_passed_over_ages() {
+    fn records_oldest_passed_over_age() {
         let mut m = StarvationMonitor::new();
-        let now = SimTime::ZERO + SimDuration::from_millis(1_000);
-        // Pick index 0; buckets at ages 0 (picked), 600, 900 ms.
-        let cands = vec![snap(0, 1_000), snap(1, 400), snap(2, 100)];
-        m.record_decision(now, &cands, 0);
+        // Pick left two buckets waiting; the older was enqueued at 100 ms.
+        m.record_decision(at_ms(1_000), 2, Some(at_ms(100)));
         assert_eq!(m.decisions(), 1);
+        assert_eq!(m.passed_over(), 2);
         assert_eq!(m.max_wait_ms(), 900.0);
-        assert_eq!(m.mean_wait_ms(), 750.0);
-        assert_eq!(m.stats().count(), 2);
+        assert_eq!(m.mean_wait_ms(), 900.0);
+        assert_eq!(m.stats().count(), 1);
     }
 
     #[test]
-    fn picked_bucket_is_not_a_wait() {
+    fn sole_candidate_decisions_record_no_wait() {
         let mut m = StarvationMonitor::new();
-        let now = SimTime::ZERO + SimDuration::from_millis(500);
-        m.record_decision(now, &[snap(0, 0)], 0);
+        m.record_decision(at_ms(500), 0, None);
+        assert_eq!(m.decisions(), 1);
+        assert_eq!(m.passed_over(), 0);
         assert_eq!(m.stats().count(), 0);
         assert_eq!(m.max_wait_ms(), 0.0);
     }
@@ -103,18 +118,10 @@ mod tests {
     #[test]
     fn max_tracks_across_decisions() {
         let mut m = StarvationMonitor::new();
-        let t1 = SimTime::ZERO + SimDuration::from_millis(100);
-        let t2 = SimTime::ZERO + SimDuration::from_millis(5_000);
-        m.record_decision(t1, &[snap(0, 0), snap(1, 50)], 0);
-        m.record_decision(t2, &[snap(0, 0), snap(1, 50)], 0);
+        m.record_decision(at_ms(100), 1, Some(at_ms(50)));
+        m.record_decision(at_ms(5_000), 1, Some(at_ms(50)));
         assert_eq!(m.max_wait_ms(), 4_950.0);
         assert_eq!(m.decisions(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_pick_index() {
-        let mut m = StarvationMonitor::new();
-        m.record_decision(SimTime::ZERO, &[], 0);
+        assert_eq!(m.mean_wait_ms(), 2_500.0);
     }
 }

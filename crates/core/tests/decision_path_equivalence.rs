@@ -1,0 +1,251 @@
+//! The decision-path equivalence pin: for every scheduler and every α, the
+//! pick made through the **candidate index** (a view over the live
+//! `WorkloadTable`, φ synced via the residency mutation log) must equal the
+//! pick made through the **legacy path** (`snapshots_into` gather + scan
+//! over the materialized slice) — across arbitrary interleavings of
+//! enqueues, full/per-query drains, and cache accesses/evictions/flushes.
+//!
+//! This is the contract that lets `tests/golden_determinism.rs` keep its
+//! pre-refactor fingerprints: if these picks agree everywhere, the engines
+//! built on them are bit-identical.
+
+use std::collections::{BTreeSet, HashMap};
+
+use liferaft_core::adaptive::{TradeoffCurve, TradeoffPoint};
+use liferaft_core::scheduler::FixtureView;
+use liferaft_core::{
+    AdaptiveScheduler, AgingMode, AlphaController, IndexedSchedulerView, LifeRaftScheduler,
+    MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler, TradeoffTable,
+};
+use liferaft_htm::Vec3;
+use liferaft_query::{CrossMatchQuery, Predicate, QueryId, WorkItem, WorkloadTable};
+use liferaft_storage::{BucketCache, BucketId, SimTime};
+use proptest::prelude::*;
+
+const N_BUCKETS: usize = 24;
+const CACHE_CAP: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Enqueue `n` objects of `query` at `bucket`.
+    Enqueue { bucket: u32, query: u64, n: u8 },
+    /// Drain everything at `bucket`.
+    TakeAll { bucket: u32 },
+    /// Drain one query's entries at `bucket`.
+    TakeQuery { bucket: u32, query: u64 },
+    /// A batch executed against `bucket`: cache access (hit or load+evict).
+    CacheAccess { bucket: u32 },
+    /// Flush the cache (truncates the mutation log: full re-probe path).
+    CacheClear,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..8, 0u32..N_BUCKETS as u32, 0u64..6, 1u8..5), 1..80).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, bucket, query, n)| match kind {
+                    0..=2 => Op::Enqueue { bucket, query, n },
+                    3 => Op::TakeAll { bucket },
+                    4 => Op::TakeQuery { bucket, query },
+                    5 | 6 => Op::CacheAccess { bucket },
+                    _ => Op::CacheClear,
+                })
+                .collect()
+        },
+    )
+}
+
+fn query_of(id: u64, n: usize, salt: u64) -> CrossMatchQuery {
+    let positions: Vec<Vec3> = (0..n)
+        .map(|i| Vec3::from_radec_deg(10.0 + (salt % 89) as f64 + i as f64 * 0.01, 5.0))
+        .collect();
+    CrossMatchQuery::from_positions(QueryId(id), &positions, 1e-5, 6, Predicate::All)
+}
+
+/// The indexed view: the blanket [`IndexedSchedulerView`] impl gives it the
+/// exact candidate dispatch the engine's decision loop uses.
+struct IndexedView<'s> {
+    now: SimTime,
+    table: &'s WorkloadTable,
+    oldest_query: Option<(QueryId, SimTime)>,
+    per_query: &'s HashMap<QueryId, BTreeSet<BucketId>>,
+}
+
+impl IndexedSchedulerView for IndexedView<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn table(&self) -> &WorkloadTable {
+        self.table
+    }
+    fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {
+        self.oldest_query
+    }
+    fn pending_buckets_of(&self, query: QueryId) -> Vec<BucketId> {
+        self.per_query
+            .get(&query)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Fresh schedulers for one comparison round. RR and the adaptive wrapper
+/// are stateful, so the harness keeps a pair per side and steps them in
+/// lockstep instead.
+fn stateless_schedulers() -> Vec<Box<dyn Scheduler>> {
+    let mut v: Vec<Box<dyn Scheduler>> = vec![Box::new(NoShareScheduler::new())];
+    for mode in [AgingMode::Normalized, AgingMode::Raw] {
+        for alpha in [0.0, 0.25, 0.5, 1.0] {
+            v.push(Box::new(LifeRaftScheduler::new(
+                MetricParams::paper(),
+                mode,
+                alpha,
+            )));
+        }
+    }
+    v
+}
+
+fn adaptive() -> AdaptiveScheduler {
+    let pt = |alpha, tput, resp| TradeoffPoint {
+        alpha,
+        throughput_qps: tput,
+        mean_response_s: resp,
+    };
+    let table = TradeoffTable::new(vec![
+        TradeoffCurve::new(0.1, vec![pt(0.0, 0.115, 300.0), pt(1.0, 0.107, 138.0)]),
+        TradeoffCurve::new(0.5, vec![pt(0.0, 0.40, 420.0), pt(0.25, 0.32, 340.0)]),
+    ]);
+    let controller = AlphaController::new(
+        table,
+        0.20,
+        liferaft_storage::SimDuration::from_secs(60),
+        liferaft_storage::SimDuration::from_secs(5),
+        0.5,
+    );
+    AdaptiveScheduler::new(
+        LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5),
+        controller,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Index pick == legacy gather+scan pick, for every policy, at every
+    /// step of a random enqueue/drain/evict interleaving.
+    #[test]
+    fn indexed_and_legacy_picks_agree(ops in arb_ops()) {
+        let mut table = WorkloadTable::new(N_BUCKETS).with_object_counts(|b| 500 + b.0 as u64);
+        let mut cache = BucketCache::new(CACHE_CAP);
+        let mut per_query: HashMap<QueryId, BTreeSet<BucketId>> = HashMap::new();
+        let mut arrival_of: HashMap<QueryId, SimTime> = HashMap::new();
+        let mut rr_indexed = RoundRobinScheduler::new();
+        let mut rr_legacy = RoundRobinScheduler::new();
+        let mut adaptive_pair = (adaptive(), adaptive());
+        let mut snaps = Vec::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            let now = SimTime::from_micros(step as u64 * 1_000 + 1);
+            match *op {
+                Op::Enqueue { bucket, query, n } => {
+                    let q = query_of(query, n as usize, step as u64);
+                    let item = WorkItem {
+                        query: q.id,
+                        bucket: BucketId(bucket),
+                        object_indices: (0..q.len() as u32).collect(),
+                    };
+                    table.enqueue(&item, &q, now);
+                    per_query.entry(q.id).or_default().insert(BucketId(bucket));
+                    arrival_of.entry(q.id).or_insert(now);
+                }
+                Op::TakeAll { bucket } => {
+                    for e in table.take_all(BucketId(bucket)) {
+                        if let Some(set) = per_query.get_mut(&e.query) {
+                            set.remove(&BucketId(bucket));
+                        }
+                    }
+                }
+                Op::TakeQuery { bucket, query } => {
+                    let drained = table.take_query(BucketId(bucket), QueryId(query));
+                    if !drained.is_empty() {
+                        if let Some(set) = per_query.get_mut(&QueryId(query)) {
+                            set.remove(&BucketId(bucket));
+                        }
+                    }
+                }
+                Op::CacheAccess { bucket } => {
+                    cache.access(BucketId(bucket));
+                }
+                Op::CacheClear => cache.clear(),
+            }
+            per_query.retain(|_, set| !set.is_empty());
+
+            // One decision point per step, through both paths.
+            table.sync_residency(&cache);
+            table.validate_index();
+            table.snapshots_into(&mut snaps, &cache);
+            let oldest_query = per_query
+                .keys()
+                .map(|&q| (arrival_of[&q], q))
+                .min()
+                .map(|(t, q)| (q, t));
+            let legacy_view = FixtureView {
+                now,
+                candidates: snaps.clone(),
+                oldest_query,
+                query_buckets: per_query
+                    .iter()
+                    .map(|(&q, set)| (q, set.iter().copied().collect()))
+                    .collect(),
+            };
+            let indexed_view = IndexedView {
+                now,
+                table: &table,
+                oldest_query,
+                per_query: &per_query,
+            };
+
+            for s in &mut stateless_schedulers() {
+                let legacy = s.pick(&legacy_view);
+                let indexed = s.pick(&indexed_view);
+                prop_assert_eq!(
+                    legacy, indexed,
+                    "{} diverged at step {} ({} candidates)",
+                    s.name(), step, snaps.len()
+                );
+            }
+
+            // The adaptive wrapper retunes α then delegates to LifeRaft;
+            // both sides see the same arrivals, so lockstep picks agree.
+            {
+                let a = adaptive_pair.0.pick(&indexed_view);
+                let b = adaptive_pair.1.pick(&legacy_view);
+                prop_assert_eq!(a, b, "Adaptive diverged at step {}", step);
+            }
+
+            // LifeRaft vs the pre-refactor pick_index over the gathered
+            // slice — the strongest form of the claim.
+            for mode in [AgingMode::Normalized, AgingMode::Raw] {
+                for alpha in [0.0, 0.25, 0.5, 1.0] {
+                    let mut s = LifeRaftScheduler::new(MetricParams::paper(), mode, alpha);
+                    let via_index = s.pick(&indexed_view).map(|spec| spec.bucket);
+                    let via_slice = s.pick_index(now, &snaps).map(|i| snaps[i].bucket);
+                    prop_assert_eq!(
+                        via_index, via_slice,
+                        "LifeRaft mode {:?} α={} diverged from pick_index at step {}",
+                        mode, alpha, step
+                    );
+                }
+            }
+
+            // RR: stateful cursor, stepped in lockstep on both sides.
+            if !snaps.is_empty() {
+                let a = rr_indexed.pick(&indexed_view);
+                let b = rr_legacy.pick(&legacy_view);
+                prop_assert_eq!(a, b, "RR diverged at step {}", step);
+                prop_assert_eq!(rr_indexed.cursor(), rr_legacy.cursor());
+            }
+        }
+    }
+}

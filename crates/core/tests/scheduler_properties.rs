@@ -128,6 +128,31 @@ proptest! {
         prop_assert_eq!(idx, best);
     }
 
+    /// The indexed pick (lens extremes at α ∈ {0, 1}, threshold frontier
+    /// scan in between) through a view must equal the legacy
+    /// full-materialization `pick_index`, for any α and either aging mode.
+    #[test]
+    fn view_pick_matches_pick_index(
+        cands in arb_candidates(),
+        random_alpha in 0.0..=1.0f64,
+    ) {
+        let now = SimTime::from_micros(2_000_000);
+        let view = FixtureView {
+            now,
+            candidates: cands.clone(),
+            oldest_query: None,
+            query_buckets: vec![],
+        };
+        for mode in [AgingMode::Normalized, AgingMode::Raw] {
+            for alpha in [0.0, 0.25, 0.5, random_alpha, 1.0] {
+                let mut s = LifeRaftScheduler::new(MetricParams::paper(), mode, alpha);
+                let legacy = cands[s.pick_index(now, &cands).expect("non-empty")];
+                let picked = s.pick(&view).expect("non-empty");
+                prop_assert_eq!(picked.bucket, legacy.bucket, "mode {:?} α={}", mode, alpha);
+            }
+        }
+    }
+
     /// Round-robin visits every candidate exactly once per rotation when
     /// the candidate set is stable.
     #[test]
@@ -142,12 +167,11 @@ proptest! {
         let mut seen = Vec::new();
         for _ in 0..cands.len() {
             let pick = rr.pick(&view).expect("non-empty");
-            prop_assert_eq!(
-                pick.candidate.map(|i| cands[i].bucket),
-                Some(pick.spec.bucket),
-                "returned candidate index must point at the picked bucket"
+            prop_assert!(
+                cands.iter().any(|c| c.bucket == pick.bucket),
+                "picked bucket must be a candidate"
             );
-            seen.push(pick.spec.bucket);
+            seen.push(pick.bucket);
         }
         let mut expected: Vec<BucketId> = cands.iter().map(|c| c.bucket).collect();
         seen.sort();

@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 
 pub mod crossmatch;
+pub mod index;
 pub mod preprocess;
 pub mod queue;
 pub mod snapshot;
 pub mod tracker;
 
 pub use crossmatch::{CrossMatchQuery, MatchObject, Predicate, QueryId};
+pub use index::CandidateIndex;
 pub use preprocess::{QueryPreProcessor, WorkItem};
 pub use queue::{QueueEntry, WorkloadQueue, WorkloadTable};
 pub use snapshot::{BucketSnapshot, NoResidency, Residency};

@@ -9,6 +9,7 @@ use liferaft_htm::{HtmRange, Vec3};
 use liferaft_storage::{BucketId, SimTime};
 
 use crate::crossmatch::{CrossMatchQuery, QueryId};
+use crate::index::CandidateIndex;
 use crate::preprocess::WorkItem;
 use crate::snapshot::{BucketSnapshot, Residency};
 
@@ -37,6 +38,12 @@ pub struct QueueEntry {
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadQueue {
     entries: Vec<QueueEntry>,
+    /// Parallel array of `(query, enqueued_at)` per entry — the dense scan
+    /// key for per-query drains. A [`drain_query_into`](Self::drain_query_into)
+    /// sweep reads 16 bytes per kept entry from here instead of striding
+    /// through the ~100-byte entries, which is what makes NoShare's
+    /// drain-the-shared-queue discipline bandwidth-cheap.
+    keys: Vec<(QueryId, SimTime)>,
     /// Earliest enqueue time among current entries (None when empty).
     oldest: Option<SimTime>,
 }
@@ -53,6 +60,7 @@ impl WorkloadQueue {
             Some(t) => t.min(e.enqueued_at),
             None => e.enqueued_at,
         });
+        self.keys.push((e.query, e.enqueued_at));
         self.entries.push(e);
     }
 
@@ -88,6 +96,7 @@ impl WorkloadQueue {
     /// Removes and returns all entries (a full-batch drain).
     pub fn drain_all(&mut self) -> Vec<QueueEntry> {
         self.oldest = None;
+        self.keys.clear();
         std::mem::take(&mut self.entries)
     }
 
@@ -98,11 +107,15 @@ impl WorkloadQueue {
     pub fn drain_all_into(&mut self, out: &mut Vec<QueueEntry>) {
         out.clear();
         out.append(&mut self.entries);
+        self.keys.clear();
         self.oldest = None;
     }
 
     /// Removes and returns only the entries of `query` (the NoShare batch
     /// scope), recomputing the oldest timestamp for the remainder.
+    ///
+    /// Kept entries may be **reordered** (swap-remove); see
+    /// [`drain_query_into`](Self::drain_query_into).
     pub fn drain_query(&mut self, query: QueryId) -> Vec<QueueEntry> {
         let mut out = Vec::new();
         self.drain_query_into(query, &mut out);
@@ -110,25 +123,44 @@ impl WorkloadQueue {
     }
 
     /// Moves the entries of `query` into `out` (cleared first) in a single
-    /// in-place pass: kept entries are compacted toward the front in order,
-    /// so neither side allocates beyond `out`'s growth. The oldest timestamp
-    /// is only recomputed when something was actually drained.
+    /// swap-remove pass that also folds in the surviving oldest timestamp.
+    ///
+    /// Matched entries are *moved* out (no clone) and each removal costs one
+    /// tail-element copy; kept entries are never written, so a drain's cost
+    /// is one read sweep plus O(matched) — not the O(queue) entry-by-entry
+    /// compaction this used to do, which dominated NoShare's wall time (a
+    /// deep shared queue was rewritten once per co-queued query).
+    ///
+    /// The price is that kept entries lose arrival order. That order is not
+    /// part of the queue's contract: batches consume entries as an unordered
+    /// set (completion accounting groups by query ID, join results are
+    /// counted, and the age term reads the maintained `oldest`, all
+    /// order-insensitive) — pinned end-to-end by the golden determinism
+    /// fingerprints.
     pub fn drain_query_into(&mut self, query: QueryId, out: &mut Vec<QueueEntry>) {
         out.clear();
-        let mut write = 0;
-        for read in 0..self.entries.len() {
-            if self.entries[read].query == query {
-                out.push(self.entries[read].clone());
+        let mut i = 0;
+        let mut kept_oldest: Option<SimTime> = None;
+        // The sweep reads only the dense key sidecar; the wide entries are
+        // touched exactly once per *matched* element.
+        while i < self.keys.len() {
+            let (q, t) = self.keys[i];
+            if q == query {
+                // The tail element moves into the hole and is examined next.
+                self.keys.swap_remove(i);
+                out.push(self.entries.swap_remove(i));
             } else {
-                self.entries.swap(write, read);
-                write += 1;
+                kept_oldest = Some(match kept_oldest {
+                    Some(o) => o.min(t),
+                    None => t,
+                });
+                i += 1;
             }
         }
         if out.is_empty() {
             return; // nothing left the queue: `oldest` is still correct
         }
-        self.entries.truncate(write);
-        self.oldest = self.entries.iter().map(|e| e.enqueued_at).min();
+        self.oldest = kept_oldest;
     }
 
     /// Distinct queries with work in this queue.
@@ -147,12 +179,18 @@ impl WorkloadQueue {
 /// and the age of the oldest query in each queue" (Section 4).
 ///
 /// The table keeps a live [`BucketSnapshot`] slot per bucket, updated in
-/// O(1) on [`enqueue`](Self::enqueue) and the drain paths, so a scheduling
-/// decision costs one gather plus a residency probe per candidate
-/// ([`snapshots_into`](Self::snapshots_into)) instead of an O(non-empty
-/// buckets) rebuild from the queues. Slots are updated in place (never
-/// shifted), which keeps hot drain/refill cycles free of the O(candidates)
-/// memmoves a dense sorted snapshot vector would pay.
+/// O(1) on [`enqueue`](Self::enqueue) and the drain paths, plus a
+/// [`CandidateIndex`] over the non-empty slots, updated in O(log n) on the
+/// same mutations (and on residency-epoch bumps via
+/// [`sync_residency`](Self::sync_residency)). A scheduling decision is then
+/// an index lookup ([`top_candidate_age`](Self::top_candidate_age),
+/// [`top_candidate_uncached`](Self::top_candidate_uncached) plus an exact
+/// re-rank of the small resident pool, the frontier accessors)
+/// instead of an O(non-empty buckets) gather + re-score; the gather
+/// ([`snapshots_into`](Self::snapshots_into)) is retained for tests and
+/// diagnostics. Slots are updated in place (never shifted), which keeps hot
+/// drain/refill cycles free of the O(candidates) memmoves a dense sorted
+/// snapshot vector would pay.
 #[derive(Debug, Clone)]
 pub struct WorkloadTable {
     queues: Vec<WorkloadQueue>,
@@ -162,13 +200,21 @@ pub struct WorkloadTable {
     /// Live snapshot slots indexed by bucket like `queues`. A slot is
     /// meaningful only while its bucket appears in `non_empty`; the
     /// `bucket` and `bucket_objects` fields are static, and the `cached`
-    /// bit is refreshed lazily by `snapshots_into` against the residency
-    /// oracle's epoch.
+    /// bit is brought current by `sync_residency` (eagerly, feeding the
+    /// index) or `snapshots_into` (lazily, against the oracle's epoch).
     snapshot_slots: Vec<BucketSnapshot>,
     /// Residency-oracle epoch at which each slot's `cached` bit was last
     /// probed (0 = never). While the oracle's epoch matches, the stored bit
     /// is served without re-probing.
     phi_stamp: Vec<u64>,
+    /// The candidate index over the non-empty slots. Invariant: holds
+    /// exactly one entry per `non_empty` bucket, keyed by that bucket's
+    /// current slot values.
+    index: CandidateIndex,
+    /// Oracle epoch the slots' `cached` bits (and the index's φ keys) were
+    /// last synced to; `None` before the first [`sync_residency`](Self::sync_residency).
+    /// Epochs are only comparable against a single oracle (see [`Residency`]).
+    synced_epoch: Option<u64>,
     /// Total queued objects across all buckets.
     total_queued: u64,
 }
@@ -189,6 +235,8 @@ impl WorkloadTable {
                 })
                 .collect(),
             phi_stamp: vec![0; n_buckets],
+            index: CandidateIndex::new(),
+            synced_epoch: None,
             total_queued: 0,
         }
     }
@@ -243,9 +291,13 @@ impl WorkloadTable {
         if q.is_empty() {
             return; // the item carried no object indices
         }
+        if !was_empty {
+            self.index.remove(&self.snapshot_slots[idx]);
+        }
         let slot = &mut self.snapshot_slots[idx];
         slot.queue_len = q.len() as u64;
         slot.oldest_enqueue = q.oldest_enqueue().expect("non-empty queue has an oldest");
+        self.index.insert(&self.snapshot_slots[idx]);
         if was_empty {
             let pos = self.non_empty.partition_point(|&b| b < item.bucket);
             self.non_empty.insert(pos, item.bucket);
@@ -345,11 +397,210 @@ impl WorkloadTable {
         }
     }
 
+    /// Brings every slot's `cached` (φ) bit — and the candidate index's
+    /// φ-dependent keys — current with `residency`. Must be called before
+    /// the pick accessors whenever the oracle may have mutated; the decision
+    /// loop calls it once per decision.
+    ///
+    /// Cost: O(changed buckets · log n) when the oracle can enumerate its
+    /// mutations since the last sync ([`Residency::for_each_mutation_since`]),
+    /// O(candidates) re-probes when it cannot, and one O(buckets) full probe
+    /// on the first sync (to seed the bits of still-empty buckets, whose
+    /// slots feed the index when they go non-empty). Like `snapshots_into`,
+    /// all syncs of one table must use the same oracle.
+    pub fn sync_residency(&mut self, residency: &dyn Residency) {
+        let epoch = residency.residency_epoch();
+        if epoch.is_some() && epoch == self.synced_epoch {
+            return; // nothing can have changed since the last sync
+        }
+        let replayed = match (self.synced_epoch, epoch) {
+            (Some(synced), Some(e)) => {
+                let slots = &mut self.snapshot_slots;
+                let queues = &self.queues;
+                let index = &mut self.index;
+                let phi_stamp = &mut self.phi_stamp;
+                residency.for_each_mutation_since(synced, &mut |bucket: BucketId, resident| {
+                    let i = bucket.index();
+                    if i >= slots.len() {
+                        return; // outside this table
+                    }
+                    // Only mutated slots are stamped; unmutated ones keep an
+                    // older stamp, so the diagnostic `snapshots_into` may
+                    // re-probe them (getting the same bit back) — the hot
+                    // path stays O(changed), not O(buckets).
+                    phi_stamp[i] = e;
+                    if slots[i].cached == resident {
+                        return; // already current
+                    }
+                    if !queues[i].is_empty() {
+                        index.remove(&slots[i]);
+                        slots[i].cached = resident;
+                        index.insert(&slots[i]);
+                    } else {
+                        slots[i].cached = resident;
+                    }
+                })
+            }
+            _ => false,
+        };
+        if !replayed {
+            // First sync, an epoch-less oracle, or a truncated mutation log:
+            // probe from scratch. Epoch-bearing oracles get *every* bucket
+            // probed (empty ones included) so later mutation replays keep
+            // all bits current; epoch-less oracles get only the candidates
+            // refreshed — every pick re-syncs anyway, so a bucket's bit is
+            // re-probed before it can influence a decision.
+            let all = epoch.is_some();
+            let n = self.snapshot_slots.len();
+            for i in 0..n {
+                let bucket = BucketId(i as u32);
+                if !all && self.queues[i].is_empty() {
+                    continue;
+                }
+                let resident = residency.is_resident(bucket);
+                if let Some(e) = epoch {
+                    self.phi_stamp[i] = e;
+                }
+                if self.snapshot_slots[i].cached != resident {
+                    if !self.queues[i].is_empty() {
+                        self.index.remove(&self.snapshot_slots[i]);
+                        self.snapshot_slots[i].cached = resident;
+                        self.index.insert(&self.snapshot_slots[i]);
+                    } else {
+                        self.snapshot_slots[i].cached = resident;
+                    }
+                }
+            }
+        }
+        self.synced_epoch = epoch;
+    }
+
+    /// Number of candidates (non-empty buckets).
+    pub fn candidate_count(&self) -> usize {
+        self.non_empty.len()
+    }
+
+    /// Streams every candidate snapshot in ascending bucket order, straight
+    /// from the maintained slots — no gather, no allocation. φ freshness
+    /// requires a preceding [`sync_residency`](Self::sync_residency).
+    pub fn for_each_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        for &b in &self.non_empty {
+            f(&self.snapshot_slots[b.index()]);
+        }
+    }
+
+    /// Number of resident candidates (bounded by the cache capacity).
+    pub fn cached_candidate_count(&self) -> usize {
+        self.index.cached_len()
+    }
+
+    /// Streams every resident candidate (best tie-break first) — the small
+    /// set the α = 0 pick re-scores exactly. φ freshness requires a
+    /// preceding [`sync_residency`](Self::sync_residency).
+    pub fn for_each_cached_candidate(&self, f: &mut dyn FnMut(&BucketSnapshot)) {
+        for b in self.index.iter_cached() {
+            f(&self.snapshot_slots[b.index()]);
+        }
+    }
+
+    /// The uncached candidate maximal under `Ut` (exact, tie-breaks
+    /// included) — the only non-resident candidate an α = 0 pick can choose.
+    pub fn top_candidate_uncached(&self) -> Option<BucketSnapshot> {
+        self.index
+            .top_uncached()
+            .map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// The uncached candidate minimal under `Ut` (normalization lower
+    /// bound).
+    pub fn bottom_candidate_uncached(&self) -> Option<BucketSnapshot> {
+        self.index
+            .bottom_uncached()
+            .map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// The candidate maximal under the age lens — the α = 1 pick.
+    pub fn top_candidate_age(&self) -> Option<BucketSnapshot> {
+        self.index.top_age().map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// The candidate minimal under the age lens.
+    pub fn bottom_candidate_age(&self) -> Option<BucketSnapshot> {
+        self.index
+            .bottom_age()
+            .map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// Fills `out` (cleared first) with up to `k` uncached candidates in
+    /// descending `Ut` order — the mixed-α threshold scan's first list.
+    pub fn uncached_frontier_into(&self, k: usize, out: &mut Vec<BucketSnapshot>) {
+        out.clear();
+        out.extend(
+            self.index
+                .iter_uncached_desc()
+                .take(k)
+                .map(|b| self.snapshot_slots[b.index()]),
+        );
+    }
+
+    /// Fills `out` (cleared first) with up to `k` candidates in descending
+    /// age-lens order — the mixed-α threshold scan's second list.
+    pub fn age_frontier_into(&self, k: usize, out: &mut Vec<BucketSnapshot>) {
+        out.clear();
+        out.extend(
+            self.index
+                .iter_age_desc()
+                .take(k)
+                .map(|b| self.snapshot_slots[b.index()]),
+        );
+    }
+
+    /// The first candidate at or after `bucket` in bucket order, if any —
+    /// the round-robin cursor's probe (the caller wraps to `BucketId(0)`).
+    pub fn candidate_at_or_after(&self, bucket: BucketId) -> Option<BucketSnapshot> {
+        let pos = self.non_empty.partition_point(|&b| b < bucket);
+        self.non_empty
+            .get(pos)
+            .map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// The oldest candidate other than `excluded` — the starvation
+    /// monitor's "oldest passed-over request" in O(log n).
+    pub fn oldest_candidate_excluding(&self, excluded: BucketId) -> Option<BucketSnapshot> {
+        self.index
+            .top_age_excluding(excluded)
+            .map(|b| self.snapshot_slots[b.index()])
+    }
+
+    /// Checks the index invariant (one entry per non-empty bucket, keyed by
+    /// its live slot) by rebuilding a reference index — O(n log n), meant
+    /// for tests and debug assertions, not the hot path.
+    ///
+    /// # Panics
+    /// Panics if the maintained index diverged.
+    pub fn validate_index(&self) {
+        let mut reference = CandidateIndex::new();
+        for &b in &self.non_empty {
+            reference.insert(&self.snapshot_slots[b.index()]);
+        }
+        assert_eq!(self.index.len(), reference.len(), "index size diverged");
+        let got: Vec<BucketId> = self.index.iter_cached().collect();
+        let want: Vec<BucketId> = reference.iter_cached().collect();
+        assert_eq!(got, want, "resident pool diverged");
+        let got: Vec<BucketId> = self.index.iter_uncached_desc().collect();
+        let want: Vec<BucketId> = reference.iter_uncached_desc().collect();
+        assert_eq!(got, want, "uncached order diverged");
+        let got: Vec<BucketId> = self.index.iter_age_desc().collect();
+        let want: Vec<BucketId> = reference.iter_age_desc().collect();
+        assert_eq!(got, want, "age order diverged");
+    }
+
     fn after_drain(&mut self, bucket: BucketId, n: usize) {
         if n == 0 {
-            return; // nothing drained: membership and slot are unchanged
+            return; // nothing drained: membership, slot, and index unchanged
         }
         self.total_queued -= n as u64;
+        self.index.remove(&self.snapshot_slots[bucket.index()]);
         let q = &self.queues[bucket.index()];
         if q.is_empty() {
             if let Ok(pos) = self.non_empty.binary_search(&bucket) {
@@ -359,6 +610,7 @@ impl WorkloadTable {
             let slot = &mut self.snapshot_slots[bucket.index()];
             slot.queue_len = q.len() as u64;
             slot.oldest_enqueue = q.oldest_enqueue().expect("non-empty queue has an oldest");
+            self.index.insert(&self.snapshot_slots[bucket.index()]);
         }
     }
 }
@@ -610,7 +862,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_query_into_reuses_and_preserves_order() {
+    fn drain_query_into_partitions_and_repairs_oldest() {
         let qa = entry_source(3);
         let mut qb = entry_source(2);
         qb.id = QueryId(2);
@@ -636,17 +888,14 @@ mod tests {
         }
         let mut out = Vec::new();
         wq.drain_query_into(QueryId(1), &mut out);
-        assert_eq!(
-            out.iter().map(|e| e.object_index).collect::<Vec<_>>(),
-            vec![0, 2, 3]
-        );
-        assert_eq!(
-            wq.entries()
-                .iter()
-                .map(|e| e.object_index)
-                .collect::<Vec<_>>(),
-            vec![1, 4]
-        );
+        // Drained ∪ kept is an exact partition by query (order is not part
+        // of the contract — the swap-remove drain may reorder both sides).
+        let mut drained: Vec<u32> = out.iter().map(|e| e.object_index).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 2, 3]);
+        let mut kept: Vec<u32> = wq.entries().iter().map(|e| e.object_index).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![1, 4]);
         assert_eq!(wq.oldest_enqueue(), Some(SimTime::from_micros(1)));
         // Draining an absent query leaves state (and `oldest`) untouched.
         wq.drain_query_into(QueryId(99), &mut out);
@@ -662,5 +911,177 @@ mod tests {
         let mut t = WorkloadTable::new(4);
         t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
         let _ = t.with_object_counts(|_| 1);
+    }
+
+    #[test]
+    fn index_tracks_enqueue_and_drains() {
+        let qa = entry_source(2);
+        let mut qb = entry_source(5);
+        qb.id = QueryId(2);
+        let mut t = WorkloadTable::new(8);
+        assert_eq!(t.candidate_count(), 0);
+        assert_eq!(t.top_candidate_uncached(), None);
+        t.enqueue(&item(&qa, 5), &qa, SimTime::from_micros(100));
+        t.enqueue(&item(&qb, 2), &qb, SimTime::from_micros(50));
+        t.validate_index();
+        // Longer queue wins the uncached order; older enqueue the age lens.
+        assert_eq!(
+            t.top_candidate_uncached().unwrap().bucket,
+            BucketId(2),
+            "5 queued beats 2"
+        );
+        assert_eq!(t.cached_candidate_count(), 0);
+        assert_eq!(t.top_candidate_age().unwrap().bucket, BucketId(2));
+        assert_eq!(t.bottom_candidate_uncached().unwrap().bucket, BucketId(5));
+        assert_eq!(t.bottom_candidate_age().unwrap().bucket, BucketId(5));
+        assert_eq!(
+            t.oldest_candidate_excluding(BucketId(2)).unwrap().bucket,
+            BucketId(5)
+        );
+        let mut frontier = Vec::new();
+        t.uncached_frontier_into(10, &mut frontier);
+        assert_eq!(
+            frontier.iter().map(|s| s.bucket).collect::<Vec<_>>(),
+            vec![BucketId(2), BucketId(5)]
+        );
+        t.age_frontier_into(1, &mut frontier);
+        assert_eq!(frontier.len(), 1);
+        t.take_all(BucketId(2));
+        t.validate_index();
+        assert_eq!(t.top_candidate_uncached().unwrap().bucket, BucketId(5));
+        assert_eq!(t.oldest_candidate_excluding(BucketId(5)), None);
+        t.take_query(BucketId(5), QueryId(1));
+        t.validate_index();
+        assert_eq!(t.candidate_count(), 0);
+    }
+
+    #[test]
+    fn candidate_at_or_after_is_the_rr_probe() {
+        let q = entry_source(1);
+        let mut t = WorkloadTable::new(16);
+        for b in [2u32, 5, 9] {
+            t.enqueue(&item(&q, b), &q, SimTime::ZERO);
+        }
+        assert_eq!(
+            t.candidate_at_or_after(BucketId(0)).unwrap().bucket,
+            BucketId(2)
+        );
+        assert_eq!(
+            t.candidate_at_or_after(BucketId(2)).unwrap().bucket,
+            BucketId(2)
+        );
+        assert_eq!(
+            t.candidate_at_or_after(BucketId(3)).unwrap().bucket,
+            BucketId(5)
+        );
+        assert_eq!(t.candidate_at_or_after(BucketId(10)), None);
+    }
+
+    /// A scripted oracle whose epoch and resident set the test controls,
+    /// with a replayable mutation log.
+    struct ScriptedOracle {
+        epoch: u64,
+        resident: std::collections::HashSet<u32>,
+        log: Vec<(u64, u32, bool)>,
+        log_complete_from: u64,
+        probes: std::cell::Cell<u64>,
+    }
+
+    impl ScriptedOracle {
+        fn new() -> Self {
+            ScriptedOracle {
+                epoch: 1,
+                resident: Default::default(),
+                log: Vec::new(),
+                log_complete_from: 1,
+                probes: std::cell::Cell::new(0),
+            }
+        }
+        fn flip(&mut self, bucket: u32, resident: bool) {
+            self.epoch += 1;
+            if resident {
+                self.resident.insert(bucket);
+            } else {
+                self.resident.remove(&bucket);
+            }
+            self.log.push((self.epoch, bucket, resident));
+        }
+    }
+
+    impl Residency for ScriptedOracle {
+        fn is_resident(&self, b: BucketId) -> bool {
+            self.probes.set(self.probes.get() + 1);
+            self.resident.contains(&b.0)
+        }
+        fn residency_epoch(&self) -> Option<u64> {
+            Some(self.epoch)
+        }
+        fn for_each_mutation_since(
+            &self,
+            epoch: u64,
+            apply: &mut dyn FnMut(BucketId, bool),
+        ) -> bool {
+            if epoch < self.log_complete_from {
+                return false;
+            }
+            for &(e, b, r) in &self.log {
+                if e > epoch {
+                    apply(BucketId(b), r);
+                }
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn sync_residency_replays_mutations_into_the_index() {
+        let q = entry_source(3);
+        let mut t = WorkloadTable::new(4);
+        t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
+        t.enqueue(&item(&q, 3), &q, SimTime::from_micros(10));
+        let mut oracle = ScriptedOracle::new();
+        oracle.flip(3, true);
+        // First sync: full probe (all 4 buckets), bits and index seeded.
+        t.sync_residency(&oracle);
+        assert_eq!(oracle.probes.get(), 4);
+        assert!(t.snapshot_of(BucketId(3)).unwrap().cached);
+        assert!(!t.snapshot_of(BucketId(1)).unwrap().cached);
+        // The resident candidate moved into the cached pool.
+        assert_eq!(t.cached_candidate_count(), 1);
+        let mut cached = Vec::new();
+        t.for_each_cached_candidate(&mut |s| cached.push(s.bucket));
+        assert_eq!(cached, vec![BucketId(3)]);
+        assert_eq!(t.top_candidate_uncached().unwrap().bucket, BucketId(1));
+        t.validate_index();
+        // Same epoch: a no-op.
+        t.sync_residency(&oracle);
+        assert_eq!(oracle.probes.get(), 4);
+        // Mutations replay without probes — including for the currently
+        // empty bucket 0, whose bit must be current when it fills later.
+        oracle.flip(3, false);
+        oracle.flip(1, true);
+        oracle.flip(0, true);
+        t.sync_residency(&oracle);
+        assert_eq!(oracle.probes.get(), 4, "replay must not probe");
+        cached.clear();
+        t.for_each_cached_candidate(&mut |s| cached.push(s.bucket));
+        assert_eq!(cached, vec![BucketId(1)]);
+        assert_eq!(t.top_candidate_uncached().unwrap().bucket, BucketId(3));
+        t.validate_index();
+        t.enqueue(&item(&q, 0), &q, SimTime::from_micros(20));
+        assert!(
+            t.snapshot_of(BucketId(0)).unwrap().cached,
+            "empty buckets' bits must stay current across syncs"
+        );
+        t.validate_index();
+        // A truncated log falls back to a full re-probe (empty buckets too,
+        // so their bits cannot go permanently stale).
+        oracle.flip(0, false);
+        oracle.log.clear();
+        oracle.log_complete_from = oracle.epoch;
+        t.sync_residency(&oracle);
+        assert_eq!(oracle.probes.get(), 8, "fallback probes every bucket");
+        assert!(!t.snapshot_of(BucketId(0)).unwrap().cached);
+        t.validate_index();
     }
 }

@@ -59,6 +59,20 @@ pub trait Residency {
     fn residency_epoch(&self) -> Option<u64> {
         None
     }
+
+    /// Enumerates, oldest first, every residency change that happened after
+    /// `epoch` by calling `apply(bucket, now_resident)`, and returns `true`;
+    /// or returns `false` (without calling `apply`) if the oracle cannot
+    /// enumerate that far back — the caller must then re-probe from scratch.
+    ///
+    /// Only meaningful for epoch-bearing oracles: `epoch` must be a value a
+    /// previous [`residency_epoch`](Self::residency_epoch) call returned.
+    /// This is what lets the workload table's candidate index repair exactly
+    /// the φ bits an eviction or insertion touched, instead of re-probing
+    /// every candidate.
+    fn for_each_mutation_since(&self, _epoch: u64, _apply: &mut dyn FnMut(BucketId, bool)) -> bool {
+        false
+    }
 }
 
 impl Residency for BucketCache {
@@ -68,6 +82,18 @@ impl Residency for BucketCache {
 
     fn residency_epoch(&self) -> Option<u64> {
         Some(self.residency_epoch())
+    }
+
+    fn for_each_mutation_since(&self, epoch: u64, apply: &mut dyn FnMut(BucketId, bool)) -> bool {
+        match self.mutations_since(epoch) {
+            Some(muts) => {
+                for m in muts {
+                    apply(m.bucket, m.resident);
+                }
+                true
+            }
+            None => false, // the bounded log no longer reaches back to `epoch`
+        }
     }
 }
 
@@ -84,6 +110,10 @@ impl Residency for NoResidency {
     fn residency_epoch(&self) -> Option<u64> {
         // The (empty) resident set never changes.
         Some(1)
+    }
+
+    fn for_each_mutation_since(&self, _epoch: u64, _apply: &mut dyn FnMut(BucketId, bool)) -> bool {
+        true // nothing ever mutates
     }
 }
 

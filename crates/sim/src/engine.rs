@@ -9,9 +9,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use liferaft_catalog::Catalog;
-use liferaft_core::{
-    BatchScope, BatchSpec, BucketSnapshot, Scheduler, SchedulerView, StarvationMonitor,
-};
+use liferaft_core::{BatchScope, BatchSpec, IndexedSchedulerView, Scheduler, StarvationMonitor};
 use liferaft_join::{hybrid, JoinStrategy};
 use liferaft_metrics::Summary;
 use liferaft_query::{
@@ -110,8 +108,6 @@ pub struct EngineCore<'a, C: Catalog + ?Sized> {
     /// Predicates of in-flight queries (populated only when joins execute).
     predicates: HashMap<QueryId, Predicate>,
     starvation: StarvationMonitor,
-    /// Scratch: the per-decision candidate view (refreshed, never rebuilt).
-    candidates: Vec<BucketSnapshot>,
     /// Scratch: entries drained by the batch in flight.
     batch_entries: Vec<QueueEntry>,
     /// Scratch: query IDs of the batch in flight, for completion grouping.
@@ -141,7 +137,6 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             per_query: HashMap::new(),
             predicates: HashMap::new(),
             starvation: StarvationMonitor::new(),
-            candidates: Vec::new(),
             batch_entries: Vec::new(),
             completion_scratch: Vec::new(),
             batches: 0,
@@ -210,38 +205,35 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         scheduler: &mut dyn Scheduler,
         now: SimTime,
     ) -> SimDuration {
-        // The candidate snapshots are maintained incrementally by the
-        // workload table; this copies them into the reused scratch vec and
-        // refreshes only the residency (φ) bits stale against the cache's
-        // epoch.
-        self.table.snapshots_into(&mut self.candidates, &self.cache);
+        // Bring the candidate index's φ keys current with the cache — with
+        // the residency mutation log this touches only the buckets the last
+        // batch's insert/evict actually flipped. The decision itself then
+        // runs entirely against the index: no snapshot gather, no
+        // per-candidate scoring sweep, no allocation.
+        self.table.sync_residency(&self.cache);
         let view = PickView {
             now,
-            candidates: &self.candidates,
+            table: &self.table,
             tracker: &self.tracker,
             per_query: &self.per_query,
         };
-        let pick = scheduler
+        let spec = scheduler
             .pick(&view)
             .expect("scheduler must pick while work is pending");
-        let spec = pick.spec;
-        let picked = match pick.candidate {
-            Some(i) => {
-                assert!(
-                    self.candidates.get(i).map(|c| c.bucket) == Some(spec.bucket),
-                    "scheduler returned a candidate index that does not match its pick"
-                );
-                i
-            }
-            // Candidates are sorted by bucket, so policies that chose
-            // the bucket through another lens resolve in O(log n).
-            None => self
-                .candidates
-                .binary_search_by_key(&spec.bucket, |c| c.bucket)
-                .expect("scheduler picked a bucket with no pending work"),
-        };
+        assert!(
+            self.table.snapshot_of(spec.bucket).is_some(),
+            "scheduler picked a bucket with no pending work"
+        );
+        // Starvation accounting in O(log n): everything except the picked
+        // bucket waited; the oldest wait is the age-lens maximum once the
+        // picked bucket is excluded.
+        let passed_over = self.table.candidate_count() as u64 - 1;
+        let oldest_passed = self
+            .table
+            .oldest_candidate_excluding(spec.bucket)
+            .map(|s| s.oldest_enqueue);
         self.starvation
-            .record_decision(now, &self.candidates, picked);
+            .record_decision(now, passed_over, oldest_passed);
         self.execute_batch(spec, now)
     }
 
@@ -383,21 +375,24 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
     }
 }
 
-/// The scheduler's view at one decision point.
+/// The scheduler's view at one decision point: the candidate surface comes
+/// from the workload table's index (φ bits synced by the caller) via the
+/// [`IndexedSchedulerView`] blanket impl; this adapter only supplies the
+/// clock, the tracker's arrival cursor, and the per-query bucket sets.
 struct PickView<'s> {
     now: SimTime,
-    candidates: &'s [BucketSnapshot],
+    table: &'s WorkloadTable,
     tracker: &'s QueryTracker,
     per_query: &'s HashMap<QueryId, BTreeSet<BucketId>>,
 }
 
-impl SchedulerView for PickView<'_> {
+impl IndexedSchedulerView for PickView<'_> {
     fn now(&self) -> SimTime {
         self.now
     }
 
-    fn candidates(&self) -> &[BucketSnapshot] {
-        self.candidates
+    fn table(&self) -> &WorkloadTable {
+        self.table
     }
 
     fn oldest_pending_query(&self) -> Option<(QueryId, SimTime)> {

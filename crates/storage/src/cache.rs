@@ -12,9 +12,27 @@
 //! buckets never noticed, but per-shard thousand-bucket caches would have
 //! paid O(resident) per touch under the previous `VecDeque::remove`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::bucket::BucketId;
+
+/// One residency change: at `epoch`, `bucket` became (or stopped being)
+/// resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyMutation {
+    /// The epoch the cache reported *after* this change.
+    pub epoch: u64,
+    /// The bucket whose residency flipped.
+    pub bucket: BucketId,
+    /// Its residency after the change.
+    pub resident: bool,
+}
+
+/// How many residency mutations the cache remembers. Decision loops sync
+/// once per batch and a batch mutates at most two buckets (one eviction,
+/// one insertion), so a small window is ample; consumers that fall behind
+/// the window re-probe from scratch.
+const MUTATION_LOG_CAP: usize = 64;
 
 /// Cache access statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +100,11 @@ pub struct BucketCache {
     /// Bumped whenever the *resident set* may have changed (insert, evict,
     /// clear) — never on a pure recency touch. See [`residency_epoch`](Self::residency_epoch).
     epoch: u64,
+    /// Recent residency changes, oldest first (see [`mutations_since`](Self::mutations_since)).
+    log: VecDeque<ResidencyMutation>,
+    /// Epoch from which `log` is complete: every residency change with
+    /// `epoch > log_floor` is present in the log.
+    log_floor: u64,
 }
 
 impl BucketCache {
@@ -100,7 +123,41 @@ impl BucketCache {
             slot_of: HashMap::with_capacity(capacity + 1),
             stats: CacheStats::default(),
             epoch: 1,
+            log: VecDeque::with_capacity(MUTATION_LOG_CAP),
+            log_floor: 1,
         }
+    }
+
+    /// Appends a residency change to the bounded log, advancing the floor
+    /// when the window overflows.
+    fn log_mutation(&mut self, bucket: BucketId, resident: bool) {
+        if self.log.len() == MUTATION_LOG_CAP {
+            let dropped = self.log.pop_front().expect("log is full, so non-empty");
+            self.log_floor = dropped.epoch;
+        }
+        self.log.push_back(ResidencyMutation {
+            epoch: self.epoch,
+            bucket,
+            resident,
+        });
+    }
+
+    /// The residency changes that happened after `epoch`, oldest first, or
+    /// `None` if the bounded log no longer reaches back that far (the caller
+    /// must then re-probe residency from scratch).
+    ///
+    /// A consumer that remembers φ bits probed at epoch `e` can replay
+    /// `mutations_since(e)` to bring them up to [`residency_epoch`](Self::residency_epoch)
+    /// without touching the unaffected buckets.
+    pub fn mutations_since(
+        &self,
+        epoch: u64,
+    ) -> Option<impl Iterator<Item = ResidencyMutation> + '_> {
+        if epoch < self.log_floor {
+            return None;
+        }
+        let start = self.log.partition_point(|m| m.epoch <= epoch);
+        Some(self.log.iter().skip(start).copied())
     }
 
     /// The paper's experimental configuration: 20 buckets (Section 5).
@@ -218,6 +275,7 @@ impl BucketCache {
             self.unlink(victim_slot);
             self.slot_of.remove(&victim);
             self.stats.evictions += 1;
+            self.log_mutation(victim, false);
             evicted = Some(victim);
             self.nodes[victim_slot as usize].id = id;
             victim_slot
@@ -231,16 +289,22 @@ impl BucketCache {
         };
         self.push_mru(slot);
         self.slot_of.insert(id, slot);
+        self.log_mutation(id, true);
         evicted
     }
 
     /// Drops everything (the experiments' between-run flush).
+    ///
+    /// The mutation log does not enumerate a flush; consumers synced before
+    /// the flush observe a truncated log and re-probe from scratch.
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.slot_of.clear();
         self.head = NIL;
         self.tail = NIL;
         self.epoch += 1;
+        self.log.clear();
+        self.log_floor = self.epoch;
     }
 
     /// Accumulated statistics.
@@ -436,5 +500,67 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         BucketCache::new(0);
+    }
+
+    #[test]
+    fn mutation_log_replays_residency_changes() {
+        let mut c = BucketCache::new(2);
+        let e0 = c.residency_epoch();
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        c.insert(BucketId(3)); // evicts 1
+        let muts: Vec<_> = c.mutations_since(e0).expect("within window").collect();
+        assert_eq!(
+            muts.iter()
+                .map(|m| (m.bucket.0, m.resident))
+                .collect::<Vec<_>>(),
+            vec![(1, true), (2, true), (1, false), (3, true)]
+        );
+        // Replaying the log over the pre-mutation resident set (empty)
+        // reproduces the live resident set exactly.
+        let mut model = std::collections::HashSet::new();
+        for m in muts {
+            if m.resident {
+                model.insert(m.bucket);
+            } else {
+                model.remove(&m.bucket);
+            }
+        }
+        for b in 0..5u32 {
+            assert_eq!(model.contains(&BucketId(b)), c.contains(BucketId(b)), "{b}");
+        }
+        // Syncing from the current epoch yields no mutations.
+        assert_eq!(c.mutations_since(c.residency_epoch()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn mutation_log_window_and_flush_force_reprobe() {
+        let mut c = BucketCache::new(1);
+        let e0 = c.residency_epoch();
+        // Each miss is one insert + (from the second on) one eviction; blow
+        // well past the window.
+        for i in 0..200u32 {
+            c.access(BucketId(i));
+        }
+        assert!(c.mutations_since(e0).is_none(), "window must be bounded");
+        // Recent epochs still replay.
+        let e1 = c.residency_epoch();
+        c.access(BucketId(999));
+        assert_eq!(c.mutations_since(e1).unwrap().count(), 2);
+        // A flush truncates the log unconditionally.
+        let e2 = c.residency_epoch();
+        c.clear();
+        assert!(c.mutations_since(e2).is_none());
+        assert_eq!(c.mutations_since(c.residency_epoch()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn touches_do_not_enter_the_mutation_log() {
+        let mut c = BucketCache::new(2);
+        c.insert(BucketId(1));
+        let e = c.residency_epoch();
+        c.access(BucketId(1)); // hit: recency only
+        c.insert(BucketId(1)); // resident re-insert: touch only
+        assert_eq!(c.mutations_since(e).unwrap().count(), 0);
     }
 }

@@ -28,7 +28,7 @@ pub mod iostats;
 pub mod simtime;
 
 pub use bucket::{BucketId, BucketMeta};
-pub use cache::BucketCache;
+pub use cache::{BucketCache, ResidencyMutation};
 pub use cost::CostModel;
 pub use disk::DiskModel;
 pub use iostats::IoStats;

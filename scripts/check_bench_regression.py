@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for sim_throughput.
+
+Compares a fresh quick-mode run against the committed quick baseline and
+fails when any scheduler's wall time regressed beyond a generous tolerance.
+
+CI runners and developer machines differ in absolute speed, so raw wall
+times are not comparable across hosts. The guard instead normalizes by the
+*median* wall-time ratio across schedulers (the machine-drift factor) and
+flags a scheduler only when it regressed relative to the rest of the fleet:
+
+    ratio_i = wall_now_i / wall_base_i
+    fail if ratio_i > median(ratio) * (1 + tolerance)
+
+A uniform slowdown (slow runner) moves every ratio together and passes; a
+decision-path regression in one scheduler moves only its ratio and fails.
+An absolute backstop (median ratio > --max-drift) catches the pathological
+case of *every* scheduler regressing in lockstep on comparable hardware.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 0.25] [--max-drift 4.0]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {r["scheduler"]: r for r in doc.get("results", [])}
+    if not rows:
+        sys.exit(f"error: no results in {path}")
+    return doc.get("mode"), rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed per-scheduler regression over the fleet "
+                         "median ratio (default 0.25 = 25%%)")
+    ap.add_argument("--max-drift", type=float, default=3.0,
+                    help="cap on the median ratio itself (default 3.0). This "
+                         "is the backstop for fleet-wide regressions — a "
+                         "shared decision-path slowdown moves every ratio "
+                         "together, which the relative gate cannot see — "
+                         "while still leaving headroom for CI runners being "
+                         "genuinely slower than the baseline machine")
+    args = ap.parse_args()
+
+    base_mode, base = load_rows(args.baseline)
+    cur_mode, cur = load_rows(args.current)
+    if base_mode != cur_mode:
+        sys.exit(f"error: mode mismatch: baseline={base_mode} current={cur_mode}")
+
+    common = sorted(set(base) & set(cur))
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        sys.exit(f"error: schedulers missing from current run: {missing}")
+    unknown = sorted(set(cur) - set(base))
+    if unknown:
+        sys.exit(f"error: schedulers absent from the committed baseline "
+                 f"(regenerate it in this PR): {unknown}")
+
+    ratios = {s: cur[s]["wall_s"] / max(base[s]["wall_s"], 1e-9) for s in common}
+    med = statistics.median(ratios.values())
+    limit = med * (1.0 + args.tolerance)
+
+    print(f"{'scheduler':<22} {'base_s':>9} {'now_s':>9} {'ratio':>7}   verdict")
+    failures = []
+    for s in common:
+        r = ratios[s]
+        verdict = "ok"
+        if r > limit:
+            verdict = f"REGRESSED (> {limit:.2f})"
+            failures.append(s)
+        print(f"{s:<22} {base[s]['wall_s']:>9.3f} {cur[s]['wall_s']:>9.3f} "
+              f"{r:>7.2f}   {verdict}")
+    print(f"median ratio (machine drift): {med:.2f}, "
+          f"per-scheduler limit: {limit:.2f}")
+
+    if med > args.max_drift:
+        sys.exit(f"FAIL: median wall-time ratio {med:.2f} exceeds the "
+                 f"{args.max_drift:.1f}x drift backstop — every scheduler "
+                 f"regressed together")
+    if failures:
+        sys.exit(f"FAIL: wall-time regression beyond {args.tolerance:.0%} "
+                 f"of fleet drift in: {', '.join(failures)}")
+    print("bench guard: no per-scheduler regression")
+
+
+if __name__ == "__main__":
+    main()
