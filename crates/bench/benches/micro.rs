@@ -275,6 +275,66 @@ fn bench_decision_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole's microscope: segmented per-(bucket, query) drains at
+/// co-queued depths bracketing the e2e bench. `take_query` moves one
+/// query's run out and pushes it back (NoShare's steady state — O(matched)
+/// in the segmented layout, O(depth) compares in the old sidecar sweep);
+/// `take_all` cycles the whole queue (the shared batch).
+fn bench_queue_drain(c: &mut Criterion) {
+    use liferaft_query::WorkloadQueue;
+    let mut g = c.benchmark_group("queue_drain");
+    const CO_QUEUED: u64 = 16;
+    for depth in [256usize, 2_048, 16_384] {
+        let positions = [Vec3::from_radec_deg(10.0, 5.0)];
+        let proto =
+            CrossMatchQuery::from_positions(QueryId(0), &positions, 1e-5, 14, Predicate::All);
+        let mut queue = WorkloadQueue::new();
+        for i in 0..depth {
+            queue.push(QueueEntry {
+                query: QueryId(i as u64 % CO_QUEUED),
+                object_index: i as u32,
+                pos: proto.objects[0].pos,
+                radius: proto.objects[0].radius,
+                bbox: proto.objects[0].bounding_range(),
+                enqueued_at: SimTime::from_micros(i as u64),
+            });
+        }
+        g.bench_with_input(
+            BenchmarkId::new("take_query_refill", depth),
+            &depth,
+            |b, _| {
+                let mut queue = queue.clone();
+                let mut scratch = Vec::new();
+                let mut victim = 0u64;
+                b.iter(|| {
+                    queue.drain_query_into(QueryId(victim), &mut scratch);
+                    for e in scratch.drain(..) {
+                        queue.push(e);
+                    }
+                    victim = (victim + 1) % CO_QUEUED;
+                    queue.len()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("take_all_refill", depth),
+            &depth,
+            |b, _| {
+                let mut queue = queue.clone();
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    queue.drain_all_into(&mut scratch);
+                    for e in scratch.drain(..) {
+                        queue.push(e);
+                    }
+                    queue.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("bucket_cache_access_20", |b| {
         let mut cache = BucketCache::new(20);
@@ -326,7 +386,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_htm, bench_joins, bench_scheduler, bench_candidates, bench_decision_path, bench_cache, bench_preprocess, bench_materialize
+    targets = bench_htm, bench_joins, bench_scheduler, bench_candidates, bench_decision_path, bench_queue_drain, bench_cache, bench_preprocess, bench_materialize
 }
 criterion_main!(benches);
 

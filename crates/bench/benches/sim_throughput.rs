@@ -22,9 +22,10 @@ use liferaft_catalog::VirtualCatalog;
 use liferaft_core::{
     AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
 };
+use liferaft_runtime::parallel_map;
 use liferaft_sim::{RunReport, SimConfig, Simulation};
 use liferaft_workload::arrivals::poisson_arrivals;
-use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
+use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig};
 
 /// The benchmark's own scales: wider than the figure fixtures (the point is
 /// scheduler stress, not figure shapes).
@@ -89,7 +90,8 @@ fn json_row(m: &Measured) -> String {
         concat!(
             "    {{\"scheduler\": {:?}, \"wall_s\": {:.6}, \"reps\": {}, \"batches\": {}, ",
             "\"decisions_per_sec\": {:.1}, \"entries_per_sec\": {:.1}, ",
-            "\"serviced_entries\": {}, \"sim_makespan_s\": {:.3}, ",
+            "\"serviced_entries\": {}, \"frontier_picks\": {}, \"fallback_picks\": {}, ",
+            "\"sim_makespan_s\": {:.3}, ",
             "\"sim_throughput_qps\": {:.6}, \"mean_response_s\": {:.3}}}"
         ),
         r.scheduler,
@@ -99,6 +101,8 @@ fn json_row(m: &Measured) -> String {
         r.batches as f64 / wall,
         r.serviced_entries as f64 / wall,
         r.serviced_entries,
+        r.frontier_picks,
+        r.fallback_picks,
         r.makespan_s,
         r.throughput_qps,
         r.mean_response_s(),
@@ -126,14 +130,29 @@ fn main() {
         sc.seed,
     );
     let cfg = WorkloadConfig::paper_like(sc.level, sc.n_buckets, sc.n_queries, sc.seed ^ 0x51);
-    let trace = TraceGenerator::new(cfg).generate();
+    // Trace generation fans per-query-seeded blocks across the sweep
+    // driver's thread pool. The block family is chunking- and thread-count
+    // invariant (`TraceGenerator::generate_block`), and the chunk list is
+    // fixed by the scale alone, so the fixture is bit-identical on any
+    // machine — only the wall time varies.
+    let gen = TraceGenerator::new(cfg);
+    let layout = gen.layout();
+    let chunk = 250usize;
+    let ranges: Vec<(usize, usize)> = (0..sc.n_queries.div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(sc.n_queries)))
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let blocks = parallel_map(&ranges, threads, |_, &(start, end)| {
+        gen.generate_block(&layout, start, end)
+    });
+    let trace = Trace::new(sc.level, blocks.into_iter().flatten().collect());
+    let total_objects = trace.total_objects();
     // A hard arrival rate so queues are deep and candidate sets are wide —
     // the regime where decision cost dominates.
-    let timed = trace.with_arrivals(poisson_arrivals(2.0, trace.len(), 0xBE7C));
+    let timed = trace.into_timed(poisson_arrivals(2.0, sc.n_queries, 0xBE7C));
     let fixture_s = t0.elapsed().as_secs_f64();
     println!(
-        "fixture built in {fixture_s:.1}s ({} queued objects)",
-        trace.total_objects()
+        "fixture built in {fixture_s:.1}s ({total_objects} queued objects, {threads} threads)"
     );
 
     let sim = Simulation::new(&catalog, SimConfig::paper());
@@ -186,6 +205,7 @@ fn main() {
             "  \"mode\": {:?},\n",
             "  \"scale\": {{\"level\": {}, \"n_buckets\": {}, \"objects_per_bucket\": {}, \"n_queries\": {}, \"seed\": {}}},\n",
             "  \"fixture_build_s\": {:.3},\n",
+            "  \"fixture_threads\": {},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -196,6 +216,7 @@ fn main() {
         sc.n_queries,
         sc.seed,
         fixture_s,
+        threads,
         rows.join(",\n"),
     );
     // Fail loudly: a swallowed write error would let CI upload the stale

@@ -316,6 +316,10 @@ impl crate::scheduler::Scheduler for AdaptiveScheduler {
     fn on_query_arrival(&mut self, now: SimTime) {
         self.controller.on_arrival(now);
     }
+
+    fn decision_stats(&self) -> crate::scheduler::DecisionStats {
+        self.inner.decision_stats()
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub use metric::{AgingMode, MetricParams};
 pub use noshare::NoShareScheduler;
 pub use round_robin::RoundRobinScheduler;
 pub use scheduler::{
-    BatchScope, BatchSpec, BucketSnapshot, IndexedSchedulerView, Lens, Scheduler, SchedulerView,
+    BatchScope, BatchSpec, BucketSnapshot, DecisionStats, IndexedSchedulerView, Lens, Scheduler,
+    SchedulerView,
 };
 pub use starvation::StarvationMonitor;

@@ -5,7 +5,9 @@ use std::cmp::Ordering;
 use liferaft_storage::{BucketId, SimTime};
 
 use crate::metric::{AgingMode, MetricParams, ScorePass};
-use crate::scheduler::{BatchScope, BatchSpec, BucketSnapshot, Lens, Scheduler, SchedulerView};
+use crate::scheduler::{
+    BatchScope, BatchSpec, BucketSnapshot, DecisionStats, Lens, Scheduler, SchedulerView,
+};
 
 /// How many frontier candidates the mixed-α pick examines per lens before
 /// its first prune check; doubles until the score bound closes.
@@ -51,6 +53,9 @@ pub struct LifeRaftScheduler {
     scratch_t: Vec<BucketSnapshot>,
     /// Frontier scratch for the mixed-α threshold scan (age lens).
     scratch_a: Vec<BucketSnapshot>,
+    /// Lifetime counters of how mixed-α picks resolved (frontier bound vs
+    /// full-stream fallback) — the kinetic-heap question's evidence.
+    stats: DecisionStats,
 }
 
 impl LifeRaftScheduler {
@@ -69,6 +74,7 @@ impl LifeRaftScheduler {
             alpha,
             scratch_t: Vec::new(),
             scratch_a: Vec::new(),
+            stats: DecisionStats::default(),
         }
     }
 
@@ -227,6 +233,7 @@ impl LifeRaftScheduler {
             if k >= n || self.scratch_t.len() < k {
                 // The age list (k ≥ n) or the resident pool + uncached list
                 // (uncached exhausted) covered every candidate.
+                self.stats.frontier_picks += 1;
                 return Some(best_snap.bucket);
             }
             // Unseen candidates are uncached beyond the `Ut` frontier and
@@ -238,11 +245,13 @@ impl LifeRaftScheduler {
             let bound = pass.ut_term(&self.scratch_t[k - 1]) * (1.0 - self.alpha)
                 + pass.age_term(&self.scratch_a[k - 1]) * self.alpha;
             if bound < best_score {
+                self.stats.frontier_picks += 1;
                 return Some(best_snap.bucket);
             }
             if 2 * k >= n {
                 // The bound will not close much later than this; finish with
                 // one streamed scan (the legacy argmax, unmaterialized).
+                self.stats.fallback_picks += 1;
                 let mut full: Option<(f64, BucketSnapshot)> = None;
                 view.for_each_candidate(&mut |c| {
                     let score = pass.score(c);
@@ -293,6 +302,10 @@ impl Scheduler for LifeRaftScheduler {
             scope: BatchScope::AllQueued,
             share_io: true,
         })
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        self.stats
     }
 }
 
@@ -399,6 +412,37 @@ mod tests {
         let legacy = s.pick_index(v.now, &candidates).unwrap();
         assert_eq!(s.pick(&v).unwrap().bucket, candidates[legacy].bucket);
         assert_eq!(s.pick(&v).unwrap().bucket, BucketId(0));
+        // All-resident ties resolve by exact re-scoring of the (complete)
+        // resident pool — counted as frontier picks, not fallbacks.
+        assert_eq!(s.decision_stats().frontier_picks, 2);
+        assert_eq!(s.decision_stats().fallback_picks, 0);
+        // All-*uncached* ties keep the bound exactly open (bound == best):
+        // the scan must give up and stream every candidate once.
+        let uncached: Vec<BucketSnapshot> = (0..33).map(|i| snap(i, 10, 5, false)).collect();
+        let v = view(uncached.clone(), 20);
+        let mut s = LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5);
+        let legacy = s.pick_index(v.now, &uncached).unwrap();
+        assert_eq!(s.pick(&v).unwrap().bucket, uncached[legacy].bucket);
+        assert_eq!(s.decision_stats().fallback_picks, 1);
+        assert_eq!(s.decision_stats().frontier_picks, 0);
+    }
+
+    #[test]
+    fn frontier_picks_are_counted_when_the_bound_closes() {
+        // A sharply skewed candidate set: one candidate dominates both
+        // terms, so the threshold bound closes at the first frontier check.
+        let candidates: Vec<BucketSnapshot> = (0..64)
+            .map(|i| snap(i, if i == 0 { 5_000 } else { 1 }, i as u64, false))
+            .collect();
+        let v = view(candidates, 100);
+        let mut s = LifeRaftScheduler::new(MetricParams::paper(), AgingMode::Normalized, 0.5);
+        assert_eq!(s.pick(&v).unwrap().bucket, BucketId(0));
+        assert_eq!(s.decision_stats().frontier_picks, 1);
+        assert_eq!(s.decision_stats().fallback_picks, 0);
+        // The α extremes bypass the threshold scan entirely.
+        let mut greedy = LifeRaftScheduler::greedy(MetricParams::paper());
+        greedy.pick(&v).unwrap();
+        assert_eq!(greedy.decision_stats(), DecisionStats::default());
     }
 
     #[test]

@@ -271,6 +271,20 @@ impl<T: IndexedSchedulerView> SchedulerView for T {
     }
 }
 
+/// Decision-path counters a policy accumulates over its lifetime — the data
+/// that settles "how often does the mixed-α threshold scan actually close
+/// its bound?" (the ROADMAP's kinetic-heap question). Policies without a
+/// threshold scan report all-zero stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Mixed-α picks resolved by the frontier threshold scan (the score
+    /// bound closed, or the frontier covered the candidate set).
+    pub frontier_picks: u64,
+    /// Mixed-α picks that fell back to the full streamed scan because the
+    /// bound could not prune before the frontier covered most candidates.
+    pub fallback_picks: u64,
+}
+
 /// A batch scheduling policy.
 pub trait Scheduler {
     /// Human-readable policy name (used in reports and figure rows).
@@ -282,6 +296,12 @@ pub trait Scheduler {
     /// Notification of a query arrival (used by adaptive policies to track
     /// workload saturation). Default: ignored.
     fn on_query_arrival(&mut self, _now: SimTime) {}
+
+    /// Decision-path counters accumulated so far. Default: all zero (the
+    /// policy has no instrumented scan).
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats::default()
+    }
 }
 
 /// A fixture view for scheduler unit tests: the scan-based reference

@@ -160,14 +160,17 @@ proptest! {
                     arrival_of.entry(q.id).or_insert(now);
                 }
                 Op::TakeAll { bucket } => {
-                    for e in table.take_all(BucketId(bucket)) {
+                    let mut drained = Vec::new();
+                    table.take_all_into(BucketId(bucket), &mut drained);
+                    for e in drained {
                         if let Some(set) = per_query.get_mut(&e.query) {
                             set.remove(&BucketId(bucket));
                         }
                     }
                 }
                 Op::TakeQuery { bucket, query } => {
-                    let drained = table.take_query(BucketId(bucket), QueryId(query));
+                    let mut drained = Vec::new();
+                    table.take_query_into(BucketId(bucket), QueryId(query), &mut drained);
                     if !drained.is_empty() {
                         if let Some(set) = per_query.get_mut(&QueryId(query)) {
                             set.remove(&BucketId(bucket));

@@ -20,6 +20,14 @@ pub struct Cap {
     radius: f64,
     /// Cached cos(radius): `p` inside ⇔ `p · center ≥ cos_radius`.
     cos_radius: f64,
+    /// Cached sin²(radius) × (1 + 2e-9), for the arc test's
+    /// square-root-free screen (margin pre-applied).
+    arc_screen: f64,
+    /// Cached sin²(radius × 1.001): the strict-containment screen used by
+    /// the coverer's descent fast path. The 0.1% relative radius margin is
+    /// ~10¹² ULPs, so "strictly inside by this screen" survives any
+    /// rounding in either the screen or the exact classifier.
+    strict_screen: f64,
 }
 
 impl Cap {
@@ -36,10 +44,14 @@ impl Cap {
             (center.norm() - 1.0).abs() < 1e-6,
             "cap center must be a unit vector"
         );
+        let sin_radius = radius.sin();
+        let strict = (radius * 1.001).min(std::f64::consts::FRAC_PI_2).sin();
         Cap {
             center,
             radius,
             cos_radius: radius.cos(),
+            arc_screen: sin_radius * sin_radius * (1.0 + 2e-9),
+            strict_screen: strict * strict,
         }
     }
 
@@ -61,6 +73,12 @@ impl Cap {
     #[inline]
     pub fn radius(&self) -> f64 {
         self.radius
+    }
+
+    /// sin²(radius × 1.001) — the coverer's strict-containment screen.
+    #[inline]
+    pub(crate) fn strict_screen(&self) -> f64 {
+        self.strict_screen
     }
 
     /// True if the unit vector lies inside the cap (inclusive).
@@ -87,27 +105,49 @@ impl Cap {
             return CapTrixelRelation::Partial;
         }
         // No corner inside. The cap may still poke through an edge or sit
-        // entirely within the trixel's interior.
-        if t.contains(self.center) {
+        // entirely within the trixel's interior. Both tests consume the
+        // same edge geometry — the edge-plane normals `n_i` and the center's
+        // signed components `d_i = c·n_i` — so it is computed once and
+        // shared (this is the coverer's innermost loop).
+        let [a, b, c] = *corners;
+        let edges = [(a, b), (b, c), (c, a)];
+        let n = [a.cross(b), b.cross(c), c.cross(a)];
+        let d = [
+            self.center.dot(n[0]),
+            self.center.dot(n[1]),
+            self.center.dot(n[2]),
+        ];
+        // `t.contains(self.center)`, on the shared terms.
+        if d.iter().all(|&di| di >= -crate::trixel::CONTAINS_EPS) {
             return CapTrixelRelation::Partial;
         }
         for i in 0..3 {
-            let (a, b) = (corners[i], corners[(i + 1) % 3]);
-            if self.intersects_arc(a, b) {
+            if self.intersects_arc(edges[i].0, edges[i].1, n[i], d[i]) {
                 return CapTrixelRelation::Partial;
             }
         }
         CapTrixelRelation::Disjoint
     }
 
-    /// True if the cap boundary/interior meets the great-circle arc `a→b`.
+    /// True if the cap boundary/interior meets the great-circle arc `a→b`,
+    /// given the precomputed plane normal `n = a × b` and `cn = center · n`.
     ///
     /// Computes the point of the arc closest to the cap center: project the
     /// center onto the arc's great-circle plane, then check the projection
     /// falls between the endpoints (endpoint distances are handled by the
     /// corner tests in [`Cap::classify`]).
-    fn intersects_arc(&self, a: Vec3, b: Vec3) -> bool {
-        let n = a.cross(b);
+    fn intersects_arc(&self, a: Vec3, b: Vec3, n: Vec3, cn: f64) -> bool {
+        // Square-root- and asin-free screen for the common far-away case:
+        // sin(dist to great circle) = |c·n|/|n|, so
+        // (c·n)² > sin²(radius)·|n|²·(1 + margin) implies the asin test
+        // below fires. The 2e-9 relative margin is ~10⁶ ULPs — far beyond
+        // any rounding in either formulation — so the screen never fires
+        // where the exact test would not; the ambiguous band (including
+        // degenerate arcs, whose |n|² ≈ 0 cannot satisfy the inequality)
+        // falls through to the exact path.
+        if cn * cn > self.arc_screen * n.norm_sq() {
+            return false;
+        }
         let n_norm = n.norm();
         if n_norm < 1e-15 {
             return false; // degenerate arc

@@ -82,8 +82,13 @@ impl Coverer {
                 CapTrixelRelation::Partial => frontier.push(root),
             }
         }
+        // Double-buffered refinement: `next` is reused across levels, so a
+        // cover performs a constant number of allocations regardless of
+        // depth (this runs once per cross-match object — it is the fixture
+        // builder's hot loop).
+        let mut next: Vec<Trixel> = Vec::new();
         for _level in 0..self.level {
-            let mut next: Vec<Trixel> = Vec::new();
+            next.clear();
             for t in &frontier {
                 for c in t.children() {
                     match cap.classify(&c) {
@@ -100,12 +105,207 @@ impl Coverer {
                 // frontier coarsely and stop.
                 break;
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
         }
         let mut ranges = inside;
         ranges.extend(frontier.iter().map(|t| t.id().descendant_range(self.level)));
         HtmRangeSet::from_ranges(ranges)
     }
+}
+
+/// A [`Coverer`] with reusable scratch and a child-trixel memo — the
+/// fixture builder's workhorse.
+///
+/// Subdividing a trixel costs three spherical midpoints (a square root and
+/// three divisions each); covers of *spatially clustered* caps — the
+/// objects of one cross-match query — descend through the same upper-level
+/// trixels over and over. The memo returns the previously computed child
+/// array for those (bit-identical: `Trixel::children` is a pure function),
+/// and the BFS buffers persist across calls, so a clustered object list is
+/// covered with near-zero redundant geometry and no per-call allocation
+/// beyond the result set.
+///
+/// Produces exactly the same cover as [`Coverer::cover_bounded`] for every
+/// cap — pinned by the equivalence tests below.
+#[derive(Debug, Clone)]
+pub struct CachingCoverer {
+    coverer: Coverer,
+    /// Direct-mapped memo: `(parent raw id, children)` per slot, raw 0 =
+    /// empty. Collisions overwrite — correctness never depends on a hit.
+    memo: Vec<(u64, [Trixel; 4])>,
+    frontier: Vec<Trixel>,
+    next: Vec<Trixel>,
+    inside: Vec<HtmRange>,
+}
+
+/// Memo slots (power of two). 4096 × ~330 B ≈ 1.3 MB — L2-resident, deep
+/// enough that one query's descent paths rarely collide.
+const MEMO_SLOTS: usize = 4096;
+
+/// Trixels at this level or deeper bypass the memo: clustered caps share
+/// descent prefixes, not leaves, so deep entries would be written once and
+/// read never.
+const MEMO_MAX_LEVEL: u8 = 8;
+
+impl CachingCoverer {
+    /// Creates a caching coverer emitting ranges at `level`.
+    pub fn new(level: u8) -> Self {
+        CachingCoverer {
+            coverer: Coverer::new(level),
+            memo: vec![
+                (
+                    0,
+                    [
+                        Trixel::root(0),
+                        Trixel::root(0),
+                        Trixel::root(0),
+                        Trixel::root(0)
+                    ]
+                );
+                MEMO_SLOTS
+            ],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            inside: Vec::new(),
+        }
+    }
+
+    /// The output level.
+    pub fn level(&self) -> u8 {
+        self.coverer.level()
+    }
+
+    fn children_of(&mut self, t: &Trixel) -> [Trixel; 4] {
+        if t.id().level() >= MEMO_MAX_LEVEL {
+            // Deep trixels are mostly unique per cap: a memo's copy traffic
+            // outweighs the subdivision it saves. Compute directly.
+            return t.children();
+        }
+        let raw = t.id().raw();
+        // SplitMix64-style finalizer over the raw id.
+        let mut h = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let slot = (h >> 32) as usize & (MEMO_SLOTS - 1);
+        let (key, cached) = &self.memo[slot];
+        if *key == raw {
+            return *cached;
+        }
+        let children = t.children();
+        self.memo[slot] = (raw, children);
+        children
+    }
+
+    /// Exactly [`Coverer::cover_bounded`], through the memo, the scratch
+    /// buffers, and the strict-descent fast path.
+    pub fn cover_bounded(&mut self, cap: &Cap, max_ranges: usize) -> HtmRangeSet {
+        assert!(max_ranges >= 1, "need at least one range");
+        let level = self.coverer.level();
+        self.frontier.clear();
+        self.inside.clear();
+        for root in Trixel::roots() {
+            match cap.classify(&root) {
+                CapTrixelRelation::Disjoint => {}
+                CapTrixelRelation::Inside => self.inside.push(root.id().descendant_range(level)),
+                CapTrixelRelation::Partial => self.frontier.push(root),
+            }
+        }
+        for _level in 0..level {
+            // Strict-descent fast path: a single-trixel frontier whose cap
+            // is *strictly* inside one child (see [`strict_child`]) steps
+            // straight to that child — the refinement the full classify
+            // pass would produce, at a quarter of the geometry.
+            if self.inside.is_empty() && self.frontier.len() == 1 {
+                let t = self.frontier[0];
+                let kids = self.children_of(&t);
+                if let Some(k) = strict_child(cap, &kids) {
+                    self.frontier[0] = kids[k];
+                    continue;
+                }
+                // Fall through with the already-computed children.
+                self.next.clear();
+                for c in kids {
+                    match cap.classify(&c) {
+                        CapTrixelRelation::Disjoint => {}
+                        CapTrixelRelation::Inside => {
+                            self.inside.push(c.id().descendant_range(level));
+                        }
+                        CapTrixelRelation::Partial => self.next.push(c),
+                    }
+                }
+            } else {
+                self.next.clear();
+                for fi in 0..self.frontier.len() {
+                    let t = self.frontier[fi];
+                    for c in self.children_of(&t) {
+                        match cap.classify(&c) {
+                            CapTrixelRelation::Disjoint => {}
+                            CapTrixelRelation::Inside => {
+                                self.inside.push(c.id().descendant_range(level));
+                            }
+                            CapTrixelRelation::Partial => self.next.push(c),
+                        }
+                    }
+                }
+            }
+            if self.inside.len() + self.next.len() > max_ranges {
+                break;
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        let mut ranges = std::mem::take(&mut self.inside);
+        ranges.extend(self.frontier.iter().map(|t| t.id().descendant_range(level)));
+        HtmRangeSet::from_ranges(ranges)
+    }
+}
+
+/// The child strictly containing `cap`, if the strict-containment screen
+/// certifies one — the refinement step of [`CachingCoverer`]'s fast path.
+///
+/// # Why this reproduces the full classify pass exactly
+///
+/// The screen demands the cap center `c` be on the interior side of all
+/// three edge planes of child `K`, with sin(distance to each edge's great
+/// circle) > sin(1.001·radius). Distances to the bounding *arcs* are at
+/// least distances to their circles, so dist(c, ∂K) > 1.001·radius; any
+/// point outside `K` is then farther than 1.001·radius from `c` (a geodesic
+/// from `c` must cross ∂K first). With a margin of 0.1% of the radius —
+/// astronomically beyond the ~10⁻¹⁶ relative rounding of either code path —
+/// the exact classifier must therefore find: every sibling `Disjoint` (no
+/// corner within the cap, center beyond a sibling plane by far more than
+/// the containment tolerance, every edge arc beyond the cap), `K` itself
+/// `Partial` (center inside, corners outside), and no child `Inside`. So
+/// descending to `[K]` is precisely the frontier the classify pass would
+/// compute — pinned by the equivalence tests and proptests against
+/// [`Coverer::cover_bounded`].
+fn strict_child(cap: &Cap, kids: &[Trixel; 4]) -> Option<usize> {
+    let c = cap.center();
+    // Locate the center against the middle child's edges: (w0,w1), (w1,w2),
+    // (w2,w0). Being beyond one of them puts the center in the opposite
+    // corner child (child 2, 0, 1 respectively). Ambiguity near a plane is
+    // harmless — the strict screen below rejects wrong or borderline picks.
+    let [w0, w1, w2] = *kids[3].corners();
+    let k = if w1.cross(w2).dot(c) < 0.0 {
+        0
+    } else if w2.cross(w0).dot(c) < 0.0 {
+        1
+    } else if w0.cross(w1).dot(c) < 0.0 {
+        2
+    } else {
+        3
+    };
+    let [a, b, d] = *kids[k].corners();
+    let screen = cap.strict_screen();
+    for (p, q) in [(a, b), (b, d), (d, a)] {
+        let n = p.cross(q);
+        let dist = n.dot(c);
+        // Interior side (children are counter-clockwise) and strictly
+        // farther from the edge circle than 1.001·radius.
+        if dist <= 0.0 || dist * dist <= screen * n.norm_sq() {
+            return None;
+        }
+    }
+    Some(k)
 }
 
 #[cfg(test)]
@@ -207,6 +407,39 @@ mod tests {
         let exact = Coverer::new(10).cover(&cap);
         let bounded = Coverer::new(10).cover_bounded(&cap, 10_000);
         assert_eq!(exact, bounded);
+    }
+
+    #[test]
+    fn caching_coverer_matches_plain_coverer_exactly() {
+        // Many clustered caps (memo-friendly) plus scattered ones, through
+        // one reused CachingCoverer: every cover must equal the plain
+        // coverer's, bit for bit, at several levels and budgets.
+        for level in [6u8, 10, 12] {
+            let plain = Coverer::new(level);
+            let mut caching = CachingCoverer::new(level);
+            assert_eq!(caching.level(), level);
+            for k in 0..200 {
+                let (ra, dec, r) = if k % 3 == 0 {
+                    // Clustered around one hotspot.
+                    (120.0 + (k as f64) * 0.01, -30.0 + (k as f64) * 0.007, 1e-4)
+                } else {
+                    // Scattered, varied radius.
+                    (
+                        (k as f64 * 37.3) % 360.0,
+                        ((k as f64 * 17.9) % 160.0) - 80.0,
+                        1e-5 + (k as f64) * 1e-4,
+                    )
+                };
+                let cap = Cap::new(Vec3::from_radec_deg(ra, dec), r);
+                for budget in [1usize, 4, 16] {
+                    assert_eq!(
+                        caching.cover_bounded(&cap, budget),
+                        plain.cover_bounded(&cap, budget),
+                        "level {level}, cap {k}, budget {budget}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

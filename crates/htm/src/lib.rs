@@ -49,7 +49,7 @@ pub mod trixel;
 pub mod vector;
 
 pub use cap::Cap;
-pub use cover::Coverer;
+pub use cover::{CachingCoverer, Coverer};
 pub use id::HtmId;
 pub use index::{locate, trixel_of};
 pub use range::{HtmRange, HtmRangeSet};

@@ -53,9 +53,11 @@ impl Trixel {
         }
     }
 
-    /// All eight root trixels.
+    /// All eight root trixels (cached — region covers fetch these once per
+    /// covered object).
     pub fn roots() -> [Trixel; 8] {
-        std::array::from_fn(|f| Trixel::root(f as u8))
+        static ROOTS: std::sync::OnceLock<[Trixel; 8]> = std::sync::OnceLock::new();
+        *ROOTS.get_or_init(|| std::array::from_fn(|f| Trixel::root(f as u8)))
     }
 
     /// This trixel's identifier.

@@ -85,6 +85,12 @@ impl Vec3 {
         self.dot(self).sqrt()
     }
 
+    /// Squared Euclidean length (no square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
     /// Returns the vector scaled to unit length.
     ///
     /// # Panics

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use liferaft_htm::cover::CachingCoverer;
 use liferaft_htm::{Cap, Coverer, HtmRange, HtmRangeSet, Vec3};
 
 /// Unique identifier of a query within a trace/run.
@@ -42,6 +43,16 @@ impl MatchObject {
     pub fn new(pos: Vec3, radius: f64, level: u8) -> Self {
         let cap = Cap::new(pos, radius);
         let bbox = Coverer::new(level).cover_bounded(&cap, BBOX_MAX_RANGES);
+        MatchObject { pos, radius, bbox }
+    }
+
+    /// [`MatchObject::new`] through a shared [`CachingCoverer`] (which must
+    /// be at the same level) — bit-identical output, but bulk builders that
+    /// cover many spatially clustered objects (trace generators, ingest
+    /// pipelines) skip most of the repeated mesh subdivision.
+    pub fn with_coverer(pos: Vec3, radius: f64, coverer: &mut CachingCoverer) -> Self {
+        let cap = Cap::new(pos, radius);
+        let bbox = coverer.cover_bounded(&cap, BBOX_MAX_RANGES);
         MatchObject { pos, radius, bbox }
     }
 

@@ -34,6 +34,6 @@ pub mod tracker;
 pub use crossmatch::{CrossMatchQuery, MatchObject, Predicate, QueryId};
 pub use index::CandidateIndex;
 pub use preprocess::{QueryPreProcessor, WorkItem};
-pub use queue::{QueueEntry, WorkloadQueue, WorkloadTable};
+pub use queue::{QueueEntry, QueueMemoryStats, WorkloadQueue, WorkloadTable};
 pub use snapshot::{BucketSnapshot, NoResidency, Residency};
 pub use tracker::QueryTracker;

@@ -4,6 +4,39 @@
 //! W_2^j, ..., and W_m^j. Thus, requests from multiple queries are
 //! interleaved in the same workload queue and are joined in one pass"
 //! — Section 3.1.
+//!
+//! # Segmented storage
+//!
+//! Each bucket's queue is physically *segmented by query*: the entries of
+//! one `(bucket, query)` pair live in a chain of fixed-capacity segments
+//! allocated from a per-bucket slab, behind a compact per-bucket directory
+//! (one [`QueryRun`] per co-queued query, sorted by query ID). The three
+//! queue operations the engine drives then cost:
+//!
+//! - **enqueue**: O(log d) directory lookup (d = co-queued queries) plus an
+//!   O(1) amortized append to the run's tail segment;
+//! - **[`drain_query_into`](WorkloadQueue::drain_query_into)** (the NoShare
+//!   batch): O(matched) — the run's chain is unlinked and its entries moved
+//!   out with **zero compares against other queries' entries**, plus an
+//!   O(d) directory repair;
+//! - **[`drain_all_into`](WorkloadQueue::drain_all_into)** (the shared
+//!   batch): O(batch) — every chain is walked once.
+//!
+//! The previous layout (one dense entry vector + a 16-byte key sidecar)
+//! made the per-query drain O(queue length): every co-queued entry was
+//! *read and compared* per drain, which multiplied up to O(queue²) when a
+//! deep shared queue was drained once per co-queued query — the measured
+//! long pole of the NoShare baseline (971 k entries/s vs 7–8 M for every
+//! sharing policy in `BENCH_sim.json`).
+//!
+//! # The unordered-batch contract
+//!
+//! Batch drains yield entries grouped by query (directory order), not in
+//! global arrival order. Queue order is **not** part of the contract:
+//! batches are consumed as unordered sets (completion accounting groups by
+//! query ID, join results are counted, and the age term reads the
+//! maintained `oldest`), which is pinned end-to-end by the golden
+//! determinism fingerprints.
 
 use liferaft_htm::{HtmRange, Vec3};
 use liferaft_storage::{BucketId, SimTime};
@@ -34,16 +67,106 @@ pub struct QueueEntry {
     pub enqueued_at: SimTime,
 }
 
-/// The workload queue of a single bucket.
+/// Entries per segment. Chosen so a segment (~2.3 KB of ~72-byte entries)
+/// amortizes slab bookkeeping without stranding much capacity on the many
+/// short `(bucket, query)` runs a hotspot workload produces.
+const SEGMENT_CAPACITY: usize = 32;
+
+/// Null link in a segment chain.
+const NO_SEGMENT: u32 = u32::MAX;
+
+/// A fixed-capacity run of entries plus the link to the next segment of the
+/// same `(bucket, query)` chain. Freed segments keep their buffer and are
+/// recycled through the slab's free list, so steady-state enqueue/drain
+/// cycles perform no heap traffic.
+#[derive(Debug, Clone)]
+struct Segment {
+    entries: Vec<QueueEntry>,
+    next: u32,
+}
+
+impl Segment {
+    fn fresh() -> Self {
+        Segment {
+            entries: Vec::with_capacity(SEGMENT_CAPACITY),
+            next: NO_SEGMENT,
+        }
+    }
+}
+
+/// One directory row: the segment chain holding every queued entry of one
+/// query at this bucket, with the per-run accounting the drains and the age
+/// term need.
+#[derive(Debug, Clone, Copy)]
+struct QueryRun {
+    query: QueryId,
+    /// First segment of the chain (always valid: runs hold ≥ 1 entry).
+    head: u32,
+    /// Last segment of the chain — the append target.
+    tail: u32,
+    /// Entries in the chain.
+    len: u32,
+    /// Earliest enqueue time in the chain.
+    oldest: SimTime,
+}
+
+/// Byte-level accounting of one queue's (or, summed, one table's) segmented
+/// storage — the number behind the "segment directory adds per-bucket
+/// memory" question.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueMemoryStats {
+    /// Live queued entries.
+    pub queued_entries: u64,
+    /// Live `(bucket, query)` directory rows.
+    pub directory_runs: u64,
+    /// Bytes allocated for directories (capacity × row size).
+    pub directory_bytes: u64,
+    /// Segment slots in the slabs (live chains + free list).
+    pub segments: u64,
+    /// Slots currently on free lists.
+    pub free_segments: u64,
+    /// Bytes allocated for segment buffers and slab headers.
+    pub segment_bytes: u64,
+    /// Bytes of live entry payload (`queued_entries` × entry size).
+    pub entry_bytes: u64,
+}
+
+impl QueueMemoryStats {
+    /// Folds another accounting into this one (per-bucket → table totals).
+    pub fn merge(&mut self, other: &QueueMemoryStats) {
+        self.queued_entries += other.queued_entries;
+        self.directory_runs += other.directory_runs;
+        self.directory_bytes += other.directory_bytes;
+        self.segments += other.segments;
+        self.free_segments += other.free_segments;
+        self.segment_bytes += other.segment_bytes;
+        self.entry_bytes += other.entry_bytes;
+    }
+
+    /// Allocated bytes beyond the live entry payload — the price of the
+    /// segmented layout (directory rows, free segments, tail slack).
+    pub fn overhead_bytes(&self) -> u64 {
+        (self.directory_bytes + self.segment_bytes).saturating_sub(self.entry_bytes)
+    }
+
+    /// Total allocated bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.directory_bytes + self.segment_bytes
+    }
+}
+
+/// The workload queue of a single bucket, segmented by query.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadQueue {
-    entries: Vec<QueueEntry>,
-    /// Parallel array of `(query, enqueued_at)` per entry — the dense scan
-    /// key for per-query drains. A [`drain_query_into`](Self::drain_query_into)
-    /// sweep reads 16 bytes per kept entry from here instead of striding
-    /// through the ~100-byte entries, which is what makes NoShare's
-    /// drain-the-shared-queue discipline bandwidth-cheap.
-    keys: Vec<(QueryId, SimTime)>,
+    /// Per-query runs, sorted by query ID. Compact: one 32-byte row per
+    /// co-queued query.
+    directory: Vec<QueryRun>,
+    /// The segment slab backing every chain of this bucket.
+    segments: Vec<Segment>,
+    /// Recycled segment slots.
+    free: Vec<u32>,
+    /// Total queued entries.
+    len: usize,
     /// Earliest enqueue time among current entries (None when empty).
     oldest: Option<SimTime>,
 }
@@ -54,29 +177,79 @@ impl WorkloadQueue {
         WorkloadQueue::default()
     }
 
-    /// Appends an entry.
+    /// Appends an entry to its query's run (O(log d) lookup + O(1)
+    /// amortized append).
     pub fn push(&mut self, e: QueueEntry) {
         self.oldest = Some(match self.oldest {
             Some(t) => t.min(e.enqueued_at),
             None => e.enqueued_at,
         });
-        self.keys.push((e.query, e.enqueued_at));
-        self.entries.push(e);
+        self.len += 1;
+        match self.directory.binary_search_by_key(&e.query, |r| r.query) {
+            Ok(i) => {
+                let tail = self.directory[i].tail;
+                let tail = if self.segments[tail as usize].entries.len() == SEGMENT_CAPACITY {
+                    let s = self.alloc_segment();
+                    self.segments[tail as usize].next = s;
+                    self.directory[i].tail = s;
+                    s
+                } else {
+                    tail
+                };
+                let run = &mut self.directory[i];
+                run.len += 1;
+                run.oldest = run.oldest.min(e.enqueued_at);
+                self.segments[tail as usize].entries.push(e);
+            }
+            Err(i) => {
+                let s = self.alloc_segment();
+                self.directory.insert(
+                    i,
+                    QueryRun {
+                        query: e.query,
+                        head: s,
+                        tail: s,
+                        len: 1,
+                        oldest: e.enqueued_at,
+                    },
+                );
+                self.segments[s as usize].entries.push(e);
+            }
+        }
     }
 
-    /// Number of queued objects (`Σ_j W_i^j` for this bucket).
+    fn alloc_segment(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.segments.push(Segment::fresh());
+                (self.segments.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Number of queued objects (`Σ_i W_i^j` for this bucket).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True if nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
-    /// Queued entries in arrival order.
-    pub fn entries(&self) -> &[QueueEntry] {
-        &self.entries
+    /// Streams every queued entry, grouped by query (ascending query ID),
+    /// in arrival order within each group. This grouping is a storage
+    /// artifact, not a contract — consumers treat the queue as an unordered
+    /// set.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> + '_ {
+        self.directory.iter().flat_map(move |run| {
+            std::iter::successors(Some(run.head), move |&s| {
+                let next = self.segments[s as usize].next;
+                (next != NO_SEGMENT).then_some(next)
+            })
+            .flat_map(move |s| self.segments[s as usize].entries.iter())
+        })
     }
 
     /// Enqueue time of the oldest request (`A(i)`'s reference point).
@@ -93,82 +266,165 @@ impl WorkloadQueue {
         }
     }
 
-    /// Removes and returns all entries (a full-batch drain).
-    pub fn drain_all(&mut self) -> Vec<QueueEntry> {
-        self.oldest = None;
-        self.keys.clear();
-        std::mem::take(&mut self.entries)
+    /// Number of entries queued for `query` (0 if it has no run here).
+    pub fn pending_of(&self, query: QueryId) -> usize {
+        match self.directory.binary_search_by_key(&query, |r| r.query) {
+            Ok(i) => self.directory[i].len as usize,
+            Err(_) => 0,
+        }
     }
 
-    /// Moves all entries into `out` (cleared first), preserving arrival
-    /// order. Unlike [`drain_all`](Self::drain_all) this keeps the queue's
-    /// allocation, so a steady-state enqueue/drain cycle performs no heap
-    /// traffic on either side.
+    /// Unlinks one chain into `out`, recycling its segments. Does not touch
+    /// the directory or the queue counters.
+    fn drain_chain(&mut self, head: u32, out: &mut Vec<QueueEntry>) {
+        let mut s = head;
+        while s != NO_SEGMENT {
+            let seg = &mut self.segments[s as usize];
+            out.append(&mut seg.entries);
+            let next = seg.next;
+            seg.next = NO_SEGMENT;
+            self.free.push(s);
+            s = next;
+        }
+    }
+
+    /// Moves all entries into `out` (cleared first) in O(batch): every
+    /// chain is walked exactly once, segments return to the free list, and
+    /// both the queue's and `out`'s allocations are kept for reuse.
     pub fn drain_all_into(&mut self, out: &mut Vec<QueueEntry>) {
         out.clear();
-        out.append(&mut self.entries);
-        self.keys.clear();
+        out.reserve(self.len);
+        let mut i = 0;
+        while i < self.directory.len() {
+            let head = self.directory[i].head;
+            self.drain_chain(head, out);
+            i += 1;
+        }
+        self.directory.clear();
+        self.len = 0;
         self.oldest = None;
     }
 
-    /// Removes and returns only the entries of `query` (the NoShare batch
-    /// scope), recomputing the oldest timestamp for the remainder.
-    ///
-    /// Kept entries may be **reordered** (swap-remove); see
-    /// [`drain_query_into`](Self::drain_query_into).
-    pub fn drain_query(&mut self, query: QueryId) -> Vec<QueueEntry> {
-        let mut out = Vec::new();
-        self.drain_query_into(query, &mut out);
-        out
-    }
-
-    /// Moves the entries of `query` into `out` (cleared first) in a single
-    /// swap-remove pass that also folds in the surviving oldest timestamp.
-    ///
-    /// Matched entries are *moved* out (no clone) and each removal costs one
-    /// tail-element copy; kept entries are never written, so a drain's cost
-    /// is one read sweep plus O(matched) — not the O(queue) entry-by-entry
-    /// compaction this used to do, which dominated NoShare's wall time (a
-    /// deep shared queue was rewritten once per co-queued query).
-    ///
-    /// The price is that kept entries lose arrival order. That order is not
-    /// part of the queue's contract: batches consume entries as an unordered
-    /// set (completion accounting groups by query ID, join results are
-    /// counted, and the age term reads the maintained `oldest`, all
-    /// order-insensitive) — pinned end-to-end by the golden determinism
-    /// fingerprints.
+    /// Moves the entries of `query` into `out` (cleared first) in
+    /// O(matched): the run's chain is unlinked whole, with zero reads of —
+    /// let alone compares against — any other query's entries. The
+    /// directory repair (row removal + surviving-oldest fold) is O(d) over
+    /// the co-queued *queries*, not their entries.
     pub fn drain_query_into(&mut self, query: QueryId, out: &mut Vec<QueueEntry>) {
         out.clear();
-        let mut i = 0;
-        let mut kept_oldest: Option<SimTime> = None;
-        // The sweep reads only the dense key sidecar; the wide entries are
-        // touched exactly once per *matched* element.
-        while i < self.keys.len() {
-            let (q, t) = self.keys[i];
-            if q == query {
-                // The tail element moves into the hole and is examined next.
-                self.keys.swap_remove(i);
-                out.push(self.entries.swap_remove(i));
-            } else {
-                kept_oldest = Some(match kept_oldest {
-                    Some(o) => o.min(t),
-                    None => t,
-                });
-                i += 1;
-            }
-        }
-        if out.is_empty() {
-            return; // nothing left the queue: `oldest` is still correct
-        }
-        self.oldest = kept_oldest;
+        let Ok(i) = self.directory.binary_search_by_key(&query, |r| r.query) else {
+            return; // no run: nothing leaves the queue
+        };
+        let run = self.directory.remove(i);
+        out.reserve(run.len as usize);
+        self.drain_chain(run.head, out);
+        self.len -= run.len as usize;
+        self.oldest = self.directory.iter().map(|r| r.oldest).min();
     }
 
-    /// Distinct queries with work in this queue.
+    /// Distinct queries with work in this queue (one directory row each).
     pub fn distinct_queries(&self) -> usize {
-        let mut ids: Vec<QueryId> = self.entries.iter().map(|e| e.query).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        self.directory.len()
+    }
+
+    /// This queue's storage accounting.
+    pub fn memory_stats(&self) -> QueueMemoryStats {
+        let entry = std::mem::size_of::<QueueEntry>() as u64;
+        let segment_bytes = self.segments.len() as u64 * std::mem::size_of::<Segment>() as u64
+            + self
+                .segments
+                .iter()
+                .map(|s| s.entries.capacity() as u64 * entry)
+                .sum::<u64>()
+            + self.free.capacity() as u64 * std::mem::size_of::<u32>() as u64;
+        QueueMemoryStats {
+            queued_entries: self.len as u64,
+            directory_runs: self.directory.len() as u64,
+            directory_bytes: self.directory.capacity() as u64
+                * std::mem::size_of::<QueryRun>() as u64,
+            segments: self.segments.len() as u64,
+            free_segments: self.free.len() as u64,
+            segment_bytes,
+            entry_bytes: self.len as u64 * entry,
+        }
+    }
+
+    /// Checks every structural invariant of the segmented storage: the
+    /// directory is strictly sorted by query; each run's chain holds exactly
+    /// `run.len` entries, all of `run.query`, with every non-tail segment
+    /// full and `run.oldest` their true minimum; the queue counters match
+    /// the directory; and every slab slot is on exactly one chain or the
+    /// free list.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant. O(entries) — for tests and debug
+    /// assertions, not the hot path.
+    pub fn validate_segments(&self) {
+        assert!(
+            self.directory.windows(2).all(|w| w[0].query < w[1].query),
+            "directory must be strictly sorted by query"
+        );
+        let mut seen = vec![false; self.segments.len()];
+        let mut total = 0usize;
+        let mut oldest: Option<SimTime> = None;
+        for run in &self.directory {
+            assert!(run.len > 0, "empty run for {} survived a drain", run.query);
+            let mut chain_len = 0usize;
+            let mut chain_oldest: Option<SimTime> = None;
+            let mut s = run.head;
+            let mut last = s;
+            while s != NO_SEGMENT {
+                assert!(
+                    !std::mem::replace(&mut seen[s as usize], true),
+                    "segment {s} linked twice"
+                );
+                let seg = &self.segments[s as usize];
+                assert!(
+                    seg.next == NO_SEGMENT || seg.entries.len() == SEGMENT_CAPACITY,
+                    "non-tail segment {s} of {} is not full",
+                    run.query
+                );
+                assert!(!seg.entries.is_empty(), "empty segment {s} left in chain");
+                for e in &seg.entries {
+                    assert_eq!(e.query, run.query, "foreign entry in {}'s chain", run.query);
+                    chain_oldest = Some(match chain_oldest {
+                        Some(t) => t.min(e.enqueued_at),
+                        None => e.enqueued_at,
+                    });
+                }
+                chain_len += seg.entries.len();
+                last = s;
+                s = seg.next;
+            }
+            assert_eq!(last, run.tail, "tail link of {} diverged", run.query);
+            assert_eq!(chain_len, run.len as usize, "run length of {}", run.query);
+            assert_eq!(
+                chain_oldest,
+                Some(run.oldest),
+                "run oldest of {}",
+                run.query
+            );
+            oldest = match (oldest, Some(run.oldest)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            total += chain_len;
+        }
+        assert_eq!(total, self.len, "queue length diverged from chains");
+        assert_eq!(oldest, self.oldest, "queue oldest diverged from runs");
+        for (s, &on_chain) in seen.iter().enumerate() {
+            let freed = self.free.contains(&(s as u32));
+            assert!(
+                on_chain != freed,
+                "segment {s} must be on exactly one chain or the free list"
+            );
+            if freed {
+                assert!(
+                    self.segments[s].entries.is_empty(),
+                    "freed segment {s} still holds entries"
+                );
+            }
+        }
     }
 }
 
@@ -324,29 +580,18 @@ impl WorkloadTable {
         self.total_queued == 0
     }
 
-    /// Drains a bucket's queue entirely (standard batch).
-    pub fn take_all(&mut self, bucket: BucketId) -> Vec<QueueEntry> {
-        let mut out = Vec::new();
-        self.take_all_into(bucket, &mut out);
-        out
-    }
-
-    /// Drains a bucket's queue entirely into `out` (cleared first), keeping
-    /// both the queue's and `out`'s allocations for reuse.
+    /// Drains a bucket's queue entirely into `out` (cleared first) in
+    /// O(batch), keeping both the queue's and `out`'s allocations for
+    /// reuse. Output is grouped by query, not arrival-ordered (see the
+    /// module docs on the unordered-batch contract).
     pub fn take_all_into(&mut self, bucket: BucketId, out: &mut Vec<QueueEntry>) {
         self.queues[bucket.index()].drain_all_into(out);
         self.after_drain(bucket, out.len());
     }
 
-    /// Drains only one query's entries from a bucket (NoShare batch).
-    pub fn take_query(&mut self, bucket: BucketId, query: QueryId) -> Vec<QueueEntry> {
-        let mut out = Vec::new();
-        self.take_query_into(bucket, query, &mut out);
-        out
-    }
-
     /// Drains only one query's entries from a bucket into `out` (cleared
-    /// first); the single-pass, allocation-reusing variant.
+    /// first) — the NoShare batch — in O(matched entries + co-queued
+    /// queries), independent of how deep the rest of the queue is.
     pub fn take_query_into(&mut self, bucket: BucketId, query: QueryId, out: &mut Vec<QueueEntry>) {
         self.queues[bucket.index()].drain_query_into(query, out);
         self.after_drain(bucket, out.len());
@@ -572,12 +817,27 @@ impl WorkloadTable {
             .map(|b| self.snapshot_slots[b.index()])
     }
 
+    /// Aggregated segmented-storage accounting across every bucket queue
+    /// (directories, segment slabs, free lists — not the table's snapshot
+    /// slots or candidate index, whose footprint predates the segmented
+    /// layout) — the number behind the ROADMAP's "segment directory adds
+    /// per-bucket memory" question.
+    pub fn memory_stats(&self) -> QueueMemoryStats {
+        let mut total = QueueMemoryStats::default();
+        for q in &self.queues {
+            total.merge(&q.memory_stats());
+        }
+        total
+    }
+
     /// Checks the index invariant (one entry per non-empty bucket, keyed by
-    /// its live slot) by rebuilding a reference index — O(n log n), meant
-    /// for tests and debug assertions, not the hot path.
+    /// its live slot) by rebuilding a reference index, and every bucket
+    /// queue's segment-directory invariants
+    /// ([`WorkloadQueue::validate_segments`]) — O(entries), meant for tests
+    /// and debug assertions, not the hot path.
     ///
     /// # Panics
-    /// Panics if the maintained index diverged.
+    /// Panics if the maintained index or any segment directory diverged.
     pub fn validate_index(&self) {
         let mut reference = CandidateIndex::new();
         for &b in &self.non_empty {
@@ -593,6 +853,26 @@ impl WorkloadTable {
         let got: Vec<BucketId> = self.index.iter_age_desc().collect();
         let want: Vec<BucketId> = reference.iter_age_desc().collect();
         assert_eq!(got, want, "age order diverged");
+        let mut total = 0u64;
+        for (i, q) in self.queues.iter().enumerate() {
+            q.validate_segments();
+            total += q.len() as u64;
+            let slot = &self.snapshot_slots[i];
+            if q.is_empty() {
+                assert!(
+                    self.non_empty.binary_search(&BucketId(i as u32)).is_err(),
+                    "empty bucket {i} listed as non-empty"
+                );
+            } else {
+                assert_eq!(slot.queue_len, q.len() as u64, "slot len of bucket {i}");
+                assert_eq!(
+                    Some(slot.oldest_enqueue),
+                    q.oldest_enqueue(),
+                    "slot oldest of bucket {i}"
+                );
+            }
+        }
+        assert_eq!(total, self.total_queued, "total_queued diverged");
     }
 
     fn after_drain(&mut self, bucket: BucketId, n: usize) {
@@ -636,6 +916,20 @@ mod tests {
             bucket: BucketId(bucket),
             object_indices: (0..query.len() as u32).collect(),
         }
+    }
+
+    /// `take_all_into` through a scratch vector, for test ergonomics.
+    fn take_all(t: &mut WorkloadTable, bucket: BucketId) -> Vec<QueueEntry> {
+        let mut out = Vec::new();
+        t.take_all_into(bucket, &mut out);
+        out
+    }
+
+    /// `take_query_into` through a scratch vector, for test ergonomics.
+    fn take_query(t: &mut WorkloadTable, bucket: BucketId, query: QueryId) -> Vec<QueueEntry> {
+        let mut out = Vec::new();
+        t.take_query_into(bucket, query, &mut out);
+        out
     }
 
     #[test]
@@ -686,7 +980,7 @@ mod tests {
         let q = entry_source(2);
         let mut t = WorkloadTable::new(4);
         t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
-        let drained = t.take_all(BucketId(1));
+        let drained = take_all(&mut t, BucketId(1));
         assert_eq!(drained.len(), 2);
         assert!(t.is_idle());
         assert!(t.non_empty_buckets().is_empty());
@@ -702,7 +996,7 @@ mod tests {
         t.enqueue(&item(&qa, 1), &qa, SimTime::ZERO);
         t.enqueue(&item(&qb, 1), &qb, SimTime::from_micros(10));
         assert_eq!(t.queue(BucketId(1)).distinct_queries(), 2);
-        let drained = t.take_query(BucketId(1), QueryId(1));
+        let drained = take_query(&mut t, BucketId(1), QueryId(1));
         assert_eq!(drained.len(), 2);
         assert!(drained.iter().all(|e| e.query == QueryId(1)));
         assert_eq!(t.total_queued(), 3);
@@ -719,7 +1013,8 @@ mod tests {
         let q = entry_source(1);
         let mut t = WorkloadTable::new(4);
         t.enqueue(&item(&q, 0), &q, SimTime::ZERO);
-        let e = &t.queue(BucketId(0)).entries()[0];
+        let queue = t.queue(BucketId(0));
+        let e = queue.iter().next().expect("one entry queued");
         assert_eq!(e.pos, q.objects[0].pos);
         assert_eq!(e.radius, q.objects[0].radius);
         assert_eq!(e.bbox, q.objects[0].bounding_range());
@@ -771,14 +1066,14 @@ mod tests {
         t.enqueue(&item(&qa, 2), &qa, SimTime::from_micros(20));
         let r = rebuild(&t);
         assert_eq!(gather(&mut t), r);
-        t.take_query(BucketId(5), QueryId(1));
+        take_query(&mut t, BucketId(5), QueryId(1));
         let r = rebuild(&t);
         assert_eq!(gather(&mut t), r);
-        t.take_all(BucketId(5));
+        take_all(&mut t, BucketId(5));
         let r = rebuild(&t);
         assert_eq!(gather(&mut t), r);
         assert_eq!(t.snapshot_of(BucketId(5)), None);
-        t.take_all(BucketId(2));
+        take_all(&mut t, BucketId(2));
         assert!(gather(&mut t).is_empty());
     }
 
@@ -861,39 +1156,34 @@ mod tests {
         assert_eq!(oracle.probes.get(), 4);
     }
 
+    fn raw_entry(query: u64, object_index: u32, at_us: u64) -> QueueEntry {
+        let q = entry_source(1);
+        QueueEntry {
+            query: QueryId(query),
+            object_index,
+            pos: q.objects[0].pos,
+            radius: q.objects[0].radius,
+            bbox: q.objects[0].bounding_range(),
+            enqueued_at: SimTime::from_micros(at_us),
+        }
+    }
+
     #[test]
     fn drain_query_into_partitions_and_repairs_oldest() {
-        let qa = entry_source(3);
-        let mut qb = entry_source(2);
-        qb.id = QueryId(2);
         let mut wq = WorkloadQueue::new();
-        for (i, e) in [&qa, &qb, &qa, &qa, &qb]
-            .iter()
-            .flat_map(|q| {
-                std::iter::once(QueueEntry {
-                    query: q.id,
-                    object_index: 0,
-                    pos: q.objects[0].pos,
-                    radius: q.objects[0].radius,
-                    bbox: q.objects[0].bounding_range(),
-                    enqueued_at: SimTime::ZERO,
-                })
-            })
-            .enumerate()
-        {
-            let mut e = e;
-            e.object_index = i as u32;
-            e.enqueued_at = SimTime::from_micros(i as u64);
-            wq.push(e);
+        for (i, q) in [1u64, 2, 1, 1, 2].iter().enumerate() {
+            wq.push(raw_entry(*q, i as u32, i as u64));
         }
+        wq.validate_segments();
         let mut out = Vec::new();
         wq.drain_query_into(QueryId(1), &mut out);
+        wq.validate_segments();
         // Drained ∪ kept is an exact partition by query (order is not part
-        // of the contract — the swap-remove drain may reorder both sides).
+        // of the contract — batches are consumed as unordered sets).
         let mut drained: Vec<u32> = out.iter().map(|e| e.object_index).collect();
         drained.sort_unstable();
         assert_eq!(drained, vec![0, 2, 3]);
-        let mut kept: Vec<u32> = wq.entries().iter().map(|e| e.object_index).collect();
+        let mut kept: Vec<u32> = wq.iter().map(|e| e.object_index).collect();
         kept.sort_unstable();
         assert_eq!(kept, vec![1, 4]);
         assert_eq!(wq.oldest_enqueue(), Some(SimTime::from_micros(1)));
@@ -902,6 +1192,87 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(wq.len(), 2);
         assert_eq!(wq.oldest_enqueue(), Some(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn multi_segment_chains_preserve_arrival_order_within_a_query() {
+        // 2.5 segments' worth of one query, interleaved with another.
+        let n = SEGMENT_CAPACITY as u32 * 2 + SEGMENT_CAPACITY as u32 / 2;
+        let mut wq = WorkloadQueue::new();
+        for i in 0..n {
+            wq.push(raw_entry(1, i, 100 + i as u64));
+            if i % 3 == 0 {
+                wq.push(raw_entry(2, i, i as u64));
+            }
+        }
+        wq.validate_segments();
+        assert_eq!(wq.distinct_queries(), 2);
+        assert_eq!(wq.pending_of(QueryId(1)), n as usize);
+        let mut out = Vec::new();
+        wq.drain_query_into(QueryId(1), &mut out);
+        wq.validate_segments();
+        // Within one query's run, segments chain in arrival order.
+        let got: Vec<u32> = out.iter().map(|e| e.object_index).collect();
+        let want: Vec<u32> = (0..n).collect();
+        assert_eq!(got, want);
+        // The other query's run — and the queue-level oldest — survive.
+        assert_eq!(wq.oldest_enqueue(), Some(SimTime::ZERO));
+        assert_eq!(wq.distinct_queries(), 1);
+    }
+
+    #[test]
+    fn freed_segments_are_recycled() {
+        let mut wq = WorkloadQueue::new();
+        let mut out = Vec::new();
+        for round in 0..5u64 {
+            for i in 0..(SEGMENT_CAPACITY as u32 * 3) {
+                wq.push(raw_entry(round, i, i as u64));
+            }
+            wq.drain_all_into(&mut out);
+            wq.validate_segments();
+        }
+        // Steady state: the slab never grows beyond one round's worth.
+        assert_eq!(wq.memory_stats().segments, 3);
+        assert_eq!(wq.memory_stats().free_segments, 3);
+        assert_eq!(wq.len(), 0);
+        assert_eq!(wq.oldest_enqueue(), None);
+    }
+
+    #[test]
+    fn memory_stats_account_for_directory_and_segments() {
+        let mut wq = WorkloadQueue::new();
+        for q in 0..4u64 {
+            for i in 0..3u32 {
+                wq.push(raw_entry(q, i, q * 10 + i as u64));
+            }
+        }
+        let m = wq.memory_stats();
+        assert_eq!(m.queued_entries, 12);
+        assert_eq!(m.directory_runs, 4);
+        assert_eq!(m.segments, 4, "one segment per short run");
+        assert_eq!(m.free_segments, 0);
+        assert_eq!(m.entry_bytes, 12 * std::mem::size_of::<QueueEntry>() as u64);
+        assert!(m.directory_bytes >= 4 * std::mem::size_of::<QueryRun>() as u64);
+        // Four segments allocate four full buffers; 12 live entries.
+        assert!(m.segment_bytes >= m.entry_bytes);
+        assert_eq!(m.total_bytes(), m.directory_bytes + m.segment_bytes);
+        assert_eq!(m.overhead_bytes(), m.total_bytes() - m.entry_bytes);
+        let mut table_total = QueueMemoryStats::default();
+        table_total.merge(&m);
+        table_total.merge(&WorkloadQueue::new().memory_stats());
+        assert_eq!(table_total.queued_entries, 12);
+    }
+
+    #[test]
+    fn table_memory_stats_aggregate_buckets() {
+        let q = entry_source(3);
+        let mut t = WorkloadTable::new(8);
+        t.enqueue(&item(&q, 1), &q, SimTime::ZERO);
+        t.enqueue(&item(&q, 5), &q, SimTime::ZERO);
+        let m = t.memory_stats();
+        assert_eq!(m.queued_entries, 6);
+        assert_eq!(m.directory_runs, 2);
+        assert!(m.total_bytes() > 0);
     }
 
     #[test]
@@ -946,11 +1317,11 @@ mod tests {
         );
         t.age_frontier_into(1, &mut frontier);
         assert_eq!(frontier.len(), 1);
-        t.take_all(BucketId(2));
+        take_all(&mut t, BucketId(2));
         t.validate_index();
         assert_eq!(t.top_candidate_uncached().unwrap().bucket, BucketId(5));
         assert_eq!(t.oldest_candidate_excluding(BucketId(5)), None);
-        t.take_query(BucketId(5), QueryId(1));
+        take_query(&mut t, BucketId(5), QueryId(1));
         t.validate_index();
         assert_eq!(t.candidate_count(), 0);
     }

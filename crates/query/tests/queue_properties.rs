@@ -1,0 +1,181 @@
+//! Property tests for the segmented per-(bucket, query) queue storage.
+//!
+//! A naive reference queue (one flat vector, `retain`-based drains) defines
+//! the semantics; the segmented [`WorkloadQueue`] must stay *set-equivalent*
+//! to it under arbitrary enqueue/drain interleavings — batch order is
+//! explicitly not part of the contract (batches are consumed as unordered
+//! sets; see the queue module docs) — while every structural invariant of
+//! the segment directory holds at every step.
+
+use liferaft_htm::Vec3;
+use liferaft_query::{
+    CrossMatchQuery, Predicate, QueryId, QueueEntry, WorkItem, WorkloadQueue, WorkloadTable,
+};
+use liferaft_storage::{BucketId, SimTime};
+use proptest::prelude::*;
+
+const LEVEL: u8 = 6;
+
+/// The reference: a flat vector with filter-based drains.
+#[derive(Default)]
+struct NaiveQueue {
+    entries: Vec<QueueEntry>,
+}
+
+impl NaiveQueue {
+    fn push(&mut self, e: QueueEntry) {
+        self.entries.push(e);
+    }
+
+    fn drain_all(&mut self) -> Vec<QueueEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    fn drain_query(&mut self, query: QueryId) -> Vec<QueueEntry> {
+        let (out, kept) = std::mem::take(&mut self.entries)
+            .into_iter()
+            .partition(|e| e.query == query);
+        self.entries = kept;
+        out
+    }
+
+    fn oldest(&self) -> Option<SimTime> {
+        self.entries.iter().map(|e| e.enqueued_at).min()
+    }
+}
+
+/// Canonical multiset key of an entry (object_index is unique per push in
+/// these tests, so the key set is an exact identity check).
+fn keys(entries: &[QueueEntry]) -> Vec<(u64, u32, u64)> {
+    let mut v: Vec<_> = entries
+        .iter()
+        .map(|e| (e.query.0, e.object_index, e.enqueued_at.as_micros()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn entry(query: u64, object_index: u32, at_us: u64) -> QueueEntry {
+    let q = CrossMatchQuery::from_positions(
+        QueryId(query),
+        &[Vec3::from_radec_deg(10.0, 5.0)],
+        1e-5,
+        LEVEL,
+        Predicate::All,
+    );
+    QueueEntry {
+        query: QueryId(query),
+        object_index,
+        pos: q.objects[0].pos,
+        radius: q.objects[0].radius,
+        bbox: q.objects[0].bounding_range(),
+        enqueued_at: SimTime::from_micros(at_us),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Enqueue one entry of `query`, `at_us` microseconds (plus step).
+    Push { query: u64, at_us: u64 },
+    /// Drain everything.
+    DrainAll,
+    /// Drain one query.
+    DrainQuery { query: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..8, 0u64..6, 0u64..50), 1..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, query, at_us)| match kind {
+                0..=4 => Op::Push { query, at_us },
+                5 => Op::DrainAll,
+                _ => Op::DrainQuery { query },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Under any interleaving: every drain is set-equivalent to the naive
+    /// reference's, the per-query/oldest/len accounting agrees, and the
+    /// segment directory's invariants hold at every step.
+    #[test]
+    fn segmented_queue_is_set_equivalent_to_naive(ops in arb_ops()) {
+        let mut seg = WorkloadQueue::new();
+        let mut naive = NaiveQueue::default();
+        let mut scratch = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Push { query, at_us } => {
+                    let e = entry(query, step as u32, at_us + step as u64);
+                    seg.push(e.clone());
+                    naive.push(e);
+                }
+                Op::DrainAll => {
+                    seg.drain_all_into(&mut scratch);
+                    prop_assert_eq!(keys(&scratch), keys(&naive.drain_all()));
+                }
+                Op::DrainQuery { query } => {
+                    seg.drain_query_into(QueryId(query), &mut scratch);
+                    prop_assert_eq!(keys(&scratch), keys(&naive.drain_query(QueryId(query))));
+                }
+            }
+            seg.validate_segments();
+            prop_assert_eq!(seg.len(), naive.entries.len());
+            prop_assert_eq!(seg.is_empty(), naive.entries.is_empty());
+            prop_assert_eq!(seg.oldest_enqueue(), naive.oldest());
+            // The live view agrees as a set.
+            let live: Vec<QueueEntry> = seg.iter().cloned().collect();
+            prop_assert_eq!(keys(&live), keys(&naive.entries));
+            // Per-query accounting.
+            for q in 0..6u64 {
+                let want = naive.entries.iter().filter(|e| e.query == QueryId(q)).count();
+                prop_assert_eq!(seg.pending_of(QueryId(q)), want);
+            }
+            let mut distinct: Vec<u64> = naive.entries.iter().map(|e| e.query.0).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(seg.distinct_queries(), distinct.len());
+            // Memory accounting stays consistent with the live size.
+            let m = seg.memory_stats();
+            prop_assert_eq!(m.queued_entries, seg.len() as u64);
+            prop_assert_eq!(m.directory_runs as usize, seg.distinct_queries());
+            prop_assert!(m.total_bytes() >= m.entry_bytes);
+        }
+    }
+
+    /// The same ops through a `WorkloadTable` (bucket 0) keep the table's
+    /// index, slots, and segment directories valid — `validate_index` does
+    /// the cross-checking.
+    #[test]
+    fn table_drains_keep_index_and_segments_valid(ops in arb_ops()) {
+        let mut t = WorkloadTable::new(2);
+        let mut scratch = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Push { query, at_us } => {
+                    let q = CrossMatchQuery::from_positions(
+                        QueryId(query),
+                        &[Vec3::from_radec_deg(10.0 + (step % 7) as f64, 5.0)],
+                        1e-5,
+                        LEVEL,
+                        Predicate::All,
+                    );
+                    let item = WorkItem {
+                        query: q.id,
+                        bucket: BucketId((step % 2) as u32),
+                        object_indices: vec![0],
+                    };
+                    t.enqueue(&item, &q, SimTime::from_micros(at_us + step as u64));
+                }
+                Op::DrainAll => t.take_all_into(BucketId(0), &mut scratch),
+                Op::DrainQuery { query } => {
+                    t.take_query_into(BucketId(0), QueryId(query), &mut scratch)
+                }
+            }
+            t.validate_index();
+        }
+    }
+}

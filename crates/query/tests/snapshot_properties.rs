@@ -1,10 +1,10 @@
 //! Property tests for the incrementally-maintained candidate snapshots.
 //!
 //! The workload table updates its per-bucket `BucketSnapshot`s on every
-//! `enqueue`/`take_all`/`take_query` instead of rebuilding them at decision
-//! time. These properties interleave arbitrary enqueues and drains and
-//! assert the maintained state always equals a from-scratch rebuild through
-//! the public queue accessors.
+//! `enqueue`/`take_all_into`/`take_query_into` instead of rebuilding them at
+//! decision time. These properties interleave arbitrary enqueues and drains
+//! and assert the maintained state always equals a from-scratch rebuild
+//! through the public queue accessors.
 
 use liferaft_htm::Vec3;
 use liferaft_query::snapshot::{BucketSnapshot, NoResidency};
@@ -87,14 +87,15 @@ proptest! {
                     t.enqueue(&item, &q, now);
                 }
                 Op::TakeAll { bucket } => {
-                    let drained = t.take_all(BucketId(bucket));
-                    prop_assert!(drained.iter().all(|e| !t
-                        .queue(BucketId(bucket))
-                        .entries()
-                        .contains(e)));
+                    let mut drained = Vec::new();
+                    t.take_all_into(BucketId(bucket), &mut drained);
+                    prop_assert!(drained
+                        .iter()
+                        .all(|e| !t.queue(BucketId(bucket)).iter().any(|kept| kept == e)));
                 }
                 Op::TakeQuery { bucket, query } => {
-                    let drained = t.take_query(BucketId(bucket), QueryId(query));
+                    let mut drained = Vec::new();
+                    t.take_query_into(BucketId(bucket), QueryId(query), &mut drained);
                     prop_assert!(drained.iter().all(|e| e.query == QueryId(query)));
                 }
             }
@@ -162,14 +163,13 @@ proptest! {
         }
         let before: Vec<(QueryId, SimTime)> = t
             .queue(BucketId(0))
-            .entries()
             .iter()
             .map(|e| (e.query, e.enqueued_at))
             .collect();
-        let drained = t.take_query(BucketId(0), QueryId(victim));
+        let mut drained = Vec::new();
+        t.take_query_into(BucketId(0), QueryId(victim), &mut drained);
         let mut kept: Vec<(QueryId, SimTime)> = t
             .queue(BucketId(0))
-            .entries()
             .iter()
             .map(|e| (e.query, e.enqueued_at))
             .collect();
@@ -194,11 +194,7 @@ proptest! {
         // The maintained oldest must equal the kept minimum.
         prop_assert_eq!(
             t.queue(BucketId(0)).oldest_enqueue(),
-            t.queue(BucketId(0))
-                .entries()
-                .iter()
-                .map(|e| e.enqueued_at)
-                .min()
+            t.queue(BucketId(0)).iter().map(|e| e.enqueued_at).min()
         );
     }
 }

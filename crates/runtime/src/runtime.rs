@@ -279,6 +279,7 @@ fn aggregate(
     let mut io = IoStats::new();
     let (mut batches, mut scan_batches, mut indexed_batches) = (0u64, 0u64, 0u64);
     let (mut serviced_entries, mut cache_serviced_entries, mut total_matches) = (0u64, 0u64, 0u64);
+    let (mut frontier_picks, mut fallback_picks) = (0u64, 0u64);
     let mut max_wait_ms = 0.0f64;
     for run in shard_runs {
         let r = &run.report;
@@ -289,6 +290,8 @@ fn aggregate(
         indexed_batches += r.indexed_batches;
         serviced_entries += r.serviced_entries;
         cache_serviced_entries += r.cache_serviced_entries;
+        frontier_picks += r.frontier_picks;
+        fallback_picks += r.fallback_picks;
         total_matches += r.total_matches;
         max_wait_ms = max_wait_ms.max(r.max_wait_ms);
     }
@@ -314,6 +317,8 @@ fn aggregate(
         indexed_batches,
         serviced_entries,
         cache_serviced_entries,
+        frontier_picks,
+        fallback_picks,
         total_matches,
         max_wait_ms,
         outcomes,

@@ -190,11 +190,10 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             "shard {} finished with incomplete fragments",
             self.shard
         );
-        let name = self.scheduler.name();
         let fragments = self.fragments.len();
         ShardRun {
             shard: self.shard,
-            report: self.core.into_report(name, fragments),
+            report: self.core.into_report(self.scheduler.as_ref(), fragments),
             admission: self.stats,
         }
     }

@@ -82,7 +82,7 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
             core.all_complete(),
             "simulation ended with incomplete queries"
         );
-        core.into_report(scheduler.name(), trace.len())
+        core.into_report(scheduler, trace.len())
     }
 }
 
@@ -336,9 +336,11 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         cost
     }
 
-    /// Consumes the core into a [`RunReport`] labelled `scheduler`, with
-    /// `queries` as the denominator of the throughput statistic.
-    pub fn into_report(self, scheduler: String, queries: usize) -> RunReport {
+    /// Consumes the core into a [`RunReport`] labelled with `scheduler`'s
+    /// name and carrying its decision-path counters, with `queries` as the
+    /// denominator of the throughput statistic.
+    pub fn into_report(self, scheduler: &dyn Scheduler, queries: usize) -> RunReport {
+        let stats = scheduler.decision_stats();
         let outcomes = self.tracker.completed().to_vec();
         let response = Summary::from_samples(
             outcomes
@@ -356,7 +358,7 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             0.0
         };
         RunReport {
-            scheduler,
+            scheduler: scheduler.name(),
             queries,
             makespan_s,
             throughput_qps,
@@ -368,6 +370,8 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             indexed_batches: self.indexed_batches,
             serviced_entries: self.serviced_entries,
             cache_serviced_entries: self.cache_serviced_entries,
+            frontier_picks: stats.frontier_picks,
+            fallback_picks: stats.fallback_picks,
             total_matches: self.total_matches,
             max_wait_ms: self.starvation.max_wait_ms(),
             outcomes,

@@ -32,6 +32,11 @@ pub struct RunReport {
     pub serviced_entries: u64,
     /// Workload objects serviced from a cached bucket.
     pub cache_serviced_entries: u64,
+    /// Mixed-α decisions resolved by the frontier threshold scan (0 for
+    /// policies without one) — see `liferaft_core::DecisionStats`.
+    pub frontier_picks: u64,
+    /// Mixed-α decisions that fell back to the full streamed scan.
+    pub fallback_picks: u64,
     /// Cross-match result pairs after predicates (0 in cost-only runs).
     pub total_matches: u64,
     /// Longest wait observed by the starvation monitor, milliseconds.
@@ -103,6 +108,8 @@ mod tests {
             indexed_batches: 1,
             serviced_entries: 100,
             cache_serviced_entries: 40,
+            frontier_picks: 3,
+            fallback_picks: 1,
             total_matches: 0,
             max_wait_ms: 0.0,
             outcomes: vec![],

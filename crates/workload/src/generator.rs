@@ -19,7 +19,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use liferaft_htm::Vec3;
+use liferaft_htm::{CachingCoverer, Vec3};
 use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId};
 
 use crate::trace::Trace;
@@ -139,6 +139,16 @@ impl WorkloadConfig {
     }
 }
 
+/// The per-trace hotspot geometry every query draws from: the hotspot
+/// centers and each epoch's active set. A pure function of the
+/// configuration ([`TraceGenerator::layout`]), shared by the serial
+/// generator and every chunk of a parallel build.
+#[derive(Debug, Clone)]
+pub struct TraceLayout {
+    centers: Vec<Vec3>,
+    active: Vec<Vec<usize>>,
+}
+
 /// Generates [`Trace`]s from a [`WorkloadConfig`].
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
@@ -157,13 +167,12 @@ impl TraceGenerator {
         &self.config
     }
 
-    /// Generates the trace (deterministic per configuration).
-    pub fn generate(&self) -> Trace {
+    /// Derives the hotspot layout from `rng` (the serial generator threads
+    /// its one stream through here and on into the queries).
+    fn layout_with(&self, rng: &mut StdRng) -> TraceLayout {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
         // Hotspot centers, fixed for the whole trace.
-        let centers: Vec<Vec3> = (0..cfg.hotspots).map(|_| uniform_point(&mut rng)).collect();
+        let centers: Vec<Vec3> = (0..cfg.hotspots).map(|_| uniform_point(rng)).collect();
         let popularity = Zipf::new(cfg.hotspots, cfg.hotspot_zipf);
 
         // Active hotspots per epoch: the most popular few are always active
@@ -176,7 +185,7 @@ impl TraceGenerator {
                 // Rejection-sample distinct hotspots; bounded because
                 // active_per_epoch ≤ hotspots.
                 while set.len() < cfg.active_per_epoch.min(cfg.hotspots) {
-                    let h = popularity.sample(&mut rng);
+                    let h = popularity.sample(rng);
                     if !set.contains(&h) {
                         set.push(h);
                     }
@@ -184,14 +193,89 @@ impl TraceGenerator {
                 set
             })
             .collect();
+        TraceLayout { centers, active }
+    }
+
+    /// The hotspot layout of the *independently seeded* trace family — the
+    /// shared input of every [`generate_block`](Self::generate_block) call.
+    /// Deterministic per configuration.
+    pub fn layout(&self) -> TraceLayout {
+        self.layout_with(&mut StdRng::seed_from_u64(self.config.seed))
+    }
+
+    /// Generates the trace (deterministic per configuration).
+    ///
+    /// This is the *sequential* trace family: one RNG stream threads
+    /// through the layout and every query in order, so the content of query
+    /// `i` depends on all earlier queries. For a chunkable trace whose
+    /// queries are independently seeded (parallel fixture builds), see
+    /// [`generate_block`](Self::generate_block).
+    pub fn generate(&self) -> Trace {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let layout = self.layout_with(&mut rng);
+        let mut coverer = CachingCoverer::new(cfg.level);
 
         let queries = (0..cfg.n_queries)
             .map(|i| {
                 let epoch = i * cfg.epochs / cfg.n_queries;
-                self.generate_query(i as u64, &mut rng, &centers, &active[epoch])
+                self.generate_query(
+                    i as u64,
+                    &mut rng,
+                    &layout.centers,
+                    &layout.active[epoch],
+                    &mut coverer,
+                )
             })
             .collect();
         Trace::new(cfg.level, queries)
+    }
+
+    /// Generates queries `start..end` of the **independently seeded** trace
+    /// family: query `i` draws from its own SplitMix64-derived RNG stream,
+    /// so concatenating blocks `[0, a) ∪ [a, b) ∪ … ∪ [z, n)` produces the
+    /// same queries for *any* split points — the determinism contract that
+    /// lets a fixture build fan blocks across threads (e.g.
+    /// `liferaft-runtime`'s `parallel_map`) and stay bit-identical at every
+    /// thread and chunk count.
+    ///
+    /// The layout must come from [`layout`](Self::layout) on the same
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > n_queries`.
+    pub fn generate_block(
+        &self,
+        layout: &TraceLayout,
+        start: usize,
+        end: usize,
+    ) -> Vec<CrossMatchQuery> {
+        let cfg = &self.config;
+        assert!(start <= end && end <= cfg.n_queries, "block out of range");
+        let mut coverer = CachingCoverer::new(cfg.level);
+        (start..end)
+            .map(|i| {
+                let epoch = i * cfg.epochs / cfg.n_queries;
+                let mut rng = StdRng::seed_from_u64(query_seed(cfg.seed, i as u64));
+                self.generate_query(
+                    i as u64,
+                    &mut rng,
+                    &layout.centers,
+                    &layout.active[epoch],
+                    &mut coverer,
+                )
+            })
+            .collect()
+    }
+
+    /// The whole independently-seeded trace, serially — the reference a
+    /// parallel block build must reproduce.
+    pub fn generate_seeded(&self) -> Trace {
+        let layout = self.layout();
+        Trace::new(
+            self.config.level,
+            self.generate_block(&layout, 0, self.config.n_queries),
+        )
     }
 
     fn generate_query(
@@ -200,6 +284,7 @@ impl TraceGenerator {
         rng: &mut StdRng,
         centers: &[Vec3],
         active: &[usize],
+        coverer: &mut CachingCoverer,
     ) -> CrossMatchQuery {
         let cfg = &self.config;
 
@@ -228,15 +313,15 @@ impl TraceGenerator {
             // of the traffic.
             let slot_dist = Zipf::new(active.len(), cfg.hotspot_zipf);
             let h = active[slot_dist.sample(rng)];
-            let center = centers[h];
+            let sampler = CapSampler::new(centers[h], radius);
             let n = sample_size(rng, cfg, cfg.hot_large_fraction);
-            (0..n).map(|_| point_in_cap(rng, center, radius)).collect()
+            (0..n).map(|_| sampler.sample(rng)).collect()
         } else {
             // Background exploration: a random region of the same extent,
             // typically carrying a large object list.
-            let center = uniform_point(rng);
+            let sampler = CapSampler::new(uniform_point(rng), radius);
             let n = sample_size(rng, cfg, cfg.large_fraction);
-            (0..n).map(|_| point_in_cap(rng, center, radius)).collect()
+            (0..n).map(|_| sampler.sample(rng)).collect()
         };
 
         let predicate = match rng.gen_range(0..4u8) {
@@ -253,10 +338,23 @@ impl TraceGenerator {
 
         let objects = positions
             .into_iter()
-            .map(|p| MatchObject::new(p, cfg.error_radius, cfg.level))
+            .map(|p| MatchObject::with_coverer(p, cfg.error_radius, coverer))
             .collect();
         CrossMatchQuery::new(QueryId(id), objects, predicate)
     }
+}
+
+/// The per-query RNG seed of the independently seeded trace family: a
+/// SplitMix64 finalizer over `(trace seed, query id)`. Streams are decided
+/// by the pair alone, which is what makes [`TraceGenerator::generate_block`]
+/// chunking-invariant.
+fn query_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed
+        ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Uniform random point on the sphere.
@@ -266,22 +364,51 @@ fn uniform_point<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
     Vec3::from_radec(ra, z.asin())
 }
 
-/// Uniform random point within the cap of angular `radius` around `center`.
+/// Area-uniform sampler over one spherical cap, with the tangent basis
+/// hoisted out of the per-point loop (a query samples hundreds of objects
+/// from the same cap; the basis is a pure function of the center).
+struct CapSampler {
+    center: Vec3,
+    cos_r: f64,
+    e1: Vec3,
+    e2: Vec3,
+}
+
+impl CapSampler {
+    fn new(center: Vec3, radius: f64) -> Self {
+        // Tangent basis at center.
+        let helper = if center.z.abs() < 0.9 {
+            Vec3::NORTH
+        } else {
+            Vec3::new(1.0, 0.0, 0.0)
+        };
+        let e1 = center.cross(helper).normalized();
+        let e2 = center.cross(e1).normalized();
+        CapSampler {
+            center,
+            cos_r: radius.cos(),
+            e1,
+            e2,
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        // Uniform over cap area: cos θ uniform in [cos r, 1].
+        let cos_t: f64 = rng.gen_range(self.cos_r..=1.0);
+        let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
+        let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        (self.center.scale(cos_t)
+            + self.e1.scale(sin_t * phi.cos())
+            + self.e2.scale(sin_t * phi.sin()))
+        .normalized()
+    }
+}
+
+/// Uniform random point within the cap of angular `radius` around `center`
+/// (one-shot [`CapSampler`]; production paths hoist the sampler instead).
+#[cfg(test)]
 fn point_in_cap<R: Rng + ?Sized>(rng: &mut R, center: Vec3, radius: f64) -> Vec3 {
-    // Uniform over cap area: cos θ uniform in [cos r, 1].
-    let cos_r = radius.cos();
-    let cos_t: f64 = rng.gen_range(cos_r..=1.0);
-    let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
-    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-    // Tangent basis at center.
-    let helper = if center.z.abs() < 0.9 {
-        Vec3::NORTH
-    } else {
-        Vec3::new(1.0, 0.0, 0.0)
-    };
-    let e1 = center.cross(helper).normalized();
-    let e2 = center.cross(e1).normalized();
-    (center.scale(cos_t) + e1.scale(sin_t * phi.cos()) + e2.scale(sin_t * phi.sin())).normalized()
+    CapSampler::new(center, radius).sample(rng)
 }
 
 #[cfg(test)]
@@ -331,6 +458,53 @@ mod tests {
         for (i, q) in trace.queries().iter().enumerate() {
             assert_eq!(q.id, QueryId(i as u64));
         }
+    }
+
+    #[test]
+    fn seeded_blocks_are_chunking_invariant() {
+        let gen = TraceGenerator::new(small_config());
+        let layout = gen.layout();
+        let whole = gen.generate_seeded();
+        // Any split of the range reproduces the whole, query by query.
+        for splits in [vec![0, 60], vec![0, 1, 60], vec![0, 7, 23, 24, 60]] {
+            let mut rebuilt = Vec::new();
+            for w in splits.windows(2) {
+                rebuilt.extend(gen.generate_block(&layout, w[0], w[1]));
+            }
+            assert_eq!(rebuilt.len(), whole.queries().len());
+            for (a, b) in rebuilt.iter().zip(whole.queries()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_family_is_deterministic_but_distinct_from_sequential() {
+        let gen = TraceGenerator::new(small_config());
+        let a = gen.generate_seeded();
+        let b = gen.generate_seeded();
+        for (qa, qb) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(qa, qb);
+        }
+        // Same config bounds apply to the seeded family.
+        let cfg = small_config();
+        for q in a.queries() {
+            assert!(q.len() >= cfg.size_small.0 && q.len() <= cfg.size_large.1);
+        }
+        for (i, q) in a.queries().iter().enumerate() {
+            assert_eq!(q.id, QueryId(i as u64));
+        }
+        // The two families share the layout but not the per-query streams.
+        let sequential = gen.generate();
+        assert_ne!(a.queries()[0], sequential.queries()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn out_of_range_block_rejected() {
+        let gen = TraceGenerator::new(small_config());
+        let layout = gen.layout();
+        let _ = gen.generate_block(&layout, 0, 61);
     }
 
     #[test]

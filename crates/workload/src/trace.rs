@@ -71,6 +71,29 @@ impl Trace {
         }
     }
 
+    /// Like [`with_arrivals`](Self::with_arrivals) but consumes the trace,
+    /// *moving* the queries instead of deep-cloning millions of match
+    /// objects — the cheap path for fixture builders that no longer need
+    /// the untimed trace.
+    ///
+    /// # Panics
+    /// Panics if `arrivals` and queries differ in length, or arrivals are
+    /// unsorted.
+    pub fn into_timed(self, arrivals: Vec<SimTime>) -> TimedTrace {
+        assert_eq!(
+            arrivals.len(),
+            self.queries.len(),
+            "need exactly one arrival per query"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        TimedTrace {
+            entries: arrivals.into_iter().zip(self.queries).collect(),
+        }
+    }
+
     /// Serializes the trace to a writer in the v1 text format.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(w, "liferaft-trace v1")?;

@@ -10,16 +10,26 @@ times are not comparable across hosts. The guard instead normalizes by the
 flags a scheduler only when it regressed relative to the rest of the fleet:
 
     ratio_i = wall_now_i / wall_base_i
-    fail if ratio_i > median(ratio) * (1 + tolerance)
+    fail if ratio_i > median(ratio) * (1 + tolerance_i)
 
 A uniform slowdown (slow runner) moves every ratio together and passes; a
 decision-path regression in one scheduler moves only its ratio and fails.
 An absolute backstop (median ratio > --max-drift) catches the pathological
 case of *every* scheduler regressing in lockstep on comparable hardware.
 
+NoShare gets a tighter per-scheduler tolerance (--noshare-tolerance): its
+wall time is dominated by the segmented per-query drain, the single most
+perf-sensitive path in the engine, and a small relative slip there means a
+data-structure regression rather than noise.
+
+The fixture build (catalog + parallel trace generation) is guarded the same
+way, normalized by the same fleet-median drift: ``fixture_build_s`` must not
+exceed the baseline by more than --fixture-tolerance after drift correction.
+
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json \
-        [--tolerance 0.25] [--max-drift 4.0]
+        [--tolerance 0.25] [--noshare-tolerance 0.15] \
+        [--fixture-tolerance 0.5] [--max-drift 4.0]
 """
 
 import argparse
@@ -27,14 +37,16 @@ import json
 import statistics
 import sys
 
+NOSHARE = "NoShare"
 
-def load_rows(path):
+
+def load(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {r["scheduler"]: r for r in doc.get("results", [])}
     if not rows:
         sys.exit(f"error: no results in {path}")
-    return doc.get("mode"), rows
+    return doc, rows
 
 
 def main():
@@ -44,6 +56,14 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed per-scheduler regression over the fleet "
                          "median ratio (default 0.25 = 25%%)")
+    ap.add_argument("--noshare-tolerance", type=float, default=0.15,
+                    help="tighter tolerance for the NoShare row (default "
+                         "0.15): its wall time is pure segmented-drain "
+                         "throughput, the most perf-sensitive path")
+    ap.add_argument("--fixture-tolerance", type=float, default=0.5,
+                    help="allowed drift-normalized regression of "
+                         "fixture_build_s (default 0.5; the build is a "
+                         "single sample, so it gets more slack)")
     ap.add_argument("--max-drift", type=float, default=3.0,
                     help="cap on the median ratio itself (default 3.0). This "
                          "is the backstop for fleet-wide regressions — a "
@@ -53,10 +73,11 @@ def main():
                          "genuinely slower than the baseline machine")
     args = ap.parse_args()
 
-    base_mode, base = load_rows(args.baseline)
-    cur_mode, cur = load_rows(args.current)
-    if base_mode != cur_mode:
-        sys.exit(f"error: mode mismatch: baseline={base_mode} current={cur_mode}")
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+    if base_doc.get("mode") != cur_doc.get("mode"):
+        sys.exit(f"error: mode mismatch: baseline={base_doc.get('mode')} "
+                 f"current={cur_doc.get('mode')}")
 
     common = sorted(set(base) & set(cur))
     missing = sorted(set(base) - set(cur))
@@ -69,11 +90,12 @@ def main():
 
     ratios = {s: cur[s]["wall_s"] / max(base[s]["wall_s"], 1e-9) for s in common}
     med = statistics.median(ratios.values())
-    limit = med * (1.0 + args.tolerance)
 
     print(f"{'scheduler':<22} {'base_s':>9} {'now_s':>9} {'ratio':>7}   verdict")
     failures = []
     for s in common:
+        tol = args.noshare_tolerance if s == NOSHARE else args.tolerance
+        limit = med * (1.0 + tol)
         r = ratios[s]
         verdict = "ok"
         if r > limit:
@@ -81,17 +103,42 @@ def main():
             failures.append(s)
         print(f"{s:<22} {base[s]['wall_s']:>9.3f} {cur[s]['wall_s']:>9.3f} "
               f"{r:>7.2f}   {verdict}")
-    print(f"median ratio (machine drift): {med:.2f}, "
-          f"per-scheduler limit: {limit:.2f}")
+    print(f"median ratio (machine drift): {med:.2f}")
+
+    fixture_failed = False
+    fb, fc = base_doc.get("fixture_build_s"), cur_doc.get("fixture_build_s")
+    if fb is not None and fc is not None and fb > 0:
+        # The fixture build fans across all available cores while the
+        # scheduler rows (and thus the drift median) are single-threaded, so
+        # compare *serial-equivalent* cost: wall time × thread count.
+        # Sub-linear parallel speedup makes this overstate the side with
+        # more threads; for the dangerous direction (many-core baseline
+        # refresh, small CI runner) that errs toward leniency, and the wide
+        # --fixture-tolerance absorbs the imperfect-scaling penalty of the
+        # opposite direction.
+        fb *= base_doc.get("fixture_threads", 1)
+        fc *= cur_doc.get("fixture_threads", 1)
+        fr = fc / fb
+        flimit = med * (1.0 + args.fixture_tolerance)
+        verdict = "ok"
+        if fr > flimit:
+            verdict = f"REGRESSED (> {flimit:.2f})"
+            fixture_failed = True
+        print(f"{'fixture_build':<22} {fb:>9.3f} {fc:>9.3f} {fr:>7.2f}   {verdict}")
+    else:
+        print("fixture_build: not present in both files, skipped")
 
     if med > args.max_drift:
         sys.exit(f"FAIL: median wall-time ratio {med:.2f} exceeds the "
                  f"{args.max_drift:.1f}x drift backstop — every scheduler "
                  f"regressed together")
     if failures:
-        sys.exit(f"FAIL: wall-time regression beyond {args.tolerance:.0%} "
-                 f"of fleet drift in: {', '.join(failures)}")
-    print("bench guard: no per-scheduler regression")
+        sys.exit(f"FAIL: wall-time regression beyond fleet drift in: "
+                 f"{', '.join(failures)}")
+    if fixture_failed:
+        sys.exit(f"FAIL: fixture_build_s regressed beyond "
+                 f"{args.fixture_tolerance:.0%} of fleet drift")
+    print("bench guard: no per-scheduler or fixture regression")
 
 
 if __name__ == "__main__":
