@@ -22,8 +22,11 @@ use liferaft_catalog::VirtualCatalog;
 use liferaft_core::{
     AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
 };
-use liferaft_runtime::parallel_map;
+use liferaft_runtime::{
+    parallel_map, ExecMode, RebalanceConfig, RuntimeConfig, ShardAssignment, ShardedRuntime,
+};
 use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_storage::SimDuration;
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig};
 
@@ -57,20 +60,13 @@ struct Measured {
     reps: u32,
 }
 
-fn measure(
-    sim: &Simulation<'_, VirtualCatalog>,
-    timed: &TimedTrace,
-    mk_scheduler: &dyn Fn() -> Box<dyn Scheduler>,
-    reps: u32,
-) -> Measured {
+/// Best-of-`reps` wall time around an arbitrary runner — shared by the
+/// single-engine rows and the sharded elastic-vs-static rows.
+fn measure_with(run: impl Fn() -> RunReport, reps: u32) -> Measured {
     let mut best: Option<Measured> = None;
     for _ in 0..reps {
-        // A fresh scheduler per repetition: stateful policies (RR's cursor,
-        // adaptive controllers) must not leak state between reps, or the
-        // reported row depends on which rep happened to be fastest.
-        let mut scheduler = mk_scheduler();
         let t0 = Instant::now();
-        let report = sim.run(timed, scheduler.as_mut());
+        let report = run();
         let wall_s = t0.elapsed().as_secs_f64();
         if best.as_ref().map_or(true, |b| wall_s < b.wall_s) {
             best = Some(Measured {
@@ -83,7 +79,25 @@ fn measure(
     best.expect("at least one repetition")
 }
 
-fn json_row(m: &Measured) -> String {
+fn measure(
+    sim: &Simulation<'_, VirtualCatalog>,
+    timed: &TimedTrace,
+    mk_scheduler: &dyn Fn() -> Box<dyn Scheduler>,
+    reps: u32,
+) -> Measured {
+    // A fresh scheduler per repetition: stateful policies (RR's cursor,
+    // adaptive controllers) must not leak state between reps, or the
+    // reported row depends on which rep happened to be fastest.
+    measure_with(
+        || {
+            let mut scheduler = mk_scheduler();
+            sim.run(timed, scheduler.as_mut())
+        },
+        reps,
+    )
+}
+
+fn json_row(label: &str, m: &Measured) -> String {
     let r = &m.report;
     let wall = m.wall_s.max(1e-12);
     format!(
@@ -92,9 +106,10 @@ fn json_row(m: &Measured) -> String {
             "\"decisions_per_sec\": {:.1}, \"entries_per_sec\": {:.1}, ",
             "\"serviced_entries\": {}, \"frontier_picks\": {}, \"fallback_picks\": {}, ",
             "\"sim_makespan_s\": {:.3}, ",
-            "\"sim_throughput_qps\": {:.6}, \"mean_response_s\": {:.3}}}"
+            "\"sim_throughput_qps\": {:.6}, \"mean_response_s\": {:.3}, ",
+            "\"p90_response_s\": {:.3}}}"
         ),
-        r.scheduler,
+        label,
         m.wall_s,
         m.reps,
         r.batches,
@@ -106,6 +121,7 @@ fn json_row(m: &Measured) -> String {
         r.makespan_s,
         r.throughput_qps,
         r.mean_response_s(),
+        r.response.percentile(90.0),
     )
 }
 
@@ -192,7 +208,76 @@ fn main() {
             m.report.serviced_entries as f64 / m.wall_s.max(1e-12),
             m.report.batches,
         );
-        rows.push(json_row(&m));
+        let label = m.report.scheduler.clone();
+        rows.push(json_row(&label, &m));
+    }
+
+    // --- Elastic vs static sharding under hotspot drift -----------------
+    //
+    // A 4-shard pool serving a workload whose hot region *moves*: a few
+    // simultaneously-active hotspots rotate across the sky over the trace.
+    // The static hashed map eats whatever placement luck the hash gives it;
+    // the elastic map migrates hot buckets at epoch boundaries. Both rows
+    // run the deterministic stepped executor, so wall time is the serial
+    // decision-path cost (routing + scheduling + rebalancing included) on
+    // identical work.
+    let t0 = Instant::now();
+    let mut dcfg = WorkloadConfig::paper_like(sc.level, sc.n_buckets, sc.n_queries, sc.seed ^ 0xD2);
+    dcfg.epochs = if quick { 4 } else { 8 };
+    dcfg.active_per_epoch = 3;
+    dcfg.always_active = 0;
+    dcfg.hotspots = 6;
+    dcfg.hotspot_zipf = 0.5;
+    dcfg.hotspot_fraction = 0.95;
+    let dgen = TraceGenerator::new(dcfg);
+    let dlayout = dgen.layout();
+    let dblocks = parallel_map(&ranges, threads, |_, &(start, end)| {
+        dgen.generate_block(&dlayout, start, end)
+    });
+    let dtrace = Trace::new(sc.level, dblocks.into_iter().flatten().collect());
+    let drift_rate = 32.0;
+    let dtimed = dtrace.into_timed(poisson_arrivals(drift_rate, sc.n_queries, 0xD21F));
+    println!(
+        "drift fixture built in {:.1}s ({} queries at {drift_rate} q/s)",
+        t0.elapsed().as_secs_f64(),
+        sc.n_queries
+    );
+
+    // Both rows share the hashed base placement; the elastic row only adds
+    // the epoch controller, so the delta is rebalancing itself.
+    let shard_rows: Vec<(&str, RuntimeConfig)> = {
+        let mut hashed = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        hashed.assignment = ShardAssignment::Hashed { seed: 0xC1D2 };
+        let mut elastic = hashed;
+        elastic.rebalance = RebalanceConfig::every(SimDuration::from_secs(5));
+        elastic.rebalance.min_imbalance = 1.4;
+        elastic.rebalance.max_moves_per_epoch = 8;
+        vec![
+            ("sharded_static_hashed", hashed),
+            ("sharded_elastic", elastic),
+        ]
+    };
+    for (key, config) in shard_rows {
+        let rt = ShardedRuntime::new(&catalog, config);
+        let m = measure_with(
+            || {
+                rt.run(
+                    &dtimed,
+                    &mut |_| Box::new(LifeRaftScheduler::greedy(params)),
+                    ExecMode::Stepped,
+                )
+                .global
+            },
+            reps,
+        );
+        println!(
+            "{key:<22} wall={:.3}s  makespan={:.0}s  p90_rt={:.1}s  batches={}",
+            m.wall_s,
+            m.report.makespan_s,
+            m.report.response.percentile(90.0),
+            m.report.batches,
+        );
+        rows.push(json_row(key, &m));
     }
 
     let out_path = std::env::var("LIFERAFT_BENCH_OUT")

@@ -10,9 +10,8 @@
 //!
 //! - [`metric`] — Eq. 1's workload throughput `Ut(i) = W / (Tb·φ(i) + Tm·W)`
 //!   and Eq. 2's aged metric `Ua(i) = Ut(i)·(1−α) + A(i)·α`.
-//! - [`scheduler`] — the [`Scheduler`](scheduler::Scheduler) trait: given a
-//!   view of the per-bucket workload queues, produce the next
-//!   [`BatchSpec`](scheduler::BatchSpec) to execute.
+//! - [`scheduler`] — the [`Scheduler`] trait: given a view of the
+//!   per-bucket workload queues, produce the next [`BatchSpec`] to execute.
 //! - [`liferaft`] — the LifeRaft policy at any fixed bias α ∈ [0, 1].
 //! - [`noshare`] — the NoShare baseline: queries evaluated independently in
 //!   arrival order with no I/O sharing (Section 5).

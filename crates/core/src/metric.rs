@@ -32,6 +32,18 @@ impl MetricParams {
     ///
     /// `φ(i)` is 0 when the bucket is cached and 1 otherwise; an empty queue
     /// scores 0 (nothing to consume).
+    ///
+    /// ```
+    /// use liferaft_core::MetricParams;
+    ///
+    /// let m = MetricParams::paper();
+    /// // Deeper queues amortize the bucket read: strictly higher throughput.
+    /// assert!(m.workload_throughput(100, false) > m.workload_throughput(10, false));
+    /// // A cache hit drops the Tb term entirely and caps out at 1/Tm.
+    /// let cached = m.workload_throughput(50, true);
+    /// assert!((cached - m.max_throughput()).abs() < 1e-12 * m.max_throughput());
+    /// assert_eq!(m.workload_throughput(0, false), 0.0);
+    /// ```
     pub fn workload_throughput(&self, queue_len: u64, cached: bool) -> f64 {
         if queue_len == 0 {
             return 0.0;

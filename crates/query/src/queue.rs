@@ -10,7 +10,7 @@
 //! Each bucket's queue is physically *segmented by query*: the entries of
 //! one `(bucket, query)` pair live in a chain of fixed-capacity segments
 //! allocated from a per-bucket slab, behind a compact per-bucket directory
-//! (one [`QueryRun`] per co-queued query, sorted by query ID). The three
+//! (one `QueryRun` per co-queued query, sorted by query ID). The three
 //! queue operations the engine drives then cost:
 //!
 //! - **enqueue**: O(log d) directory lookup (d = co-queued queries) plus an
@@ -597,6 +597,76 @@ impl WorkloadTable {
         self.after_drain(bucket, out.len());
     }
 
+    /// Removes a bucket's entire queue state into `out` (cleared first) —
+    /// the elastic runtime's **migration extraction**. Mechanically this is
+    /// [`take_all_into`](Self::take_all_into) (the table cannot tell
+    /// servicing from departure), but the entries keep their `enqueued_at`
+    /// stamps so the receiving table's [`merge_bucket`](Self::merge_bucket)
+    /// preserves every arrival age. Leaves the candidate index, the
+    /// non-empty set, and `total_queued` consistent, exactly like a drain.
+    ///
+    /// ```
+    /// use liferaft_htm::Vec3;
+    /// use liferaft_query::{CrossMatchQuery, Predicate, QueryId, WorkItem, WorkloadTable};
+    /// use liferaft_storage::{BucketId, SimTime};
+    ///
+    /// let q = CrossMatchQuery::from_positions(
+    ///     QueryId(7), &[Vec3::from_radec_deg(10.0, 5.0)], 1e-5, 6, Predicate::All,
+    /// );
+    /// let item = WorkItem { query: q.id, bucket: BucketId(2), object_indices: vec![0] };
+    ///
+    /// let mut src = WorkloadTable::new(4);
+    /// let mut dst = WorkloadTable::new(4);
+    /// src.enqueue(&item, &q, SimTime::from_micros(42));
+    ///
+    /// // Migrate bucket 2: extraction + absorption conserve the entry and
+    /// // its arrival stamp.
+    /// let mut payload = Vec::new();
+    /// src.extract_bucket(BucketId(2), &mut payload);
+    /// dst.merge_bucket(BucketId(2), &mut payload);
+    /// assert_eq!(src.total_queued(), 0);
+    /// assert_eq!(dst.total_queued(), 1);
+    /// let moved = dst.queue(BucketId(2)).iter().next().unwrap();
+    /// assert_eq!(moved.enqueued_at, SimTime::from_micros(42));
+    /// ```
+    pub fn extract_bucket(&mut self, bucket: BucketId, out: &mut Vec<QueueEntry>) {
+        self.take_all_into(bucket, out);
+    }
+
+    /// Merges previously [extracted](Self::extract_bucket) entries into this
+    /// table's queue for `bucket` — the elastic runtime's **migration
+    /// absorption**. Entries are re-enqueued at their *original*
+    /// `enqueued_at` stamps (ages survive the move), the bucket's snapshot
+    /// slot and the candidate index are brought current, and `entries` is
+    /// drained (emptied) into the queue. A no-op for an empty `entries`.
+    ///
+    /// The destination bucket may already hold work (arrivals routed to the
+    /// new owner before the migration lands); the merged queue is the union.
+    pub fn merge_bucket(&mut self, bucket: BucketId, entries: &mut Vec<QueueEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let idx = bucket.index();
+        assert!(idx < self.queues.len(), "unknown bucket {bucket}");
+        let was_empty = self.queues[idx].is_empty();
+        if !was_empty {
+            self.index.remove(&self.snapshot_slots[idx]);
+        }
+        for e in entries.drain(..) {
+            self.total_queued += 1;
+            self.queues[idx].push(e);
+        }
+        let q = &self.queues[idx];
+        let slot = &mut self.snapshot_slots[idx];
+        slot.queue_len = q.len() as u64;
+        slot.oldest_enqueue = q.oldest_enqueue().expect("merged queue is non-empty");
+        self.index.insert(&self.snapshot_slots[idx]);
+        if was_empty {
+            let pos = self.non_empty.partition_point(|&b| b < bucket);
+            self.non_empty.insert(pos, bucket);
+        }
+    }
+
     /// The live snapshot of one bucket, or `None` if it has no queued work.
     /// The `cached` bit is not maintained here; see
     /// [`snapshots_into`](Self::snapshots_into) for decision-ready copies.
@@ -1006,6 +1076,58 @@ mod tests {
             t.queue(BucketId(1)).oldest_enqueue(),
             Some(SimTime::from_micros(10))
         );
+    }
+
+    #[test]
+    fn extract_then_merge_moves_a_bucket_between_tables() {
+        let qa = entry_source(2);
+        let mut qb = entry_source(3);
+        qb.id = QueryId(2);
+        let mut src = WorkloadTable::new(8);
+        let mut dst = WorkloadTable::new(8);
+        src.enqueue(&item(&qa, 5), &qa, SimTime::ZERO);
+        src.enqueue(&item(&qb, 5), &qb, SimTime::from_micros(10));
+        let mut payload = Vec::new();
+        src.extract_bucket(BucketId(5), &mut payload);
+        assert_eq!(payload.len(), 5);
+        assert!(src.is_idle());
+        src.validate_index();
+        dst.merge_bucket(BucketId(5), &mut payload);
+        assert!(payload.is_empty(), "merge drains the payload");
+        assert_eq!(dst.total_queued(), 5);
+        assert_eq!(dst.non_empty_buckets(), &[BucketId(5)]);
+        // Arrival ages survive: the oldest stamp crossed the tables intact.
+        assert_eq!(dst.queue(BucketId(5)).oldest_enqueue(), Some(SimTime::ZERO));
+        assert_eq!(dst.queue(BucketId(5)).distinct_queries(), 2);
+        dst.validate_index();
+    }
+
+    #[test]
+    fn merge_into_an_occupied_bucket_is_a_union() {
+        let qa = entry_source(2);
+        let mut qb = entry_source(1);
+        qb.id = QueryId(2);
+        let mut src = WorkloadTable::new(4);
+        let mut dst = WorkloadTable::new(4);
+        src.enqueue(&item(&qa, 1), &qa, SimTime::from_micros(5));
+        // The destination already routed new work to the bucket it is
+        // about to adopt.
+        dst.enqueue(&item(&qb, 1), &qb, SimTime::from_micros(50));
+        let mut payload = Vec::new();
+        src.extract_bucket(BucketId(1), &mut payload);
+        dst.merge_bucket(BucketId(1), &mut payload);
+        assert_eq!(dst.total_queued(), 3);
+        assert_eq!(dst.queue(BucketId(1)).distinct_queries(), 2);
+        // The migrated (older) work now anchors the age term.
+        assert_eq!(
+            dst.queue(BucketId(1)).oldest_enqueue(),
+            Some(SimTime::from_micros(5))
+        );
+        dst.validate_index();
+        // Merging nothing is a no-op.
+        let mut empty = Vec::new();
+        dst.merge_bucket(BucketId(2), &mut empty);
+        assert_eq!(dst.non_empty_buckets(), &[BucketId(1)]);
     }
 
     #[test]

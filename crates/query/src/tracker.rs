@@ -142,6 +142,78 @@ impl QueryTracker {
         }
     }
 
+    /// Hands `n` outstanding assignments of `query` to another tracker (the
+    /// elastic runtime's bucket migration): the departing work stops being
+    /// this tracker's responsibility, so both `remaining` and the recorded
+    /// `assignments` shrink by `n`.
+    ///
+    /// If nothing of the query remains here, the local record closes: with
+    /// locally serviced work an outcome is emitted at `now` covering exactly
+    /// the assignments serviced *here* (so per-shard reports stay a complete
+    /// account of local work), and with none the record is dropped silently
+    /// — the receiving tracker owns the whole story via
+    /// [`transfer_in`](Self::transfer_in).
+    ///
+    /// # Panics
+    /// Panics if the query is unknown or has fewer than `n` outstanding
+    /// assignments.
+    pub fn transfer_out(&mut self, query: QueryId, n: u64, now: SimTime) -> Option<QueryOutcome> {
+        let p = self
+            .pending
+            .get_mut(&query)
+            .unwrap_or_else(|| panic!("transfer out of unknown query {query}"));
+        assert!(
+            p.remaining >= n,
+            "query {query} over-transferred: {} remaining, {n} leaving",
+            p.remaining
+        );
+        p.remaining -= n;
+        p.assignments -= n;
+        if p.remaining > 0 {
+            return None;
+        }
+        let p = self.pending.remove(&query).expect("present above");
+        while let Some(&(_, q)) = self.arrival_order.front() {
+            if self.pending.contains_key(&q) {
+                break;
+            }
+            self.arrival_order.pop_front();
+        }
+        if p.assignments == 0 {
+            return None; // nothing was serviced here: no local outcome
+        }
+        let outcome = QueryOutcome {
+            query,
+            arrival: p.arrival,
+            completion: now,
+            assignments: p.assignments,
+        };
+        self.completed.push(outcome);
+        Some(outcome)
+    }
+
+    /// Accepts `n` assignments handed over by another tracker's
+    /// [`transfer_out`](Self::transfer_out), at the query's *original*
+    /// arrival (ages survive the move). Tops up an in-flight record, or
+    /// opens one — possibly re-opening a query this tracker already
+    /// completed locally, which then yields a second local outcome; the
+    /// global aggregation counts assignments, not outcomes, so the query
+    /// still completes exactly once globally.
+    ///
+    /// # Panics
+    /// Panics on `n == 0` (a transfer must carry work) or if an in-flight
+    /// record disagrees about the arrival instant.
+    pub fn transfer_in(&mut self, query: QueryId, n: u64, arrival: SimTime) {
+        assert!(n > 0, "empty transfer into {query}");
+        if let Some(p) = self.pending.get_mut(&query) {
+            assert_eq!(p.arrival, arrival, "query {query} arrival diverged");
+            p.remaining += n;
+            p.assignments += n;
+            return;
+        }
+        self.register(query, n, arrival);
+    }
+
     /// Number of queries still in flight.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
@@ -261,6 +333,76 @@ mod tests {
         tr.complete_assignments(QueryId(6), 1, t(33));
         assert_eq!(tr.oldest_pending(), None);
         assert!(tr.all_complete());
+    }
+
+    #[test]
+    fn transfer_out_partial_keeps_query_in_flight() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 5, t(0));
+        assert!(tr.transfer_out(QueryId(1), 2, t(10)).is_none());
+        assert_eq!(tr.remaining_of(QueryId(1)), Some(3));
+        // The eventual outcome only covers what stayed (and was serviced).
+        let out = tr.complete_assignments(QueryId(1), 3, t(20)).unwrap();
+        assert_eq!(out.assignments, 3);
+        assert_eq!(out.arrival, t(0));
+    }
+
+    #[test]
+    fn transfer_out_of_everything_after_partial_service_closes_locally() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 5, t(0));
+        tr.complete_assignments(QueryId(1), 2, t(4));
+        // The remaining 3 leave: the local record closes over the 2 serviced.
+        let out = tr.transfer_out(QueryId(1), 3, t(10)).unwrap();
+        assert_eq!(out.assignments, 2);
+        assert_eq!(out.completion, t(10));
+        assert!(tr.all_complete());
+    }
+
+    #[test]
+    fn transfer_out_of_an_untouched_query_leaves_no_trace() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 4, t(0));
+        assert!(tr.transfer_out(QueryId(1), 4, t(5)).is_none());
+        assert!(tr.all_complete());
+        assert!(tr.completed().is_empty());
+        assert_eq!(tr.oldest_pending(), None);
+    }
+
+    #[test]
+    fn transfer_in_tops_up_or_opens_at_original_arrival() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(7), 2, t(9));
+        tr.transfer_in(QueryId(7), 3, t(9));
+        assert_eq!(tr.remaining_of(QueryId(7)), Some(5));
+        // A fresh query opens with its original (possibly older) arrival.
+        tr.transfer_in(QueryId(3), 1, t(1));
+        assert_eq!(tr.oldest_pending(), Some((QueryId(3), t(1))));
+        let out = tr.complete_assignments(QueryId(3), 1, t(12)).unwrap();
+        assert_eq!(out.arrival, t(1));
+        assert_eq!(out.assignments, 1);
+    }
+
+    #[test]
+    fn transfer_in_can_reopen_a_locally_completed_query() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 2, t(0));
+        tr.complete_assignments(QueryId(1), 2, t(3));
+        assert_eq!(tr.completed().len(), 1);
+        // Migration returns work of the same query: a second local record.
+        tr.transfer_in(QueryId(1), 4, t(0));
+        assert!(!tr.all_complete());
+        let out = tr.complete_assignments(QueryId(1), 4, t(8)).unwrap();
+        assert_eq!(out.assignments, 4);
+        assert_eq!(tr.completed().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-transferred")]
+    fn transfer_out_beyond_remaining_panics() {
+        let mut tr = QueryTracker::new();
+        tr.register(QueryId(1), 2, t(0));
+        tr.transfer_out(QueryId(1), 3, t(1));
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Runtime configuration: shard layout, admission control, execution mode.
+//! Runtime configuration: shard layout, admission control, rebalancing,
+//! execution mode.
 
 use liferaft_sim::SimConfig;
+use liferaft_storage::SimDuration;
 
 use crate::shard::ShardAssignment;
 
@@ -44,6 +46,98 @@ impl AdmissionConfig {
     }
 }
 
+/// Elastic-rebalancing policy: at every `epoch` of virtual time, a
+/// controller inspects per-shard load and lets underloaded shards adopt hot
+/// buckets from overloaded ones.
+///
+/// Decisions are computed once, in the deterministic stepped merge, and
+/// recorded as an epoch-indexed [`RebalanceLog`](crate::rebalance::RebalanceLog)
+/// that the threaded executor replays verbatim — so elastic runs stay
+/// bit-identical across execution modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Master switch. Disabled (the default) leaves the static shard map in
+    /// force and reproduces the non-elastic runtime bit-for-bit.
+    pub enabled: bool,
+    /// Virtual-time cadence of rebalance decisions (boundaries at
+    /// `k × epoch`, k = 1, 2, …).
+    pub epoch: SimDuration,
+    /// Trigger threshold: rebalance only when the most-loaded shard's queued
+    /// backlog exceeds `min_imbalance ×` the mean backlog (≥ 1.0).
+    pub min_imbalance: f64,
+    /// Upper bound on bucket moves per epoch boundary.
+    pub max_moves_per_epoch: u32,
+    /// Fixed virtual-time cost charged to the *destination* shard per
+    /// migrated bucket (control-plane handshake, residency handoff).
+    pub migration_fixed: SimDuration,
+    /// Additional destination cost per migrated (object × bucket) entry
+    /// (queue-state transfer is not free).
+    pub migration_per_entry: SimDuration,
+    /// Carry cache residency with the bucket: evict it at the source and
+    /// warm it into the destination's cache on arrival.
+    pub warm_residency: bool,
+}
+
+impl RebalanceConfig {
+    /// Rebalancing off — the static-map behaviour (and the `Default`).
+    pub fn disabled() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            epoch: SimDuration::ZERO,
+            min_imbalance: 1.5,
+            max_moves_per_epoch: 4,
+            migration_fixed: SimDuration::from_millis(20),
+            migration_per_entry: SimDuration::from_micros(50),
+            warm_residency: true,
+        }
+    }
+
+    /// Rebalancing on with boundaries every `epoch` and default policy
+    /// knobs (1.5× imbalance trigger, ≤ 4 moves per epoch, warm handoff).
+    ///
+    /// ```
+    /// use liferaft_runtime::RebalanceConfig;
+    /// use liferaft_storage::SimDuration;
+    ///
+    /// let mut rb = RebalanceConfig::every(SimDuration::from_secs(5));
+    /// assert!(rb.enabled);
+    /// // Tighten the trigger so milder hotspots still shed buckets.
+    /// rb.min_imbalance = 1.4;
+    /// assert!(!RebalanceConfig::disabled().enabled);
+    /// ```
+    pub fn every(epoch: SimDuration) -> Self {
+        RebalanceConfig {
+            enabled: true,
+            epoch,
+            ..Self::disabled()
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        if self.enabled {
+            assert!(
+                self.epoch > SimDuration::ZERO,
+                "a zero rebalance epoch would fire boundaries forever"
+            );
+            assert!(
+                self.min_imbalance >= 1.0,
+                "an imbalance trigger below 1.0 is always on"
+            );
+            assert!(
+                self.max_moves_per_epoch > 0,
+                "enabled rebalancing must allow at least one move"
+            );
+        }
+    }
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Knobs of one sharded runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
@@ -52,10 +146,12 @@ pub struct RuntimeConfig {
     pub sim: SimConfig,
     /// Number of shards the bucket space is partitioned across.
     pub n_shards: u32,
-    /// Bucket → shard assignment policy.
+    /// Bucket → shard assignment policy (the *base* map when rebalancing).
     pub assignment: ShardAssignment,
     /// Per-shard admission control.
     pub admission: AdmissionConfig,
+    /// Epoch-boundary elastic rebalancing (off by default).
+    pub rebalance: RebalanceConfig,
 }
 
 impl RuntimeConfig {
@@ -66,6 +162,7 @@ impl RuntimeConfig {
             n_shards: 1,
             assignment: ShardAssignment::Contiguous,
             admission: AdmissionConfig::unbounded(),
+            rebalance: RebalanceConfig::disabled(),
         }
     }
 
@@ -76,6 +173,7 @@ impl RuntimeConfig {
             n_shards,
             assignment: ShardAssignment::Contiguous,
             admission: AdmissionConfig::unbounded(),
+            rebalance: RebalanceConfig::disabled(),
         }
     }
 
@@ -83,6 +181,7 @@ impl RuntimeConfig {
     pub fn validate(&self) {
         self.sim.validate();
         self.admission.validate();
+        self.rebalance.validate();
         assert!(self.n_shards > 0, "need at least one shard");
     }
 }
@@ -128,5 +227,23 @@ mod tests {
     #[should_panic(expected = "zero backlog")]
     fn zero_backlog_rejected() {
         AdmissionConfig::bounded(0).validate();
+    }
+
+    #[test]
+    fn rebalance_defaults_validate() {
+        assert!(!RebalanceConfig::default().enabled);
+        RebalanceConfig::default().validate();
+        let rb = RebalanceConfig::every(SimDuration::from_secs(30));
+        assert!(rb.enabled);
+        rb.validate();
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        c.rebalance = rb;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rebalance epoch")]
+    fn zero_epoch_rejected() {
+        RebalanceConfig::every(SimDuration::ZERO).validate();
     }
 }

@@ -22,36 +22,53 @@
 //! (both drive the same [`liferaft_sim::EngineCore`]); golden and property
 //! tests pin both claims.
 //!
+//! # Elastic rebalancing
+//!
+//! With [`RebalanceConfig`] enabled the shard map becomes **elastic**: at
+//! every epoch of virtual time a controller compares per-shard queued
+//! backlogs and migrates hot buckets — queue state, ages, and (optionally)
+//! cache residency — from overloaded to underloaded shards, charging a
+//! migration cost to the destination clock. All decisions are made once,
+//! in the deterministic stepped pass, and recorded as a [`RebalanceLog`]
+//! the threaded executor replays verbatim, so elastic runs keep the
+//! bit-identical cross-mode guarantee.
+//!
 //! # Sweep driver
 //!
 //! [`sweep`] fans independent runs — α sweeps, cache-size sweeps,
-//! shard-count sweeps, per-seed replications — across a thread pool with
-//! results in input order whatever the thread count ([`parallel_map`]).
+//! shard-count sweeps, rebalance-epoch sweeps, per-seed replications —
+//! across a thread pool with results in input order whatever the thread
+//! count ([`parallel_map`]).
 //!
 //! # Layout
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`shard`] | shard identity, bucket → shard maps (contiguous / hashed) |
-//! | [`router`] | query → per-shard fragment routing |
+//! | [`shard`] | shard identity, bucket → shard maps (contiguous / hashed / elastic) |
+//! | [`router`] | query → per-shard fragment routing (static and elastic) |
 //! | [`worker`] | the per-shard admission-controlled serving loop |
+//! | [`rebalance`] | the epoch decision log and the greedy migration planner |
 //! | [`runtime`] | stepped/threaded drivers and global aggregation |
-//! | [`config`] | runtime + admission configuration, execution mode |
+//! | [`config`] | runtime + admission + rebalance configuration, execution mode |
 //! | [`sweep`] | the deterministic parallel sweep driver |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod rebalance;
 pub mod router;
 pub mod runtime;
 pub mod shard;
 pub mod sweep;
 pub mod worker;
 
-pub use config::{AdmissionConfig, ExecMode, RuntimeConfig};
-pub use router::{route, Fragment, Routing};
+pub use config::{AdmissionConfig, ExecMode, RebalanceConfig, RuntimeConfig};
+pub use rebalance::{EpochRecord, Migration, RebalanceLog};
+pub use router::{route, route_elastic, Fragment, Routing};
 pub use runtime::{RuntimeReport, ShardedRuntime};
-pub use shard::{ShardAssignment, ShardId, ShardMap};
-pub use sweep::{alpha_sweep, cache_sweep, parallel_map, seed_sweep, shard_sweep, SweepPoint};
+pub use shard::{ElasticShardMap, ShardAssignment, ShardId, ShardMap};
+pub use sweep::{
+    alpha_sweep, cache_sweep, parallel_map, rebalance_sweep, seed_sweep, shard_sweep, SweepPoint,
+};
 pub use worker::{AdmissionStats, ShardRun};

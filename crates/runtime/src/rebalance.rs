@@ -1,0 +1,210 @@
+//! Epoch-boundary rebalancing: the decision log and the planner.
+//!
+//! At every epoch boundary the stepped driver samples per-shard load and
+//! asks `plan_moves` for a (possibly empty) set of bucket migrations. The
+//! decisions — together with the load sample that produced them — are
+//! recorded as an [`EpochRecord`]; the full [`RebalanceLog`] is what the
+//! threaded executor replays verbatim, which is the whole determinism
+//! story: planning happens exactly once, in the reference merge.
+//!
+//! The planner is a pure function of its inputs and deliberately greedy:
+//! while the most-loaded shard's queued backlog exceeds the configured
+//! multiple of the mean, move its deepest bucket to the least-loaded shard
+//! — provided the move strictly narrows the max–min gap. All ties break on
+//! the lowest id (shard or bucket), so the plan is reproducible from the
+//! load sample alone.
+
+use liferaft_storage::{BucketId, SimDuration, SimTime};
+
+use crate::config::RebalanceConfig;
+use crate::shard::ShardId;
+
+/// One bucket migration decided at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrating bucket.
+    pub bucket: BucketId,
+    /// The overloaded source shard.
+    pub from: ShardId,
+    /// The underloaded destination shard.
+    pub to: ShardId,
+    /// Queued (object × bucket) entries moving with the bucket.
+    pub entries: u64,
+}
+
+/// The decision record of one epoch boundary: the load sample the planner
+/// saw and the moves it chose (often none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// 1-based epoch index (boundary k sits at `k × epoch`).
+    pub epoch: u32,
+    /// The boundary's virtual time.
+    pub at: SimTime,
+    /// Queued entries per shard at the boundary (the planner's input).
+    pub loads: Vec<u64>,
+    /// Cumulative serviced entries per shard (observability).
+    pub serviced: Vec<u64>,
+    /// Cache-resident buckets per shard (observability).
+    pub resident: Vec<u32>,
+    /// The moves decided at this boundary, in planning order.
+    pub moves: Vec<Migration>,
+}
+
+/// The epoch-indexed decision log of one elastic run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RebalanceLog {
+    /// The epoch length the boundaries were spaced at.
+    pub epoch: SimDuration,
+    /// One record per fired boundary, in time order.
+    pub records: Vec<EpochRecord>,
+}
+
+impl RebalanceLog {
+    /// Total bucket moves across all epochs.
+    pub fn total_moves(&self) -> usize {
+        self.records.iter().map(|r| r.moves.len()).sum()
+    }
+
+    /// Total queued entries that migrated.
+    pub fn moved_entries(&self) -> u64 {
+        self.records
+            .iter()
+            .flat_map(|r| r.moves.iter())
+            .map(|m| m.entries)
+            .sum()
+    }
+}
+
+/// Plans this boundary's migrations from the load sample.
+///
+/// `loads[s]` is shard `s`'s queued-entry backlog; `depths[s]` lists its
+/// currently-owned non-empty buckets with their queue depths. Greedy, up to
+/// `max_moves_per_epoch` iterations: pick the most- and least-loaded shards
+/// (ties → lower id), then the source's deepest not-yet-moved bucket whose
+/// depth is *strictly* below the max–min gap (so the move narrows it; ties
+/// → lower bucket id). Working loads update after every move.
+pub(crate) fn plan_moves(
+    cfg: &RebalanceConfig,
+    loads: &[u64],
+    depths: &[Vec<(BucketId, u64)>],
+) -> Vec<Migration> {
+    let n = loads.len();
+    let mut loads = loads.to_vec();
+    let mut moves: Vec<Migration> = Vec::new();
+    if n < 2 {
+        return moves;
+    }
+    let mean = loads.iter().sum::<u64>() as f64 / n as f64;
+    for _ in 0..cfg.max_moves_per_epoch {
+        // Most/least loaded, ties on the lower shard id (max_by_key/
+        // min_by_key return the *last* max / *first* min among equals).
+        let (src, &l_max) = loads
+            .iter()
+            .enumerate()
+            .rev()
+            .max_by_key(|&(_, l)| l)
+            .expect("non-empty pool");
+        let (dst, &l_min) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, l)| l)
+            .expect("non-empty pool");
+        // Total load is invariant under moves, so the trigger re-checks
+        // against the boundary's mean every iteration.
+        if src == dst || (l_max as f64) <= cfg.min_imbalance * mean {
+            break;
+        }
+        let gap = l_max - l_min;
+        let candidate = depths[src]
+            .iter()
+            .filter(|&&(b, d)| d > 0 && d < gap && !moves.iter().any(|m| m.bucket == b))
+            .max_by(|&&(ba, da), &&(bb, db)| da.cmp(&db).then(bb.0.cmp(&ba.0)));
+        let Some(&(bucket, entries)) = candidate else {
+            break; // nothing movable improves the gap
+        };
+        loads[src] -= entries;
+        loads[dst] += entries;
+        moves.push(Migration {
+            bucket,
+            from: ShardId(src as u32),
+            to: ShardId(dst as u32),
+            entries,
+        });
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RebalanceConfig {
+        let mut c = RebalanceConfig::every(SimDuration::from_secs(10));
+        c.min_imbalance = 1.2;
+        c.max_moves_per_epoch = 8;
+        c
+    }
+
+    #[test]
+    fn balanced_loads_plan_nothing() {
+        let depths = vec![vec![(BucketId(0), 50)], vec![(BucketId(9), 50)]];
+        assert!(plan_moves(&cfg(), &[50, 50], &depths).is_empty());
+        assert!(plan_moves(&cfg(), &[0, 0], &depths).is_empty());
+    }
+
+    #[test]
+    fn hotspot_moves_deepest_improving_bucket_to_coldest_shard() {
+        // Shard 0 is hot: buckets of depth 60, 30, 10. Shard 2 is empty.
+        let loads = [100u64, 40, 0];
+        let depths = vec![
+            vec![(BucketId(1), 60), (BucketId(2), 30), (BucketId(3), 10)],
+            vec![(BucketId(7), 40)],
+            vec![],
+        ];
+        let moves = plan_moves(&cfg(), &loads, &depths);
+        assert!(!moves.is_empty());
+        // First move: the deepest bucket below the 100-0 gap (60) to S2.
+        assert_eq!(moves[0].bucket, BucketId(1));
+        assert_eq!(moves[0].from, ShardId(0));
+        assert_eq!(moves[0].to, ShardId(2));
+        assert_eq!(moves[0].entries, 60);
+        // No bucket moves twice.
+        let mut seen: Vec<BucketId> = moves.iter().map(|m| m.bucket).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), moves.len());
+    }
+
+    #[test]
+    fn moves_must_strictly_narrow_the_gap() {
+        // One indivisible deep bucket as large as the whole gap: moving it
+        // would just swap the hotspot, so the planner must decline.
+        let loads = [80u64, 0];
+        let depths = vec![vec![(BucketId(4), 80)], vec![]];
+        assert!(plan_moves(&cfg(), &loads, &depths).is_empty());
+    }
+
+    #[test]
+    fn move_budget_is_respected() {
+        let mut c = cfg();
+        c.max_moves_per_epoch = 1;
+        let loads = [90u64, 0];
+        let depths = vec![
+            vec![(BucketId(0), 30), (BucketId(1), 30), (BucketId(2), 30)],
+            vec![],
+        ];
+        let moves = plan_moves(&c, &loads, &depths);
+        assert_eq!(moves.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_on_lower_ids() {
+        let mut c = cfg();
+        c.max_moves_per_epoch = 1;
+        // Shards 1 and 2 equally cold; buckets 5 and 3 equally deep.
+        let loads = [60u64, 0, 0];
+        let depths = vec![vec![(BucketId(5), 20), (BucketId(3), 20)], vec![], vec![]];
+        let moves = plan_moves(&c, &loads, &depths);
+        assert_eq!(moves[0].to, ShardId(1), "tied destinations break low");
+        assert_eq!(moves[0].bucket, BucketId(3), "tied buckets break low");
+    }
+}

@@ -12,11 +12,12 @@
 //! stepped reference.
 
 use liferaft_catalog::Partition;
-use liferaft_query::{QueryId, QueryPreProcessor, WorkItem};
-use liferaft_storage::SimTime;
+use liferaft_query::{CrossMatchQuery, QueryId, QueryPreProcessor, WorkItem};
+use liferaft_storage::{BucketId, SimTime};
 use liferaft_workload::TimedTrace;
 
-use crate::shard::ShardMap;
+use crate::rebalance::RebalanceLog;
+use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 
 /// One shard's slice of one query: the work items whose buckets the shard
 /// owns, plus arrival/identity metadata.
@@ -72,50 +73,74 @@ pub fn route(partition: &Partition, map: &ShardMap, trace: &TimedTrace) -> Routi
         map.num_buckets(),
         "shard map must cover the partition"
     );
+    route_with(partition, map.n_shards() as usize, trace, |_, b| {
+        map.shard_of(b)
+    })
+}
+
+/// Routes `trace` under an **evolving** elastic map: starting from `base`,
+/// the moves of every `log` record with `at <= arrival` are applied before
+/// a query routes — i.e. arrivals in the window `[T_k, T_{k+1})` see the
+/// map as the epoch-`k` rebalance left it. This is exactly the incremental
+/// routing the elastic stepped driver performs, re-derived as a pure
+/// function of `(base map, decision log, trace)` so the threaded executor
+/// can route everything up-front.
+pub fn route_elastic(
+    partition: &Partition,
+    base: &ShardMap,
+    log: &RebalanceLog,
+    trace: &TimedTrace,
+) -> Routing {
+    assert_eq!(
+        partition.num_buckets(),
+        base.num_buckets(),
+        "shard map must cover the partition"
+    );
+    let mut elastic = ElasticShardMap::new(*base);
+    let mut next_record = 0usize;
+    route_with(partition, base.n_shards() as usize, trace, |arrival, b| {
+        while log
+            .records
+            .get(next_record)
+            .is_some_and(|r| r.at <= arrival)
+        {
+            for m in &log.records[next_record].moves {
+                elastic.reassign(m.bucket, m.to);
+            }
+            next_record += 1;
+        }
+        elastic.shard_of(b)
+    })
+}
+
+/// The shared routing core: splits every query by `shard_of(arrival,
+/// bucket)`. Arrivals are visited in trace order, so a stateful `shard_of`
+/// may evolve monotonically with arrival time (the elastic path).
+fn route_with(
+    partition: &Partition,
+    n_shards: usize,
+    trace: &TimedTrace,
+    mut shard_of: impl FnMut(SimTime, BucketId) -> ShardId,
+) -> Routing {
     let pre = QueryPreProcessor::new(partition);
-    let n = map.n_shards() as usize;
-    let mut shards: Vec<Vec<Fragment>> = vec![Vec::new(); n];
+    let mut shards: Vec<Vec<Fragment>> = vec![Vec::new(); n_shards];
     let mut fragments_of = Vec::with_capacity(trace.len());
     let mut assignments_of = Vec::with_capacity(trace.len());
     let mut cross_shard_queries = 0usize;
     let mut total_assignments = 0u64;
     // Per-query scratch: items grouped by shard (reused across queries).
-    let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n];
+    let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n_shards];
 
     for (query_index, (arrival, query)) in trace.entries().iter().enumerate() {
-        let items = pre.preprocess(query);
-        let mut assignments = 0u64;
-        for item in items {
-            assignments += item.len() as u64;
-            split[map.shard_of(item.bucket).index()].push(item);
-        }
-        let mut fragments = 0u32;
-        for (shard, items) in split.iter_mut().enumerate() {
-            if items.is_empty() {
-                continue;
-            }
-            fragments += 1;
-            let items = std::mem::take(items);
-            let assignments = items.iter().map(|i| i.len() as u64).sum();
-            shards[shard].push(Fragment {
-                query_index,
-                query: query.id,
-                arrival: *arrival,
-                items,
-                assignments,
-            });
-        }
-        if fragments == 0 {
-            // No work anywhere: ship the arrival itself to shard 0.
-            fragments = 1;
-            shards[0].push(Fragment {
-                query_index,
-                query: query.id,
-                arrival: *arrival,
-                items: Vec::new(),
-                assignments: 0,
-            });
-        }
+        let (fragments, assignments) = split_query(
+            &pre,
+            query_index,
+            *arrival,
+            query,
+            &mut |b| shard_of(*arrival, b),
+            &mut split,
+            &mut shards,
+        );
         if fragments > 1 {
             cross_shard_queries += 1;
         }
@@ -131,6 +156,56 @@ pub fn route(partition: &Partition, map: &ShardMap, trace: &TimedTrace) -> Routi
         cross_shard_queries,
         total_assignments,
     }
+}
+
+/// Splits one query into per-shard fragments, appending them to `shards`
+/// (one stream per shard) and returning `(fragments, assignments)`. The
+/// zero-work convention (one empty fragment to shard 0) lives here, so the
+/// static router, the elastic replay router, and the elastic stepped
+/// driver's incremental routing all split queries with the same code.
+pub(crate) fn split_query(
+    pre: &QueryPreProcessor<'_>,
+    query_index: usize,
+    arrival: SimTime,
+    query: &CrossMatchQuery,
+    shard_of: &mut dyn FnMut(BucketId) -> ShardId,
+    split: &mut [Vec<WorkItem>],
+    shards: &mut [Vec<Fragment>],
+) -> (u32, u64) {
+    let items = pre.preprocess(query);
+    let mut assignments = 0u64;
+    for item in items {
+        assignments += item.len() as u64;
+        split[shard_of(item.bucket).index()].push(item);
+    }
+    let mut fragments = 0u32;
+    for (shard, items) in split.iter_mut().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        fragments += 1;
+        let items = std::mem::take(items);
+        let assignments = items.iter().map(|i| i.len() as u64).sum();
+        shards[shard].push(Fragment {
+            query_index,
+            query: query.id,
+            arrival,
+            items,
+            assignments,
+        });
+    }
+    if fragments == 0 {
+        // No work anywhere: ship the arrival itself to shard 0.
+        fragments = 1;
+        shards[0].push(Fragment {
+            query_index,
+            query: query.id,
+            arrival,
+            items: Vec::new(),
+            assignments: 0,
+        });
+    }
+    (fragments, assignments)
 }
 
 #[cfg(test)]

@@ -21,19 +21,20 @@
 //! an `mpsc` channel.
 
 use std::collections::HashMap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Barrier};
 
 use liferaft_catalog::Catalog;
 use liferaft_core::Scheduler;
 use liferaft_metrics::Summary;
-use liferaft_query::{tracker::QueryOutcome, QueryId};
-use liferaft_sim::RunReport;
+use liferaft_query::{tracker::QueryOutcome, QueryId, QueryPreProcessor, WorkItem};
+use liferaft_sim::{MigratedBucket, RunReport};
 use liferaft_storage::{cache::CacheStats, IoStats, SimTime};
 use liferaft_workload::TimedTrace;
 
 use crate::config::{ExecMode, RuntimeConfig};
-use crate::router::route;
-use crate::shard::{ShardId, ShardMap};
+use crate::rebalance::{plan_moves, EpochRecord, RebalanceLog};
+use crate::router::{route, route_elastic, split_query, Fragment};
+use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 use crate::worker::{ShardRun, ShardWorker};
 
 /// The outcome of one sharded runtime execution.
@@ -51,6 +52,10 @@ pub struct RuntimeReport {
     pub cross_shard_queries: usize,
     /// Total fragments routed.
     pub total_fragments: usize,
+    /// The epoch-indexed rebalance decision log (`None` when rebalancing is
+    /// disabled). Not part of the fingerprinted surface — it records *why*
+    /// the run evolved, not *what* it produced.
+    pub rebalance: Option<RebalanceLog>,
 }
 
 impl RuntimeReport {
@@ -107,6 +112,12 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
 
     /// Replays `trace`, scheduling shard `i` with `mk_scheduler(i)`.
     ///
+    /// With [`RebalanceConfig::enabled`](crate::config::RebalanceConfig)
+    /// the elastic path runs instead: a deterministic stepped planning pass
+    /// computes the epoch decision log, and — in threaded mode — a parallel
+    /// replay executes it verbatim (so the factory is invoked once per
+    /// shard per pass; it must keep returning equivalent schedulers).
+    ///
     /// # Panics
     /// Panics if any shard's scheduler violates its contract, or if the run
     /// ends with incomplete queries — both are bugs that must fail loudly.
@@ -116,9 +127,15 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
         mode: ExecMode,
     ) -> RuntimeReport {
+        if self.config.rebalance.enabled {
+            let (log, stepped) = self.plan_elastic(trace, mk_scheduler);
+            return match mode {
+                ExecMode::Stepped => stepped,
+                ExecMode::Threaded => self.replay_elastic(trace, mk_scheduler, log),
+            };
+        }
         let routing = route(self.catalog.partition(), &self.map, trace);
         let total_fragments = routing.total_fragments();
-        let fragments_of = routing.fragments_of;
         let assignments_of = routing.assignments_of;
         let cross_shard_queries = routing.cross_shard_queries;
 
@@ -144,12 +161,291 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             ExecMode::Threaded => run_threaded(workers),
         };
 
-        let global = aggregate(trace, &fragments_of, &assignments_of, &shard_runs);
+        let global = aggregate(trace, &assignments_of, &shard_runs);
         RuntimeReport {
             global,
             shards: shard_runs,
             cross_shard_queries,
             total_fragments,
+            rebalance: None,
+        }
+    }
+
+    /// The elastic reference pass: a stepped virtual-time merge with a
+    /// rebalance controller firing at every epoch boundary. Returns the
+    /// decision log alongside the finished report.
+    ///
+    /// Between boundaries this is exactly [`run_stepped`]: the worker with
+    /// the earliest next event advances one event — but only while that
+    /// event is strictly before the next boundary `T`. When every live
+    /// event sits at or beyond `T`, the controller samples per-shard load,
+    /// plans migrations ([`plan_moves`]), applies them (extract at the
+    /// sources, absorb at the destinations in bucket order, costs charged
+    /// to destination clocks), records the epoch, and routes the next
+    /// arrival window `[T, T + epoch)` under the updated map.
+    fn plan_elastic(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+    ) -> (RebalanceLog, RuntimeReport) {
+        let rb = self.config.rebalance;
+        let entries = trace.entries();
+        let partition = self.catalog.partition();
+        let pre = QueryPreProcessor::new(partition);
+        let n = self.config.n_shards as usize;
+
+        let mut workers: Vec<ShardWorker<'_, C>> = (0..n)
+            .map(|i| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    entries,
+                    Vec::new(),
+                    mk_scheduler(i),
+                )
+            })
+            .collect();
+
+        let mut elastic = ElasticShardMap::new(self.map);
+        let mut assignments_of = vec![0u64; entries.len()];
+        let mut cross_shard_queries = 0usize;
+        let mut total_fragments = 0usize;
+        let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n];
+        let mut window: Vec<Vec<Fragment>> = vec![Vec::new(); n];
+        let mut cursor = 0usize; // next unrouted trace entry
+        let mut fired = 0u32;
+        let mut records: Vec<EpochRecord> = Vec::new();
+
+        // Routes arrivals strictly before `bound` under the current map and
+        // hands the resulting window to the workers.
+        let mut route_until = |bound: SimTime,
+                               cursor: &mut usize,
+                               elastic: &ElasticShardMap,
+                               workers: &mut Vec<ShardWorker<'_, C>>,
+                               assignments_of: &mut Vec<u64>,
+                               cross_shard_queries: &mut usize,
+                               total_fragments: &mut usize| {
+            while let Some((arrival, query)) = entries.get(*cursor) {
+                if *arrival >= bound {
+                    break;
+                }
+                let (fragments, assignments) = split_query(
+                    &pre,
+                    *cursor,
+                    *arrival,
+                    query,
+                    &mut |b| elastic.shard_of(b),
+                    &mut split,
+                    &mut window,
+                );
+                if fragments > 1 {
+                    *cross_shard_queries += 1;
+                }
+                assignments_of[*cursor] = assignments;
+                *total_fragments += fragments as usize;
+                *cursor += 1;
+            }
+            for (w, frags) in workers.iter_mut().zip(window.iter_mut()) {
+                if !frags.is_empty() {
+                    w.append_fragments(std::mem::take(frags));
+                }
+            }
+        };
+
+        // Initial window: [0, T_1).
+        route_until(
+            SimTime::ZERO + rb.epoch,
+            &mut cursor,
+            &elastic,
+            &mut workers,
+            &mut assignments_of,
+            &mut cross_shard_queries,
+            &mut total_fragments,
+        );
+
+        loop {
+            let t = SimTime::ZERO + rb.epoch.times(fired as u64 + 1);
+            let mut earliest: Option<(SimTime, usize)> = None;
+            for (i, w) in workers.iter().enumerate() {
+                if let Some(wt) = w.next_time() {
+                    // Strict `<` keeps the lowest shard index on time ties.
+                    if earliest.map_or(true, |(bt, _)| wt < bt) {
+                        earliest = Some((wt, i));
+                    }
+                }
+            }
+            match earliest {
+                Some((wt, i)) if wt < t => {
+                    let advanced = workers[i].step();
+                    debug_assert!(advanced, "a shard with a next event must advance");
+                    continue;
+                }
+                None if cursor >= entries.len() => break, // fully drained
+                _ => {} // every live event is at/after the boundary: fire it
+            }
+
+            fired += 1;
+            let loads: Vec<u64> = workers.iter().map(ShardWorker::queued).collect();
+            let depths: Vec<Vec<_>> = workers.iter().map(ShardWorker::bucket_depths).collect();
+            let moves = plan_moves(&rb, &loads, &depths);
+
+            // Extract every payload first (sources are untouched by other
+            // moves' absorptions), then absorb per destination in bucket
+            // order — the canonical order the threaded replay reproduces.
+            let mut payloads: Vec<(usize, MigratedBucket)> = moves
+                .iter()
+                .map(|m| {
+                    let p = workers[m.from.index()].extract_bucket(m.bucket, t, rb.warm_residency);
+                    debug_assert_eq!(p.len() as u64, m.entries, "plan drifted from state");
+                    (m.to.index(), p)
+                })
+                .collect();
+            payloads.sort_by_key(|(to, p)| (*to, p.bucket));
+            for (to, p) in payloads {
+                let cost = rb.migration_fixed + rb.migration_per_entry.times(p.len() as u64);
+                workers[to].absorb_payload(p, t, cost, rb.warm_residency);
+            }
+
+            records.push(EpochRecord {
+                epoch: fired,
+                at: t,
+                loads,
+                serviced: workers.iter().map(ShardWorker::serviced).collect(),
+                resident: workers.iter().map(|w| w.resident() as u32).collect(),
+                moves: moves.clone(),
+            });
+            for m in &moves {
+                elastic.reassign(m.bucket, m.to);
+            }
+
+            // Route the next arrival window under the updated map.
+            route_until(
+                t + rb.epoch,
+                &mut cursor,
+                &elastic,
+                &mut workers,
+                &mut assignments_of,
+                &mut cross_shard_queries,
+                &mut total_fragments,
+            );
+        }
+
+        let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
+        let log = RebalanceLog {
+            epoch: rb.epoch,
+            records,
+        };
+        let global = aggregate(trace, &assignments_of, &shard_runs);
+        let report = RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: Some(log.clone()),
+        };
+        (log, report)
+    }
+
+    /// The elastic parallel executor: routes the whole trace up-front under
+    /// the evolving map ([`route_elastic`]), then runs one thread per shard
+    /// that replays the decision log verbatim — a double-barrier handshake
+    /// per move-bearing boundary: step to the boundary, barrier, send the
+    /// outgoing payloads, barrier, absorb the incoming ones (sorted by
+    /// bucket id, the planning pass's canonical order).
+    fn replay_elastic(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+        log: RebalanceLog,
+    ) -> RuntimeReport {
+        let rb = self.config.rebalance;
+        let routing = route_elastic(self.catalog.partition(), &self.map, &log, trace);
+        let total_fragments = routing.total_fragments();
+        let assignments_of = routing.assignments_of;
+        let cross_shard_queries = routing.cross_shard_queries;
+        let n = self.config.n_shards as usize;
+
+        let workers: Vec<ShardWorker<'_, C>> = routing
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, fragments)| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    trace.entries(),
+                    fragments,
+                    mk_scheduler(i),
+                )
+            })
+            .collect();
+
+        // Only boundaries that actually moved buckets synchronize the pool;
+        // a move-free boundary is behaviour-neutral by construction.
+        let sync_records: Vec<&EpochRecord> =
+            log.records.iter().filter(|r| !r.moves.is_empty()).collect();
+        let barrier = Barrier::new(n);
+        let mut senders: Vec<mpsc::Sender<MigratedBucket>> = Vec::with_capacity(n);
+        let mut receivers: Vec<mpsc::Receiver<MigratedBucket>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (tx_done, rx_done) = mpsc::channel::<(usize, ShardRun)>();
+        std::thread::scope(|scope| {
+            for ((i, mut worker), rx) in workers.into_iter().enumerate().zip(receivers) {
+                let tx_done = tx_done.clone();
+                let senders = senders.clone();
+                let barrier = &barrier;
+                let sync_records = &sync_records;
+                scope.spawn(move || {
+                    for rec in sync_records {
+                        let t = rec.at;
+                        while worker.next_time().is_some_and(|wt| wt < t) {
+                            worker.step();
+                        }
+                        barrier.wait();
+                        for m in &rec.moves {
+                            if m.from.index() != i {
+                                continue;
+                            }
+                            let p = worker.extract_bucket(m.bucket, t, rb.warm_residency);
+                            assert_eq!(p.len() as u64, m.entries, "replay diverged from plan");
+                            senders[m.to.index()]
+                                .send(p)
+                                .expect("peer outlives the handshake");
+                        }
+                        barrier.wait();
+                        let mut incoming: Vec<MigratedBucket> = rx.try_iter().collect();
+                        incoming.sort_by_key(|p| p.bucket);
+                        for p in incoming {
+                            let cost =
+                                rb.migration_fixed + rb.migration_per_entry.times(p.len() as u64);
+                            worker.absorb_payload(p, t, cost, rb.warm_residency);
+                        }
+                    }
+                    while worker.step() {}
+                    tx_done
+                        .send((i, worker.into_run()))
+                        .expect("the driver outlives its workers");
+                });
+            }
+        });
+        drop(tx_done);
+        let shard_runs = crate::sweep::collect_indexed(rx_done, n);
+
+        let global = aggregate(trace, &assignments_of, &shard_runs);
+        RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: Some(log),
         }
     }
 }
@@ -198,15 +494,20 @@ fn run_threaded<C: Catalog + Sync + ?Sized>(workers: Vec<ShardWorker<'_, C>>) ->
 /// Folds per-shard fragment runs into the query-level global report.
 ///
 /// Fragment completions are merged in the canonical `(shard clock, shard,
-/// shard event order)` order; a query completes at the merged position of
-/// its last fragment, with completion *time* the max over its fragments
-/// (for a zero-work query's single empty fragment: its arrival).
-fn aggregate(
-    trace: &TimedTrace,
-    fragments_of: &[u32],
-    assignments_of: &[u64],
-    shard_runs: &[ShardRun],
-) -> RunReport {
+/// shard event order)` order; a query completes at the merged event where
+/// its serviced assignments reach the routed total, with completion *time*
+/// the max over its per-shard completions (for a zero-work query's single
+/// empty fragment: its arrival).
+///
+/// Counting **assignments** rather than fragments is what makes the fold
+/// migration-proof: under rebalancing a query's work can leave a shard
+/// mid-flight (the source records a partial outcome covering only what it
+/// serviced locally) and even revisit a shard it already completed on (a
+/// second outcome). Per-shard outcome assignments always sum to the routed
+/// total — every assignment is serviced exactly once, somewhere — so the
+/// fold is exact for static and elastic runs alike, and positionally
+/// identical to fragment counting when no migration happens.
+fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]) -> RunReport {
     let entries = trace.entries();
     let index_of: HashMap<QueryId, usize> = entries
         .iter()
@@ -224,30 +525,43 @@ fn aggregate(
     // preserves each shard's record order — which is exactly the
     // single-engine push order, so a 1-shard runtime reproduces
     // `Simulation`'s outcome sequence bit-for-bit.
-    let mut events: Vec<(SimTime, u32, u32, QueryId, SimTime)> = Vec::new();
+    let mut events: Vec<(SimTime, u32, u32, QueryId, SimTime, u64)> = Vec::new();
     for run in shard_runs {
         let mut clock = SimTime::ZERO;
         for (seq, o) in run.report.outcomes.iter().enumerate() {
             clock = clock.max(o.completion);
-            events.push((clock, run.shard.0, seq as u32, o.query, o.completion));
+            events.push((
+                clock,
+                run.shard.0,
+                seq as u32,
+                o.query,
+                o.completion,
+                o.assignments,
+            ));
         }
     }
-    events.sort_unstable_by_key(|&(clock, shard, seq, _, _)| (clock, shard, seq));
+    events.sort_unstable_by_key(|&(clock, shard, seq, _, _, _)| (clock, shard, seq));
 
-    let mut remaining: Vec<u32> = fragments_of.to_vec();
+    let mut remaining: Vec<u64> = assignments_of.to_vec();
+    let mut emitted = vec![false; entries.len()];
     let mut last_done: Vec<SimTime> = vec![SimTime::ZERO; entries.len()];
     let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(entries.len());
-    for (_, _, _, query, completion) in events {
+    for (_, _, _, query, completion, assignments) in events {
         let i = index_of[&query];
-        remaining[i] -= 1;
+        assert!(
+            remaining[i] >= assignments,
+            "query {query} over-serviced across shards"
+        );
+        remaining[i] -= assignments;
         last_done[i] = last_done[i].max(completion);
-        if remaining[i] > 0 {
-            continue; // more fragments outstanding elsewhere
+        if remaining[i] > 0 || emitted[i] {
+            continue; // more assignments outstanding elsewhere
         }
+        emitted[i] = true;
         outcomes.push(QueryOutcome {
             query,
-            // A query completes when its last fragment finishes; for the
-            // zero-work single-fragment case this is its arrival.
+            // A query completes when its last assignment is serviced; for
+            // the zero-work single-fragment case this is its arrival.
             arrival: entries[i].0,
             completion: last_done[i],
             assignments: assignments_of[i],
@@ -509,6 +823,101 @@ mod tests {
             assert_eq!(reference.batches, sharded.global.batches);
             assert_eq!(reference.io, sharded.global.io);
         }
+    }
+
+    #[test]
+    fn elastic_modes_agree_and_disabled_matches_static() {
+        use crate::config::RebalanceConfig;
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(24, 2.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.rebalance = RebalanceConfig::every(SimDuration::from_secs(5));
+        config.rebalance.min_imbalance = 1.05;
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.global.io, threaded.global.io);
+        assert_eq!(stepped.global.cache, threaded.global.cache);
+        assert_eq!(stepped.rebalance, threaded.rebalance);
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            assert_eq!(a.report.outcomes, b.report.outcomes);
+            assert_eq!(a.admission, b.admission);
+        }
+        let log = stepped.rebalance.as_ref().expect("elastic runs keep a log");
+        assert!(!log.records.is_empty(), "boundaries must have fired");
+        // Disabled rebalancing reproduces the static runtime bit-for-bit.
+        let mut off = config;
+        off.rebalance = RebalanceConfig::disabled();
+        let rt_off = ShardedRuntime::new(&cat, off);
+        let static_run = rt_off.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        assert!(static_run.rebalance.is_none());
+        // And an enabled-but-never-triggering policy is behaviour-neutral.
+        let mut never = config;
+        never.rebalance.min_imbalance = 1e12;
+        let rt_never = ShardedRuntime::new(&cat, never);
+        let neutral = rt_never.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        assert_eq!(neutral.global.outcomes, static_run.global.outcomes);
+        assert_eq!(neutral.global.batches, static_run.global.batches);
+        assert_eq!(neutral.global.io, static_run.global.io);
+        assert_eq!(
+            neutral.rebalance.as_ref().map(RebalanceLog::total_moves),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn elastic_migrations_move_work_and_conserve_everything() {
+        use crate::config::RebalanceConfig;
+        use liferaft_storage::SimDuration;
+        // A hot fixture: all queries anchor on shard 0's five buckets, so it
+        // soaks up the whole load until rebalancing spreads it. Spreading the
+        // anchors over several buckets matters: the planner refuses a move
+        // that would relocate the entire backlog (it must narrow the gap),
+        // so a single-bucket hotspot is deliberately immovable.
+        let sky = liferaft_catalog::generate::uniform_sky(2_000, LEVEL, 5);
+        let cat = MaterializedCatalog::build(&sky, LEVEL, 100, 4096);
+        let queries: Vec<CrossMatchQuery> = (0..30)
+            .map(|i| {
+                let objs = cat.bucket_objects(liferaft_storage::BucketId((i % 5) as u32));
+                let positions: Vec<_> = objs.iter().step_by(4).map(|o| o.pos).collect();
+                CrossMatchQuery::from_positions(
+                    QueryId(i as u64),
+                    &positions,
+                    1e-4,
+                    LEVEL,
+                    Predicate::All,
+                )
+            })
+            .collect();
+        let timed = Trace::new(LEVEL, queries).with_arrivals(uniform_arrivals(20.0, 30));
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.rebalance = RebalanceConfig::every(SimDuration::from_millis(500));
+        config.rebalance.min_imbalance = 1.1;
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        let log = stepped.rebalance.as_ref().unwrap();
+        assert!(log.total_moves() > 0, "hotspot must trigger migrations");
+        assert!(log.moved_entries() > 0);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.rebalance, threaded.rebalance);
+        // Conservation survives migration: every assignment serviced once.
+        assert_eq!(stepped.global.outcomes.len(), 30);
+        let serviced: u64 = stepped
+            .shards
+            .iter()
+            .map(|s| s.report.serviced_entries)
+            .sum();
+        assert_eq!(serviced, stepped.global.serviced_entries);
+        // Work actually left the hot shard: more than one shard serviced.
+        let busy = stepped
+            .shards
+            .iter()
+            .filter(|s| s.report.serviced_entries > 0)
+            .count();
+        assert!(busy > 1, "migration must spread service across shards");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use liferaft_catalog::hash::hash4;
 use liferaft_storage::BucketId;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Dense index of a shard within a runtime (0-based).
@@ -51,6 +52,19 @@ pub enum ShardAssignment {
 const SHARD_STREAM: u64 = 2;
 
 /// A total map from buckets to shards.
+///
+/// ```
+/// use liferaft_runtime::{ShardId, ShardMap};
+/// use liferaft_storage::BucketId;
+///
+/// // 8 buckets over 4 shards, contiguous spans: buckets 0–1 → shard 0, …
+/// let map = ShardMap::contiguous(8, 4);
+/// assert_eq!(map.shard_of(BucketId(0)), ShardId(0));
+/// assert_eq!(map.shard_of(BucketId(7)), ShardId(3));
+/// // Hashed placement spreads buckets without regard to spatial order.
+/// let hashed = ShardMap::hashed(8, 4, 0xC1D2);
+/// assert!(hashed.shard_of(BucketId(0)).0 < 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardMap {
     num_buckets: u32,
@@ -121,6 +135,84 @@ impl ShardMap {
     }
 }
 
+/// A [`ShardMap`] plus a sparse set of per-bucket **overrides** — the
+/// elastic map the rebalance controller evolves at epoch boundaries.
+///
+/// Lookups fall through to the base map unless the bucket has been
+/// reassigned; re-assigning a bucket back to its base owner removes the
+/// override, so the overlay stays minimal.
+///
+/// ```
+/// use liferaft_runtime::{ElasticShardMap, ShardId, ShardMap};
+/// use liferaft_storage::BucketId;
+///
+/// let mut map = ElasticShardMap::new(ShardMap::contiguous(8, 4));
+/// map.reassign(BucketId(0), ShardId(3));
+/// assert_eq!(map.shard_of(BucketId(0)), ShardId(3));
+/// assert_eq!(map.override_count(), 1);
+/// // Moving the bucket home again erases the override.
+/// map.reassign(BucketId(0), ShardId(0));
+/// assert_eq!(map.override_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticShardMap {
+    base: ShardMap,
+    overrides: HashMap<BucketId, ShardId>,
+}
+
+impl ElasticShardMap {
+    /// An elastic map starting identical to `base` (no overrides).
+    pub fn new(base: ShardMap) -> Self {
+        ElasticShardMap {
+            base,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// The underlying static map.
+    pub fn base(&self) -> &ShardMap {
+        &self.base
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> u32 {
+        self.base.n_shards()
+    }
+
+    /// Number of buckets the map covers.
+    pub fn num_buckets(&self) -> usize {
+        self.base.num_buckets()
+    }
+
+    /// Number of buckets currently owned away from their base shard.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// The shard currently owning `bucket`.
+    #[inline]
+    pub fn shard_of(&self, bucket: BucketId) -> ShardId {
+        self.overrides
+            .get(&bucket)
+            .copied()
+            .unwrap_or_else(|| self.base.shard_of(bucket))
+    }
+
+    /// Moves `bucket` to `shard` (removing the override if that is the
+    /// bucket's base owner).
+    ///
+    /// # Panics
+    /// Panics if the shard index is out of range.
+    pub fn reassign(&mut self, bucket: BucketId, shard: ShardId) {
+        assert!(shard.0 < self.base.n_shards(), "shard outside the pool");
+        if self.base.shard_of(bucket) == shard {
+            self.overrides.remove(&bucket);
+        } else {
+            self.overrides.insert(bucket, shard);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +268,24 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardMap::contiguous(10, 0);
+    }
+
+    #[test]
+    fn elastic_overrides_fall_through_and_cancel() {
+        let base = ShardMap::contiguous(100, 4);
+        let mut m = ElasticShardMap::new(base);
+        let b = BucketId(3);
+        let home = base.shard_of(b);
+        assert_eq!(m.shard_of(b), home);
+        assert_eq!(m.override_count(), 0);
+        m.reassign(b, ShardId(3));
+        assert_eq!(m.shard_of(b), ShardId(3));
+        assert_eq!(m.override_count(), 1);
+        // Untouched buckets still resolve through the base map.
+        assert_eq!(m.shard_of(BucketId(99)), base.shard_of(BucketId(99)));
+        // Moving home again erases the override.
+        m.reassign(b, home);
+        assert_eq!(m.override_count(), 0);
+        assert_eq!(m.shard_of(b), home);
     }
 }

@@ -14,6 +14,7 @@ use std::sync::mpsc;
 use liferaft_catalog::Catalog;
 use liferaft_core::{AgingMode, LifeRaftScheduler, MetricParams, Scheduler};
 use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_storage::SimDuration;
 use liferaft_workload::TimedTrace;
 
 use crate::config::{ExecMode, RuntimeConfig};
@@ -158,6 +159,47 @@ where
         SweepPoint {
             label: format!("shards={n_shards}"),
             x: n_shards as f64,
+            report: report.global,
+        }
+    })
+}
+
+/// Sweeps the rebalance axis: one [`ShardedRuntime`] run per epoch length
+/// in `epochs` (`None` = rebalancing off, the static baseline), holding
+/// everything else in `base` fixed. Non-epoch rebalance knobs come from
+/// `base.rebalance`, so callers can pre-tune the policy and sweep only the
+/// cadence.
+pub fn rebalance_sweep<C, F>(
+    catalog: &C,
+    trace: &TimedTrace,
+    base: RuntimeConfig,
+    epochs: &[Option<SimDuration>],
+    mode: ExecMode,
+    threads: usize,
+    mk_scheduler: F,
+) -> Vec<SweepPoint>
+where
+    C: Catalog + Sync + ?Sized,
+    F: Fn(usize) -> Box<dyn Scheduler + Send> + Sync,
+{
+    parallel_map(epochs, threads, |_, &epoch| {
+        let mut config = base;
+        match epoch {
+            None => config.rebalance.enabled = false,
+            Some(e) => {
+                config.rebalance.enabled = true;
+                config.rebalance.epoch = e;
+            }
+        }
+        let runtime = ShardedRuntime::new(catalog, config);
+        let report = runtime.run(trace, &mut |i| mk_scheduler(i), mode);
+        let (label, x) = match epoch {
+            None => ("epoch=off".to_string(), 0.0),
+            Some(e) => (format!("epoch={}s", e.as_secs_f64()), e.as_secs_f64()),
+        };
+        SweepPoint {
+            label,
+            x,
             report: report.global,
         }
     })

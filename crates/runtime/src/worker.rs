@@ -15,8 +15,8 @@ use std::collections::VecDeque;
 use liferaft_catalog::Catalog;
 use liferaft_core::Scheduler;
 use liferaft_query::CrossMatchQuery;
-use liferaft_sim::{EngineCore, RunReport, SimConfig};
-use liferaft_storage::SimTime;
+use liferaft_sim::{EngineCore, MigratedBucket, RunReport, SimConfig};
+use liferaft_storage::{BucketId, SimDuration, SimTime};
 
 use crate::config::AdmissionConfig;
 use crate::router::Fragment;
@@ -89,12 +89,18 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
 
     /// Virtual time of the worker's next event, or `None` when fully done.
     /// Pending work (or parked ingress) is an event "now"; an idle worker's
-    /// next event is its next fragment arrival.
+    /// next event is its next fragment arrival — clamped to `now`, because
+    /// a shard whose clock overshot the arrival while busy admits the
+    /// fragment at `now`, not in the past. The clamp is what lets the
+    /// elastic driver trust `next_time` as "the virtual time of the next
+    /// state change" when placing epoch boundaries.
     pub(crate) fn next_time(&self) -> Option<SimTime> {
         if !self.core.is_idle() || !self.deferred.is_empty() {
             return Some(self.now);
         }
-        self.fragments.get(self.next).map(|f| f.arrival)
+        self.fragments
+            .get(self.next)
+            .map(|f| f.arrival.max(self.now))
     }
 
     /// Admits every due fragment the backlog limit allows: parked fragments
@@ -172,6 +178,77 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             .core
             .decide_and_execute(self.scheduler.as_mut(), self.now);
         true
+    }
+
+    /// Appends later-routed fragments to the ingress stream — the elastic
+    /// driver's incremental (per-epoch-window) routing path. Arrival order
+    /// must be preserved across appends.
+    pub(crate) fn append_fragments(&mut self, extra: Vec<Fragment>) {
+        debug_assert!(
+            extra.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "appended window out of arrival order"
+        );
+        debug_assert!(
+            self.fragments
+                .last()
+                .zip(extra.first())
+                .map_or(true, |(a, b)| a.arrival <= b.arrival),
+            "appended window precedes existing fragments"
+        );
+        self.fragments.extend(extra);
+    }
+
+    /// Queued-entry backlog — the rebalance controller's load signal.
+    pub(crate) fn queued(&self) -> u64 {
+        self.core.total_queued()
+    }
+
+    /// Cumulative serviced entries (controller observability).
+    pub(crate) fn serviced(&self) -> u64 {
+        self.core.serviced_entries()
+    }
+
+    /// Cache-resident bucket count (controller observability).
+    pub(crate) fn resident(&self) -> usize {
+        self.core.resident_buckets()
+    }
+
+    /// The shard's non-empty buckets with queue depths — the planner's
+    /// per-source candidate list, in bucket order.
+    pub(crate) fn bucket_depths(&self) -> Vec<(BucketId, u64)> {
+        let table = self.core.workload();
+        table
+            .non_empty_buckets()
+            .iter()
+            .map(|&b| (b, table.queue(b).len() as u64))
+            .collect()
+    }
+
+    /// Extracts one bucket's queued state for migration (see
+    /// [`EngineCore::extract_bucket`]). The source clock is untouched —
+    /// migration costs land on the destination.
+    pub(crate) fn extract_bucket(
+        &mut self,
+        bucket: BucketId,
+        at: SimTime,
+        evict_residency: bool,
+    ) -> MigratedBucket {
+        self.core.extract_bucket(bucket, at, evict_residency)
+    }
+
+    /// Adopts a migrated bucket at epoch boundary `at`, charging `cost`
+    /// virtual time to the shard clock (clamped up to the boundary first,
+    /// so migration work never appears to predate the decision).
+    pub(crate) fn absorb_payload(
+        &mut self,
+        payload: MigratedBucket,
+        at: SimTime,
+        cost: SimDuration,
+        warm_residency: bool,
+    ) {
+        self.now = self.now.max(at);
+        self.core.absorb_bucket(payload, warm_residency);
+        self.now += cost;
     }
 
     /// Finishes the shard into its run record.

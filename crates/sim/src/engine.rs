@@ -86,6 +86,37 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
     }
 }
 
+/// The portable state of one bucket leaving an [`EngineCore`] — the elastic
+/// runtime's migration payload. Carries the bucket's queued entries (with
+/// their original `enqueued_at` stamps, so ages survive the move), the
+/// per-query bookkeeping the destination core needs to adopt them, and the
+/// bucket's cache residency at the source.
+#[derive(Debug, Clone)]
+pub struct MigratedBucket {
+    /// The migrating bucket.
+    pub bucket: BucketId,
+    /// Its queued entries, ages preserved.
+    pub entries: Vec<QueueEntry>,
+    /// One row per distinct query in `entries`: the query, how many of its
+    /// assignments are migrating, its original arrival, and its join
+    /// predicate (populated only when the source executes real joins).
+    pub queries: Vec<(QueryId, u64, SimTime, Option<Predicate>)>,
+    /// Whether the bucket was cache-resident at the source when extracted.
+    pub was_resident: bool,
+}
+
+impl MigratedBucket {
+    /// Number of queued entries in the payload.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the payload carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The batch-execution core: one workload table, bucket cache, tracker, and
 /// starvation monitor, advanced one scheduling decision at a time.
 ///
@@ -161,12 +192,21 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
     /// drains.
     pub fn deliver_items(&mut self, query: &CrossMatchQuery, items: &[WorkItem], at: SimTime) {
         let assignments: u64 = items.iter().map(|i| i.len() as u64).sum();
-        self.tracker.register(query.id, assignments, at);
+        if self.tracker.arrival_of(query.id).is_some() {
+            // A migration already carried part of this query here; the
+            // fragment tops up the in-flight record (same arrival instant —
+            // transferred work keeps the query's original arrival).
+            if assignments > 0 {
+                self.tracker.transfer_in(query.id, assignments, at);
+            }
+        } else {
+            self.tracker.register(query.id, assignments, at);
+        }
         if assignments == 0 {
             return;
         }
         let buckets: BTreeSet<BucketId> = items.iter().map(|i| i.bucket).collect();
-        self.per_query.insert(query.id, buckets);
+        self.per_query.entry(query.id).or_default().extend(buckets);
         if self.config.execute_joins {
             self.predicates.insert(query.id, query.predicate);
         }
@@ -193,6 +233,104 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
     /// The per-query lifecycle tracker (completions appear in push order).
     pub fn tracker(&self) -> &QueryTracker {
         &self.tracker
+    }
+
+    /// The workload table — read-only, for load inspection (per-bucket queue
+    /// depths via [`WorkloadTable::non_empty_buckets`] + `queue(b).len()`).
+    pub fn workload(&self) -> &WorkloadTable {
+        &self.table
+    }
+
+    /// Entries serviced so far — the controller's throughput signal.
+    pub fn serviced_entries(&self) -> u64 {
+        self.serviced_entries
+    }
+
+    /// Number of cache-resident buckets — the controller's residency signal.
+    pub fn resident_buckets(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Rips one bucket's queued state out of this core for migration: drains
+    /// its entries (ages preserved), transfers the affected queries' pending
+    /// assignments out of the tracker at virtual time `at`, and detaches the
+    /// bucket from per-query bookkeeping. With `evict_residency` the bucket
+    /// also leaves the cache (its residency travels in the payload);
+    /// otherwise residency is only observed, not disturbed.
+    ///
+    /// A query whose assignments all leave but which already serviced some
+    /// entries here closes locally with `completion = at` — migration ends
+    /// its story on this core.
+    pub fn extract_bucket(
+        &mut self,
+        bucket: BucketId,
+        at: SimTime,
+        evict_residency: bool,
+    ) -> MigratedBucket {
+        let mut entries = Vec::new();
+        self.table.extract_bucket(bucket, &mut entries);
+        // Entries drain grouped by query (directory order), so distinct
+        // queries form contiguous runs.
+        let mut queries: Vec<(QueryId, u64, SimTime, Option<Predicate>)> = Vec::new();
+        for e in &entries {
+            match queries.last_mut() {
+                Some(row) if row.0 == e.query => row.1 += 1,
+                _ => {
+                    debug_assert!(
+                        queries.iter().all(|row| row.0 != e.query),
+                        "bucket drain interleaved query {} across runs",
+                        e.query
+                    );
+                    let arrival = self
+                        .tracker
+                        .arrival_of(e.query)
+                        .expect("queued entry for a query the tracker does not know");
+                    queries.push((e.query, 1, arrival, self.predicates.get(&e.query).copied()));
+                }
+            }
+        }
+        for &(q, n, _, _) in &queries {
+            self.tracker.transfer_out(q, n, at);
+            if let Some(set) = self.per_query.get_mut(&q) {
+                set.remove(&bucket);
+                if set.is_empty() {
+                    self.per_query.remove(&q);
+                }
+            }
+        }
+        let was_resident = if evict_residency {
+            self.cache.remove(bucket)
+        } else {
+            self.cache.contains(bucket)
+        };
+        MigratedBucket {
+            bucket,
+            entries,
+            queries,
+            was_resident,
+        }
+    }
+
+    /// Adopts a migrated bucket: re-opens (or tops up) the affected queries
+    /// at their original arrivals, merges the entries into the local table
+    /// with ages intact, and — when `warm_residency` and the bucket was
+    /// resident at its source — inserts it into the local cache (normal LRU
+    /// effects apply, so this may evict another bucket).
+    pub fn absorb_bucket(&mut self, mut payload: MigratedBucket, warm_residency: bool) {
+        for &(q, n, arrival, predicate) in &payload.queries {
+            self.tracker.transfer_in(q, n, arrival);
+            self.per_query.entry(q).or_default().insert(payload.bucket);
+            if self.config.execute_joins {
+                if let Some(p) = predicate {
+                    self.predicates.insert(q, p);
+                }
+            }
+        }
+        self.table
+            .merge_bucket(payload.bucket, &mut payload.entries);
+        if warm_residency && payload.was_resident {
+            self.cache.insert(payload.bucket);
+        }
     }
 
     /// Makes one scheduling decision at `now`, executes the chosen batch,
@@ -582,6 +720,102 @@ mod tests {
         assert_eq!(report.queries, 0);
         assert_eq!(report.batches, 0);
         assert_eq!(report.throughput_qps, 0.0);
+    }
+
+    #[test]
+    fn migrating_buckets_between_cores_conserves_all_work() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 10);
+        let timed = trace.with_arrivals(uniform_arrivals(50.0, 10));
+        let mut src: EngineCore<'_, _> = EngineCore::new(&cat, SimConfig::paper());
+        let mut dst: EngineCore<'_, _> = EngineCore::new(&cat, SimConfig::paper());
+        let mut sched_src = LifeRaftScheduler::greedy(params());
+        let mut sched_dst = LifeRaftScheduler::greedy(params());
+        let mut expected = 0u64;
+        let mut last_arrival = SimTime::ZERO;
+        for (at, query) in timed.entries() {
+            src.deliver(query, *at);
+            sched_src.on_query_arrival(*at);
+            expected += src.tracker().remaining_of(query.id).unwrap_or(0);
+            last_arrival = *at;
+        }
+        // Move every other pending bucket to the destination core.
+        let buckets: Vec<BucketId> = src.workload().non_empty_buckets().to_vec();
+        let at = last_arrival + SimDuration::from_millis(1);
+        let mut moved_entries = 0u64;
+        for (i, &b) in buckets.iter().enumerate() {
+            if i % 2 == 0 {
+                continue;
+            }
+            let payload = src.extract_bucket(b, at, true);
+            moved_entries += payload.len() as u64;
+            dst.absorb_bucket(payload, true);
+        }
+        assert!(moved_entries > 0, "fixture must migrate something");
+        assert_eq!(src.total_queued() + dst.total_queued(), expected);
+        src.workload().validate_index();
+        dst.workload().validate_index();
+        // Both cores drain independently; together they service every
+        // assignment exactly once.
+        let mut now = at;
+        while !src.is_idle() {
+            now += src.decide_and_execute(&mut sched_src, now);
+        }
+        let mut now = at;
+        while !dst.is_idle() {
+            now += dst.decide_and_execute(&mut sched_dst, now);
+        }
+        assert!(src.all_complete() && dst.all_complete());
+        assert_eq!(src.serviced_entries() + dst.serviced_entries(), expected);
+    }
+
+    #[test]
+    fn migration_can_carry_cache_residency() {
+        let cat = catalog();
+        let trace = small_trace(&cat, 6);
+        let timed = trace.with_arrivals(uniform_arrivals(50.0, 6));
+        let mut src: EngineCore<'_, _> = EngineCore::new(&cat, SimConfig::paper());
+        let mut dst: EngineCore<'_, _> = EngineCore::new(&cat, SimConfig::paper());
+        let mut sched = LifeRaftScheduler::greedy(params());
+        let mut now = SimTime::ZERO;
+        for (at, query) in timed.entries() {
+            src.deliver(query, *at);
+            sched.on_query_arrival(*at);
+            now = *at;
+        }
+        // Execute a few batches so some bucket becomes cache-resident with
+        // work still queued behind it.
+        let mut hot = None;
+        for _ in 0..64 {
+            if src.is_idle() {
+                break;
+            }
+            now += src.decide_and_execute(&mut sched, now);
+            hot = src
+                .workload()
+                .non_empty_buckets()
+                .iter()
+                .copied()
+                .find(|&b| src.resident_buckets() > 0 && !src.workload().queue(b).is_empty());
+            if hot.is_some() {
+                break;
+            }
+        }
+        let Some(bucket) = hot else {
+            panic!("fixture never produced a pending bucket alongside residency");
+        };
+        let resident_before = src.resident_buckets();
+        let payload = src.extract_bucket(bucket, now, true);
+        if payload.was_resident {
+            assert_eq!(src.resident_buckets(), resident_before - 1);
+        }
+        let dst_resident_before = dst.resident_buckets();
+        let was_resident = payload.was_resident;
+        dst.absorb_bucket(payload, true);
+        if was_resident {
+            assert_eq!(dst.resident_buckets(), dst_resident_before + 1);
+        }
+        dst.workload().validate_index();
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod report;
 
 pub use calibration::calibrate_tradeoff_table;
 pub use config::SimConfig;
-pub use engine::{EngineCore, Simulation};
+pub use engine::{EngineCore, MigratedBucket, Simulation};
 pub use federation::{run_chain, FederationReport};
 pub use liferaft_workload::TimedTrace;
 pub use report::RunReport;

@@ -293,6 +293,42 @@ impl BucketCache {
         evicted
     }
 
+    /// Removes one bucket from the resident set (the elastic runtime's
+    /// residency handoff: the shard that loses a bucket drops it here, the
+    /// shard that gains it warms it with [`insert`](Self::insert)). Returns
+    /// `false` if the bucket was not resident.
+    ///
+    /// Counts neither a hit nor an eviction — the bucket is not being
+    /// replaced under capacity pressure, it is leaving with its work. The
+    /// residency epoch advances and the change enters the mutation log, so
+    /// φ consumers resync exactly like after an eviction.
+    pub fn remove(&mut self, id: BucketId) -> bool {
+        let Some(slot) = self.slot_of.remove(&id) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.epoch += 1;
+        self.log_mutation(id, false);
+        // Keep the slab dense (`nodes.len()` == resident count): move the
+        // last node into the vacated slot and repair its neighbours' links.
+        let last = (self.nodes.len() - 1) as u32;
+        if slot != last {
+            let moved = self.nodes[last as usize];
+            self.nodes[slot as usize] = moved;
+            match moved.prev {
+                NIL => self.head = slot,
+                p => self.nodes[p as usize].next = slot,
+            }
+            match moved.next {
+                NIL => self.tail = slot,
+                n => self.nodes[n as usize].prev = slot,
+            }
+            self.slot_of.insert(moved.id, slot);
+        }
+        self.nodes.pop();
+        true
+    }
+
     /// Drops everything (the experiments' between-run flush).
     ///
     /// The mutation log does not enumerate a flush; consumers synced before
@@ -493,6 +529,71 @@ mod tests {
             let got: Vec<u32> = c.resident_lru_order().map(|b| b.0).collect();
             let want: Vec<u32> = model.iter().copied().collect();
             assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn remove_unlinks_and_logs_without_counting_an_eviction() {
+        let mut c = BucketCache::new(3);
+        c.insert(BucketId(1));
+        c.insert(BucketId(2));
+        c.insert(BucketId(3));
+        let e = c.residency_epoch();
+        assert!(c.remove(BucketId(2)));
+        assert!(!c.contains(BucketId(2)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_ne!(c.residency_epoch(), e, "removal changes the resident set");
+        let muts: Vec<_> = c.mutations_since(e).expect("within window").collect();
+        assert_eq!(
+            muts.iter()
+                .map(|m| (m.bucket.0, m.resident))
+                .collect::<Vec<_>>(),
+            vec![(2, false)]
+        );
+        // Recency order of the survivors is preserved.
+        let order: Vec<_> = c.resident_lru_order().map(|b| b.0).collect();
+        assert_eq!(order, vec![1, 3]);
+        // Removing an absent bucket is a no-op (no epoch bump).
+        let e2 = c.residency_epoch();
+        assert!(!c.remove(BucketId(2)));
+        assert_eq!(c.residency_epoch(), e2);
+    }
+
+    /// Interleave remove with access against the VecDeque model — the
+    /// slab-compaction path (moving the last node into the vacated slot)
+    /// must leave every surviving link intact.
+    #[test]
+    fn model_check_remove_against_vecdeque_lru() {
+        use std::collections::VecDeque;
+        let mut c = BucketCache::new(4);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut x: u64 = 0x9E37_79B9;
+        for step in 0..5_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let id = (x % 9) as u32;
+            if step % 3 == 2 {
+                let removed = c.remove(BucketId(id));
+                let pos = model.iter().position(|&b| b == id);
+                assert_eq!(removed, pos.is_some());
+                if let Some(pos) = pos {
+                    model.remove(pos);
+                }
+            } else {
+                c.access(BucketId(id));
+                if let Some(pos) = model.iter().position(|&b| b == id) {
+                    model.remove(pos);
+                } else if model.len() == 4 {
+                    model.pop_front();
+                }
+                model.push_back(id);
+            }
+            let got: Vec<u32> = c.resident_lru_order().map(|b| b.0).collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(got, want, "step {step}");
+            assert_eq!(c.len(), model.len());
         }
     }
 

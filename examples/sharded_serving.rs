@@ -5,8 +5,10 @@
 //! a hotspot workload through the front-end with per-shard backpressure,
 //! and runs the same configuration through both executors — the
 //! deterministic stepped virtual-time merge and one OS thread per shard —
-//! proving they produce bit-identical results. Then drives a parallel α
-//! sweep and a shard-count sweep over the same pool.
+//! proving they produce bit-identical results. Turns on epoch-boundary
+//! rebalancing and prints every epoch's load sample and bucket migrations.
+//! Then drives a parallel α sweep and a shard-count sweep over the same
+//! pool.
 //!
 //! Run with: `cargo run --release --example sharded_serving`
 
@@ -76,7 +78,55 @@ fn main() {
         stepped.global.summary_line(),
     );
 
-    // 3. The parallel sweep driver: α sweep (independent Simulation runs)
+    // 3. The same pool, elastic: every 30 virtual seconds a rebalance
+    //    controller inspects per-shard backlog and migrates hot buckets
+    //    from the most- to the least-loaded shard. Decisions are planned
+    //    once in the stepped merge and replayed verbatim by the threaded
+    //    executor, so the modes stay bit-identical with rebalancing on.
+    let mut elastic_cfg = config;
+    elastic_cfg.rebalance = RebalanceConfig::every(SimDuration::from_secs(30));
+    elastic_cfg.rebalance.min_imbalance = 1.05;
+    let elastic_rt = ShardedRuntime::new(&catalog, elastic_cfg);
+    let elastic = elastic_rt.run(&timed, &mut mk, ExecMode::Stepped);
+    let elastic_threaded = elastic_rt.run(&timed, &mut mk, ExecMode::Threaded);
+    assert_eq!(
+        elastic.global.outcomes, elastic_threaded.global.outcomes,
+        "elastic threaded execution must replay the stepped decision log"
+    );
+
+    let log = elastic
+        .rebalance
+        .as_ref()
+        .expect("elastic run records a log");
+    let mut epoch_table = Table::new(["epoch", "at", "shard loads", "migrations"]);
+    for rec in &log.records {
+        let moves = if rec.moves.is_empty() {
+            "—".to_string()
+        } else {
+            rec.moves
+                .iter()
+                .map(|m| format!("{}: {}→{} ({} entries)", m.bucket, m.from, m.to, m.entries))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        epoch_table.row([
+            rec.epoch.to_string(),
+            rec.at.to_string(),
+            format!("{:?}", rec.loads),
+            moves,
+        ]);
+    }
+    println!("{}", epoch_table.render());
+    println!(
+        "elastic: {} migrations over {} epochs; makespan {:.0}s vs static {:.0}s; \
+         stepped == threaded ✓\n",
+        log.total_moves(),
+        log.records.len(),
+        elastic.global.makespan_s,
+        stepped.global.makespan_s,
+    );
+
+    // 4. The parallel sweep driver: α sweep (independent Simulation runs)
     //    and shard-count sweep (independent runtime runs), fanned across
     //    threads with results in input order.
     let alphas = [0.0, 0.5, 1.0];

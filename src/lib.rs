@@ -79,8 +79,8 @@ pub mod prelude {
     pub use liferaft_metrics::{Series, StreamingStats, Summary, Table};
     pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
     pub use liferaft_runtime::{
-        AdmissionConfig, ExecMode, RuntimeConfig, RuntimeReport, ShardAssignment, ShardId,
-        ShardMap, ShardedRuntime,
+        AdmissionConfig, ElasticShardMap, ExecMode, RebalanceConfig, RebalanceLog, RuntimeConfig,
+        RuntimeReport, ShardAssignment, ShardId, ShardMap, ShardedRuntime,
     };
     pub use liferaft_sim::{
         calibrate_tradeoff_table, EngineCore, RunReport, SimConfig, Simulation,
