@@ -18,14 +18,16 @@
 use std::time::Instant;
 
 use liferaft_bench::experiments::Scale;
-use liferaft_catalog::VirtualCatalog;
+use liferaft_catalog::{Catalog, VirtualCatalog};
 use liferaft_core::{
     AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
 };
+use liferaft_query::QueryPreProcessor;
 use liferaft_runtime::{
-    parallel_map, ExecMode, RebalanceConfig, RuntimeConfig, ShardAssignment, ShardedRuntime,
+    parallel_map, ExecMode, FaultPlan, FrontDoorConfig, QueryClass, RebalanceConfig, RuntimeConfig,
+    ShardAssignment, ShardedRuntime,
 };
-use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_sim::{build_scenario, RunReport, ScenarioKind, ScenarioScale, SimConfig, Simulation};
 use liferaft_storage::SimDuration;
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig};
@@ -248,7 +250,7 @@ fn main() {
     let shard_rows: Vec<(&str, RuntimeConfig)> = {
         let mut hashed = RuntimeConfig::contiguous(SimConfig::paper(), 4);
         hashed.assignment = ShardAssignment::Hashed { seed: 0xC1D2 };
-        let mut elastic = hashed;
+        let mut elastic = hashed.clone();
         elastic.rebalance = RebalanceConfig::every(SimDuration::from_secs(5));
         elastic.rebalance.min_imbalance = 1.4;
         elastic.rebalance.max_moves_per_epoch = 8;
@@ -278,6 +280,95 @@ fn main() {
             m.report.batches,
         );
         rows.push(json_row(key, &m));
+    }
+
+    // --- Overload front door under flash crowd and shard stall ----------
+    //
+    // The same 4-shard pool fronted by the global admission controller.
+    // Three rows: the flash-crowd scenario through a *neutral* (unbounded)
+    // door — behaviour-identical to no controller, but it still records
+    // per-class latency — then the same trace with the controller bounds
+    // on, then the shard-stall scenario with the controller on. The
+    // interactive-class p90 response is *virtual-time*, i.e. deterministic
+    // for a given fixture, so the regression guard can hold the door-on
+    // row below the door-off row exactly; wall time measures the planner
+    // plus the stepped decision path.
+    let oq = if quick { 400 } else { 2_000 };
+    let oscale = ScenarioScale {
+        level: sc.level,
+        n_buckets: sc.n_buckets,
+        n_queries: oq,
+        seed: sc.seed,
+    };
+    let flash = build_scenario(ScenarioKind::FlashCrowd, &oscale);
+    let stall = build_scenario(ScenarioKind::ShardStall, &oscale);
+    // Bounds derived from the fixture's own routed-size distribution so
+    // the rows stay meaningful at both scales: the class thresholds sit at
+    // the 30th/70th size percentiles and the in-flight bound at 4x the
+    // median, tight enough that the burst queues and sheds.
+    let pre = QueryPreProcessor::new(catalog.partition());
+    let mut sizes: Vec<u64> = flash
+        .trace
+        .entries()
+        .iter()
+        .map(|(_, q)| pre.workload_size(q))
+        .collect();
+    sizes.sort_unstable();
+    let pct = |p: usize| sizes[(sizes.len() - 1) * p / 100];
+    let mut door = FrontDoorConfig::bounded((4 * pct(50)).max(1));
+    door.interactive_max_assignments = pct(30);
+    door.batch_min_assignments = pct(70).max(pct(30) + 1);
+    door.max_waiting_assignments = Some(12 * pct(50));
+    let neutral = FrontDoorConfig::bounded(u64::MAX);
+
+    let overload_rows = [
+        ("overload_flash_door_off", &flash, neutral),
+        ("overload_flash_door_on", &flash, door),
+        ("overload_stall_door_on", &stall, door),
+    ];
+    for (key, fx, fd_cfg) in overload_rows {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.front_door = fd_cfg;
+        config.faults = FaultPlan {
+            stalls: fx.stalls.clone(),
+        };
+        let rt = ShardedRuntime::new(&catalog, config);
+        let mut wall_s = f64::INFINITY;
+        let mut captured = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let rep = rt.run(
+                &fx.trace,
+                &mut |_| Box::new(LifeRaftScheduler::greedy(params)),
+                ExecMode::Stepped,
+            );
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            captured = Some(rep);
+        }
+        let rep = captured.expect("at least one repetition");
+        let fd = rep.front_door.as_ref().expect("door rows report");
+        let interactive_p90 = fd.class(QueryClass::Interactive).response.percentile(90.0);
+        println!(
+            "{key:<24} wall={wall_s:.3}s  interactive_p90={interactive_p90:.1}s  shed={}  rejected={}",
+            fd.log.total_shed_events(),
+            fd.rejected.len(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"scheduler\": {:?}, \"wall_s\": {:.6}, \"reps\": {}, ",
+                "\"batches\": {}, \"serviced_entries\": {}, \"sim_makespan_s\": {:.3}, ",
+                "\"interactive_p90_s\": {:.3}, \"shed_events\": {}, \"rejected\": {}}}"
+            ),
+            key,
+            wall_s,
+            reps,
+            rep.global.batches,
+            rep.global.serviced_entries,
+            rep.global.makespan_s,
+            interactive_p90,
+            fd.log.total_shed_events(),
+            fd.rejected.len(),
+        ));
     }
 
     let out_path = std::env::var("LIFERAFT_BENCH_OUT")

@@ -1,0 +1,853 @@
+//! The global front door: admission control, priority classes, load
+//! shedding, and rejection — planned once, replayed verbatim.
+//!
+//! Shard-local backpressure ([`AdmissionConfig`](crate::config::AdmissionConfig))
+//! protects one shard's memory; it cannot see aggregate overload, priority,
+//! or a struggling peer. The front door is the router-level complement: a
+//! single controller that bounds total in-flight work across the pool,
+//! classifies every arriving query into a [`QueryClass`], and under
+//! pressure degrades in a fixed order —
+//!
+//! 1. **queue**: hold arrivals in a priority queue ordered by
+//!    `(class, true arrival, trace index)` — FIFO at true arrival age
+//!    within a class, strict priority across classes;
+//! 2. **shed**: past the soft waiting cap, batch-class queries are shed
+//!    youngest-first and re-enqueued with bounded retries under an
+//!    exponential virtual-time backoff;
+//! 3. **reject**: a query that exhausts its retries — or, past the hard
+//!    waiting cap, the youngest lowest-class waiter — terminates with a
+//!    recorded `Rejected` verdict that conserves accounting (every query is
+//!    exactly-once terminal: completed or rejected, never lost).
+//!
+//! # Determinism
+//!
+//! Decisions are made **once**, by the stepped reference merge
+//! (`plan_front_door` in `runtime`), and recorded as an [`AdmissionLog`]:
+//! one [`QueryVerdict`] per trace entry plus epoch-indexed
+//! [`AdmissionSample`]s. The threaded executor never decides anything — it
+//! routes the admitted queries in logged admission (`seq`) order with their
+//! logged release times and runs shards free of any cross-thread
+//! coordination, which reproduces the stepped run bit-for-bit: a shard's
+//! behaviour is a pure function of its release-ordered fragment stream.
+
+use std::collections::BTreeSet;
+
+use liferaft_metrics::Summary;
+use liferaft_query::WorkItem;
+use liferaft_storage::{SimDuration, SimTime};
+
+/// Priority class of a query at the front door, derived from its routed
+/// workload size (total object × bucket assignments): small exploratory
+/// probes are interactive, exhaustive scans are batch, the rest standard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryClass {
+    /// Small, latency-sensitive probes — admitted first, never shed.
+    Interactive,
+    /// The default class.
+    Standard,
+    /// Large exhaustive scans — first to wait, the only class that sheds.
+    Batch,
+}
+
+impl QueryClass {
+    /// Every class, in priority order (highest first).
+    pub const ALL: [QueryClass; 3] = [
+        QueryClass::Interactive,
+        QueryClass::Standard,
+        QueryClass::Batch,
+    ];
+
+    /// Priority rank: 0 = most urgent. Also the index into per-class
+    /// stat arrays.
+    pub fn rank(self) -> usize {
+        match self {
+            QueryClass::Interactive => 0,
+            QueryClass::Standard => 1,
+            QueryClass::Batch => 2,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::Interactive => "interactive",
+            QueryClass::Standard => "standard",
+            QueryClass::Batch => "batch",
+        }
+    }
+
+    fn rank_u8(self) -> u8 {
+        self.rank() as u8
+    }
+}
+
+/// Front-door configuration.
+///
+/// All bounds are in (object × bucket) **assignments** — the same unit the
+/// cost model and the shard-local backpressure use — so "in-flight work" is
+/// proportional to actual service demand, not query count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontDoorConfig {
+    /// Master switch. Disabled (the default) bypasses the controller
+    /// entirely and reproduces the static runtime bit-for-bit.
+    pub enabled: bool,
+    /// Global bound on admitted-but-not-yet-serviced assignments across the
+    /// pool. Checked *head-of-line*: if the highest-priority waiter does
+    /// not fit, nothing lower admits either. A waiter larger than the whole
+    /// bound still admits once the pool drains empty, so the bound can
+    /// never deadlock.
+    pub max_inflight_assignments: u64,
+    /// Optional per-shard in-flight bound. Unlike the global bound this one
+    /// *bypasses* head-of-line blocking: a query whose target shard is
+    /// saturated is skipped and later, smaller-footprint queries that avoid
+    /// the backlog admit past it — this is how the controller routes around
+    /// a stalled shard.
+    pub max_shard_inflight_assignments: Option<u64>,
+    /// Soft cap on actively-waiting assignments: above it, batch-class
+    /// waiters shed (youngest first) into backoff.
+    pub max_waiting_assignments: Option<u64>,
+    /// Hard cap on actively-waiting assignments: above it, the youngest
+    /// waiter of the lowest-priority waiting class is rejected outright.
+    pub hard_waiting_assignments: Option<u64>,
+    /// A query with at most this many assignments is [`QueryClass::Interactive`].
+    pub interactive_max_assignments: u64,
+    /// A query with at least this many assignments is [`QueryClass::Batch`].
+    pub batch_min_assignments: u64,
+    /// Base virtual-time backoff of a shed query; the k-th shed waits
+    /// `shed_backoff × 2^(k−1)`.
+    pub shed_backoff: SimDuration,
+    /// Sheds a query survives before the next shed rejects it.
+    pub max_retries: u32,
+    /// Cadence of the observability [`AdmissionSample`]s in the log.
+    pub sample_epoch: SimDuration,
+}
+
+impl FrontDoorConfig {
+    /// Controller off — the static-runtime behaviour (and the `Default`).
+    pub fn disabled() -> Self {
+        FrontDoorConfig {
+            enabled: false,
+            max_inflight_assignments: u64::MAX,
+            max_shard_inflight_assignments: None,
+            max_waiting_assignments: None,
+            hard_waiting_assignments: None,
+            interactive_max_assignments: 200,
+            batch_min_assignments: 1_500,
+            shed_backoff: SimDuration::from_secs(5),
+            max_retries: 3,
+            sample_epoch: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Controller on with a global in-flight bound and default class
+    /// thresholds; shedding and rejection stay off until the waiting caps
+    /// are set.
+    ///
+    /// ```
+    /// use liferaft_runtime::FrontDoorConfig;
+    ///
+    /// let mut fd = FrontDoorConfig::bounded(10_000);
+    /// assert!(fd.enabled);
+    /// // Turn on batch shedding past 50k waiting assignments.
+    /// fd.max_waiting_assignments = Some(50_000);
+    /// assert!(!FrontDoorConfig::disabled().enabled);
+    /// ```
+    pub fn bounded(max_inflight_assignments: u64) -> Self {
+        FrontDoorConfig {
+            enabled: true,
+            max_inflight_assignments,
+            ..Self::disabled()
+        }
+    }
+
+    /// Classifies a query by its routed workload size.
+    pub fn classify(&self, assignments: u64) -> QueryClass {
+        if assignments <= self.interactive_max_assignments {
+            QueryClass::Interactive
+        } else if assignments >= self.batch_min_assignments {
+            QueryClass::Batch
+        } else {
+            QueryClass::Standard
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(
+            self.max_inflight_assignments > 0,
+            "a zero in-flight bound would admit nothing"
+        );
+        assert!(
+            self.interactive_max_assignments < self.batch_min_assignments,
+            "class thresholds must leave room for the standard class"
+        );
+        if self.max_waiting_assignments.is_some() {
+            assert!(
+                self.shed_backoff > SimDuration::ZERO,
+                "shedding requires a positive backoff"
+            );
+        }
+        if let (Some(soft), Some(hard)) =
+            (self.max_waiting_assignments, self.hard_waiting_assignments)
+        {
+            assert!(
+                soft <= hard,
+                "the soft waiting cap must not exceed the hard cap"
+            );
+        }
+        assert!(
+            self.sample_epoch > SimDuration::ZERO,
+            "a zero sample epoch would record samples forever"
+        );
+    }
+}
+
+impl Default for FrontDoorConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The terminal decision of one query at the front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Admitted: fragments released to the shards at `at`, as the `seq`-th
+    /// admission overall (the replay's append order).
+    Admitted {
+        /// Virtual release time.
+        at: SimTime,
+        /// Global admission sequence number.
+        seq: u64,
+    },
+    /// Rejected at `at` — no fragments were ever routed.
+    Rejected {
+        /// Virtual rejection time.
+        at: SimTime,
+    },
+}
+
+/// One trace entry's recorded front-door outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryVerdict {
+    /// The assigned priority class.
+    pub class: QueryClass,
+    /// Routed workload size (assignments across all shards).
+    pub assignments: u64,
+    /// How many times the query was shed into backoff before its terminal
+    /// decision.
+    pub sheds: u32,
+    /// The terminal decision.
+    pub decision: Disposition,
+}
+
+impl QueryVerdict {
+    /// True if the query was admitted.
+    pub fn admitted(&self) -> bool {
+        matches!(self.decision, Disposition::Admitted { .. })
+    }
+}
+
+/// One epoch-boundary observability sample of controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSample {
+    /// 1-based epoch index (boundary k sits at `k × sample_epoch`).
+    pub epoch: u32,
+    /// The boundary's virtual time.
+    pub at: SimTime,
+    /// Admitted-but-unserviced assignments at the sample.
+    pub inflight_assignments: u64,
+    /// Actively-waiting assignments at the sample.
+    pub waiting_assignments: u64,
+    /// Queries sitting in shed backoff at the sample.
+    pub backoff_queries: u32,
+    /// Cumulative admitted queries.
+    pub admitted: u64,
+    /// Cumulative shed events.
+    pub shed_events: u64,
+    /// Cumulative rejected queries.
+    pub rejected: u64,
+}
+
+/// The front door's epoch-indexed decision log: the replay contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdmissionLog {
+    /// One verdict per trace entry, by trace index.
+    pub verdicts: Vec<QueryVerdict>,
+    /// Controller-state samples at `sample_epoch` boundaries.
+    pub samples: Vec<AdmissionSample>,
+}
+
+impl AdmissionLog {
+    /// Admitted trace indices with release times, in admission (`seq`)
+    /// order — exactly the order the threaded replay appends fragments.
+    pub fn admissions_in_seq_order(&self) -> Vec<(usize, SimTime)> {
+        let mut order: Vec<(u64, usize, SimTime)> = self
+            .verdicts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| match v.decision {
+                Disposition::Admitted { at, seq } => Some((seq, i, at)),
+                Disposition::Rejected { .. } => None,
+            })
+            .collect();
+        order.sort_unstable_by_key(|&(seq, _, _)| seq);
+        order.into_iter().map(|(_, i, at)| (i, at)).collect()
+    }
+
+    /// Total rejected queries.
+    pub fn total_rejected(&self) -> u64 {
+        self.verdicts.iter().filter(|v| !v.admitted()).count() as u64
+    }
+
+    /// Total shed (backoff) events across all queries.
+    pub fn total_shed_events(&self) -> u64 {
+        self.verdicts.iter().map(|v| v.sheds as u64).sum()
+    }
+}
+
+/// One rejected query's terminal record (surfaced in the runtime report so
+/// accounting stays conserved: completed + rejected = trace length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectedQuery {
+    /// Trace index of the query.
+    pub index: usize,
+    /// True arrival time.
+    pub arrival: SimTime,
+    /// When the front door gave up on it.
+    pub rejected_at: SimTime,
+    /// Its priority class.
+    pub class: QueryClass,
+    /// The workload it would have run.
+    pub assignments: u64,
+    /// Sheds it survived before rejection.
+    pub retries: u32,
+}
+
+/// Aggregated front-door outcomes of one priority class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The class.
+    pub class: QueryClass,
+    /// Queries of this class that arrived.
+    pub submitted: u64,
+    /// Queries that were (eventually) admitted.
+    pub admitted: u64,
+    /// Admitted queries whose release came after their arrival — they
+    /// waited at the front door at least once.
+    pub deferred: u64,
+    /// Total shed-into-backoff events.
+    pub shed_events: u64,
+    /// Queries rejected outright.
+    pub rejected: u64,
+    /// Largest shed count any single query survived.
+    pub max_retries: u32,
+    /// Response times of the class's *completed* queries (arrival → last
+    /// assignment serviced), in seconds.
+    pub response: Summary,
+    /// Time-to-first-byte of the class's completed queries (arrival →
+    /// first fragment completion anywhere), in seconds.
+    pub ttfb: Summary,
+}
+
+/// The front door's contribution to the runtime report: the decision log,
+/// the rejected-query records, and per-class statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontDoorReport {
+    /// The replayable decision log.
+    pub log: AdmissionLog,
+    /// Every rejected query's terminal record, by trace order.
+    pub rejected: Vec<RejectedQuery>,
+    /// Per-class statistics, indexed by [`QueryClass::rank`].
+    pub per_class: [ClassStats; 3],
+}
+
+impl FrontDoorReport {
+    /// The stats of one class.
+    pub fn class(&self, class: QueryClass) -> &ClassStats {
+        &self.per_class[class.rank()]
+    }
+}
+
+/// A query pending at the front door (planning pass only).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingQuery {
+    /// Trace index.
+    pub(crate) index: usize,
+    /// True arrival time (ages and FIFO order reference this).
+    pub(crate) arrival: SimTime,
+    /// Priority class.
+    pub(crate) class: QueryClass,
+    /// Total assignments across all shards.
+    pub(crate) assignments: u64,
+    /// Pre-split per-shard work: `(shard index, items)`, non-empty shards
+    /// only (empty for a zero-work query).
+    pub(crate) split: Vec<(usize, Vec<WorkItem>)>,
+    retries: u32,
+    eligible_at: SimTime,
+}
+
+/// The controller state machine. Driven only by the stepped planning pass;
+/// everything it decides lands in the [`AdmissionLog`].
+pub(crate) struct FrontDoor {
+    cfg: FrontDoorConfig,
+    now: SimTime,
+    /// Pending queries by trace index (`None` once terminal).
+    slots: Vec<Option<PendingQuery>>,
+    /// Actively-waiting queries, keyed by `(class rank, arrival, index)` —
+    /// iteration order is admission priority order.
+    active: BTreeSet<(u8, SimTime, usize)>,
+    /// Shed queries keyed by `(eligible_at, index)`.
+    backoff: BTreeSet<(SimTime, usize)>,
+    active_assignments: u64,
+    verdicts: Vec<Option<QueryVerdict>>,
+    admitted_assignments: u64,
+    admitted_per_shard: Vec<u64>,
+    seq: u64,
+    admitted_queries: u64,
+    shed_events: u64,
+    rejected_queries: u64,
+    samples: Vec<AdmissionSample>,
+    sampled: u32,
+}
+
+impl FrontDoor {
+    pub(crate) fn new(cfg: FrontDoorConfig, n_queries: usize, n_shards: usize) -> Self {
+        cfg.validate();
+        FrontDoor {
+            cfg,
+            now: SimTime::ZERO,
+            slots: (0..n_queries).map(|_| None).collect(),
+            active: BTreeSet::new(),
+            backoff: BTreeSet::new(),
+            active_assignments: 0,
+            verdicts: vec![None; n_queries],
+            admitted_assignments: 0,
+            admitted_per_shard: vec![0; n_shards],
+            seq: 0,
+            admitted_queries: 0,
+            shed_events: 0,
+            rejected_queries: 0,
+            samples: Vec::new(),
+            sampled: 0,
+        }
+    }
+
+    /// Registers an arrival (trace order; at most once per index).
+    pub(crate) fn ingest(
+        &mut self,
+        index: usize,
+        arrival: SimTime,
+        class: QueryClass,
+        assignments: u64,
+        split: Vec<(usize, Vec<WorkItem>)>,
+    ) {
+        debug_assert!(
+            self.verdicts[index].is_none(),
+            "query {index} ingested twice"
+        );
+        debug_assert!(self.slots[index].is_none());
+        self.active.insert((class.rank_u8(), arrival, index));
+        self.active_assignments += assignments;
+        self.slots[index] = Some(PendingQuery {
+            index,
+            arrival,
+            class,
+            assignments,
+            split,
+            retries: 0,
+            eligible_at: arrival,
+        });
+    }
+
+    /// The earliest future backoff wake-up, if any — a driver event source.
+    pub(crate) fn next_wakeup(&self) -> Option<SimTime> {
+        self.backoff.iter().next().map(|&(at, _)| at)
+    }
+
+    /// True while any query is actively waiting for admission.
+    pub(crate) fn has_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// One controller pass at virtual time `t`: wake due backoffs, admit
+    /// while the bounds allow (handing each admitted query to `on_admit`),
+    /// then shed and reject per the waiting caps, then record any crossed
+    /// sample boundaries. `shard_serviced[s]` is shard `s`'s cumulative
+    /// serviced-entry counter — the controller's only feedback signal.
+    pub(crate) fn pump(
+        &mut self,
+        t: SimTime,
+        shard_serviced: &[u64],
+        mut on_admit: impl FnMut(PendingQuery, SimTime),
+    ) {
+        self.now = self.now.max(t);
+        // Wake every backoff entry that has become eligible.
+        while let Some(&(at, idx)) = self.backoff.iter().next() {
+            if at > self.now {
+                break;
+            }
+            self.backoff.remove(&(at, idx));
+            let p = self.slots[idx].as_ref().expect("backoff entry is pending");
+            self.active.insert((p.class.rank_u8(), p.arrival, idx));
+            self.active_assignments += p.assignments;
+        }
+
+        // Admit in (class, arrival, index) order. The global bound blocks
+        // head-of-line (strict priority); the per-shard bound is bypassable
+        // so traffic can route around one saturated shard.
+        let serviced_total: u64 = shard_serviced.iter().sum();
+        debug_assert!(serviced_total <= self.admitted_assignments);
+        let mut inflight = self.admitted_assignments - serviced_total;
+        loop {
+            let mut chosen: Option<usize> = None;
+            for &(_, _, idx) in self.active.iter() {
+                let p = self.slots[idx].as_ref().expect("active entry is pending");
+                let fits_global = inflight == 0
+                    || inflight.saturating_add(p.assignments) <= self.cfg.max_inflight_assignments;
+                if !fits_global {
+                    if p.assignments == 0 {
+                        // Zero-work queries consume nothing; never block them.
+                        chosen = Some(idx);
+                    }
+                    break; // head-of-line: nothing lower-priority admits
+                }
+                let fits_shards = match self.cfg.max_shard_inflight_assignments {
+                    None => true,
+                    Some(cap) => {
+                        inflight == 0
+                            || p.split.iter().all(|(s, items)| {
+                                let a: u64 = items.iter().map(|i| i.len() as u64).sum();
+                                let cur = self.admitted_per_shard[*s] - shard_serviced[*s];
+                                cur == 0 || cur.saturating_add(a) <= cap
+                            })
+                    }
+                };
+                if fits_shards {
+                    chosen = Some(idx);
+                    break;
+                }
+                // Shard-blocked: bypass and consider the next waiter.
+            }
+            let Some(idx) = chosen else { break };
+            let p = self.slots[idx].take().expect("chosen entry is pending");
+            self.active.remove(&(p.class.rank_u8(), p.arrival, idx));
+            self.active_assignments -= p.assignments;
+            inflight += p.assignments;
+            self.admitted_assignments += p.assignments;
+            for (s, items) in &p.split {
+                self.admitted_per_shard[*s] += items.iter().map(|i| i.len() as u64).sum::<u64>();
+            }
+            self.verdicts[idx] = Some(QueryVerdict {
+                class: p.class,
+                assignments: p.assignments,
+                sheds: p.retries,
+                decision: Disposition::Admitted {
+                    at: self.now,
+                    seq: self.seq,
+                },
+            });
+            self.seq += 1;
+            self.admitted_queries += 1;
+            on_admit(p, self.now);
+        }
+
+        // Soft cap: shed batch-class waiters, youngest first, into backoff;
+        // a query out of retries rejects instead.
+        if let Some(soft) = self.cfg.max_waiting_assignments {
+            while self.active_assignments > soft {
+                let victim = self
+                    .active
+                    .range((QueryClass::Batch.rank_u8(), SimTime::ZERO, 0)..)
+                    .next_back()
+                    .copied();
+                let Some((rank, arrival, idx)) = victim else {
+                    break;
+                };
+                debug_assert_eq!(rank, QueryClass::Batch.rank_u8());
+                self.active.remove(&(rank, arrival, idx));
+                let p = self.slots[idx].as_mut().expect("victim is pending");
+                self.active_assignments -= p.assignments;
+                if p.retries >= self.cfg.max_retries {
+                    let p = self.slots[idx].take().expect("victim is pending");
+                    self.reject(p);
+                } else {
+                    p.retries += 1;
+                    let exp = (p.retries - 1).min(20);
+                    p.eligible_at = self.now + self.cfg.shed_backoff.times(1u64 << exp);
+                    self.backoff.insert((p.eligible_at, idx));
+                    self.shed_events += 1;
+                }
+            }
+        }
+
+        // Hard cap: reject the youngest waiter of the lowest waiting class.
+        if let Some(hard) = self.cfg.hard_waiting_assignments {
+            while self.active_assignments > hard {
+                let Some(&(rank, arrival, idx)) = self.active.iter().next_back() else {
+                    break;
+                };
+                self.active.remove(&(rank, arrival, idx));
+                let p = self.slots[idx].take().expect("victim is pending");
+                self.active_assignments -= p.assignments;
+                self.reject(p);
+            }
+        }
+
+        // Observability samples at every crossed epoch boundary.
+        while SimTime::ZERO + self.cfg.sample_epoch.times(self.sampled as u64 + 1) <= self.now {
+            self.sampled += 1;
+            self.samples.push(AdmissionSample {
+                epoch: self.sampled,
+                at: SimTime::ZERO + self.cfg.sample_epoch.times(self.sampled as u64),
+                inflight_assignments: inflight,
+                waiting_assignments: self.active_assignments,
+                backoff_queries: self.backoff.len() as u32,
+                admitted: self.admitted_queries,
+                shed_events: self.shed_events,
+                rejected: self.rejected_queries,
+            });
+        }
+    }
+
+    fn reject(&mut self, p: PendingQuery) {
+        self.verdicts[p.index] = Some(QueryVerdict {
+            class: p.class,
+            assignments: p.assignments,
+            sheds: p.retries,
+            decision: Disposition::Rejected { at: self.now },
+        });
+        self.rejected_queries += 1;
+    }
+
+    /// Finishes the planning pass into the log.
+    ///
+    /// # Panics
+    /// Panics if any query never reached a terminal verdict — a liveness
+    /// bug in the driver.
+    pub(crate) fn into_log(self) -> AdmissionLog {
+        let verdicts: Vec<QueryVerdict> = self
+            .verdicts
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| panic!("query {i} left without a verdict")))
+            .collect();
+        AdmissionLog {
+            verdicts,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_query::QueryId;
+    use liferaft_storage::BucketId;
+
+    fn item(objects: usize) -> WorkItem {
+        WorkItem {
+            query: QueryId(0),
+            bucket: BucketId(0),
+            object_indices: (0..objects as u32).collect(),
+        }
+    }
+
+    fn split_one(shard: usize, objects: usize) -> Vec<(usize, Vec<WorkItem>)> {
+        vec![(shard, vec![item(objects)])]
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn cfg(max_inflight: u64) -> FrontDoorConfig {
+        let mut c = FrontDoorConfig::bounded(max_inflight);
+        c.interactive_max_assignments = 10;
+        c.batch_min_assignments = 100;
+        c.shed_backoff = SimDuration::from_secs(2);
+        c.max_retries = 2;
+        c
+    }
+
+    #[test]
+    fn classification_uses_the_thresholds() {
+        let c = cfg(1_000);
+        assert_eq!(c.classify(0), QueryClass::Interactive);
+        assert_eq!(c.classify(10), QueryClass::Interactive);
+        assert_eq!(c.classify(11), QueryClass::Standard);
+        assert_eq!(c.classify(99), QueryClass::Standard);
+        assert_eq!(c.classify(100), QueryClass::Batch);
+    }
+
+    #[test]
+    fn admission_is_priority_then_fifo() {
+        // Capacity 50; three waiters of 30 each: batch (oldest), standard,
+        // interactive (youngest). Priority admits interactive first, and the
+        // global head-of-line rule then blocks everything else.
+        let mut door = FrontDoor::new(cfg(50), 3, 1);
+        door.ingest(0, at(1), QueryClass::Batch, 30, split_one(0, 30));
+        door.ingest(1, at(2), QueryClass::Standard, 30, split_one(0, 30));
+        door.ingest(2, at(3), QueryClass::Interactive, 30, split_one(0, 30));
+        let mut admitted = Vec::new();
+        door.pump(at(3), &[0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![2], "interactive admits first, rest blocked");
+        // Draining the pool admits the standard waiter next (priority),
+        // then head-of-line blocks the batch one.
+        door.pump(at(10), &[30], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![2, 1]);
+        door.pump(at(20), &[60], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![2, 1, 0]);
+        let log = door.into_log();
+        assert_eq!(log.total_rejected(), 0);
+        let seq: Vec<(usize, SimTime)> = log.admissions_in_seq_order();
+        assert_eq!(
+            seq,
+            vec![(2, at(3)), (1, at(10)), (0, at(20))],
+            "log records admission order and release times"
+        );
+    }
+
+    #[test]
+    fn oversized_queries_admit_from_an_empty_pool() {
+        let mut door = FrontDoor::new(cfg(10), 1, 1);
+        door.ingest(0, at(1), QueryClass::Batch, 500, split_one(0, 500));
+        let mut admitted = Vec::new();
+        door.pump(at(1), &[0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![0], "empty pool admits anything");
+    }
+
+    #[test]
+    fn zero_work_queries_never_block() {
+        let mut door = FrontDoor::new(cfg(10), 2, 1);
+        door.ingest(0, at(1), QueryClass::Batch, 500, split_one(0, 500));
+        let mut admitted = Vec::new();
+        door.pump(at(1), &[0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![0]);
+        // Pool saturated (500 in flight against a bound of 10) — yet a
+        // zero-work arrival still admits immediately.
+        door.ingest(1, at(2), QueryClass::Interactive, 0, Vec::new());
+        door.pump(at(2), &[0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![0, 1]);
+    }
+
+    #[test]
+    fn shedding_backs_off_and_eventually_rejects() {
+        let mut c = cfg(10);
+        c.max_waiting_assignments = Some(200);
+        let mut door = FrontDoor::new(c, 3, 1);
+        // Saturate the pool so nothing admits.
+        door.ingest(0, at(1), QueryClass::Batch, 400, split_one(0, 400));
+        door.pump(at(1), &[0], |_, _| {});
+        // Two batch waiters push the queue over the soft cap (240 > 200):
+        // shedding the *youngest* brings it back under, so the older stays.
+        door.ingest(1, at(2), QueryClass::Batch, 120, split_one(0, 120));
+        door.ingest(2, at(3), QueryClass::Batch, 120, split_one(0, 120));
+        door.pump(at(3), &[0], |_, _| panic!("nothing admits"));
+        assert!(door.has_active(), "the older batch waiter stays");
+        let wake = door.next_wakeup().expect("youngest is in backoff");
+        assert_eq!(
+            wake,
+            at(3) + SimDuration::from_secs(2),
+            "first backoff = base"
+        );
+        // Wake it; still over the cap → shed again with a doubled backoff.
+        door.pump(wake, &[0], |_, _| panic!("nothing admits"));
+        let wake2 = door.next_wakeup().expect("still in backoff");
+        assert_eq!(wake2, wake + SimDuration::from_secs(4), "backoff doubles");
+        // Third time over the cap exceeds max_retries = 2 → rejected.
+        door.pump(wake2, &[0], |_, _| panic!("nothing admits"));
+        assert_eq!(door.next_wakeup(), None);
+        // Drain the pool so the survivors admit and the log closes.
+        door.pump(at(100), &[400], |_, _| {});
+        door.pump(at(200), &[520], |_, _| {});
+        let log = door.into_log();
+        assert_eq!(log.total_rejected(), 1);
+        assert_eq!(log.verdicts[2].sheds, 2, "two sheds before rejection");
+        assert!(matches!(
+            log.verdicts[2].decision,
+            Disposition::Rejected { .. }
+        ));
+        assert!(log.verdicts[0].admitted() && log.verdicts[1].admitted());
+        assert_eq!(log.total_shed_events(), 2);
+    }
+
+    #[test]
+    fn hard_cap_rejects_youngest_lowest_class() {
+        let mut c = cfg(10);
+        c.hard_waiting_assignments = Some(100);
+        let mut door = FrontDoor::new(c, 4, 1);
+        door.ingest(0, at(1), QueryClass::Batch, 400, split_one(0, 400));
+        door.pump(at(1), &[0], |_, _| {});
+        // Three standard waiters (60 each): the hard cap evicts the two
+        // youngest, never the oldest.
+        door.ingest(1, at(2), QueryClass::Standard, 60, split_one(0, 60));
+        door.ingest(2, at(3), QueryClass::Standard, 60, split_one(0, 60));
+        door.ingest(3, at(4), QueryClass::Standard, 60, split_one(0, 60));
+        door.pump(at(4), &[0], |_, _| {});
+        door.pump(at(100), &[400], |_, _| {});
+        door.pump(at(200), &[460], |_, _| {});
+        let log = door.into_log();
+        assert!(log.verdicts[1].admitted(), "oldest waiter survives");
+        assert!(!log.verdicts[2].admitted());
+        assert!(!log.verdicts[3].admitted());
+    }
+
+    #[test]
+    fn per_shard_bound_lets_traffic_route_around_a_backlog() {
+        let mut c = cfg(1_000);
+        c.max_shard_inflight_assignments = Some(100);
+        let mut door = FrontDoor::new(c, 3, 2);
+        // Shard 0 saturated by an older standard query; an even older
+        // standard query targeting it again is shard-blocked, but a younger
+        // one for shard 1 bypasses the head of the line.
+        door.ingest(0, at(1), QueryClass::Standard, 90, split_one(0, 90));
+        door.pump(at(1), &[0, 0], |_, _| {});
+        door.ingest(1, at(2), QueryClass::Standard, 90, split_one(0, 90));
+        door.ingest(2, at(3), QueryClass::Standard, 90, split_one(1, 90));
+        let mut admitted = Vec::new();
+        door.pump(at(3), &[0, 0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![2], "the healthy shard's query bypasses");
+        // Shard 0 drains → the blocked waiter admits.
+        door.pump(at(10), &[90, 0], |p, _| admitted.push(p.index));
+        assert_eq!(admitted, vec![2, 1]);
+        door.pump(at(20), &[180, 90], |_, _| {});
+        door.into_log();
+    }
+
+    #[test]
+    fn samples_record_crossed_boundaries() {
+        let mut c = cfg(1_000);
+        c.sample_epoch = SimDuration::from_secs(10);
+        let mut door = FrontDoor::new(c, 1, 1);
+        door.ingest(0, at(5), QueryClass::Standard, 50, split_one(0, 50));
+        door.pump(at(5), &[0], |_, _| {});
+        door.pump(at(35), &[50], |_, _| {});
+        let log = door.into_log();
+        assert_eq!(log.samples.len(), 3, "boundaries 10/20/30 crossed");
+        assert_eq!(log.samples[0].epoch, 1);
+        assert_eq!(log.samples[0].at, at(10));
+        assert_eq!(log.samples[2].at, at(30));
+        assert_eq!(log.samples[2].admitted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a verdict")]
+    fn unresolved_queries_fail_loudly() {
+        // Closing the log with a query still waiting is a driver liveness
+        // bug; the planner must refuse to paper over it.
+        let mut door = FrontDoor::new(cfg(10), 2, 1);
+        door.ingest(0, at(1), QueryClass::Batch, 400, split_one(0, 400));
+        door.pump(at(1), &[0], |_, _| {});
+        door.ingest(1, at(2), QueryClass::Batch, 120, split_one(0, 120));
+        let _ = door.into_log();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero in-flight bound")]
+    fn zero_bound_rejected() {
+        FrontDoorConfig::bounded(0).validate();
+    }
+}

@@ -1,9 +1,10 @@
 //! Runtime configuration: shard layout, admission control, rebalancing,
-//! execution mode.
+//! fault injection, execution mode.
 
-use liferaft_sim::SimConfig;
-use liferaft_storage::SimDuration;
+use liferaft_sim::{ShardSlowdown, SimConfig};
+use liferaft_storage::{SimDuration, SimTime};
 
+use crate::admission::FrontDoorConfig;
 use crate::shard::ShardAssignment;
 
 /// Per-shard admission control (backpressure) policy.
@@ -138,8 +139,55 @@ impl Default for RebalanceConfig {
     }
 }
 
+/// Injected faults: shard slowdown windows the runtime applies during
+/// execution (the [`ShardStall`](liferaft_sim::ScenarioKind::ShardStall)
+/// scenario's delivery mechanism).
+///
+/// A slowdown is *pure per-shard state*: it scales the virtual-time cost of
+/// every batch the afflicted shard **starts** inside the window, so the
+/// injected run stays a pure function of each shard's own fragment stream
+/// and threaded execution remains bit-identical to the stepped merge.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Injected shard slowdown windows (may overlap; multipliers compose).
+    pub stalls: Vec<ShardSlowdown>,
+}
+
+impl FaultPlan {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Slowdown windows afflicting shard `shard`, as
+    /// `(from, until, factor)` triples.
+    pub fn for_shard(&self, shard: u32) -> Vec<(SimTime, SimTime, f64)> {
+        self.stalls
+            .iter()
+            .filter(|s| s.shard == shard)
+            .map(|s| (s.from, s.until, s.factor))
+            .collect()
+    }
+
+    /// Validates invariants against the pool size.
+    pub fn validate(&self, n_shards: u32) {
+        for s in &self.stalls {
+            assert!(
+                s.shard < n_shards,
+                "stall targets shard {} of {n_shards}",
+                s.shard
+            );
+            assert!(s.until > s.from, "stall window must be non-empty");
+            assert!(
+                s.factor.is_finite() && s.factor >= 1.0,
+                "a slowdown factor below 1.0 would speed the shard up"
+            );
+        }
+    }
+}
+
 /// Knobs of one sharded runtime.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Per-shard simulation configuration (cost model, cache size, joins).
     /// Each shard owns its *own* bucket cache of `sim.cache_buckets`.
@@ -152,6 +200,10 @@ pub struct RuntimeConfig {
     pub admission: AdmissionConfig,
     /// Epoch-boundary elastic rebalancing (off by default).
     pub rebalance: RebalanceConfig,
+    /// Router-level global admission (off by default).
+    pub front_door: FrontDoorConfig,
+    /// Injected shard faults (none by default).
+    pub faults: FaultPlan,
 }
 
 impl RuntimeConfig {
@@ -163,6 +215,8 @@ impl RuntimeConfig {
             assignment: ShardAssignment::Contiguous,
             admission: AdmissionConfig::unbounded(),
             rebalance: RebalanceConfig::disabled(),
+            front_door: FrontDoorConfig::disabled(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -174,6 +228,8 @@ impl RuntimeConfig {
             assignment: ShardAssignment::Contiguous,
             admission: AdmissionConfig::unbounded(),
             rebalance: RebalanceConfig::disabled(),
+            front_door: FrontDoorConfig::disabled(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -182,7 +238,14 @@ impl RuntimeConfig {
         self.sim.validate();
         self.admission.validate();
         self.rebalance.validate();
+        self.front_door.validate();
+        self.faults.validate(self.n_shards);
         assert!(self.n_shards > 0, "need at least one shard");
+        assert!(
+            !(self.front_door.enabled && self.rebalance.enabled),
+            "front door and elastic rebalancing cannot be combined yet: \
+             the admission plan assumes the static shard map"
+        );
     }
 }
 
@@ -245,5 +308,42 @@ mod tests {
     #[should_panic(expected = "zero rebalance epoch")]
     fn zero_epoch_rejected() {
         RebalanceConfig::every(SimDuration::ZERO).validate();
+    }
+
+    #[test]
+    fn front_door_and_faults_validate() {
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        c.front_door = FrontDoorConfig::bounded(10_000);
+        c.faults.stalls.push(ShardSlowdown {
+            shard: 2,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(10),
+            factor: 4.0,
+        });
+        c.validate();
+        assert_eq!(c.faults.for_shard(2).len(), 1);
+        assert!(c.faults.for_shard(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined")]
+    fn front_door_excludes_rebalancing() {
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        c.front_door = FrontDoorConfig::bounded(10_000);
+        c.rebalance = RebalanceConfig::every(SimDuration::from_secs(5));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "targets shard")]
+    fn out_of_range_stall_rejected() {
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 2);
+        c.faults.stalls.push(ShardSlowdown {
+            shard: 2,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(1),
+            factor: 2.0,
+        });
+        c.validate();
     }
 }

@@ -33,6 +33,22 @@
 //! the threaded executor replays verbatim, so elastic runs keep the
 //! bit-identical cross-mode guarantee.
 //!
+//! # Overload & the front door
+//!
+//! With [`FrontDoorConfig`] enabled a **global admission controller**
+//! fronts the pool: it bounds total in-flight (object × bucket) work,
+//! classifies every query into a [`QueryClass`] (interactive / standard /
+//! batch) by routed workload size, and under pressure degrades in a fixed
+//! order — queue at true arrival age, shed batch-class work into bounded
+//! retries with exponential virtual-time backoff, and finally reject with
+//! a recorded verdict that conserves accounting (every query is
+//! exactly-once terminal: completed or rejected). Like rebalancing, all
+//! decisions are planned once in the stepped merge and recorded as an
+//! [`AdmissionLog`] the threaded executor replays verbatim. [`FaultPlan`]
+//! injects per-shard slowdown windows (the controller's per-shard bound
+//! routes traffic around the backlog), and `liferaft_sim`'s scenario suite
+//! provides the canonical overload fixtures.
+//!
 //! # Sweep driver
 //!
 //! [`sweep`] fans independent runs — α sweeps, cache-size sweeps,
@@ -45,16 +61,18 @@
 //! | module | contents |
 //! |---|---|
 //! | [`shard`] | shard identity, bucket → shard maps (contiguous / hashed / elastic) |
-//! | [`router`] | query → per-shard fragment routing (static and elastic) |
+//! | [`router`] | query → per-shard fragment routing (static, elastic, admitted) |
 //! | [`worker`] | the per-shard admission-controlled serving loop |
 //! | [`rebalance`] | the epoch decision log and the greedy migration planner |
+//! | [`admission`] | the global front door: classes, shedding, the decision log |
 //! | [`runtime`] | stepped/threaded drivers and global aggregation |
-//! | [`config`] | runtime + admission + rebalance configuration, execution mode |
+//! | [`config`] | runtime + admission + rebalance + fault configuration, execution mode |
 //! | [`sweep`] | the deterministic parallel sweep driver |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod config;
 pub mod rebalance;
 pub mod router;
@@ -63,9 +81,13 @@ pub mod shard;
 pub mod sweep;
 pub mod worker;
 
-pub use config::{AdmissionConfig, ExecMode, RebalanceConfig, RuntimeConfig};
+pub use admission::{
+    AdmissionLog, AdmissionSample, ClassStats, Disposition, FrontDoorConfig, FrontDoorReport,
+    QueryClass, QueryVerdict, RejectedQuery,
+};
+pub use config::{AdmissionConfig, ExecMode, FaultPlan, RebalanceConfig, RuntimeConfig};
 pub use rebalance::{EpochRecord, Migration, RebalanceLog};
-pub use router::{route, route_elastic, Fragment, Routing};
+pub use router::{route, route_admitted, route_elastic, Fragment, Routing};
 pub use runtime::{RuntimeReport, ShardedRuntime};
 pub use shard::{ElasticShardMap, ShardAssignment, ShardId, ShardMap};
 pub use sweep::{

@@ -16,6 +16,7 @@ use liferaft_query::{CrossMatchQuery, QueryId, QueryPreProcessor, WorkItem};
 use liferaft_storage::{BucketId, SimTime};
 use liferaft_workload::TimedTrace;
 
+use crate::admission::{AdmissionLog, QueryClass};
 use crate::rebalance::RebalanceLog;
 use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 
@@ -29,6 +30,14 @@ pub struct Fragment {
     pub query: QueryId,
     /// Arrival instant of the parent query (ages reference this).
     pub arrival: SimTime,
+    /// Release instant: when the fragment becomes *deliverable* to its
+    /// shard. Equal to `arrival` unless the front door held the query back;
+    /// ages keep referencing `arrival`, so front-door queueing shows up as
+    /// response time exactly like queueing at a loaded shard.
+    pub release: SimTime,
+    /// The parent query's front-door class ([`QueryClass::Standard`] when
+    /// the front door is disabled).
+    pub class: QueryClass,
     /// The shard-local work items, sorted by bucket.
     pub items: Vec<WorkItem>,
     /// Total (object × bucket) assignments in `items`.
@@ -40,9 +49,10 @@ pub struct Fragment {
 pub struct Routing {
     /// Per-shard fragment streams, each in arrival order.
     pub shards: Vec<Vec<Fragment>>,
-    /// Per trace index: number of fragments the query split into (always at
-    /// least 1 — a query whose pre-processing produced no work ships as one
-    /// empty fragment, see [`route`]).
+    /// Per trace index: number of fragments the query split into (at least
+    /// 1 for every routed query — a query whose pre-processing produced no
+    /// work ships as one empty fragment, see [`route`]; exactly 0 for a
+    /// query the front door rejected, see [`route_admitted`]).
     pub fragments_of: Vec<u32>,
     /// Per trace index: total assignments across all fragments.
     pub assignments_of: Vec<u64>,
@@ -136,6 +146,8 @@ fn route_with(
             &pre,
             query_index,
             *arrival,
+            *arrival,
+            QueryClass::Standard,
             query,
             &mut |b| shard_of(*arrival, b),
             &mut split,
@@ -161,12 +173,16 @@ fn route_with(
 /// Splits one query into per-shard fragments, appending them to `shards`
 /// (one stream per shard) and returning `(fragments, assignments)`. The
 /// zero-work convention (one empty fragment to shard 0) lives here, so the
-/// static router, the elastic replay router, and the elastic stepped
-/// driver's incremental routing all split queries with the same code.
+/// static router, the elastic replay router, the front-door replay router,
+/// and the stepped drivers' incremental routing all split queries with the
+/// same code.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn split_query(
     pre: &QueryPreProcessor<'_>,
     query_index: usize,
     arrival: SimTime,
+    release: SimTime,
+    class: QueryClass,
     query: &CrossMatchQuery,
     shard_of: &mut dyn FnMut(BucketId) -> ShardId,
     split: &mut [Vec<WorkItem>],
@@ -190,6 +206,8 @@ pub(crate) fn split_query(
             query_index,
             query: query.id,
             arrival,
+            release,
+            class,
             items,
             assignments,
         });
@@ -201,11 +219,80 @@ pub(crate) fn split_query(
             query_index,
             query: query.id,
             arrival,
+            release,
+            class,
             items: Vec::new(),
             assignments: 0,
         });
     }
     (fragments, assignments)
+}
+
+/// Routes the **admitted** subset of `trace` per a recorded
+/// [`AdmissionLog`]: queries append to the per-shard streams in admission
+/// (`seq`) order, each released at its logged admission time; rejected
+/// queries route no fragments at all (their `fragments_of` entry is 0 —
+/// the aggregation synthesizes their `Rejected` outcome from the log).
+///
+/// This is the front-door analogue of [`route_elastic`]: the pure function
+/// of `(partition, map, trace, decision log)` that lets the threaded
+/// executor route everything up-front — no runtime coordination — yet land
+/// every shard on exactly the fragment stream the stepped planner produced.
+pub fn route_admitted(
+    partition: &Partition,
+    map: &ShardMap,
+    trace: &TimedTrace,
+    log: &AdmissionLog,
+) -> Routing {
+    assert_eq!(
+        partition.num_buckets(),
+        map.num_buckets(),
+        "shard map must cover the partition"
+    );
+    assert_eq!(log.verdicts.len(), trace.len(), "one verdict per query");
+    let n_shards = map.n_shards() as usize;
+    let pre = QueryPreProcessor::new(partition);
+    let mut shards: Vec<Vec<Fragment>> = vec![Vec::new(); n_shards];
+    let mut fragments_of = vec![0u32; trace.len()];
+    let mut assignments_of = vec![0u64; trace.len()];
+    let mut cross_shard_queries = 0usize;
+    let mut total_assignments = 0u64;
+    let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n_shards];
+
+    for (query_index, release) in log.admissions_in_seq_order() {
+        let (arrival, query) = &trace.entries()[query_index];
+        let (fragments, assignments) = split_query(
+            &pre,
+            query_index,
+            *arrival,
+            release,
+            log.verdicts[query_index].class,
+            query,
+            &mut |b| map.shard_of(b),
+            &mut split,
+            &mut shards,
+        );
+        if fragments > 1 {
+            cross_shard_queries += 1;
+        }
+        fragments_of[query_index] = fragments;
+        assignments_of[query_index] = assignments;
+        total_assignments += assignments;
+    }
+    // Rejected queries never route, but their workload stays on record.
+    for (i, v) in log.verdicts.iter().enumerate() {
+        if !v.admitted() {
+            assignments_of[i] = v.assignments;
+        }
+    }
+
+    Routing {
+        shards,
+        fragments_of,
+        assignments_of,
+        cross_shard_queries,
+        total_assignments,
+    }
 }
 
 #[cfg(test)]

@@ -31,9 +31,12 @@ use liferaft_sim::{MigratedBucket, RunReport};
 use liferaft_storage::{cache::CacheStats, IoStats, SimTime};
 use liferaft_workload::TimedTrace;
 
+use crate::admission::{
+    AdmissionLog, ClassStats, Disposition, FrontDoor, FrontDoorReport, QueryClass, RejectedQuery,
+};
 use crate::config::{ExecMode, RuntimeConfig};
 use crate::rebalance::{plan_moves, EpochRecord, RebalanceLog};
-use crate::router::{route, route_elastic, split_query, Fragment};
+use crate::router::{route, route_admitted, route_elastic, split_query, Fragment};
 use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 use crate::worker::{ShardRun, ShardWorker};
 
@@ -56,6 +59,13 @@ pub struct RuntimeReport {
     /// disabled). Not part of the fingerprinted surface — it records *why*
     /// the run evolved, not *what* it produced.
     pub rebalance: Option<RebalanceLog>,
+    /// The front door's decision log, rejected queries, and per-class
+    /// statistics (`None` when the front door is disabled). With the front
+    /// door on, `global.outcomes` covers only *completed* queries; the
+    /// rejected remainder lives here, so
+    /// `global.outcomes.len() + front_door.rejected.len()` always equals
+    /// the trace length — accounting is conserved.
+    pub front_door: Option<FrontDoorReport>,
 }
 
 impl RuntimeReport {
@@ -134,6 +144,13 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                 ExecMode::Threaded => self.replay_elastic(trace, mk_scheduler, log),
             };
         }
+        if self.config.front_door.enabled {
+            let (log, stepped) = self.plan_front_door(trace, mk_scheduler);
+            return match mode {
+                ExecMode::Stepped => stepped,
+                ExecMode::Threaded => self.replay_front_door(trace, mk_scheduler, log),
+            };
+        }
         let routing = route(self.catalog.partition(), &self.map, trace);
         let total_fragments = routing.total_fragments();
         let assignments_of = routing.assignments_of;
@@ -149,6 +166,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.catalog,
                     self.config.sim,
                     self.config.admission,
+                    self.config.faults.for_shard(i as u32),
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
@@ -161,13 +179,14 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             ExecMode::Threaded => run_threaded(workers),
         };
 
-        let global = aggregate(trace, &assignments_of, &shard_runs);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
         RuntimeReport {
             global,
             shards: shard_runs,
             cross_shard_queries,
             total_fragments,
             rebalance: None,
+            front_door: None,
         }
     }
 
@@ -201,6 +220,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.catalog,
                     self.config.sim,
                     self.config.admission,
+                    self.config.faults.for_shard(i as u32),
                     entries,
                     Vec::new(),
                     mk_scheduler(i),
@@ -235,6 +255,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     &pre,
                     *cursor,
                     *arrival,
+                    *arrival,
+                    QueryClass::Standard,
                     query,
                     &mut |b| elastic.shard_of(b),
                     &mut split,
@@ -337,13 +359,14 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             epoch: rb.epoch,
             records,
         };
-        let global = aggregate(trace, &assignments_of, &shard_runs);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
             cross_shard_queries,
             total_fragments,
             rebalance: Some(log.clone()),
+            front_door: None,
         };
         (log, report)
     }
@@ -377,6 +400,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.catalog,
                     self.config.sim,
                     self.config.admission,
+                    self.config.faults.for_shard(i as u32),
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
@@ -439,13 +463,232 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         drop(tx_done);
         let shard_runs = crate::sweep::collect_indexed(rx_done, n);
 
-        let global = aggregate(trace, &assignments_of, &shard_runs);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
         RuntimeReport {
             global,
             shards: shard_runs,
             cross_shard_queries,
             total_fragments,
             rebalance: Some(log),
+            front_door: None,
+        }
+    }
+
+    /// The front-door reference pass: a stepped virtual-time merge with the
+    /// global admission controller in the loop. Returns the decision log
+    /// alongside the finished report.
+    ///
+    /// The driver interleaves three event sources — shard events, trace
+    /// arrivals, and backoff wake-ups — in virtual-time order. At each
+    /// event time it ingests every due arrival into the [`FrontDoor`],
+    /// pumps the controller (which may admit queries, handing their
+    /// pre-split fragments to the shards with `release = now`), and steps
+    /// the earliest-event shard. Admission feedback is the per-shard
+    /// cumulative serviced-entry counters — observable in both modes, which
+    /// is why the recorded plan replays exactly.
+    ///
+    /// Liveness: if no shard has a pending event, every admitted assignment
+    /// has been serviced, so the pool is empty and the controller's
+    /// head-of-line waiter admits unconditionally — the loop can never
+    /// stall with work outstanding.
+    fn plan_front_door(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+    ) -> (AdmissionLog, RuntimeReport) {
+        let fd = self.config.front_door;
+        let entries = trace.entries();
+        let pre = QueryPreProcessor::new(self.catalog.partition());
+        let n = self.config.n_shards as usize;
+
+        let mut workers: Vec<ShardWorker<'_, C>> = (0..n)
+            .map(|i| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    self.config.faults.for_shard(i as u32),
+                    entries,
+                    Vec::new(),
+                    mk_scheduler(i),
+                )
+            })
+            .collect();
+
+        let mut door = FrontDoor::new(fd, entries.len(), n);
+        let mut assignments_of = vec![0u64; entries.len()];
+        let mut cross_shard_queries = 0usize;
+        let mut total_fragments = 0usize;
+        let mut cursor = 0usize; // next not-yet-ingested trace entry
+        let mut now = SimTime::ZERO;
+
+        loop {
+            // Next event: earliest of (shard event, arrival, backoff wake).
+            let mut t: Option<SimTime> = None;
+            for w in &workers {
+                if let Some(wt) = w.next_time() {
+                    t = Some(t.map_or(wt, |b: SimTime| b.min(wt)));
+                }
+                // A worker's clock runs ahead of global time by whole batch
+                // costs; each recorded batch *end* in that gap is a "capacity
+                // frees here" event the door must observe at its own instant
+                // (and never earlier — see `ShardWorker::serviced_at`).
+                if let Some(ct) = w.next_completion_after(now) {
+                    t = Some(t.map_or(ct, |b: SimTime| b.min(ct)));
+                }
+            }
+            if let Some((arrival, _)) = entries.get(cursor) {
+                t = Some(t.map_or(*arrival, |b| b.min(*arrival)));
+            }
+            if let Some(wake) = door.next_wakeup() {
+                t = Some(t.map_or(wake, |b| b.min(wake)));
+            }
+            match t {
+                Some(t) => now = now.max(t),
+                // No events anywhere: done — unless waiters remain, in
+                // which case the pool must be empty and pumping "now"
+                // admits the head (see the liveness note above).
+                None if door.has_active() => {}
+                None => break,
+            }
+
+            // Ingest every arrival due by `now` (trace order).
+            while let Some((arrival, query)) = entries.get(cursor) {
+                if *arrival > now {
+                    break;
+                }
+                let mut split: Vec<(usize, Vec<WorkItem>)> = Vec::new();
+                let mut assignments = 0u64;
+                for item in pre.preprocess(query) {
+                    assignments += item.len() as u64;
+                    let s = self.map.shard_of(item.bucket).index();
+                    match split.iter_mut().find(|(shard, _)| *shard == s) {
+                        Some((_, items)) => items.push(item),
+                        None => split.push((s, vec![item])),
+                    }
+                }
+                // Shard-index order = the order split_query emits fragments.
+                split.sort_by_key(|(s, _)| *s);
+                let class = fd.classify(assignments);
+                assignments_of[cursor] = assignments;
+                door.ingest(cursor, *arrival, class, assignments, split);
+                cursor += 1;
+            }
+
+            // Pump the controller: wake backoffs, admit, shed, reject.
+            let serviced: Vec<u64> = workers.iter().map(|w| w.serviced_at(now)).collect();
+            door.pump(now, &serviced, |p, at| {
+                let query_id = entries[p.index].1.id;
+                let n_frags = p.split.len().max(1);
+                total_fragments += n_frags;
+                if n_frags > 1 {
+                    cross_shard_queries += 1;
+                }
+                if p.split.is_empty() {
+                    // Zero-work: ship the arrival itself to shard 0.
+                    workers[0].append_fragments(vec![Fragment {
+                        query_index: p.index,
+                        query: query_id,
+                        arrival: p.arrival,
+                        release: at,
+                        class: p.class,
+                        items: Vec::new(),
+                        assignments: 0,
+                    }]);
+                } else {
+                    for (s, items) in p.split {
+                        let assignments = items.iter().map(|i| i.len() as u64).sum();
+                        workers[s].append_fragments(vec![Fragment {
+                            query_index: p.index,
+                            query: query_id,
+                            arrival: p.arrival,
+                            release: at,
+                            class: p.class,
+                            items,
+                            assignments,
+                        }]);
+                    }
+                }
+            });
+
+            // Step the earliest shard event due by `now` (ties by shard id).
+            let mut earliest: Option<(SimTime, usize)> = None;
+            for (i, w) in workers.iter().enumerate() {
+                if let Some(wt) = w.next_time() {
+                    // Strict `<` keeps the lowest shard index on time ties.
+                    if earliest.map_or(true, |(bt, _)| wt < bt) {
+                        earliest = Some((wt, i));
+                    }
+                }
+            }
+            if let Some((wt, i)) = earliest {
+                if wt <= now {
+                    let advanced = workers[i].step();
+                    debug_assert!(advanced, "a shard with a next event must advance");
+                }
+            }
+        }
+
+        let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
+        let log = door.into_log();
+        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
+        let report = RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: None,
+            front_door,
+        };
+        (log, report)
+    }
+
+    /// The front-door parallel executor: routes the admitted subset of the
+    /// trace up-front per the recorded log ([`route_admitted`] — fragments
+    /// in admission order, released at their logged admission times) and
+    /// runs the shards completely free-running. No barriers: the front door
+    /// only ever *delays or drops* deliveries, so once the decisions are
+    /// fixed, each shard's stream is fixed, and shard behaviour is a pure
+    /// function of its stream.
+    fn replay_front_door(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+        log: AdmissionLog,
+    ) -> RuntimeReport {
+        let routing = route_admitted(self.catalog.partition(), &self.map, trace, &log);
+        let total_fragments = routing.total_fragments();
+        let assignments_of = routing.assignments_of;
+        let cross_shard_queries = routing.cross_shard_queries;
+
+        let workers: Vec<ShardWorker<'_, C>> = routing
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, fragments)| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    self.config.faults.for_shard(i as u32),
+                    trace.entries(),
+                    fragments,
+                    mk_scheduler(i),
+                )
+            })
+            .collect();
+
+        let shard_runs = run_threaded(workers);
+        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
+        RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: None,
+            front_door,
         }
     }
 }
@@ -507,13 +750,29 @@ fn run_threaded<C: Catalog + Sync + ?Sized>(workers: Vec<ShardWorker<'_, C>>) ->
 /// total — every assignment is serviced exactly once, somewhere — so the
 /// fold is exact for static and elastic runs alike, and positionally
 /// identical to fragment counting when no migration happens.
-fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]) -> RunReport {
+///
+/// With a front-door `admission` log, rejected queries routed no fragments:
+/// they are excluded from the completion fold (the conservation assert
+/// becomes "every *admitted* query completes exactly once") and accounted
+/// in the returned [`FrontDoorReport`] instead, alongside per-class
+/// response/TTFB statistics.
+fn aggregate(
+    trace: &TimedTrace,
+    assignments_of: &[u64],
+    shard_runs: &[ShardRun],
+    admission: Option<&AdmissionLog>,
+) -> (RunReport, Option<FrontDoorReport>) {
     let entries = trace.entries();
     let index_of: HashMap<QueryId, usize> = entries
         .iter()
         .enumerate()
         .map(|(i, (_, q))| (q.id, i))
         .collect();
+    let rejected_at: Vec<bool> = match admission {
+        Some(log) => log.verdicts.iter().map(|v| !v.admitted()).collect(),
+        None => vec![false; entries.len()],
+    };
+    let n_rejected = rejected_at.iter().filter(|&&r| r).count();
 
     // Canonical merged completion stream. Every query has at least one
     // fragment (zero-work queries ship an empty fragment to shard 0), so
@@ -545,15 +804,21 @@ fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]
     let mut remaining: Vec<u64> = assignments_of.to_vec();
     let mut emitted = vec![false; entries.len()];
     let mut last_done: Vec<SimTime> = vec![SimTime::ZERO; entries.len()];
-    let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(entries.len());
+    let mut first_done: Vec<Option<SimTime>> = vec![None; entries.len()];
+    let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(entries.len() - n_rejected);
     for (_, _, _, query, completion, assignments) in events {
         let i = index_of[&query];
+        assert!(
+            !rejected_at[i],
+            "query {query} was rejected yet a shard serviced it"
+        );
         assert!(
             remaining[i] >= assignments,
             "query {query} over-serviced across shards"
         );
         remaining[i] -= assignments;
         last_done[i] = last_done[i].max(completion);
+        first_done[i] = Some(first_done[i].map_or(completion, |f| f.min(completion)));
         if remaining[i] > 0 || emitted[i] {
             continue; // more assignments outstanding elsewhere
         }
@@ -569,8 +834,8 @@ fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]
     }
     assert_eq!(
         outcomes.len(),
-        entries.len(),
-        "every routed query must complete exactly once"
+        entries.len() - n_rejected,
+        "every admitted query must complete exactly once"
     );
 
     let response = Summary::from_samples(
@@ -584,7 +849,7 @@ fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]
         .map(|o| o.completion.as_secs_f64())
         .fold(0.0, f64::max);
     let throughput_qps = if makespan_s > 0.0 {
-        entries.len() as f64 / makespan_s
+        outcomes.len() as f64 / makespan_s
     } else {
         0.0
     };
@@ -618,9 +883,11 @@ fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]
             .map(|r| r.report.scheduler.as_str())
             .unwrap_or("∅")
     );
-    RunReport {
+    let front_door = admission
+        .map(|log| build_front_door_report(log, entries, &emitted, &last_done, &first_done));
+    let global = RunReport {
         scheduler,
-        queries: entries.len(),
+        queries: outcomes.len(),
         makespan_s,
         throughput_qps,
         response,
@@ -636,6 +903,76 @@ fn aggregate(trace: &TimedTrace, assignments_of: &[u64], shard_runs: &[ShardRun]
         total_matches,
         max_wait_ms,
         outcomes,
+    };
+    (global, front_door)
+}
+
+/// Folds the admission log and the per-query completion instants into the
+/// [`FrontDoorReport`]: rejected-query records plus per-class counters and
+/// response/TTFB summaries.
+fn build_front_door_report(
+    log: &AdmissionLog,
+    entries: &[(SimTime, liferaft_query::CrossMatchQuery)],
+    emitted: &[bool],
+    last_done: &[SimTime],
+    first_done: &[Option<SimTime>],
+) -> FrontDoorReport {
+    let mut rejected: Vec<RejectedQuery> = Vec::new();
+    let mut per_class: [ClassStats; 3] = QueryClass::ALL.map(|class| ClassStats {
+        class,
+        submitted: 0,
+        admitted: 0,
+        deferred: 0,
+        shed_events: 0,
+        rejected: 0,
+        max_retries: 0,
+        response: Summary::from_samples(Vec::new()),
+        ttfb: Summary::from_samples(Vec::new()),
+    });
+    let mut response: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut ttfb: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+
+    for (i, v) in log.verdicts.iter().enumerate() {
+        let arrival = entries[i].0;
+        let c = v.class.rank();
+        let stats = &mut per_class[c];
+        stats.submitted += 1;
+        stats.shed_events += v.sheds as u64;
+        stats.max_retries = stats.max_retries.max(v.sheds);
+        match v.decision {
+            Disposition::Admitted { at, .. } => {
+                stats.admitted += 1;
+                if at > arrival {
+                    stats.deferred += 1;
+                }
+                assert!(emitted[i], "admitted query {i} never completed");
+                response[c].push(last_done[i].since(arrival).as_secs_f64());
+                let first = first_done[i].expect("completed query has a first fragment");
+                // A zero-work query's only event can be recorded at a later
+                // batch boundary; its true first byte is its arrival.
+                ttfb[c].push(first.max(arrival).since(arrival).as_secs_f64());
+            }
+            Disposition::Rejected { at } => {
+                stats.rejected += 1;
+                rejected.push(RejectedQuery {
+                    index: i,
+                    arrival,
+                    rejected_at: at,
+                    class: v.class,
+                    assignments: v.assignments,
+                    retries: v.sheds,
+                });
+            }
+        }
+    }
+    for (c, (r, t)) in response.into_iter().zip(ttfb).enumerate() {
+        per_class[c].response = Summary::from_samples(r);
+        per_class[c].ttfb = Summary::from_samples(t);
+    }
+    FrontDoorReport {
+        log: log.clone(),
+        rejected,
+        per_class,
     }
 }
 
@@ -745,7 +1082,7 @@ mod tests {
         let (cat, timed) = fixture(20, 5.0);
         let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 2);
         config.admission = AdmissionConfig::bounded(40);
-        let rt = ShardedRuntime::new(&cat, config);
+        let rt = ShardedRuntime::new(&cat, config.clone());
         let bounded_stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
         let bounded_threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
         assert_eq!(
@@ -766,7 +1103,7 @@ mod tests {
             assert!(s.admission.peak_backlog >= 1);
         }
         // Unbounded admission never defers.
-        let mut open = config;
+        let mut open = config.clone();
         open.admission = AdmissionConfig::unbounded();
         let rt = ShardedRuntime::new(&cat, open);
         let free = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
@@ -833,7 +1170,7 @@ mod tests {
         let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
         config.rebalance = RebalanceConfig::every(SimDuration::from_secs(5));
         config.rebalance.min_imbalance = 1.05;
-        let rt = ShardedRuntime::new(&cat, config);
+        let rt = ShardedRuntime::new(&cat, config.clone());
         let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
         let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
         assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
@@ -848,13 +1185,13 @@ mod tests {
         let log = stepped.rebalance.as_ref().expect("elastic runs keep a log");
         assert!(!log.records.is_empty(), "boundaries must have fired");
         // Disabled rebalancing reproduces the static runtime bit-for-bit.
-        let mut off = config;
+        let mut off = config.clone();
         off.rebalance = RebalanceConfig::disabled();
         let rt_off = ShardedRuntime::new(&cat, off);
         let static_run = rt_off.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
         assert!(static_run.rebalance.is_none());
         // And an enabled-but-never-triggering policy is behaviour-neutral.
-        let mut never = config;
+        let mut never = config.clone();
         never.rebalance.min_imbalance = 1e12;
         let rt_never = ShardedRuntime::new(&cat, never);
         let neutral = rt_never.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
@@ -918,6 +1255,97 @@ mod tests {
             .filter(|s| s.report.serviced_entries > 0)
             .count();
         assert!(busy > 1, "migration must spread service across shards");
+    }
+
+    #[test]
+    fn front_door_modes_agree_and_conserve_accounting() {
+        use crate::admission::FrontDoorConfig;
+        let (cat, timed) = fixture(20, 5.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        // Fixture queries route to ~20 assignments each; a 60-assignment
+        // global bound holds at most three in flight, and the 20/21 class
+        // split exercises priority ordering between two classes.
+        let mut fd = FrontDoorConfig::bounded(60);
+        fd.interactive_max_assignments = 20;
+        fd.batch_min_assignments = 300;
+        fd.max_waiting_assignments = Some(1_500);
+        config.front_door = fd;
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.global.io, threaded.global.io);
+        assert_eq!(stepped.global.cache, threaded.global.cache);
+        assert_eq!(stepped.front_door, threaded.front_door);
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            assert_eq!(a.report.outcomes, b.report.outcomes);
+            assert_eq!(a.admission, b.admission);
+        }
+        let fd_report = stepped.front_door.as_ref().expect("front-door runs report");
+        // Exactly-once terminal accounting: completed + rejected = trace.
+        assert_eq!(
+            stepped.global.outcomes.len() + fd_report.rejected.len(),
+            timed.len()
+        );
+        let submitted: u64 = fd_report.per_class.iter().map(|c| c.submitted).sum();
+        assert_eq!(submitted, timed.len() as u64);
+        // A tight global bound on a 5 qps burst must actually defer work.
+        let deferred: u64 = fd_report.per_class.iter().map(|c| c.deferred).sum();
+        assert!(deferred > 0, "a tight bound must defer some queries");
+    }
+
+    #[test]
+    fn unbounded_front_door_is_behaviour_neutral() {
+        use crate::admission::FrontDoorConfig;
+        let (cat, timed) = fixture(12, 2.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        let off = ShardedRuntime::new(&cat, config.clone());
+        let baseline = off.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        // Enabled but with no binding limit: every query admits at its
+        // arrival instant, reproducing the static runtime bit-for-bit.
+        config.front_door = FrontDoorConfig::bounded(u64::MAX);
+        let on = ShardedRuntime::new(&cat, config);
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = on.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(report.global.outcomes, baseline.global.outcomes, "{mode:?}");
+            assert_eq!(report.global.batches, baseline.global.batches);
+            assert_eq!(report.global.io, baseline.global.io);
+            let fd = report.front_door.expect("enabled door reports");
+            assert!(fd.rejected.is_empty());
+            assert_eq!(fd.log.total_shed_events(), 0);
+        }
+    }
+
+    #[test]
+    fn injected_stall_slows_its_shard_deterministically() {
+        use liferaft_sim::ShardSlowdown;
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(16, 2.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 2);
+        let baseline_rt = ShardedRuntime::new(&cat, config.clone());
+        let baseline = baseline_rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        config.faults.stalls.push(ShardSlowdown {
+            shard: 0,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(1_000_000),
+            factor: 8.0,
+        });
+        let rt = ShardedRuntime::new(&cat, config);
+        let stalled = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let stalled_threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stalled.global.outcomes, stalled_threaded.global.outcomes);
+        assert_eq!(stalled.global.batches, stalled_threaded.global.batches);
+        // The stalled shard finishes strictly later than before; the other
+        // shard's behaviour is untouched (faults are pure per-shard state).
+        assert!(
+            stalled.shards[0].report.makespan_s > baseline.shards[0].report.makespan_s,
+            "an 8× stall must stretch the afflicted shard's makespan"
+        );
+        assert_eq!(
+            stalled.shards[1].report.outcomes,
+            baseline.shards[1].report.outcomes
+        );
     }
 
     #[test]

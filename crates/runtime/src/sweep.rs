@@ -152,7 +152,7 @@ where
     F: Fn(usize) -> Box<dyn Scheduler + Send> + Sync,
 {
     parallel_map(counts, threads, |_, &n_shards| {
-        let mut config = base;
+        let mut config = base.clone();
         config.n_shards = n_shards;
         let runtime = ShardedRuntime::new(catalog, config);
         let report = runtime.run(trace, &mut |i| mk_scheduler(i), mode);
@@ -183,7 +183,7 @@ where
     F: Fn(usize) -> Box<dyn Scheduler + Send> + Sync,
 {
     parallel_map(epochs, threads, |_, &epoch| {
-        let mut config = base;
+        let mut config = base.clone();
         match epoch {
             None => config.rebalance.enabled = false,
             Some(e) => {

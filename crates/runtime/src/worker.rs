@@ -27,8 +27,18 @@ use crate::shard::ShardId;
 pub struct AdmissionStats {
     /// Fragments that were parked at least once before admission.
     pub deferred_fragments: u64,
+    /// Parked fragments broken down by front-door class (indexed by
+    /// [`QueryClass::rank`](crate::admission::QueryClass::rank); all
+    /// standard-class when the front door is disabled).
+    pub deferred_by_class: [u64; 3],
     /// Highest queued-entry backlog observed.
     pub peak_backlog: u64,
+    /// Largest amount by which an admission pushed the backlog *past* the
+    /// configured limit. The limit is checked before each admission, so one
+    /// fragment can overshoot it by up to `fragment.assignments − 1`
+    /// entries; this records the worst case actually observed (0 when the
+    /// limit was never exceeded or admission is unbounded).
+    pub max_overshoot: u64,
 }
 
 /// The finished record of one shard: a fragment-level [`RunReport`] (its
@@ -60,15 +70,29 @@ pub(crate) struct ShardWorker<'a, C: Catalog + ?Sized> {
     deferred: VecDeque<usize>,
     now: SimTime,
     max_backlog_entries: Option<u64>,
+    /// Injected slowdown windows afflicting this shard, as
+    /// `(from, until, factor)` — factors compose multiplicatively when
+    /// windows overlap a batch's start instant.
+    stalls: Vec<(SimTime, SimTime, f64)>,
+    /// Per-batch `(end, cumulative serviced entries)` checkpoints, in end
+    /// order. The front-door planner reads capacity through this ledger
+    /// ([`serviced_at`](Self::serviced_at)) rather than the engine's raw
+    /// counter: the raw counter jumps at batch *start* (when the worker's
+    /// clock can be far ahead of global virtual time), and an admission
+    /// "enabled" by work that only finishes later is impossible to replay
+    /// from release times alone.
+    completions: Vec<(SimTime, u64)>,
     stats: AdmissionStats,
 }
 
 impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shard: ShardId,
         catalog: &'a C,
         sim: SimConfig,
         admission: AdmissionConfig,
+        stalls: Vec<(SimTime, SimTime, f64)>,
         trace: &'a [(SimTime, CrossMatchQuery)],
         fragments: Vec<Fragment>,
         scheduler: Box<dyn Scheduler + Send>,
@@ -83,30 +107,35 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             deferred: VecDeque::new(),
             now: SimTime::ZERO,
             max_backlog_entries: admission.max_backlog_entries,
+            stalls,
+            completions: Vec::new(),
             stats: AdmissionStats::default(),
         }
     }
 
     /// Virtual time of the worker's next event, or `None` when fully done.
     /// Pending work (or parked ingress) is an event "now"; an idle worker's
-    /// next event is its next fragment arrival — clamped to `now`, because
-    /// a shard whose clock overshot the arrival while busy admits the
-    /// fragment at `now`, not in the past. The clamp is what lets the
-    /// elastic driver trust `next_time` as "the virtual time of the next
-    /// state change" when placing epoch boundaries.
+    /// next event is its next fragment **release** — clamped to `now`,
+    /// because a shard whose clock overshot the release while busy admits
+    /// the fragment at `now`, not in the past. The clamp is what lets the
+    /// elastic and front-door drivers trust `next_time` as "the virtual
+    /// time of the next state change" when placing epoch boundaries.
     pub(crate) fn next_time(&self) -> Option<SimTime> {
         if !self.core.is_idle() || !self.deferred.is_empty() {
             return Some(self.now);
         }
         self.fragments
             .get(self.next)
-            .map(|f| f.arrival.max(self.now))
+            .map(|f| f.release.max(self.now))
     }
 
     /// Admits every due fragment the backlog limit allows: parked fragments
-    /// first (FIFO), then newly due arrivals; arrivals due while the shard
-    /// is over its limit are parked. The limit is checked *before* each
-    /// admission, so progress is always possible from an empty backlog.
+    /// first (FIFO), then newly due (released) arrivals; fragments due
+    /// while the shard is over its limit are parked. The limit is checked
+    /// *before* each admission, so progress is always possible from an
+    /// empty backlog — at the price of a bounded overshoot, which
+    /// [`admit`](Self::admit) measures into
+    /// [`AdmissionStats::max_overshoot`].
     fn deliver_due(&mut self) {
         loop {
             let backlog = self.core.total_queued();
@@ -119,10 +148,12 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
                 while self
                     .fragments
                     .get(self.next)
-                    .is_some_and(|f| f.arrival <= self.now)
+                    .is_some_and(|f| f.release <= self.now)
                 {
+                    let class = self.fragments[self.next].class;
                     self.deferred.push_back(self.next);
                     self.stats.deferred_fragments += 1;
+                    self.stats.deferred_by_class[class.rank()] += 1;
                     self.next += 1;
                 }
                 return;
@@ -135,7 +166,7 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             if self
                 .fragments
                 .get(self.next)
-                .is_some_and(|f| f.arrival <= self.now)
+                .is_some_and(|f| f.release <= self.now)
             {
                 let idx = self.next;
                 self.next += 1;
@@ -152,6 +183,20 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
         debug_assert_eq!(query.id, f.query, "routing and trace disagree");
         self.core.deliver_items(query, &f.items, f.arrival);
         self.scheduler.on_query_arrival(f.arrival);
+        // The pre-admission limit check means this admission may have pushed
+        // the backlog past the bound — by strictly less than the fragment's
+        // own assignments. Record the worst observed overshoot.
+        if let Some(limit) = self.max_backlog_entries {
+            let backlog = self.core.total_queued();
+            if backlog > limit {
+                let overshoot = backlog - limit;
+                debug_assert!(
+                    overshoot < f.assignments.max(1),
+                    "overshoot {overshoot} exceeds the one-fragment bound"
+                );
+                self.stats.max_overshoot = self.stats.max_overshoot.max(overshoot);
+            }
+        }
     }
 
     /// Executes one event: delivery (plus an idle-time jump to the next
@@ -166,7 +211,7 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             let Some(f) = self.fragments.get(self.next) else {
                 return false; // drained everything
             };
-            self.now = f.arrival;
+            self.now = f.release;
             self.deliver_due();
             if self.core.is_idle() {
                 // Only zero-work fragments arrived at this instant (they
@@ -174,25 +219,36 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
                 return true;
             }
         }
+        // An injected slowdown scales every batch *started* inside its
+        // window; overlapping windows compound. Pure per-shard state, so
+        // the fault changes nothing about cross-shard determinism.
+        let mut factor = 1.0f64;
+        for &(from, until, f) in &self.stalls {
+            if self.now >= from && self.now < until {
+                factor *= f;
+            }
+        }
         self.now += self
             .core
-            .decide_and_execute(self.scheduler.as_mut(), self.now);
+            .decide_and_execute_scaled(self.scheduler.as_mut(), self.now, factor);
+        self.completions
+            .push((self.now, self.core.serviced_entries()));
         true
     }
 
     /// Appends later-routed fragments to the ingress stream — the elastic
-    /// driver's incremental (per-epoch-window) routing path. Arrival order
-    /// must be preserved across appends.
+    /// and front-door drivers' incremental routing path. Release order must
+    /// be preserved across appends.
     pub(crate) fn append_fragments(&mut self, extra: Vec<Fragment>) {
         debug_assert!(
-            extra.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-            "appended window out of arrival order"
+            extra.windows(2).all(|w| w[0].release <= w[1].release),
+            "appended window out of release order"
         );
         debug_assert!(
             self.fragments
                 .last()
                 .zip(extra.first())
-                .map_or(true, |(a, b)| a.arrival <= b.arrival),
+                .map_or(true, |(a, b)| a.release <= b.release),
             "appended window precedes existing fragments"
         );
         self.fragments.extend(extra);
@@ -203,9 +259,32 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
         self.core.total_queued()
     }
 
-    /// Cumulative serviced entries (controller observability).
+    /// Cumulative serviced entries (controller observability). Counts a
+    /// batch the moment it executes — the worker's clock may already sit at
+    /// the batch's end, arbitrarily far ahead of global virtual time.
     pub(crate) fn serviced(&self) -> u64 {
         self.core.serviced_entries()
+    }
+
+    /// Entries serviced by batches that **completed** by virtual time `t` —
+    /// the front-door planner's capacity signal. Work inside a batch still
+    /// running at `t` does not count, so an admission decision made at `t`
+    /// depends only on events at or before `t` and replays exactly from the
+    /// logged release times.
+    pub(crate) fn serviced_at(&self, t: SimTime) -> u64 {
+        let k = self.completions.partition_point(|&(end, _)| end <= t);
+        if k == 0 {
+            0
+        } else {
+            self.completions[k - 1].1
+        }
+    }
+
+    /// The earliest recorded batch completion strictly after `t` — the
+    /// planner's "capacity frees here" event source.
+    pub(crate) fn next_completion_after(&self, t: SimTime) -> Option<SimTime> {
+        let k = self.completions.partition_point(|&(end, _)| end <= t);
+        self.completions.get(k).map(|&(end, _)| end)
     }
 
     /// Cache-resident bucket count (controller observability).

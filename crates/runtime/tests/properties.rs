@@ -14,8 +14,12 @@ use liferaft_core::{
     AgingMode, LifeRaftScheduler, MetricParams, NoShareScheduler, RoundRobinScheduler, Scheduler,
 };
 use liferaft_query::QueryPreProcessor;
-use liferaft_runtime::{AdmissionConfig, ExecMode, RuntimeConfig, ShardAssignment, ShardedRuntime};
-use liferaft_sim::{RunReport, SimConfig, Simulation};
+use liferaft_runtime::{
+    AdmissionConfig, ExecMode, FaultPlan, FrontDoorConfig, QueryClass, RuntimeConfig,
+    ShardAssignment, ShardedRuntime,
+};
+use liferaft_sim::{RunReport, ShardSlowdown, SimConfig, Simulation};
+use liferaft_storage::{SimDuration, SimTime};
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
 use proptest::prelude::*;
@@ -115,6 +119,83 @@ proptest! {
         for o in &stepped.global.outcomes {
             prop_assert!(o.completion >= o.arrival);
         }
+    }
+
+    /// Under a random overload regime — arbitrary front-door bounds, shed
+    /// retries, waiting caps, and an optional injected shard stall — every
+    /// query is exactly-once terminal (completed or rejected, never lost or
+    /// double-counted), and the threaded executor replays the stepped
+    /// plan bit for bit, front-door report included.
+    #[test]
+    fn overloaded_front_door_is_exactly_once_and_deterministic(
+        seed in 0u64..10_000,
+        n_shards in 1u32..5,
+        kind in 0u8..4,
+        bound_step in 1u64..12,
+        soft_step in 0u64..10,  // 0 = no waiting cap
+        max_retries in 0u32..4,
+        stalled in proptest::bool::ANY,
+        rate_deci in 2u64..20,
+    ) {
+        let (catalog, timed) = fixture(seed, 24, rate_deci as f64 / 10.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.front_door = FrontDoorConfig::bounded(bound_step * 250);
+        config.front_door.interactive_max_assignments = 150;
+        config.front_door.batch_min_assignments = 500;
+        config.front_door.max_waiting_assignments =
+            (soft_step > 0).then(|| soft_step * 400);
+        config.front_door.max_retries = max_retries;
+        if stalled {
+            config.faults = FaultPlan {
+                stalls: vec![ShardSlowdown {
+                    shard: 0,
+                    from: SimTime::ZERO,
+                    until: SimTime::ZERO + SimDuration::from_secs(30),
+                    factor: 6.0,
+                }],
+            };
+        }
+        let rt = ShardedRuntime::new(&catalog, config);
+        let stepped = rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| policy(kind), ExecMode::Threaded);
+
+        prop_assert_eq!(fp(&stepped.global), fp(&threaded.global));
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            prop_assert_eq!(fp(&a.report), fp(&b.report));
+            prop_assert_eq!(a.admission, b.admission);
+        }
+        prop_assert_eq!(&stepped.front_door, &threaded.front_door);
+
+        // Exactly-once terminal: completed ∪ rejected covers the trace,
+        // disjointly — nothing lost, nothing double-counted.
+        let fd = stepped.front_door.as_ref().expect("front door is on");
+        prop_assert_eq!(fd.log.verdicts.len(), timed.len());
+        prop_assert_eq!(
+            stepped.global.outcomes.len() + fd.rejected.len(),
+            timed.len()
+        );
+        let mut terminal = vec![false; timed.len()];
+        for o in &stepped.global.outcomes {
+            let i = o.query.0 as usize;
+            prop_assert!(!terminal[i], "query {} completed twice", i);
+            terminal[i] = true;
+            prop_assert!(o.completion >= o.arrival);
+        }
+        for r in &fd.rejected {
+            prop_assert!(!terminal[r.index], "query {} rejected after completing", r.index);
+            terminal[r.index] = true;
+            prop_assert!(r.retries <= max_retries);
+        }
+        prop_assert!(terminal.iter().all(|&t| t), "some query never became terminal");
+
+        // Per-class books balance and roll up to the whole trace.
+        let mut submitted = 0u64;
+        for class in QueryClass::ALL {
+            let c = fd.class(class);
+            prop_assert_eq!(c.submitted, c.admitted + c.rejected, "{} class", class.label());
+            submitted += c.submitted;
+        }
+        prop_assert_eq!(submitted, timed.len() as u64);
     }
 
     /// A single-shard unbounded runtime is `Simulation::run`, exactly —

@@ -343,6 +343,23 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         scheduler: &mut dyn Scheduler,
         now: SimTime,
     ) -> SimDuration {
+        self.decide_and_execute_scaled(scheduler, now, 1.0)
+    }
+
+    /// [`decide_and_execute`](Self::decide_and_execute) with the batch's
+    /// virtual-time cost multiplied by `cost_factor` — the fault-injection
+    /// hook (a degraded disk, a noisy neighbor). Completion instants move
+    /// with the scaled cost, so response times see the slowdown. A factor of
+    /// exactly 1.0 is the identity (no float round-trip).
+    ///
+    /// # Panics
+    /// Panics if no work is pending or the scheduler violates its contract.
+    pub fn decide_and_execute_scaled(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        now: SimTime,
+        cost_factor: f64,
+    ) -> SimDuration {
         // Bring the candidate index's φ keys current with the cache — with
         // the residency mutation log this touches only the buckets the last
         // batch's insert/evict actually flipped. The decision itself then
@@ -372,11 +389,11 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             .map(|s| s.oldest_enqueue);
         self.starvation
             .record_decision(now, passed_over, oldest_passed);
-        self.execute_batch(spec, now)
+        self.execute_batch(spec, now, cost_factor)
     }
 
     /// Executes one batch and returns its virtual-time cost.
-    fn execute_batch(&mut self, spec: BatchSpec, now: SimTime) -> SimDuration {
+    fn execute_batch(&mut self, spec: BatchSpec, now: SimTime, cost_factor: f64) -> SimDuration {
         match spec.scope {
             BatchScope::AllQueued => self
                 .table
@@ -426,6 +443,15 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
                 self.indexed_batches += 1;
                 self.config.cost.indexed_batch(w)
             }
+        };
+        debug_assert!(
+            cost_factor.is_finite() && cost_factor >= 1.0,
+            "cost factor must be a slowdown, got {cost_factor}"
+        );
+        let cost = if cost_factor == 1.0 {
+            cost
+        } else {
+            SimDuration::from_secs_f64(cost.as_secs_f64() * cost_factor)
         };
         self.batches += 1;
         self.serviced_entries += w;

@@ -26,6 +26,7 @@ pub mod config;
 pub mod engine;
 pub mod federation;
 pub mod report;
+pub mod scenario;
 
 pub use calibration::calibrate_tradeoff_table;
 pub use config::SimConfig;
@@ -33,3 +34,4 @@ pub use engine::{EngineCore, MigratedBucket, Simulation};
 pub use federation::{run_chain, FederationReport};
 pub use liferaft_workload::TimedTrace;
 pub use report::RunReport;
+pub use scenario::{build_scenario, ScenarioFixture, ScenarioKind, ScenarioScale, ShardSlowdown};

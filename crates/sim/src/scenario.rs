@@ -1,0 +1,238 @@
+//! The fault/overload scenario suite: workload fixtures that push the
+//! system past capacity in characteristic ways.
+//!
+//! Each scenario is a deterministic (trace, fault-injection) pair built
+//! from a seed: flash crowds, diurnal arrival cycles, adversarial hotspot
+//! drift, interactive-vs-batch mixes, and injected shard slowdowns. The
+//! suite lives here — below the runtime — because a scenario is *workload
+//! shape*, not policy: the sharded runtime consumes the trace through its
+//! front door and converts the recommended [`ShardSlowdown`] windows into
+//! its fault plan, and the single-engine simulation can replay the same
+//! traces unsharded. Everything is a pure function of the
+//! [`ScenarioScale`], so golden and determinism tests can pin scenario
+//! runs exactly like any other fixture.
+
+use liferaft_storage::{SimDuration, SimTime};
+use liferaft_workload::arrivals::{diurnal_arrivals, flash_crowd_arrivals, poisson_arrivals};
+use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
+
+/// The scenario family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// A sudden arrival burst far beyond service capacity: low base rate,
+    /// then a window at ~40× the sustainable rate.
+    FlashCrowd,
+    /// A sinusoidal day/night arrival cycle whose peak exceeds capacity.
+    DiurnalCycle,
+    /// Adversarial hotspot drift: the hot region rotates across the sky
+    /// epoch by epoch, defeating any static placement.
+    HotspotDrift,
+    /// A bimodal interactive-vs-batch mix: many tiny exploratory probes
+    /// racing a minority of exhaustive scans for the same shards.
+    InteractiveBatchMix,
+    /// A nominal workload plus an injected shard slowdown: one shard's
+    /// virtual-time rate drops for an interval (see [`ShardSlowdown`]).
+    ShardStall,
+}
+
+impl ScenarioKind {
+    /// Every scenario, in canonical order.
+    pub const ALL: [ScenarioKind; 5] = [
+        ScenarioKind::FlashCrowd,
+        ScenarioKind::DiurnalCycle,
+        ScenarioKind::HotspotDrift,
+        ScenarioKind::InteractiveBatchMix,
+        ScenarioKind::ShardStall,
+    ];
+
+    /// Stable machine-readable name (bench row keys, CI labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::FlashCrowd => "flash_crowd",
+            ScenarioKind::DiurnalCycle => "diurnal_cycle",
+            ScenarioKind::HotspotDrift => "hotspot_drift",
+            ScenarioKind::InteractiveBatchMix => "interactive_batch_mix",
+            ScenarioKind::ShardStall => "shard_stall",
+        }
+    }
+}
+
+/// An injected shard slowdown: between `from` and `until`, every batch the
+/// shard starts costs `factor ×` its modeled virtual time (a degraded disk,
+/// a noisy neighbor, a failing replica). Plain indices rather than runtime
+/// shard ids so the suite stays below the runtime crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSlowdown {
+    /// Index of the slowed shard.
+    pub shard: u32,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+    /// Virtual-time cost multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
+/// Size/seed knobs of a scenario build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioScale {
+    /// HTM level of the partition the trace targets.
+    pub level: u8,
+    /// Buckets in the partition.
+    pub n_buckets: u32,
+    /// Queries in the trace.
+    pub n_queries: usize,
+    /// Master seed; every derived stream re-seeds from it.
+    pub seed: u64,
+}
+
+impl ScenarioScale {
+    /// The test-suite scale: small enough to run every scenario × scheduler
+    /// combination in seconds, busy enough to actually overload.
+    pub fn small() -> Self {
+        ScenarioScale {
+            level: 10,
+            n_buckets: 128,
+            n_queries: 96,
+            seed: 2009,
+        }
+    }
+}
+
+/// One built scenario: the timed trace plus recommended fault injection.
+#[derive(Debug, Clone)]
+pub struct ScenarioFixture {
+    /// Which scenario this is.
+    pub kind: ScenarioKind,
+    /// The arrival-stamped trace.
+    pub trace: TimedTrace,
+    /// Injected shard slowdowns (empty for pure-overload scenarios).
+    pub stalls: Vec<ShardSlowdown>,
+}
+
+/// Builds a scenario fixture — a pure function of `(kind, scale)`.
+pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixture {
+    let base = || {
+        WorkloadConfig::paper_like(
+            scale.level,
+            scale.n_buckets,
+            scale.n_queries,
+            scale.seed ^ 0x5C,
+        )
+    };
+    let n = scale.n_queries;
+    let seed = scale.seed;
+    let (cfg, arrivals, stalls) = match kind {
+        ScenarioKind::FlashCrowd => {
+            // Quiet base load, then ~60% of the trace crammed into a burst
+            // window at 40× the base rate.
+            let cfg = base();
+            let flash_at = SimDuration::from_secs(30);
+            let flash_len = SimDuration::from_secs_f64(0.6 * n as f64 / 20.0);
+            let arrivals = flash_crowd_arrivals(0.5, 20.0, flash_at, flash_len, n, seed ^ 0xF1A5);
+            (cfg, arrivals, Vec::new())
+        }
+        ScenarioKind::DiurnalCycle => {
+            // Two day/night cycles; the daily peak exceeds capacity, the
+            // trough drains the backlog.
+            let cfg = base();
+            let period = SimDuration::from_secs_f64(n as f64 / 1.3);
+            let arrivals = diurnal_arrivals(0.2, 4.0, period, n, seed ^ 0xD1);
+            (cfg, arrivals, Vec::new())
+        }
+        ScenarioKind::HotspotDrift => {
+            // The hot set rotates every epoch with no always-active core:
+            // whatever placement a static map starts with goes cold.
+            let mut cfg = base();
+            cfg.epochs = 6;
+            cfg.active_per_epoch = 2;
+            cfg.always_active = 0;
+            cfg.hotspots = 6;
+            cfg.hotspot_zipf = 0.5;
+            cfg.hotspot_fraction = 0.95;
+            let arrivals = poisson_arrivals(4.0, n, seed ^ 0xD21F);
+            (cfg, arrivals, Vec::new())
+        }
+        ScenarioKind::InteractiveBatchMix => {
+            // Bimodal sizes: tiny exploratory probes (interactive-class
+            // under any sane threshold) against exhaustive scans (batch),
+            // arriving together past capacity.
+            let mut cfg = base();
+            cfg.size_small = (1, 25);
+            cfg.size_large = (800, 2_000);
+            cfg.large_fraction = 0.35;
+            cfg.hot_large_fraction = 0.35;
+            let arrivals = poisson_arrivals(3.0, n, seed ^ 0x1B);
+            (cfg, arrivals, Vec::new())
+        }
+        ScenarioKind::ShardStall => {
+            // Nominal load, but one shard runs 6× slow for a mid-trace
+            // interval — the controller must route around its backlog.
+            let cfg = base();
+            let arrivals = poisson_arrivals(1.5, n, seed ^ 0x57A1);
+            let stall_from = SimTime::ZERO + SimDuration::from_secs(15);
+            let stall_until = SimTime::ZERO + SimDuration::from_secs_f64(15.0 + n as f64 / 1.5);
+            let stalls = vec![ShardSlowdown {
+                shard: 0,
+                from: stall_from,
+                until: stall_until,
+                factor: 6.0,
+            }];
+            (cfg, arrivals, stalls)
+        }
+    };
+    let trace = TraceGenerator::new(cfg).generate().with_arrivals(arrivals);
+    ScenarioFixture {
+        kind,
+        trace,
+        stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_deterministically() {
+        let scale = ScenarioScale::small();
+        for kind in ScenarioKind::ALL {
+            let a = build_scenario(kind, &scale);
+            let b = build_scenario(kind, &scale);
+            assert_eq!(a.trace.len(), scale.n_queries, "{}", kind.name());
+            assert_eq!(
+                a.trace.entries().len(),
+                b.trace.entries().len(),
+                "{}",
+                kind.name()
+            );
+            for ((ta, qa), (tb, qb)) in a.trace.entries().iter().zip(b.trace.entries()) {
+                assert_eq!(ta, tb, "{}", kind.name());
+                assert_eq!(qa.id, qb.id, "{}", kind.name());
+                assert_eq!(qa.objects.len(), qb.objects.len(), "{}", kind.name());
+            }
+            assert_eq!(a.stalls.len(), b.stalls.len());
+        }
+    }
+
+    #[test]
+    fn shard_stall_recommends_a_slowdown_window() {
+        let fx = build_scenario(ScenarioKind::ShardStall, &ScenarioScale::small());
+        assert_eq!(fx.stalls.len(), 1);
+        let s = fx.stalls[0];
+        assert_eq!(s.shard, 0);
+        assert!(s.factor > 1.0);
+        assert!(s.until > s.from);
+        // The window overlaps the arrival span, else it injects nothing.
+        let last = fx.trace.entries().last().unwrap().0;
+        assert!(s.from < last, "stall must start within the trace");
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ScenarioKind::ALL.len());
+    }
+}

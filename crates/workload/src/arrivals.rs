@@ -77,6 +77,96 @@ pub fn bursty_arrivals(
     out
 }
 
+/// Non-homogeneous Poisson arrivals by thinning: candidate events are drawn
+/// at `rate_max` and accepted with probability `rate(t) / rate_max`, which
+/// realizes any bounded time-varying rate exactly. Deterministic per seed.
+fn thinned_arrivals(
+    rate_of: impl Fn(f64) -> f64,
+    rate_max: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<SimTime> {
+    assert!(rate_max.is_finite() && rate_max > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64; // seconds
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_max;
+        let accept: f64 = rng.gen_range(0.0..1.0);
+        let r = rate_of(t);
+        debug_assert!((0.0..=rate_max).contains(&r), "rate {r} escapes [0, max]");
+        if accept < r / rate_max {
+            out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+        }
+    }
+    out
+}
+
+/// A flash crowd: Poisson at `base_qps`, except the window
+/// `[flash_at, flash_at + flash_len)` where the rate jumps to `flash_qps` —
+/// the canonical overload scenario (a sudden burst far beyond service
+/// capacity that an admission controller must absorb without starving
+/// interactive work).
+///
+/// # Panics
+/// Panics unless `0 < base_qps <= flash_qps` and the window is non-empty.
+pub fn flash_crowd_arrivals(
+    base_qps: f64,
+    flash_qps: f64,
+    flash_at: SimDuration,
+    flash_len: SimDuration,
+    n: usize,
+    seed: u64,
+) -> Vec<SimTime> {
+    assert!(base_qps.is_finite() && base_qps > 0.0);
+    assert!(flash_qps.is_finite() && flash_qps >= base_qps);
+    assert!(
+        flash_len > SimDuration::ZERO,
+        "flash window must be non-empty"
+    );
+    let (from, until) = (flash_at.as_secs_f64(), (flash_at + flash_len).as_secs_f64());
+    thinned_arrivals(
+        |t| {
+            if t >= from && t < until {
+                flash_qps
+            } else {
+                base_qps
+            }
+        },
+        flash_qps,
+        n,
+        seed,
+    )
+}
+
+/// Diurnal arrivals: a sinusoidal rate cycling between `trough_qps` and
+/// `peak_qps` with the given `period`, starting at the trough (t = 0 is
+/// "night"). Models the daily load cycle a capacity-bounded front door sees.
+///
+/// # Panics
+/// Panics unless `0 < trough_qps <= peak_qps` and the period is positive.
+pub fn diurnal_arrivals(
+    trough_qps: f64,
+    peak_qps: f64,
+    period: SimDuration,
+    n: usize,
+    seed: u64,
+) -> Vec<SimTime> {
+    assert!(trough_qps.is_finite() && trough_qps > 0.0);
+    assert!(peak_qps.is_finite() && peak_qps >= trough_qps);
+    assert!(period > SimDuration::ZERO, "period must be positive");
+    let period_s = period.as_secs_f64();
+    let mid = (peak_qps + trough_qps) / 2.0;
+    let amp = (peak_qps - trough_qps) / 2.0;
+    thinned_arrivals(
+        |t| mid - amp * (2.0 * std::f64::consts::PI * t / period_s).cos(),
+        peak_qps,
+        n,
+        seed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +217,55 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn rejects_zero_rate() {
         poisson_arrivals(0.0, 1, 0);
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_in_the_window() {
+        let at = SimDuration::from_secs(100);
+        let len = SimDuration::from_secs(50);
+        let arrivals = flash_crowd_arrivals(0.5, 20.0, at, len, 2_000, 9);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            arrivals,
+            flash_crowd_arrivals(0.5, 20.0, at, len, 2_000, 9),
+            "same seed, same stream"
+        );
+        let in_window = arrivals
+            .iter()
+            .filter(|t| t.as_secs_f64() >= 100.0 && t.as_secs_f64() < 150.0)
+            .count();
+        // 50 s at 20 q/s ≈ 1000 arrivals vs ≈ 50 in the preceding 100 s of
+        // base load; the window must dominate its surroundings by far.
+        let before = arrivals
+            .iter()
+            .filter(|t| t.as_secs_f64() < 100.0)
+            .count()
+            .max(1);
+        assert!(
+            in_window > before * 5,
+            "flash not visible: {in_window} in-window vs {before} before"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_cycle() {
+        let period = SimDuration::from_secs(1_000);
+        let arrivals = diurnal_arrivals(0.2, 4.0, period, 3_000, 13);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // The first half-period is the ramp to the peak (t = period/2); the
+        // window around the peak must far out-arrive the window at the
+        // trough (cycle start).
+        let count = |lo: f64, hi: f64| {
+            arrivals
+                .iter()
+                .filter(|t| t.as_secs_f64() >= lo && t.as_secs_f64() < hi)
+                .count()
+        };
+        let peak = count(400.0, 600.0);
+        let trough = count(900.0, 1_100.0).max(1);
+        assert!(
+            peak > trough * 3,
+            "cycle not visible: peak {peak}, trough {trough}"
+        );
     }
 }

@@ -38,6 +38,8 @@ import statistics
 import sys
 
 NOSHARE = "NoShare"
+DOOR_ON = "overload_flash_door_on"
+DOOR_OFF = "overload_flash_door_off"
 
 
 def load(path):
@@ -64,6 +66,13 @@ def main():
                     help="allowed drift-normalized regression of "
                          "fixture_build_s (default 0.5; the build is a "
                          "single sample, so it gets more slack)")
+    ap.add_argument("--p90-tolerance", type=float, default=0.05,
+                    help="allowed growth of the door-on interactive p90 over "
+                         "the committed baseline (default 0.05). The p90 is "
+                         "*virtual-time* — deterministic for a fixed fixture "
+                         "— so any growth is a real admission-policy change, "
+                         "not machine noise; the slack only absorbs benign "
+                         "fixture retuning")
     ap.add_argument("--max-drift", type=float, default=3.0,
                     help="cap on the median ratio itself (default 3.0). This "
                          "is the backstop for fleet-wide regressions — a "
@@ -128,6 +137,35 @@ def main():
     else:
         print("fixture_build: not present in both files, skipped")
 
+    # Overload front-door guard: the controller must still protect
+    # interactive latency. Two gates on the virtual-time interactive p90:
+    # door-on strictly below door-off *within the current run* (the
+    # controller's reason to exist), and door-on no worse than the
+    # committed baseline beyond --p90-tolerance.
+    p90_failures = []
+    if DOOR_ON in cur and DOOR_OFF in cur:
+        on = cur[DOOR_ON].get("interactive_p90_s")
+        off = cur[DOOR_OFF].get("interactive_p90_s")
+        if on is not None and off is not None:
+            verdict = "ok"
+            if on >= off:
+                verdict = "REGRESSED (door-on >= door-off)"
+                p90_failures.append("door-on p90 not below door-off")
+            print(f"{'interactive_p90 on/off':<22} {off:>9.3f} {on:>9.3f} "
+                  f"{on / max(off, 1e-9):>7.2f}   {verdict}")
+        base_on = base.get(DOOR_ON, {}).get("interactive_p90_s")
+        if on is not None and base_on is not None and base_on > 0:
+            limit = base_on * (1.0 + args.p90_tolerance)
+            verdict = "ok"
+            if on > limit:
+                verdict = f"REGRESSED (> {limit:.2f})"
+                p90_failures.append(
+                    f"door-on p90 {on:.2f}s over baseline {base_on:.2f}s")
+            print(f"{'interactive_p90 vs base':<22} {base_on:>9.3f} {on:>9.3f} "
+                  f"{on / base_on:>7.2f}   {verdict}")
+    else:
+        print("overload rows: not present in both files, skipped")
+
     if med > args.max_drift:
         sys.exit(f"FAIL: median wall-time ratio {med:.2f} exceeds the "
                  f"{args.max_drift:.1f}x drift backstop — every scheduler "
@@ -138,7 +176,10 @@ def main():
     if fixture_failed:
         sys.exit(f"FAIL: fixture_build_s regressed beyond "
                  f"{args.fixture_tolerance:.0%} of fleet drift")
-    print("bench guard: no per-scheduler or fixture regression")
+    if p90_failures:
+        sys.exit(f"FAIL: interactive-p90 front-door guard: "
+                 f"{'; '.join(p90_failures)}")
+    print("bench guard: no per-scheduler, fixture, or front-door regression")
 
 
 if __name__ == "__main__":

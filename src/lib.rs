@@ -79,11 +79,13 @@ pub mod prelude {
     pub use liferaft_metrics::{Series, StreamingStats, Summary, Table};
     pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
     pub use liferaft_runtime::{
-        AdmissionConfig, ElasticShardMap, ExecMode, RebalanceConfig, RebalanceLog, RuntimeConfig,
-        RuntimeReport, ShardAssignment, ShardId, ShardMap, ShardedRuntime,
+        AdmissionConfig, ClassStats, ElasticShardMap, ExecMode, FaultPlan, FrontDoorConfig,
+        FrontDoorReport, QueryClass, RebalanceConfig, RebalanceLog, RuntimeConfig, RuntimeReport,
+        ShardAssignment, ShardId, ShardMap, ShardedRuntime,
     };
     pub use liferaft_sim::{
-        calibrate_tradeoff_table, EngineCore, RunReport, SimConfig, Simulation,
+        build_scenario, calibrate_tradeoff_table, EngineCore, RunReport, ScenarioFixture,
+        ScenarioKind, ScenarioScale, SimConfig, Simulation,
     };
     pub use liferaft_storage::{BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime};
     pub use liferaft_workload::arrivals::{bursty_arrivals, poisson_arrivals, uniform_arrivals};

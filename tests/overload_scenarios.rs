@@ -1,0 +1,156 @@
+//! The fault/overload scenario suite, end to end.
+//!
+//! Every scenario in `liferaft_sim::scenario` runs through the sharded
+//! runtime's front door with all six pinned schedulers, in both executors:
+//!
+//! 1. **Determinism under overload**: threaded == stepped, bit-for-bit —
+//!    global report, per-shard reports, admission stats, and the full
+//!    front-door report (verdicts, samples, per-class summaries). Injected
+//!    shard stalls are part of the contract.
+//! 2. **Accounting conservation**: completed + rejected == submitted, for
+//!    the run and per class; nothing is lost or double-counted.
+//! 3. **The flash-crowd acceptance bar**: with the controller on,
+//!    interactive-class p90 response is measurably below the
+//!    controller-off run on the identical trace, while batch-class work is
+//!    shed into retries (and the neutral, unbounded door reproduces the
+//!    controller-off behaviour bit-for-bit).
+
+mod common;
+
+use common::{fingerprint, scheduler_factories};
+use liferaft::prelude::*;
+
+/// The catalog every scenario replays against (matches
+/// [`ScenarioScale::small`]: level 10, 128 buckets).
+fn scenario_catalog() -> VirtualCatalog {
+    let scale = ScenarioScale::small();
+    VirtualCatalog::new(scale.level, scale.n_buckets, 200, 4096, 7)
+}
+
+/// The suite's front-door tuning: tight enough that overload scenarios
+/// actually queue and shed, loose enough that nominal load sails through.
+fn door() -> FrontDoorConfig {
+    let mut d = FrontDoorConfig::bounded(2_000);
+    d.interactive_max_assignments = 200;
+    d.batch_min_assignments = 600;
+    d.max_waiting_assignments = Some(6_000);
+    d
+}
+
+/// A 4-shard pool with the front door on and the scenario's recommended
+/// fault injection converted into the runtime's fault plan.
+fn pool_config(fx: &ScenarioFixture) -> RuntimeConfig {
+    let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+    config.front_door = door();
+    config.faults = FaultPlan {
+        stalls: fx.stalls.clone(),
+    };
+    config
+}
+
+#[test]
+fn every_scenario_is_deterministic_across_executors_and_schedulers() {
+    let catalog = scenario_catalog();
+    let scale = ScenarioScale::small();
+    for kind in ScenarioKind::ALL {
+        let fx = build_scenario(kind, &scale);
+        let rt = ShardedRuntime::new(&catalog, pool_config(&fx));
+        for (label, mk) in scheduler_factories() {
+            let stepped = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Stepped);
+            let threaded = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Threaded);
+            let ctx = format!("{} / {label}", kind.name());
+            assert_eq!(
+                fingerprint(&stepped.global),
+                fingerprint(&threaded.global),
+                "{ctx}: global reports diverged"
+            );
+            for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+                assert_eq!(
+                    fingerprint(&a.report),
+                    fingerprint(&b.report),
+                    "{ctx}: shard {} diverged",
+                    a.shard
+                );
+                assert_eq!(a.admission, b.admission, "{ctx}: admission stats");
+            }
+            assert_eq!(
+                stepped.front_door, threaded.front_door,
+                "{ctx}: front-door reports diverged"
+            );
+
+            // Conservation: every submitted query is exactly-once terminal.
+            let fd = stepped.front_door.as_ref().expect("front door is on");
+            assert_eq!(
+                stepped.global.outcomes.len() + fd.rejected.len(),
+                fx.trace.len(),
+                "{ctx}: completed + rejected must equal submitted"
+            );
+            for class in QueryClass::ALL {
+                let c = fd.class(class);
+                assert_eq!(
+                    c.submitted,
+                    c.admitted + c.rejected,
+                    "{ctx}: {} class accounting",
+                    class.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flash_crowd_controller_protects_interactive_latency() {
+    let catalog = scenario_catalog();
+    let fx = build_scenario(ScenarioKind::FlashCrowd, &ScenarioScale::small());
+    let greedy = scheduler_factories()[2].1;
+
+    // Controller off — but through a *neutral* (unbounded) door, so the
+    // run still records per-class latency for the comparison below.
+    let mut off_cfg = pool_config(&fx);
+    off_cfg.front_door = FrontDoorConfig::bounded(u64::MAX);
+    let off_rt = ShardedRuntime::new(&catalog, off_cfg);
+    let off = off_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // The neutral door really is neutral: bit-identical to disabled.
+    let mut disabled_cfg = pool_config(&fx);
+    disabled_cfg.front_door = FrontDoorConfig::disabled();
+    let disabled_rt = ShardedRuntime::new(&catalog, disabled_cfg);
+    for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+        let neutral = off_rt.run(&fx.trace, &mut |_| greedy(), mode);
+        let plain = disabled_rt.run(&fx.trace, &mut |_| greedy(), mode);
+        assert_eq!(
+            fingerprint(&neutral.global),
+            fingerprint(&plain.global),
+            "{mode:?}: the unbounded door must be behaviour-neutral"
+        );
+        assert!(plain.front_door.is_none());
+    }
+
+    // Controller on.
+    let on_rt = ShardedRuntime::new(&catalog, pool_config(&fx));
+    let on = on_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    let fd_on = on.front_door.as_ref().expect("controller on");
+    let fd_off = off.front_door.as_ref().expect("neutral door records");
+    let int_on = fd_on.class(QueryClass::Interactive);
+    let int_off = fd_off.class(QueryClass::Interactive);
+    assert!(
+        int_on.submitted > 0,
+        "fixture must contain interactive-class queries"
+    );
+    assert!(
+        fd_on.log.total_shed_events() > 0,
+        "the flash crowd must shed batch-class work"
+    );
+    let p90_on = int_on.response.percentile(90.0);
+    let p90_off = int_off.response.percentile(90.0);
+    assert!(
+        p90_on < p90_off,
+        "controller must cut interactive p90 under the flash crowd \
+         (on: {p90_on:.2}s, off: {p90_off:.2}s)"
+    );
+    // Shedding is bounded and accounted: every retry either landed or
+    // ended in a recorded rejection.
+    let batch_on = fd_on.class(QueryClass::Batch);
+    assert_eq!(batch_on.submitted, batch_on.admitted + batch_on.rejected);
+}

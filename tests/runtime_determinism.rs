@@ -130,7 +130,7 @@ fn elastic_rebalancing_keeps_the_determinism_contract() {
     // suite exercises real migrations rather than vacuous no-op epochs.
     let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
     config.rebalance = rebalance;
-    let rt = ShardedRuntime::new(&catalog, config);
+    let rt = ShardedRuntime::new(&catalog, config.clone());
     let greedy = scheduler_factories()[2].1;
     let run = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
     let log = run.rebalance.expect("elastic run records a log");
@@ -141,7 +141,7 @@ fn elastic_rebalancing_keeps_the_determinism_contract() {
 
     // A never-triggering elastic policy is behaviour-neutral: bit-identical
     // to the static shard map, epoch records and all-zero move log included.
-    let mut never = config;
+    let mut never = config.clone();
     never.rebalance.min_imbalance = 1e12;
     let rt_never = ShardedRuntime::new(&catalog, never);
     let mut static_cfg = config;
@@ -201,7 +201,7 @@ fn sweep_driver_results_are_independent_of_thread_count() {
     let serial = shard_sweep(
         &catalog,
         &timed,
-        base,
+        base.clone(),
         &counts,
         ExecMode::Stepped,
         1,
