@@ -29,6 +29,7 @@ use liferaft_runtime::{
 };
 use liferaft_sim::{build_scenario, RunReport, ScenarioKind, ScenarioScale, SimConfig, Simulation};
 use liferaft_storage::SimDuration;
+use liferaft_telemetry::{JsonlSink, NullSink, RingBufferSink, TelemetrySink};
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig};
 
@@ -212,6 +213,39 @@ fn main() {
         );
         let label = m.report.scheduler.clone();
         rows.push(json_row(&label, &m));
+    }
+
+    // --- Flight-recorder overhead ---------------------------------------
+    //
+    // The greedy single-engine run again, with the recorder off / ring /
+    // JSONL. `telemetry_off` goes through `run_with_sink` with an explicit
+    // null sink — the exact instrumented code path a production run takes
+    // with telemetry disabled — and the regression guard holds it within a
+    // hair of the plain greedy row above (the `enabled()` branch must be
+    // dead weight). The bounded ring is the always-on flight-recorder
+    // configuration; the unbounded JSONL sink is the worst case.
+    type SinkFactory = fn() -> Box<dyn TelemetrySink>;
+    let telemetry_rows: [(&str, SinkFactory); 3] = [
+        ("telemetry_off", || Box::new(NullSink)),
+        ("telemetry_ring", || Box::new(RingBufferSink::new(1 << 16))),
+        ("telemetry_jsonl", || Box::new(JsonlSink::new())),
+    ];
+    for (key, mk_sink) in telemetry_rows {
+        let m = measure_with(
+            || {
+                let mut scheduler = LifeRaftScheduler::greedy(params);
+                sim.run_with_sink(&timed, &mut scheduler, mk_sink()).0
+            },
+            reps,
+        );
+        println!(
+            "{key:<20} wall={:.3}s  decisions/s={:>12.0}  entries/s={:>12.0}  batches={}",
+            m.wall_s,
+            m.report.batches as f64 / m.wall_s.max(1e-12),
+            m.report.serviced_entries as f64 / m.wall_s.max(1e-12),
+            m.report.batches,
+        );
+        rows.push(json_row(key, &m));
     }
 
     // --- Elastic vs static sharding under hotspot drift -----------------

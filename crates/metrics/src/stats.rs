@@ -203,6 +203,36 @@ impl Summary {
     pub fn sorted(&self) -> &[f64] {
         &self.sorted
     }
+
+    /// Merges another summary into this one, as if both samples had been
+    /// collected in a single pass: the sorted samples interleave (two-pointer
+    /// merge, no re-sort) and the moment accumulators combine via
+    /// [`StreamingStats::merge`]. This is the cross-shard aggregation path —
+    /// each shard summarizes its own completions, and the runtime folds the
+    /// per-shard summaries without ever materializing the global sample
+    /// twice.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.sorted.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let (a, b) = (&self.sorted, &other.sorted);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            // `<=` keeps self's observations first on ties (stable merge).
+            if a[i] <= b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.sorted = merged;
+        self.stats.merge(&other.stats);
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +323,34 @@ mod tests {
         assert_eq!(s.percentile(0.0), 7.0);
         assert_eq!(s.percentile(37.0), 7.0);
         assert_eq!(s.percentile(100.0), 7.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let all: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let single = Summary::from_samples(all.clone());
+        let mut a = Summary::from_samples(all[..83].to_vec());
+        let b = Summary::from_samples(all[83..].to_vec());
+        a.merge(&b);
+        assert_eq!(a.count(), single.count());
+        assert_eq!(a.sorted(), single.sorted(), "merge must equal a re-sort");
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), single.percentile(p), "p{p}");
+        }
+        assert!((a.mean() - single.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - single.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s = Summary::from_samples(vec![3.0, 1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&Summary::from_samples(vec![]));
+        assert_eq!(s, before);
+        let mut e = Summary::from_samples(vec![]);
+        e.merge(&before);
+        assert_eq!(e.sorted(), before.sorted());
+        assert_eq!(e.mean(), before.mean());
     }
 
     #[test]

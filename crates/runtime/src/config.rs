@@ -3,6 +3,7 @@
 
 use liferaft_sim::{ShardSlowdown, SimConfig};
 use liferaft_storage::{SimDuration, SimTime};
+use liferaft_telemetry::TelemetryConfig;
 
 use crate::admission::FrontDoorConfig;
 use crate::shard::ShardAssignment;
@@ -204,6 +205,9 @@ pub struct RuntimeConfig {
     pub front_door: FrontDoorConfig,
     /// Injected shard faults (none by default).
     pub faults: FaultPlan,
+    /// Flight-recorder configuration (off by default — and behaviour-neutral
+    /// when on: recording never perturbs scheduling, costs, or reports).
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
@@ -217,6 +221,7 @@ impl RuntimeConfig {
             rebalance: RebalanceConfig::disabled(),
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -230,6 +235,7 @@ impl RuntimeConfig {
             rebalance: RebalanceConfig::disabled(),
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -240,6 +246,7 @@ impl RuntimeConfig {
         self.rebalance.validate();
         self.front_door.validate();
         self.faults.validate(self.n_shards);
+        self.telemetry.validate();
         assert!(self.n_shards > 0, "need at least one shard");
         assert!(
             !(self.front_door.enabled && self.rebalance.enabled),

@@ -49,6 +49,19 @@
 //! routes traffic around the backlog), and `liferaft_sim`'s scenario suite
 //! provides the canonical overload fixtures.
 //!
+//! # Flight recorder
+//!
+//! [`RuntimeConfig::telemetry`] turns on `liferaft-telemetry`'s structured
+//! event bus: every shard worker records typed scheduler / batch / cache /
+//! completion events, the controller paths contribute migration and
+//! admission events, and [`RuntimeReport::telemetry`] carries the merged
+//! [`TelemetryReport`] — per-shard time series plus the raw event stream,
+//! exportable as JSONL or a Chrome/Perfetto trace. Events are merged in
+//! the same canonical `(time, shard, seq)` order the completion merge
+//! uses, so stepped and threaded runs produce **byte-identical** streams;
+//! with the default [`TelemetryMode::Off`] the recorder is a null sink and
+//! runs are bit-identical to an un-instrumented build.
+//!
 //! # Sweep driver
 //!
 //! [`sweep`] fans independent runs — α sweeps, cache-size sweeps,
@@ -94,3 +107,9 @@ pub use sweep::{
     alpha_sweep, cache_sweep, parallel_map, rebalance_sweep, seed_sweep, shard_sweep, SweepPoint,
 };
 pub use worker::{AdmissionStats, ShardRun};
+
+// Re-export the flight-recorder surface so runtime users configure and
+// consume telemetry without a separate `liferaft-telemetry` import.
+pub use liferaft_telemetry::{
+    Event, EventKind, TelemetryConfig, TelemetryMode, TelemetryReport, TelemetrySink, ROUTER_SHARD,
+};

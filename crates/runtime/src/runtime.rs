@@ -29,6 +29,7 @@ use liferaft_metrics::Summary;
 use liferaft_query::{tracker::QueryOutcome, QueryId, QueryPreProcessor, WorkItem};
 use liferaft_sim::{MigratedBucket, RunReport};
 use liferaft_storage::{cache::CacheStats, IoStats, SimTime};
+use liferaft_telemetry::{Event, EventKind, TelemetryReport, ROUTER_SHARD};
 use liferaft_workload::TimedTrace;
 
 use crate::admission::{
@@ -66,6 +67,11 @@ pub struct RuntimeReport {
     /// `global.outcomes.len() + front_door.rejected.len()` always equals
     /// the trace length — accounting is conserved.
     pub front_door: Option<FrontDoorReport>,
+    /// The flight-recorder report (`None` when telemetry is off): per-shard
+    /// time series plus the canonical merged event stream, exportable as
+    /// JSONL or a Chrome/Perfetto trace. Like the decision logs, not part of
+    /// the fingerprinted surface — recording never perturbs the run.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RuntimeReport {
@@ -170,6 +176,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
                 )
             })
             .collect();
@@ -180,6 +187,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         };
 
         let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -187,6 +195,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door: None,
+            telemetry,
         }
     }
 
@@ -224,6 +233,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     entries,
                     Vec::new(),
                     mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
                 )
             })
             .collect();
@@ -360,6 +370,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             records,
         };
         let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -367,6 +378,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: Some(log.clone()),
             front_door: None,
+            telemetry,
         };
         (log, report)
     }
@@ -404,6 +416,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
                 )
             })
             .collect();
@@ -464,6 +477,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         let shard_runs = crate::sweep::collect_indexed(rx_done, n);
 
         let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -471,6 +485,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: Some(log),
             front_door: None,
+            telemetry,
         }
     }
 
@@ -512,6 +527,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     entries,
                     Vec::new(),
                     mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
                 )
             })
             .collect();
@@ -633,6 +649,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
         let log = door.into_log();
         let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log));
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -640,6 +657,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door,
+            telemetry,
         };
         (log, report)
     }
@@ -676,12 +694,14 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
                 )
             })
             .collect();
 
         let shard_runs = run_threaded(workers);
         let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log));
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -689,7 +709,138 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door,
+            telemetry,
         }
+    }
+
+    /// Folds the per-shard event streams plus controller events synthesized
+    /// from the decision logs into the flight-recorder report. `None` when
+    /// telemetry is off.
+    ///
+    /// The merge mirrors [`aggregate`]'s canonical completion order exactly:
+    /// each shard's stream is keyed by its *running clock* (the prefix-max
+    /// of event times over record order — a query arrival keeps its true
+    /// arrival instant, which can precede the batch boundary it was recorded
+    /// at), and streams interleave by `(clock, shard, seq)`. Controller
+    /// events ride the [`ROUTER_SHARD`] pseudo-shard, which sorts after
+    /// every real shard. Because each shard's stream is a pure function of
+    /// its own fragment sequence and the logs replay verbatim, stepped and
+    /// threaded executions produce byte-identical merged streams.
+    fn build_telemetry(
+        &self,
+        trace: &TimedTrace,
+        shard_runs: &[ShardRun],
+        rebalance: Option<&RebalanceLog>,
+        admission: Option<&AdmissionLog>,
+    ) -> Option<TelemetryReport> {
+        if !self.config.telemetry.enabled() {
+            return None;
+        }
+        let mut keyed: Vec<(SimTime, u32, u64, Event)> = Vec::new();
+        for run in shard_runs {
+            let mut clock = SimTime::ZERO;
+            for e in &run.events {
+                clock = clock.max(e.time);
+                keyed.push((clock, e.shard, e.seq, e.clone()));
+            }
+        }
+
+        let mut router: Vec<Event> = Vec::new();
+        let stamp = |time: SimTime, kind: EventKind| Event {
+            time,
+            shard: ROUTER_SHARD,
+            seq: 0, // densified below, after the time sort
+            kind,
+        };
+        if let Some(log) = rebalance {
+            let rb = &self.config.rebalance;
+            for rec in &log.records {
+                for m in &rec.moves {
+                    router.push(stamp(
+                        rec.at,
+                        EventKind::MigrationPlanned {
+                            epoch: rec.epoch,
+                            bucket: m.bucket.0,
+                            from: m.from.0,
+                            to: m.to.0,
+                            entries: m.entries,
+                        },
+                    ));
+                }
+                // Application order is the executors' canonical absorb
+                // order: per destination, in bucket order.
+                let mut applies: Vec<_> = rec.moves.iter().collect();
+                applies.sort_by_key(|m| (m.to, m.bucket));
+                for m in applies {
+                    let cost = rb.migration_fixed + rb.migration_per_entry.times(m.entries);
+                    router.push(stamp(
+                        rec.at,
+                        EventKind::MigrationApplied {
+                            epoch: rec.epoch,
+                            bucket: m.bucket.0,
+                            to: m.to.0,
+                            cost,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some(log) = admission {
+            let entries = trace.entries();
+            for (i, v) in log.verdicts.iter().enumerate() {
+                let arrival = entries[i].0;
+                match v.decision {
+                    Disposition::Admitted { at, .. } => router.push(stamp(
+                        at,
+                        EventKind::Admitted {
+                            query_index: i as u64,
+                            class: v.class.rank() as u8,
+                            assignments: v.assignments,
+                            sheds: v.sheds,
+                            waited: at.since(arrival),
+                        },
+                    )),
+                    Disposition::Rejected { at } => router.push(stamp(
+                        at,
+                        EventKind::Rejected {
+                            query_index: i as u64,
+                            class: v.class.rank() as u8,
+                            assignments: v.assignments,
+                            sheds: v.sheds,
+                        },
+                    )),
+                }
+            }
+            for s in &log.samples {
+                router.push(stamp(
+                    s.at,
+                    EventKind::AdmissionSampled {
+                        epoch: s.epoch,
+                        inflight: s.inflight_assignments,
+                        waiting: s.waiting_assignments,
+                        backoff: s.backoff_queries as u64,
+                        admitted: s.admitted,
+                        shed_events: s.shed_events,
+                        rejected: s.rejected,
+                    },
+                ));
+            }
+        }
+        // Stable by construction order within a time tie — both logs are
+        // deterministic, so the router stream is too.
+        router.sort_by_key(|e| e.time);
+        for (seq, mut e) in router.into_iter().enumerate() {
+            e.seq = seq as u64;
+            keyed.push((e.time, ROUTER_SHARD, seq as u64, e));
+        }
+
+        keyed.sort_unstable_by_key(|&(clock, shard, seq, _)| (clock, shard, seq));
+        let events: Vec<Event> = keyed.into_iter().map(|(_, _, _, e)| e).collect();
+        Some(TelemetryReport::build(
+            events,
+            self.config.n_shards,
+            self.config.telemetry.window,
+        ))
     }
 }
 

@@ -18,7 +18,7 @@ use liferaft_storage::SimDuration;
 use liferaft_workload::TimedTrace;
 
 use crate::config::{ExecMode, RuntimeConfig};
-use crate::runtime::ShardedRuntime;
+use crate::runtime::{RuntimeReport, ShardedRuntime};
 
 /// Applies `f` to every item on up to `threads` worker threads, returning
 /// results **in input order** regardless of thread count or completion
@@ -87,8 +87,56 @@ pub struct SweepPoint {
     pub label: String,
     /// The swept coordinate as a number (for plotting).
     pub x: f64,
-    /// The run's report.
+    /// The run's report (for sharded sweeps, the runtime's global summary).
     pub report: RunReport,
+    /// The full runtime report for sharded sweeps — per-shard runs,
+    /// decision logs, and the flight-recorder report when telemetry is on.
+    /// `None` for single-engine sweeps ([`alpha_sweep`], [`cache_sweep`]).
+    pub runtime: Option<RuntimeReport>,
+}
+
+impl SweepPoint {
+    /// A single-engine sample (no runtime detail to keep).
+    fn single(label: String, x: f64, report: RunReport) -> Self {
+        SweepPoint {
+            label,
+            x,
+            report,
+            runtime: None,
+        }
+    }
+
+    /// A sharded sample: keeps the whole runtime report, with `report` its
+    /// global summary.
+    fn sharded(label: String, x: f64, runtime: RuntimeReport) -> Self {
+        SweepPoint {
+            label,
+            x,
+            report: runtime.global.clone(),
+            runtime: Some(runtime),
+        }
+    }
+
+    /// p90 response time in seconds — the sweep's headline latency figure.
+    pub fn p90_response_s(&self) -> f64 {
+        self.report.response.percentile(90.0)
+    }
+
+    /// Completed-query throughput in queries/second.
+    pub fn throughput_qps(&self) -> f64 {
+        self.report.throughput_qps
+    }
+
+    /// `(frontier, fallback)` decision-path counters of the run.
+    pub fn decision_split(&self) -> (u64, u64) {
+        (self.report.frontier_picks, self.report.fallback_picks)
+    }
+
+    /// The point's flight-recorder report, when the swept run recorded one
+    /// (sharded sweep + telemetry enabled in the base config).
+    pub fn telemetry(&self) -> Option<&liferaft_telemetry::TelemetryReport> {
+        self.runtime.as_ref().and_then(|r| r.telemetry.as_ref())
+    }
 }
 
 /// Sweeps the age bias α across `alphas`, one `Simulation::run` per point
@@ -104,11 +152,7 @@ pub fn alpha_sweep<C: Catalog + Sync + ?Sized>(
     parallel_map(alphas, threads, |_, &alpha| {
         let mut s = LifeRaftScheduler::new(params, AgingMode::Normalized, alpha);
         let report = Simulation::new(catalog, config).run(trace, &mut s);
-        SweepPoint {
-            label: format!("α={alpha:.2}"),
-            x: alpha,
-            report,
-        }
+        SweepPoint::single(format!("α={alpha:.2}"), alpha, report)
     })
 }
 
@@ -127,11 +171,11 @@ pub fn cache_sweep<C: Catalog + Sync + ?Sized>(
         config.cache_buckets = cache_buckets;
         let mut s = LifeRaftScheduler::greedy(params);
         let report = Simulation::new(catalog, config).run(trace, &mut s);
-        SweepPoint {
-            label: format!("cache={cache_buckets}"),
-            x: cache_buckets as f64,
+        SweepPoint::single(
+            format!("cache={cache_buckets}"),
+            cache_buckets as f64,
             report,
-        }
+        )
     })
 }
 
@@ -156,11 +200,7 @@ where
         config.n_shards = n_shards;
         let runtime = ShardedRuntime::new(catalog, config);
         let report = runtime.run(trace, &mut |i| mk_scheduler(i), mode);
-        SweepPoint {
-            label: format!("shards={n_shards}"),
-            x: n_shards as f64,
-            report: report.global,
-        }
+        SweepPoint::sharded(format!("shards={n_shards}"), n_shards as f64, report)
     })
 }
 
@@ -197,11 +237,7 @@ where
             None => ("epoch=off".to_string(), 0.0),
             Some(e) => (format!("epoch={}s", e.as_secs_f64()), e.as_secs_f64()),
         };
-        SweepPoint {
-            label,
-            x,
-            report: report.global,
-        }
+        SweepPoint::sharded(label, x, report)
     })
 }
 

@@ -17,6 +17,7 @@ use liferaft_core::Scheduler;
 use liferaft_query::CrossMatchQuery;
 use liferaft_sim::{EngineCore, MigratedBucket, RunReport, SimConfig};
 use liferaft_storage::{BucketId, SimDuration, SimTime};
+use liferaft_telemetry::{Event, TelemetrySink};
 
 use crate::config::AdmissionConfig;
 use crate::router::Fragment;
@@ -52,6 +53,11 @@ pub struct ShardRun {
     pub report: RunReport,
     /// Backpressure statistics.
     pub admission: AdmissionStats,
+    /// The shard's recorded telemetry (record order, shard id stamped;
+    /// empty under the default [`NullSink`](liferaft_telemetry::NullSink)).
+    pub events: Vec<Event>,
+    /// Events the shard's sink discarded (bounded sinks only).
+    pub events_dropped: u64,
 }
 
 /// One shard's engine, scheduler, clock, and ingress.
@@ -96,10 +102,13 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
         trace: &'a [(SimTime, CrossMatchQuery)],
         fragments: Vec<Fragment>,
         scheduler: Box<dyn Scheduler + Send>,
+        sink: Box<dyn TelemetrySink>,
     ) -> Self {
+        let mut core = EngineCore::new(catalog, sim);
+        core.set_sink(sink);
         ShardWorker {
             shard,
-            core: EngineCore::new(catalog, sim),
+            core,
             scheduler,
             trace,
             fragments,
@@ -347,10 +356,20 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             self.shard
         );
         let fragments = self.fragments.len();
+        let mut core = self.core;
+        let mut events = core.take_events();
+        // Sinks stamp shard 0 (an engine does not know where it runs); the
+        // worker owns that knowledge.
+        for e in &mut events {
+            e.shard = self.shard.0;
+        }
+        let events_dropped = core.telemetry_dropped();
         ShardRun {
             shard: self.shard,
-            report: self.core.into_report(self.scheduler.as_ref(), fragments),
+            report: core.into_report(self.scheduler.as_ref(), fragments),
             admission: self.stats,
+            events,
+            events_dropped,
         }
     }
 }

@@ -9,7 +9,9 @@
 use std::collections::{BTreeSet, HashMap};
 
 use liferaft_catalog::Catalog;
-use liferaft_core::{BatchScope, BatchSpec, IndexedSchedulerView, Scheduler, StarvationMonitor};
+use liferaft_core::{
+    BatchScope, BatchSpec, DecisionStats, IndexedSchedulerView, Scheduler, StarvationMonitor,
+};
 use liferaft_join::{hybrid, JoinStrategy};
 use liferaft_metrics::Summary;
 use liferaft_query::{
@@ -17,6 +19,7 @@ use liferaft_query::{
     WorkloadTable,
 };
 use liferaft_storage::{BucketCache, BucketId, IoStats, SimDuration, SimTime};
+use liferaft_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 use liferaft_workload::TimedTrace;
 
 use crate::config::SimConfig;
@@ -51,7 +54,23 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
     /// work is pending, picks an empty bucket, or picks a non-candidate) —
     /// all of these are policy bugs that must fail loudly, not skew results.
     pub fn run(&self, trace: &TimedTrace, scheduler: &mut dyn Scheduler) -> RunReport {
+        self.run_with_sink(trace, scheduler, Box::new(NullSink)).0
+    }
+
+    /// [`run`](Self::run) with a flight-recorder sink attached: the engine
+    /// records typed events at every instrumented seam (arrivals, decisions,
+    /// batch boundaries, cache residency churn, completions) and returns the
+    /// captured stream alongside the report. [`run`](Self::run) is this with
+    /// a [`NullSink`] — the same code path, so recorded and unrecorded runs
+    /// execute identical batch semantics.
+    pub fn run_with_sink(
+        &self,
+        trace: &TimedTrace,
+        scheduler: &mut dyn Scheduler,
+        sink: Box<dyn TelemetrySink>,
+    ) -> (RunReport, Vec<Event>) {
         let mut core = EngineCore::new(self.catalog, self.config);
+        core.set_sink(sink);
         let arrivals = trace.entries();
         let mut next_arrival = 0usize;
         let mut now = SimTime::ZERO;
@@ -82,7 +101,8 @@ impl<'a, C: Catalog + ?Sized> Simulation<'a, C> {
             core.all_complete(),
             "simulation ended with incomplete queries"
         );
-        core.into_report(scheduler, trace.len())
+        let events = core.take_events();
+        (core.into_report(scheduler, trace.len()), events)
     }
 }
 
@@ -149,6 +169,10 @@ pub struct EngineCore<'a, C: Catalog + ?Sized> {
     serviced_entries: u64,
     cache_serviced_entries: u64,
     total_matches: u64,
+    /// The flight recorder ([`NullSink`] by default: every emission site
+    /// guards on `sink.enabled()`, so a disabled core executes the exact
+    /// un-instrumented instruction stream).
+    sink: Box<dyn TelemetrySink>,
 }
 
 impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
@@ -176,7 +200,26 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             serviced_entries: 0,
             cache_serviced_entries: 0,
             total_matches: 0,
+            sink: Box::new(NullSink),
         }
+    }
+
+    /// Attaches a flight-recorder sink (replacing the default [`NullSink`]).
+    /// Events are stamped with `shard = 0`; a multi-core driver rewrites the
+    /// shard id when it drains the stream.
+    pub fn set_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// Drains the events recorded so far (record order), leaving the sink
+    /// recording.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.sink.take_events()
+    }
+
+    /// Events the sink has discarded (bounded sinks only).
+    pub fn telemetry_dropped(&self) -> u64 {
+        self.sink.dropped()
     }
 
     /// Preprocesses and enqueues one arriving query in full.
@@ -201,6 +244,15 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             }
         } else {
             self.tracker.register(query.id, assignments, at);
+        }
+        if self.sink.enabled() {
+            self.sink.record(
+                at,
+                EventKind::QueryArrival {
+                    query: query.id.0,
+                    assignments,
+                },
+            );
         }
         if assignments == 0 {
             return;
@@ -366,6 +418,14 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         // runs entirely against the index: no snapshot gather, no
         // per-candidate scoring sweep, no allocation.
         self.table.sync_residency(&self.cache);
+        let telemetry = self.sink.enabled();
+        // Frontier-vs-fallback attribution: diff the scheduler's decision
+        // counters across the pick (both counters are cumulative).
+        let stats_before = if telemetry {
+            scheduler.decision_stats()
+        } else {
+            DecisionStats::default()
+        };
         let view = PickView {
             now,
             table: &self.table,
@@ -379,6 +439,17 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             self.table.snapshot_of(spec.bucket).is_some(),
             "scheduler picked a bucket with no pending work"
         );
+        if telemetry {
+            let stats_after = scheduler.decision_stats();
+            self.sink.record(
+                now,
+                EventKind::Decision {
+                    bucket: spec.bucket.0,
+                    candidates: self.table.candidate_count() as u64,
+                    frontier: stats_after.frontier_picks > stats_before.frontier_picks,
+                },
+            );
+        }
         // Starvation accounting in O(log n): everything except the picked
         // bucket waited; the oldest wait is the age-lens maximum once the
         // picked bucket is excluded.
@@ -420,6 +491,25 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
             JoinStrategy::SequentialScan
         };
 
+        let telemetry = self.sink.enabled();
+        // Residency epoch before the batch touches the cache: the mutation
+        // log between this epoch and the post-batch epoch is exactly the
+        // insert/evict churn this batch caused.
+        let epoch_before = if telemetry {
+            self.sink.record(
+                now,
+                EventKind::BatchStart {
+                    bucket: spec.bucket.0,
+                    entries: w,
+                    cached,
+                    indexed: matches!(strategy, JoinStrategy::Indexed),
+                },
+            );
+            Some(self.cache.residency_epoch())
+        } else {
+            None
+        };
+
         let cost = match strategy {
             JoinStrategy::SequentialScan => {
                 if spec.share_io {
@@ -455,6 +545,33 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         };
         self.batches += 1;
         self.serviced_entries += w;
+
+        if let Some(epoch) = epoch_before {
+            if cached && matches!(strategy, JoinStrategy::SequentialScan) {
+                self.sink.record(
+                    now,
+                    EventKind::CacheHit {
+                        bucket: spec.bucket.0,
+                    },
+                );
+            }
+            // A batch flips at most two residencies (one insert, one
+            // eviction), far inside the cache's mutation-log window — the
+            // log can only be exhausted here if the epoch maths is broken.
+            let churn: Vec<_> = self
+                .cache
+                .mutations_since(epoch)
+                .expect("batch residency churn outlived the mutation log")
+                .collect();
+            for m in churn {
+                let kind = if m.resident {
+                    EventKind::CacheInsert { bucket: m.bucket.0 }
+                } else {
+                    EventKind::CacheEvict { bucket: m.bucket.0 }
+                };
+                self.sink.record(now, kind);
+            }
+        }
 
         if self.config.execute_joins {
             let objects = self.catalog.bucket_objects(spec.bucket);
@@ -495,7 +612,28 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
                     self.per_query.remove(&q);
                 }
             }
-            self.tracker.complete_assignments(q, n, end);
+            let outcome = self.tracker.complete_assignments(q, n, end);
+            if telemetry {
+                if let Some(o) = outcome {
+                    self.sink.record(
+                        end,
+                        EventKind::QueryComplete {
+                            query: q.0,
+                            assignments: o.assignments,
+                            response: o.response_time(),
+                        },
+                    );
+                }
+            }
+        }
+        if telemetry {
+            self.sink.record(
+                end,
+                EventKind::BatchEnd {
+                    bucket: spec.bucket.0,
+                    entries: w,
+                },
+            );
         }
         cost
     }

@@ -1,0 +1,235 @@
+//! The typed event vocabulary of the flight recorder.
+//!
+//! Every observable state change in the engine and the runtime maps to one
+//! [`EventKind`], stamped into an [`Event`] with the virtual time it
+//! happened, the shard that recorded it, and a per-shard sequence number.
+//! All payload fields are integers or booleans of virtual-time quantities —
+//! no floats, no host clocks — so a rendered event stream is byte-identical
+//! across platforms and executors.
+
+use liferaft_storage::{SimDuration, SimTime};
+
+/// The pseudo-shard id under which runtime-level (router / controller)
+/// events are recorded: migrations from the rebalance log, admission
+/// verdicts and samples from the front-door log. `u32::MAX` sorts after
+/// every real shard in the canonical `(time, shard, seq)` merge, so router
+/// events interleave deterministically with shard events.
+pub const ROUTER_SHARD: u32 = u32::MAX;
+
+/// One recorded event: when, where, in what order, and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time the event happened (a query arrival keeps its *true*
+    /// arrival instant even when recorded at a later batch boundary, so
+    /// per-shard streams are ordered by record sequence, not raw time).
+    pub time: SimTime,
+    /// Recording shard (sinks stamp 0; the runtime rewrites this to the
+    /// owning shard, or [`ROUTER_SHARD`] for controller events).
+    pub shard: u32,
+    /// Per-shard record sequence number, dense from 0.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy. One variant per instrumented seam.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query's work items were delivered to this engine (per-fragment in
+    /// the sharded runtime; `assignments` counts the locally delivered
+    /// (object × bucket) entries, 0 for a zero-work query).
+    QueryArrival {
+        /// The query id.
+        query: u64,
+        /// Locally delivered assignments.
+        assignments: u64,
+    },
+    /// The scheduler picked a bucket.
+    Decision {
+        /// The chosen bucket.
+        bucket: u32,
+        /// Candidate buckets at the decision point.
+        candidates: u64,
+        /// Whether the pick came off the threshold-scan frontier (always
+        /// `false` for policies without a frontier).
+        frontier: bool,
+    },
+    /// A batch began executing.
+    BatchStart {
+        /// The serviced bucket.
+        bucket: u32,
+        /// Entries drained into the batch.
+        entries: u64,
+        /// Whether the bucket was cache-resident at batch start.
+        cached: bool,
+        /// Whether the hybrid evaluator chose the indexed strategy.
+        indexed: bool,
+    },
+    /// A batch finished (recorded at `start + cost`; the matching
+    /// [`BatchStart`](EventKind::BatchStart) is the previous batch event on
+    /// the same shard — shards run one batch at a time).
+    BatchEnd {
+        /// The serviced bucket.
+        bucket: u32,
+        /// Entries the batch serviced.
+        entries: u64,
+    },
+    /// A shared scan was served from the bucket cache.
+    CacheHit {
+        /// The resident bucket.
+        bucket: u32,
+    },
+    /// A bucket became cache-resident (from the residency mutation log).
+    CacheInsert {
+        /// The inserted bucket.
+        bucket: u32,
+    },
+    /// A bucket was evicted from the cache (from the residency mutation log).
+    CacheEvict {
+        /// The evicted bucket.
+        bucket: u32,
+    },
+    /// A query's last local assignment was serviced.
+    QueryComplete {
+        /// The query id.
+        query: u64,
+        /// Assignments the query had on this engine.
+        assignments: u64,
+        /// Completion − arrival, on this engine.
+        response: SimDuration,
+    },
+    /// The rebalance controller planned one bucket move (from the
+    /// [`RebalanceLog`](../../liferaft_runtime/rebalance/struct.RebalanceLog.html)).
+    MigrationPlanned {
+        /// 1-based rebalance epoch.
+        epoch: u32,
+        /// The migrating bucket.
+        bucket: u32,
+        /// Source shard.
+        from: u32,
+        /// Destination shard.
+        to: u32,
+        /// Queued entries travelling with the bucket.
+        entries: u64,
+    },
+    /// A planned move was applied at the destination.
+    MigrationApplied {
+        /// 1-based rebalance epoch.
+        epoch: u32,
+        /// The migrated bucket.
+        bucket: u32,
+        /// Destination shard.
+        to: u32,
+        /// Virtual-time migration cost charged to the destination clock.
+        cost: SimDuration,
+    },
+    /// The front door admitted a query (possibly after queueing or shed
+    /// backoff; recorded at the release instant).
+    Admitted {
+        /// Trace index of the query.
+        query_index: u64,
+        /// Priority class rank (0 interactive, 1 standard, 2 batch — see
+        /// [`class_label`]).
+        class: u8,
+        /// Routed workload size.
+        assignments: u64,
+        /// Shed-into-backoff count before admission.
+        sheds: u32,
+        /// Release − arrival: the admission wait.
+        waited: SimDuration,
+    },
+    /// The front door terminally rejected a query.
+    Rejected {
+        /// Trace index of the query.
+        query_index: u64,
+        /// Priority class rank.
+        class: u8,
+        /// Routed workload size.
+        assignments: u64,
+        /// Shed-into-backoff count before rejection.
+        sheds: u32,
+    },
+    /// A front-door load sample at an epoch boundary.
+    AdmissionSampled {
+        /// 1-based sample epoch.
+        epoch: u32,
+        /// Admitted-but-unserviced assignments.
+        inflight: u64,
+        /// Actively waiting assignments.
+        waiting: u64,
+        /// Queries in shed backoff.
+        backoff: u64,
+        /// Cumulative admitted queries.
+        admitted: u64,
+        /// Cumulative shed events.
+        shed_events: u64,
+        /// Cumulative rejected queries.
+        rejected: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable snake_case name of the variant — the `kind` field of the
+    /// JSONL rendering and the key of the checked-in trace schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::QueryArrival { .. } => "query_arrival",
+            EventKind::Decision { .. } => "decision",
+            EventKind::BatchStart { .. } => "batch_start",
+            EventKind::BatchEnd { .. } => "batch_end",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheInsert { .. } => "cache_insert",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::QueryComplete { .. } => "query_complete",
+            EventKind::MigrationPlanned { .. } => "migration_planned",
+            EventKind::MigrationApplied { .. } => "migration_applied",
+            EventKind::Admitted { .. } => "admitted",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::AdmissionSampled { .. } => "admission_sampled",
+        }
+    }
+}
+
+/// Human label of a priority-class rank (the runtime's `QueryClass::rank`
+/// order). Unknown ranks render as `"?"` rather than panicking — a trace
+/// viewer must not crash on a forward-compatible stream.
+pub fn class_label(rank: u8) -> &'static str {
+    match rank {
+        0 => "interactive",
+        1 => "standard",
+        2 => "batch",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let k = EventKind::BatchStart {
+            bucket: 1,
+            entries: 2,
+            cached: false,
+            indexed: false,
+        };
+        assert_eq!(k.name(), "batch_start");
+        assert_eq!(
+            EventKind::QueryArrival {
+                query: 0,
+                assignments: 0
+            }
+            .name(),
+            "query_arrival"
+        );
+    }
+
+    #[test]
+    fn class_labels_cover_ranks() {
+        assert_eq!(class_label(0), "interactive");
+        assert_eq!(class_label(1), "standard");
+        assert_eq!(class_label(2), "batch");
+        assert_eq!(class_label(9), "?");
+    }
+}

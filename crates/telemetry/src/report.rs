@@ -1,0 +1,492 @@
+//! Per-shard time-series telemetry derived from a merged event stream.
+//!
+//! [`TelemetryReport::build`] folds a canonical event stream into fixed
+//! virtual-time-window samples per shard — queue depth, scheduler decision
+//! rate, shared-scan hit rate, response percentiles — plus cross-shard
+//! aggregates folded with the mergeable accumulators from
+//! `liferaft-metrics` ([`Summary::merge`], [`StreamingStats::merge`]).
+//! The raw stream rides along for the JSONL / Chrome-trace exports.
+
+use liferaft_metrics::table::fmt_f;
+use liferaft_metrics::{Series, StreamingStats, Summary, Table};
+use liferaft_storage::SimDuration;
+
+use crate::event::{Event, EventKind, ROUTER_SHARD};
+use crate::export::{events_to_chrome_trace, events_to_jsonl};
+
+/// Windowed series and whole-run aggregates for one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSeries {
+    /// The shard id.
+    pub shard: u32,
+    /// Net queued assignments at each window boundary (arrivals minus
+    /// serviced entries, prefix-summed; x = window end in seconds).
+    pub queue_depth: Series,
+    /// Scheduler decisions per second in each window.
+    pub decisions_per_s: Series,
+    /// Cache hit rate of shared scans in each window (0 when no scans ran).
+    pub hit_rate: Series,
+    /// p90 response time (seconds) of queries completing in each window.
+    pub response_p90_s: Series,
+    /// All response times (seconds) completed on this shard.
+    pub response: Summary,
+    /// Entries per executed batch on this shard.
+    pub batch_entries: StreamingStats,
+    /// Total events this shard recorded.
+    pub events: u64,
+    /// Total scheduler decisions.
+    pub decisions: u64,
+    /// Total batches executed.
+    pub batches: u64,
+    /// Shared (non-indexed) scan batches.
+    pub scans: u64,
+    /// Shared scan batches served from the bucket cache.
+    pub scan_hits: u64,
+}
+
+impl ShardSeries {
+    /// Whole-run shared-scan hit rate, 0 when no shared scans ran.
+    pub fn overall_hit_rate(&self) -> f64 {
+        if self.scans == 0 {
+            0.0
+        } else {
+            self.scan_hits as f64 / self.scans as f64
+        }
+    }
+}
+
+/// The flight-recorder report: per-shard time series, cross-shard
+/// aggregates, and the raw canonical event stream for export.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Sampling window the series were folded over.
+    pub window: SimDuration,
+    /// Virtual time of the last event (ZERO for an empty stream).
+    pub makespan: SimDuration,
+    /// Shards the stream was recorded over (router pseudo-shard excluded).
+    pub n_shards: u32,
+    /// Per-shard windowed series, indexed by shard id.
+    pub shards: Vec<ShardSeries>,
+    /// Cross-shard response summary (seconds), folded via [`Summary::merge`].
+    pub response: Summary,
+    /// Cross-shard batch-size accumulator, folded via
+    /// [`StreamingStats::merge`].
+    pub batch_entries: StreamingStats,
+    /// The canonical merged event stream (`(time, shard, seq)` order).
+    pub events: Vec<Event>,
+}
+
+impl TelemetryReport {
+    /// Folds a canonical event stream into windowed per-shard series.
+    ///
+    /// Router-shard events ([`ROUTER_SHARD`]) stay in the stream but do not
+    /// contribute to per-shard series.
+    ///
+    /// # Panics
+    /// Panics on a zero window, or on an event from a shard `>= n_shards`
+    /// that is not the router pseudo-shard.
+    pub fn build(events: Vec<Event>, n_shards: u32, window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "zero telemetry window");
+        assert!(n_shards > 0, "telemetry needs at least one shard");
+        let makespan = events
+            .iter()
+            .map(|e| SimDuration::from_micros(e.time.as_micros()))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let window_us = window.as_micros();
+        let n_windows = (makespan.as_micros().div_ceil(window_us)).max(1) as usize;
+        let n = n_shards as usize;
+
+        // Per-shard, per-window accumulators.
+        let mut net_flow = vec![vec![0i64; n_windows]; n];
+        let mut decisions_w = vec![vec![0u64; n_windows]; n];
+        let mut scans_w = vec![vec![0u64; n_windows]; n];
+        let mut hits_w = vec![vec![0u64; n_windows]; n];
+        let mut responses_w: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); n_windows]; n];
+        let mut totals = vec![(0u64, 0u64, 0u64, 0u64, 0u64); n]; // events, decisions, batches, scans, hits
+        let mut batch_stats = vec![StreamingStats::new(); n];
+        let mut responses_all: Vec<Vec<f64>> = vec![Vec::new(); n];
+
+        for e in &events {
+            if e.shard == ROUTER_SHARD {
+                continue;
+            }
+            assert!(
+                e.shard < n_shards,
+                "event from shard {} but report spans {n_shards}",
+                e.shard
+            );
+            let s = e.shard as usize;
+            let w = ((e.time.as_micros() / window_us) as usize).min(n_windows - 1);
+            totals[s].0 += 1;
+            match &e.kind {
+                EventKind::QueryArrival { assignments, .. } => {
+                    net_flow[s][w] += *assignments as i64;
+                }
+                EventKind::Decision { .. } => {
+                    decisions_w[s][w] += 1;
+                    totals[s].1 += 1;
+                }
+                EventKind::BatchStart {
+                    cached,
+                    indexed: false,
+                    ..
+                } => {
+                    scans_w[s][w] += 1;
+                    totals[s].3 += 1;
+                    if *cached {
+                        hits_w[s][w] += 1;
+                        totals[s].4 += 1;
+                    }
+                }
+                EventKind::BatchEnd { entries, .. } => {
+                    net_flow[s][w] -= *entries as i64;
+                    totals[s].2 += 1;
+                    batch_stats[s].push(*entries as f64);
+                }
+                EventKind::QueryComplete { response, .. } => {
+                    let secs = response.as_secs_f64();
+                    responses_w[s][w].push(secs);
+                    responses_all[s].push(secs);
+                }
+                _ => {}
+            }
+        }
+
+        let window_secs = window.as_secs_f64();
+        let mut shards = Vec::with_capacity(n);
+        let mut response = Summary::from_samples(Vec::new());
+        let mut batch_entries = StreamingStats::new();
+        for s in 0..n {
+            let mut queue_depth = Series::new(format!("shard {s} queue depth"));
+            let mut decisions_per_s = Series::new(format!("shard {s} decisions/s"));
+            let mut hit_rate = Series::new(format!("shard {s} hit rate"));
+            let mut response_p90_s = Series::new(format!("shard {s} p90 response (s)"));
+            let mut depth = 0i64;
+            for w in 0..n_windows {
+                let x = (w as f64 + 1.0) * window_secs;
+                depth += net_flow[s][w];
+                queue_depth.push(x, depth as f64);
+                decisions_per_s.push(x, decisions_w[s][w] as f64 / window_secs);
+                let rate = if scans_w[s][w] == 0 {
+                    0.0
+                } else {
+                    hits_w[s][w] as f64 / scans_w[s][w] as f64
+                };
+                hit_rate.push(x, rate);
+                let p90 =
+                    Summary::from_samples(std::mem::take(&mut responses_w[s][w])).percentile(90.0);
+                response_p90_s.push(x, p90);
+            }
+            let shard_response = Summary::from_samples(std::mem::take(&mut responses_all[s]));
+            response.merge(&shard_response);
+            batch_entries.merge(&batch_stats[s]);
+            let (events_n, decisions, batches, scans, scan_hits) = totals[s];
+            shards.push(ShardSeries {
+                shard: s as u32,
+                queue_depth,
+                decisions_per_s,
+                hit_rate,
+                response_p90_s,
+                response: shard_response,
+                batch_entries: batch_stats[s],
+                events: events_n,
+                decisions,
+                batches,
+                scans,
+                scan_hits,
+            });
+        }
+
+        TelemetryReport {
+            window,
+            makespan,
+            n_shards,
+            shards,
+            response,
+            batch_entries,
+            events,
+        }
+    }
+
+    /// Renders the raw stream as JSONL (one event per line, canonical
+    /// order). Byte-identical across executors by the determinism contract.
+    pub fn to_jsonl(&self) -> String {
+        events_to_jsonl(&self.events)
+    }
+
+    /// Renders the raw stream as a Chrome trace-event / Perfetto JSON
+    /// document.
+    pub fn to_chrome_trace(&self) -> String {
+        events_to_chrome_trace(&self.events, self.n_shards)
+    }
+
+    /// A per-shard whole-run summary table (plus an `all` row).
+    pub fn summary_table(&self) -> String {
+        let mut t = Table::new([
+            "shard",
+            "events",
+            "decisions",
+            "batches",
+            "mean_entries",
+            "hit_rate",
+            "p50_s",
+            "p90_s",
+        ]);
+        for s in &self.shards {
+            t.row([
+                s.shard.to_string(),
+                s.events.to_string(),
+                s.decisions.to_string(),
+                s.batches.to_string(),
+                fmt_f(s.batch_entries.mean(), 1),
+                fmt_f(s.overall_hit_rate(), 3),
+                fmt_f(s.response.median(), 3),
+                fmt_f(s.response.percentile(90.0), 3),
+            ]);
+        }
+        let (scans, hits) = self
+            .shards
+            .iter()
+            .fold((0u64, 0u64), |(a, b), s| (a + s.scans, b + s.scan_hits));
+        t.row([
+            "all".to_string(),
+            self.events.len().to_string(),
+            self.shards
+                .iter()
+                .map(|s| s.decisions)
+                .sum::<u64>()
+                .to_string(),
+            self.shards
+                .iter()
+                .map(|s| s.batches)
+                .sum::<u64>()
+                .to_string(),
+            fmt_f(self.batch_entries.mean(), 1),
+            fmt_f(
+                if scans == 0 {
+                    0.0
+                } else {
+                    hits as f64 / scans as f64
+                },
+                3,
+            ),
+            fmt_f(self.response.median(), 3),
+            fmt_f(self.response.percentile(90.0), 3),
+        ]);
+        t.render()
+    }
+
+    /// An ASCII activity timeline: one row per sampling window, one column
+    /// per shard, each cell a bar of that shard's decision count in the
+    /// window (scaled to the busiest window) plus the raw count.
+    pub fn ascii_timeline(&self) -> String {
+        let header: Vec<String> = std::iter::once("t_end_s".to_string())
+            .chain(self.shards.iter().map(|s| format!("shard {}", s.shard)))
+            .collect();
+        let mut t = Table::new(header);
+        let n_windows = self
+            .shards
+            .first()
+            .map_or(0, |s| s.decisions_per_s.points().len());
+        let peak = self
+            .shards
+            .iter()
+            .flat_map(|s| s.decisions_per_s.ys())
+            .fold(0.0f64, f64::max);
+        for w in 0..n_windows {
+            let (x, _) = self.shards[0].decisions_per_s.points()[w];
+            let mut row = vec![fmt_f(x, 1)];
+            for s in &self.shards {
+                let y = s.decisions_per_s.points()[w].1;
+                let len = if peak > 0.0 {
+                    ((y / peak) * 10.0).round() as usize
+                } else {
+                    0
+                };
+                let count = (y * self.window.as_secs_f64()).round() as u64;
+                row.push(format!("{:<10} {count}", "#".repeat(len)));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liferaft_storage::SimTime;
+
+    fn ev(t: u64, shard: u32, seq: u64, kind: EventKind) -> Event {
+        Event {
+            time: SimTime::from_micros(t),
+            shard,
+            seq,
+            kind,
+        }
+    }
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::QueryArrival {
+                    query: 1,
+                    assignments: 4,
+                },
+            ),
+            ev(
+                0,
+                0,
+                1,
+                EventKind::Decision {
+                    bucket: 2,
+                    candidates: 3,
+                    frontier: true,
+                },
+            ),
+            ev(
+                0,
+                0,
+                2,
+                EventKind::BatchStart {
+                    bucket: 2,
+                    entries: 3,
+                    cached: false,
+                    indexed: false,
+                },
+            ),
+            ev(
+                900_000,
+                0,
+                3,
+                EventKind::BatchEnd {
+                    bucket: 2,
+                    entries: 3,
+                },
+            ),
+            ev(
+                1_200_000,
+                0,
+                4,
+                EventKind::Decision {
+                    bucket: 2,
+                    candidates: 1,
+                    frontier: false,
+                },
+            ),
+            ev(
+                1_200_000,
+                0,
+                5,
+                EventKind::BatchStart {
+                    bucket: 2,
+                    entries: 1,
+                    cached: true,
+                    indexed: false,
+                },
+            ),
+            ev(
+                1_500_000,
+                0,
+                6,
+                EventKind::QueryComplete {
+                    query: 1,
+                    assignments: 4,
+                    response: SimDuration::from_micros(1_500_000),
+                },
+            ),
+            ev(
+                1_500_000,
+                0,
+                7,
+                EventKind::BatchEnd {
+                    bucket: 2,
+                    entries: 1,
+                },
+            ),
+            ev(
+                500_000,
+                ROUTER_SHARD,
+                0,
+                EventKind::MigrationPlanned {
+                    epoch: 1,
+                    bucket: 9,
+                    from: 0,
+                    to: 1,
+                    entries: 2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn windows_fold_flow_and_rates() {
+        let r = TelemetryReport::build(sample_stream(), 2, SimDuration::from_secs(1));
+        assert_eq!(r.n_shards, 2);
+        assert_eq!(r.makespan, SimDuration::from_micros(1_500_000));
+        assert_eq!(r.shards.len(), 2);
+        let s0 = &r.shards[0];
+        // Two windows: [0,1s) and [1s,1.5s].
+        assert_eq!(s0.queue_depth.points().len(), 2);
+        // Window 0: +4 arrivals, -3 serviced => depth 1; window 1: -1 => 0.
+        assert_eq!(s0.queue_depth.ys(), vec![1.0, 0.0]);
+        assert_eq!(s0.decisions_per_s.ys(), vec![1.0, 1.0]);
+        // Window 0: 1 scan 0 hits; window 1: 1 scan 1 hit.
+        assert_eq!(s0.hit_rate.ys(), vec![0.0, 1.0]);
+        assert_eq!(s0.overall_hit_rate(), 0.5);
+        assert_eq!(s0.response.count(), 1);
+        assert!((s0.response_p90_s.ys()[1] - 1.5).abs() < 1e-12);
+        assert_eq!(s0.batch_entries.count(), 2);
+        // Shard 1 recorded nothing; router events excluded from series.
+        assert_eq!(r.shards[1].events, 0);
+        assert_eq!(r.response.count(), 1);
+        assert_eq!(r.batch_entries.count(), 2);
+        assert_eq!(r.events.len(), 9);
+    }
+
+    #[test]
+    fn empty_stream_builds_one_empty_window() {
+        let r = TelemetryReport::build(Vec::new(), 1, SimDuration::from_secs(1));
+        assert_eq!(r.makespan, SimDuration::ZERO);
+        assert_eq!(r.shards[0].queue_depth.points().len(), 1);
+        assert_eq!(r.response.count(), 0);
+        assert!(r.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = TelemetryReport::build(sample_stream(), 2, SimDuration::from_secs(1));
+        let summary = r.summary_table();
+        assert!(summary.contains("hit_rate"));
+        assert!(summary.lines().count() >= 4); // header, rule, 2 shards, all
+        let timeline = r.ascii_timeline();
+        assert!(timeline.contains("t_end_s"));
+        assert!(timeline.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero telemetry window")]
+    fn zero_window_rejected() {
+        TelemetryReport::build(Vec::new(), 1, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "but report spans")]
+    fn out_of_range_shard_rejected() {
+        let events = vec![ev(
+            0,
+            5,
+            0,
+            EventKind::Decision {
+                bucket: 0,
+                candidates: 1,
+                frontier: false,
+            },
+        )];
+        TelemetryReport::build(events, 2, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,321 @@
+//! Event sinks and the telemetry configuration.
+//!
+//! A [`TelemetrySink`] is the engine-side half of the flight recorder: the
+//! engine calls [`record`](TelemetrySink::record) at each instrumented seam
+//! and a driver drains the captured stream with
+//! [`take_events`](TelemetrySink::take_events). Emission sites guard on
+//! [`enabled`](TelemetrySink::enabled), so a [`NullSink`] run executes the
+//! exact instruction stream of an un-instrumented build — zero allocation,
+//! zero event construction — and stays bit-identical to the recorded
+//! goldens.
+
+use std::collections::VecDeque;
+
+use liferaft_storage::{SimDuration, SimTime};
+
+use crate::event::{Event, EventKind};
+
+/// The event bus: a per-engine recorder of typed events.
+///
+/// Sinks are `Send` (one lives inside each shard's engine, which may run on
+/// its own thread) and stamp `shard = 0` — the driver that drains a sink
+/// rewrites the shard id, since only it knows which shard the engine is.
+pub trait TelemetrySink: Send {
+    /// Fast guard: `false` means [`record`](Self::record) will be skipped
+    /// entirely by emission sites (including any payload construction).
+    fn enabled(&self) -> bool;
+
+    /// Records one event at virtual time `time`. Sequence numbers are
+    /// assigned here, in record order, dense from 0.
+    fn record(&mut self, time: SimTime, kind: EventKind);
+
+    /// Drains the captured events (record order, `shard = 0`), leaving the
+    /// sink empty but still recording.
+    fn take_events(&mut self) -> Vec<Event>;
+
+    /// Events discarded so far (bounded sinks only).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// The disabled sink: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _time: SimTime, _kind: EventKind) {}
+
+    fn take_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// A bounded last-N recorder: keeps the most recent `capacity` events and
+/// counts what it sheds — the always-on, allocation-bounded production
+/// shape of the recorder.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring keeping the last `capacity` events.
+    ///
+    /// # Panics
+    /// Panics on zero capacity — a ring that keeps nothing is [`NullSink`]
+    /// misspelled.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        RingBufferSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl TelemetrySink for RingBufferSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, time: SimTime, kind: EventKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            time,
+            shard: 0,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The unbounded recorder: keeps every event, in record order — the source
+/// stream of the JSONL and Chrome-trace exports.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    events: Vec<Event>,
+    next_seq: u64,
+}
+
+impl JsonlSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, time: SimTime, kind: EventKind) {
+        self.events.push(Event {
+            time,
+            shard: 0,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Which sink each engine gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// No recording (the default): bit-identical to an un-instrumented run.
+    #[default]
+    Off,
+    /// Bounded last-N ring per shard.
+    Ring(usize),
+    /// Unbounded full-fidelity recording per shard.
+    Jsonl,
+}
+
+/// The flight-recorder configuration carried by a runtime config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Recording mode (off by default).
+    pub mode: TelemetryMode,
+    /// Virtual-time sampling window of the derived per-shard time series
+    /// (queue depth, decisions/s, hit rate, response percentiles).
+    pub window: SimDuration,
+}
+
+impl TelemetryConfig {
+    /// Recording off — the default, and behaviour-neutral by contract.
+    pub fn off() -> Self {
+        TelemetryConfig {
+            mode: TelemetryMode::Off,
+            window: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Bounded recording: each shard keeps its last `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        TelemetryConfig {
+            mode: TelemetryMode::Ring(capacity),
+            ..Self::off()
+        }
+    }
+
+    /// Full-fidelity recording — every event, exportable as JSONL or a
+    /// Chrome/Perfetto trace.
+    pub fn jsonl() -> Self {
+        TelemetryConfig {
+            mode: TelemetryMode::Jsonl,
+            ..Self::off()
+        }
+    }
+
+    /// The same configuration with a different sampling window.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// True unless the mode is [`TelemetryMode::Off`].
+    pub fn enabled(&self) -> bool {
+        self.mode != TelemetryMode::Off
+    }
+
+    /// Builds the configured sink (one per engine).
+    pub fn make_sink(&self) -> Box<dyn TelemetrySink> {
+        match self.mode {
+            TelemetryMode::Off => Box::new(NullSink),
+            TelemetryMode::Ring(capacity) => Box::new(RingBufferSink::new(capacity)),
+            TelemetryMode::Jsonl => Box::new(JsonlSink::new()),
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        if let TelemetryMode::Ring(capacity) = self.mode {
+            assert!(
+                capacity > 0,
+                "a zero-capacity telemetry ring records nothing"
+            );
+        }
+        if self.enabled() {
+            assert!(
+                self.window > SimDuration::ZERO,
+                "a zero telemetry window would sample forever"
+            );
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(q: u64) -> EventKind {
+        EventKind::QueryArrival {
+            query: q,
+            assignments: 1,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_empty() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(SimTime::ZERO, arrival(1));
+        assert!(s.take_events().is_empty());
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let mut s = RingBufferSink::new(3);
+        assert!(s.enabled());
+        for q in 0..5 {
+            s.record(SimTime::from_micros(q), arrival(q));
+        }
+        assert_eq!(s.dropped(), 2);
+        let events = s.take_events();
+        assert_eq!(events.len(), 3);
+        // Sequence numbers keep counting across the shed prefix.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // Still recording after a drain.
+        s.record(SimTime::from_micros(9), arrival(9));
+        assert_eq!(s.take_events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_keeps_everything_in_order() {
+        let mut s = JsonlSink::new();
+        for q in 0..100 {
+            s.record(SimTime::from_micros(q), arrival(q));
+        }
+        let events = s.take_events();
+        assert_eq!(events.len(), 100);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(events.iter().all(|e| e.shard == 0));
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn config_constructors_and_sinks() {
+        assert!(!TelemetryConfig::off().enabled());
+        assert!(TelemetryConfig::ring(16).enabled());
+        assert!(TelemetryConfig::jsonl().enabled());
+        TelemetryConfig::off().validate();
+        TelemetryConfig::jsonl()
+            .with_window(SimDuration::from_secs(5))
+            .validate();
+        assert!(!TelemetryConfig::off().make_sink().enabled());
+        assert!(TelemetryConfig::ring(16).make_sink().enabled());
+        assert!(TelemetryConfig::jsonl().make_sink().enabled());
+        assert_eq!(TelemetryConfig::default(), TelemetryConfig::off());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_ring_rejected() {
+        TelemetryConfig::ring(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero telemetry window")]
+    fn zero_window_rejected() {
+        TelemetryConfig::jsonl()
+            .with_window(SimDuration::ZERO)
+            .validate();
+    }
+}

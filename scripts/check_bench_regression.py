@@ -26,10 +26,21 @@ The fixture build (catalog + parallel trace generation) is guarded the same
 way, normalized by the same fleet-median drift: ``fixture_build_s`` must not
 exceed the baseline by more than --fixture-tolerance after drift correction.
 
+The flight-recorder overhead gates compare rows *within the current run*
+(same machine, same reps, identical fixture), so no drift correction is
+needed: ``telemetry_off`` — the instrumented code path with the null sink —
+must stay within --telemetry-off-tolerance of the plain greedy row (the
+``enabled()`` guard must compile to dead weight), and ``telemetry_ring``
+must stay within --telemetry-ring-tolerance of ``telemetry_off``. An
+absolute slack (--telemetry-abs-slack) keeps the percentage gates
+meaningful at quick scale, where rows run tens of milliseconds.
+
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json \
         [--tolerance 0.25] [--noshare-tolerance 0.15] \
-        [--fixture-tolerance 0.5] [--max-drift 4.0]
+        [--fixture-tolerance 0.5] [--max-drift 4.0] \
+        [--telemetry-off-tolerance 0.02] [--telemetry-ring-tolerance 0.10] \
+        [--telemetry-abs-slack 0.05]
 """
 
 import argparse
@@ -40,6 +51,9 @@ import sys
 NOSHARE = "NoShare"
 DOOR_ON = "overload_flash_door_on"
 DOOR_OFF = "overload_flash_door_off"
+GREEDY = "LifeRaft(α=0.00)"
+TELEMETRY_OFF = "telemetry_off"
+TELEMETRY_RING = "telemetry_ring"
 
 
 def load(path):
@@ -73,6 +87,19 @@ def main():
                          "— so any growth is a real admission-policy change, "
                          "not machine noise; the slack only absorbs benign "
                          "fixture retuning")
+    ap.add_argument("--telemetry-off-tolerance", type=float, default=0.02,
+                    help="allowed overhead of the telemetry_off row over the "
+                         "plain greedy row in the current run (default 0.02: "
+                         "the null sink must be free)")
+    ap.add_argument("--telemetry-ring-tolerance", type=float, default=0.10,
+                    help="allowed overhead of the telemetry_ring row over "
+                         "telemetry_off in the current run (default 0.10: "
+                         "the always-on flight recorder stays cheap)")
+    ap.add_argument("--telemetry-abs-slack", type=float, default=0.05,
+                    help="absolute wall-seconds slack added to both "
+                         "telemetry gates (default 0.05s); keeps the "
+                         "percentage gates meaningful on rows that run in "
+                         "tens of milliseconds")
     ap.add_argument("--max-drift", type=float, default=3.0,
                     help="cap on the median ratio itself (default 3.0). This "
                          "is the backstop for fleet-wide regressions — a "
@@ -166,6 +193,29 @@ def main():
     else:
         print("overload rows: not present in both files, skipped")
 
+    # Flight-recorder overhead gates, within the current run only (same
+    # machine, same reps — no drift to correct for).
+    telemetry_failures = []
+    gates = [
+        (TELEMETRY_OFF, GREEDY, args.telemetry_off_tolerance),
+        (TELEMETRY_RING, TELEMETRY_OFF, args.telemetry_ring_tolerance),
+    ]
+    for row, ref, tol in gates:
+        if row not in cur or ref not in cur:
+            print(f"telemetry gate {row} vs {ref}: rows not present, skipped")
+            continue
+        now = cur[row]["wall_s"]
+        base_wall = cur[ref]["wall_s"]
+        limit = base_wall * (1.0 + tol) + args.telemetry_abs_slack
+        verdict = "ok"
+        if now > limit:
+            verdict = f"REGRESSED (> {limit:.3f}s)"
+            telemetry_failures.append(
+                f"{row} {now:.3f}s over {ref} {base_wall:.3f}s "
+                f"(limit {limit:.3f}s)")
+        print(f"{row + ' vs ' + ref:<38} {base_wall:>9.3f} {now:>9.3f} "
+              f"{now / max(base_wall, 1e-9):>7.2f}   {verdict}")
+
     if med > args.max_drift:
         sys.exit(f"FAIL: median wall-time ratio {med:.2f} exceeds the "
                  f"{args.max_drift:.1f}x drift backstop — every scheduler "
@@ -179,7 +229,11 @@ def main():
     if p90_failures:
         sys.exit(f"FAIL: interactive-p90 front-door guard: "
                  f"{'; '.join(p90_failures)}")
-    print("bench guard: no per-scheduler, fixture, or front-door regression")
+    if telemetry_failures:
+        sys.exit(f"FAIL: flight-recorder overhead guard: "
+                 f"{'; '.join(telemetry_failures)}")
+    print("bench guard: no per-scheduler, fixture, front-door, or "
+          "telemetry regression")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder JSONL trace against the checked-in schema.
+
+Checks, per line:
+  - the line parses as a single JSON object;
+  - the envelope fields (t, shard, seq, kind) are present with the right
+    types;
+  - the kind is known, and the payload carries *exactly* that kind's
+    fields (nothing missing, nothing extra) with the right types.
+
+Checks, per stream:
+  - per-shard `seq` is strictly increasing in stream order (the merge is
+    canonical (time, shard, seq) order, so a shard's events appear in
+    emission order even when raw timestamps interleave);
+  - the stream is non-empty.
+
+Deliberately NOT checked: global monotonicity of raw `t` — arrival events
+carry the query's true arrival time, which legitimately precedes earlier
+lines from busy shards.
+
+Usage:
+    check_trace_schema.py SCHEMA.json TRACE.jsonl [TRACE.jsonl ...]
+"""
+
+import json
+import sys
+
+
+def type_ok(value, ty):
+    if ty == "uint":
+        # bool is an int subclass in Python; reject it explicitly.
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+    if ty == "bool":
+        return isinstance(value, bool)
+    if ty == "string":
+        return isinstance(value, str)
+    raise ValueError(f"unknown schema type {ty!r}")
+
+
+def check_stream(path, envelope, kinds):
+    errors = []
+    counts = {}
+    last_seq = {}
+    n_lines = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                errors.append(f"{path}:{lineno}: empty line")
+                continue
+            n_lines += 1
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{path}:{lineno}: not valid JSON: {e}")
+                continue
+            if not isinstance(obj, dict):
+                errors.append(f"{path}:{lineno}: not a JSON object")
+                continue
+            bad = False
+            for field, ty in envelope.items():
+                if field not in obj:
+                    errors.append(f"{path}:{lineno}: missing envelope field {field!r}")
+                    bad = True
+                elif not type_ok(obj[field], ty):
+                    errors.append(
+                        f"{path}:{lineno}: envelope field {field!r} is not a {ty}: "
+                        f"{obj[field]!r}")
+                    bad = True
+            if bad:
+                continue
+            kind = obj["kind"]
+            if kind not in kinds:
+                errors.append(f"{path}:{lineno}: unknown kind {kind!r}")
+                continue
+            counts[kind] = counts.get(kind, 0) + 1
+            payload = kinds[kind]
+            present = set(obj) - set(envelope)
+            expected = set(payload)
+            for field in sorted(expected - present):
+                errors.append(f"{path}:{lineno}: {kind}: missing field {field!r}")
+            for field in sorted(present - expected):
+                errors.append(f"{path}:{lineno}: {kind}: unexpected field {field!r}")
+            for field in sorted(expected & present):
+                if not type_ok(obj[field], payload[field]):
+                    errors.append(
+                        f"{path}:{lineno}: {kind}: field {field!r} is not a "
+                        f"{payload[field]}: {obj[field]!r}")
+            shard = obj["shard"]
+            seq = obj["seq"]
+            if shard in last_seq and seq <= last_seq[shard]:
+                errors.append(
+                    f"{path}:{lineno}: shard {shard} seq went {last_seq[shard]} "
+                    f"-> {seq} (must be strictly increasing)")
+            last_seq[shard] = seq
+    if n_lines == 0:
+        errors.append(f"{path}: empty trace")
+    return n_lines, counts, errors
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    schema_path, traces = sys.argv[1], sys.argv[2:]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    envelope, kinds = schema["envelope"], schema["kinds"]
+
+    failed = False
+    for path in traces:
+        n_lines, counts, errors = check_stream(path, envelope, kinds)
+        for e in errors[:50]:
+            print(e, file=sys.stderr)
+        if len(errors) > 50:
+            print(f"... and {len(errors) - 50} more errors", file=sys.stderr)
+        if errors:
+            failed = True
+            print(f"{path}: FAILED ({len(errors)} errors over {n_lines} events)")
+        else:
+            by_kind = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"{path}: ok ({n_lines} events: {by_kind})")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

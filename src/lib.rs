@@ -29,6 +29,7 @@
 //! | [`sim`] | discrete-event simulation engine and run reports |
 //! | [`runtime`] | sharded multi-worker serving runtime + parallel sweep driver |
 //! | [`metrics`] | statistics, normalization, reporting tables |
+//! | [`telemetry`] | flight recorder: event bus, per-shard time series, trace export |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use liferaft_query as query;
 pub use liferaft_runtime as runtime;
 pub use liferaft_sim as sim;
 pub use liferaft_storage as storage;
+pub use liferaft_telemetry as telemetry;
 pub use liferaft_workload as workload;
 
 /// The types most applications need, in one import.
@@ -88,6 +90,9 @@ pub mod prelude {
         ScenarioKind, ScenarioScale, SimConfig, Simulation,
     };
     pub use liferaft_storage::{BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime};
+    pub use liferaft_telemetry::{
+        Event, EventKind, TelemetryConfig, TelemetryMode, TelemetryReport, TelemetrySink,
+    };
     pub use liferaft_workload::arrivals::{bursty_arrivals, poisson_arrivals, uniform_arrivals};
     pub use liferaft_workload::{TimedTrace, Trace, TraceGenerator, WorkloadConfig, WorkloadStats};
 }

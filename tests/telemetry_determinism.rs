@@ -1,0 +1,208 @@
+//! Flight-recorder determinism suite.
+//!
+//! Three pins, all against the shared fixture:
+//!
+//! 1. **Byte-identical streams across executors**: with the JSONL sink on,
+//!    stepped and threaded runs emit the *same bytes* — event stream and
+//!    the derived Chrome/Perfetto trace document — at 2/4/8 shards for all
+//!    six pinned schedulers.
+//! 2. **Controller paths keep the guarantee**: elastic rebalancing and the
+//!    overload front door contribute router events (migrations, verdicts,
+//!    samples) to the merged stream, and the bytes still match across
+//!    executors.
+//! 3. **Recording is behaviour-neutral**: with the ring or JSONL sink on,
+//!    a single-shard runtime still reproduces the recorded single-engine
+//!    goldens bit-for-bit — the flight recorder observes, never steers.
+//!    A within-capacity ring records the same stream as the unbounded
+//!    JSONL sink; an undersized ring drops oldest-first and says so.
+
+mod common;
+
+use common::{fingerprint, fixture, goldens, scheduler_factories};
+use liferaft::prelude::*;
+
+fn jsonl_of(report: &RuntimeReport) -> String {
+    report
+        .telemetry
+        .as_ref()
+        .expect("telemetry was enabled")
+        .to_jsonl()
+}
+
+#[test]
+fn jsonl_stream_is_byte_identical_across_executors() {
+    let (catalog, timed) = fixture();
+    for n_shards in [2u32, 4, 8] {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.telemetry = TelemetryConfig::jsonl();
+        let rt = ShardedRuntime::new(&catalog, config);
+        for (label, mk) in scheduler_factories() {
+            let stepped = rt.run(&timed, &mut |_| mk(), ExecMode::Stepped);
+            let threaded = rt.run(&timed, &mut |_| mk(), ExecMode::Threaded);
+            let ctx = format!("{label} @ {n_shards} shards");
+            let a = jsonl_of(&stepped);
+            let b = jsonl_of(&threaded);
+            assert!(!a.is_empty(), "{ctx}: recorder produced no events");
+            assert_eq!(a, b, "{ctx}: JSONL streams diverged across executors");
+            assert_eq!(
+                stepped.telemetry.as_ref().unwrap().to_chrome_trace(),
+                threaded.telemetry.as_ref().unwrap().to_chrome_trace(),
+                "{ctx}: Chrome trace documents diverged across executors"
+            );
+            // Every routed fragment leaves one arrival and one completion
+            // in the merged stream — at least one per query, exactly one
+            // per (query, shard) pair — and batches are balanced
+            // start/end pairs.
+            let arrivals = a.matches("\"kind\":\"query_arrival\"").count();
+            assert!(arrivals >= timed.len(), "{ctx}: arrival events");
+            assert_eq!(
+                a.matches("\"kind\":\"query_complete\"").count(),
+                arrivals,
+                "{ctx}: every arrived fragment completes"
+            );
+            assert_eq!(
+                a.matches("\"kind\":\"batch_start\"").count(),
+                a.matches("\"kind\":\"batch_end\"").count(),
+                "{ctx}: unbalanced batch spans"
+            );
+        }
+    }
+}
+
+#[test]
+fn controller_paths_keep_the_byte_identical_stream() {
+    let (catalog, timed) = fixture();
+    let picked: Vec<_> = scheduler_factories()
+        .into_iter()
+        .filter(|(label, _)| *label == "greedy" || *label == "adaptive")
+        .collect();
+
+    // Elastic rebalancing (same tuning as `runtime_determinism`, which pins
+    // that this trace actually migrates at 4 shards).
+    let mut rebalance = RebalanceConfig::every(SimDuration::from_secs(30));
+    rebalance.min_imbalance = 1.05;
+    for n_shards in [2u32, 4, 8] {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.rebalance = rebalance;
+        config.telemetry = TelemetryConfig::jsonl();
+        let rt = ShardedRuntime::new(&catalog, config);
+        for (label, mk) in &picked {
+            let stepped = rt.run(&timed, &mut |_| mk(), ExecMode::Stepped);
+            let threaded = rt.run(&timed, &mut |_| mk(), ExecMode::Threaded);
+            let ctx = format!("{label} @ {n_shards} elastic shards");
+            let a = jsonl_of(&stepped);
+            assert_eq!(a, jsonl_of(&threaded), "{ctx}: streams diverged");
+            let moves = stepped
+                .rebalance
+                .as_ref()
+                .expect("elastic run records a log")
+                .total_moves();
+            assert_eq!(
+                a.matches("\"kind\":\"migration_applied\"").count(),
+                moves,
+                "{ctx}: one applied event per recorded migration"
+            );
+        }
+    }
+
+    // The overload front door (same tuning as `overload_scenarios`).
+    let mut door = FrontDoorConfig::bounded(2_000);
+    door.interactive_max_assignments = 200;
+    door.batch_min_assignments = 600;
+    door.max_waiting_assignments = Some(6_000);
+    for n_shards in [2u32, 4, 8] {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.front_door = door;
+        config.telemetry = TelemetryConfig::jsonl();
+        let rt = ShardedRuntime::new(&catalog, config);
+        for (label, mk) in &picked {
+            let stepped = rt.run(&timed, &mut |_| mk(), ExecMode::Stepped);
+            let threaded = rt.run(&timed, &mut |_| mk(), ExecMode::Threaded);
+            let ctx = format!("{label} @ {n_shards} front-door shards");
+            let a = jsonl_of(&stepped);
+            assert_eq!(a, jsonl_of(&threaded), "{ctx}: streams diverged");
+            // The door records a terminal verdict for every query; the
+            // stream mirrors the verdict log exactly.
+            let fd = stepped.front_door.as_ref().expect("front door is on");
+            assert_eq!(
+                a.matches("\"kind\":\"admitted\"").count()
+                    + a.matches("\"kind\":\"rejected\"").count(),
+                fd.log.verdicts.len(),
+                "{ctx}: one verdict event per routed query"
+            );
+            assert_eq!(
+                a.matches("\"kind\":\"admission_sampled\"").count(),
+                fd.log.samples.len(),
+                "{ctx}: one sample event per admission sample"
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_sinks_leave_the_recorded_goldens_untouched() {
+    let (catalog, timed) = fixture();
+    // A ring big enough to never drop on this fixture, and the unbounded
+    // JSONL sink: identical decision paths *and* identical streams.
+    for telemetry in [TelemetryConfig::ring(1 << 20), TelemetryConfig::jsonl()] {
+        let mut config = RuntimeConfig::single(SimConfig::paper());
+        config.telemetry = telemetry;
+        let rt = ShardedRuntime::new(&catalog, config);
+        for ((label, mk), (_, golden)) in scheduler_factories().into_iter().zip(goldens()) {
+            for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+                let report = rt.run(&timed, &mut |_| mk(), mode);
+                assert_eq!(
+                    fingerprint(&report.global).as_str(),
+                    golden,
+                    "{label} via {mode:?}: recording changed the decision path"
+                );
+                let telemetry = report.telemetry.as_ref().expect("telemetry on");
+                assert!(!telemetry.events.is_empty(), "{label}: no events");
+                assert_eq!(
+                    report.shards.iter().map(|s| s.events_dropped).sum::<u64>(),
+                    0,
+                    "{label}: unexpected drops"
+                );
+            }
+        }
+    }
+
+    // Within capacity, the ring and JSONL streams are the same bytes.
+    let greedy = scheduler_factories()[2].1;
+    let mut ring_cfg = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+    ring_cfg.telemetry = TelemetryConfig::ring(1 << 20);
+    let mut jsonl_cfg = ring_cfg.clone();
+    jsonl_cfg.telemetry = TelemetryConfig::jsonl();
+    let ring_run =
+        ShardedRuntime::new(&catalog, ring_cfg).run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+    let jsonl_run =
+        ShardedRuntime::new(&catalog, jsonl_cfg).run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+    assert_eq!(
+        jsonl_of(&ring_run),
+        jsonl_of(&jsonl_run),
+        "within-capacity ring diverged from the unbounded sink"
+    );
+
+    // An undersized ring sheds oldest events, keeps the newest, reports the
+    // drop count — and still never perturbs the run itself.
+    let mut tiny = RuntimeConfig::single(SimConfig::paper());
+    tiny.telemetry = TelemetryConfig::ring(16);
+    let run = ShardedRuntime::new(&catalog, tiny).run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+    assert_eq!(fingerprint(&run.global).as_str(), common::GOLDEN_GREEDY);
+    let kept = run.telemetry.as_ref().expect("telemetry on");
+    assert_eq!(kept.events.len(), 16, "ring keeps exactly its capacity");
+    assert!(
+        run.shards[0].events_dropped > 0,
+        "undersized ring must report drops"
+    );
+    let last = kept.events.last().expect("non-empty ring");
+    assert!(
+        matches!(
+            last.kind,
+            liferaft::telemetry::EventKind::BatchEnd { .. }
+                | liferaft::telemetry::EventKind::QueryComplete { .. }
+        ),
+        "ring keeps the newest events (run tail), got {:?}",
+        last.kind
+    );
+}
