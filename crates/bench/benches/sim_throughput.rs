@@ -24,8 +24,8 @@ use liferaft_core::{
 };
 use liferaft_query::QueryPreProcessor;
 use liferaft_runtime::{
-    parallel_map, ExecMode, FaultPlan, FrontDoorConfig, QueryClass, RebalanceConfig, RuntimeConfig,
-    ShardAssignment, ShardedRuntime,
+    parallel_map, ExecMode, FailoverConfig, FaultPlan, FrontDoorConfig, QueryClass,
+    RebalanceConfig, RuntimeConfig, ShardAssignment, ShardedRuntime,
 };
 use liferaft_sim::{build_scenario, RunReport, ScenarioKind, ScenarioScale, SimConfig, Simulation};
 use liferaft_storage::SimDuration;
@@ -365,6 +365,7 @@ fn main() {
         config.front_door = fd_cfg;
         config.faults = FaultPlan {
             stalls: fx.stalls.clone(),
+            outages: fx.outages.clone(),
         };
         let rt = ShardedRuntime::new(&catalog, config);
         let mut wall_s = f64::INFINITY;
@@ -402,6 +403,73 @@ fn main() {
             interactive_p90,
             fd.log.total_shed_events(),
             fd.rejected.len(),
+        ));
+    }
+
+    // --- Shard crash & failover ------------------------------------------
+    //
+    // The crash scenario: a flash of load builds a pool-wide backlog, then
+    // one shard dies outright mid-drain and stays dead past the last
+    // arrival. Two rows on the identical trace: failover on (the dead
+    // shard's buckets evacuate to survivors and its released fragments are
+    // re-delivered) and failover off (the stranded work rides out the
+    // outage and finishes grossly late). The p90 is virtual-time —
+    // deterministic for the fixture — so the regression guard can require
+    // the on-row to beat the off-row exactly; recovery_lag_s is the gap
+    // between the last evacuation and the first completion a survivor
+    // delivers on adopted work.
+    let crash = build_scenario(ScenarioKind::ShardCrash, &oscale);
+    let crash_rows = [
+        ("crash_failover_on", FailoverConfig::recovery()),
+        ("crash_failover_off", FailoverConfig::disabled()),
+    ];
+    for (key, failover) in crash_rows {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.faults = FaultPlan {
+            stalls: crash.stalls.clone(),
+            outages: crash.outages.clone(),
+        };
+        config.failover = failover;
+        let rt = ShardedRuntime::new(&catalog, config);
+        let mut wall_s = f64::INFINITY;
+        let mut captured = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let rep = rt.run(
+                &crash.trace,
+                &mut |_| Box::new(LifeRaftScheduler::greedy(params)),
+                ExecMode::Stepped,
+            );
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            captured = Some(rep);
+        }
+        let rep = captured.expect("at least one repetition");
+        let fo = rep.failover.as_ref().expect("crash rows report failover");
+        let p90 = rep.global.response.percentile(90.0);
+        let recovery_lag_s = fo.recovery_lag_s();
+        println!(
+            "{key:<24} wall={wall_s:.3}s  p90={p90:.1}s  evacuated={}  redelivered={}  lag={recovery_lag_s:.2}s",
+            fo.log.evacuated_entries(),
+            fo.log.delivered_redeliveries(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"scheduler\": {:?}, \"wall_s\": {:.6}, \"reps\": {}, ",
+                "\"batches\": {}, \"serviced_entries\": {}, \"sim_makespan_s\": {:.3}, ",
+                "\"p90_response_s\": {:.3}, \"recovery_lag_s\": {:.3}, ",
+                "\"evacuated_entries\": {}, \"redeliveries\": {}, \"rejected\": {}}}"
+            ),
+            key,
+            wall_s,
+            reps,
+            rep.global.batches,
+            rep.global.serviced_entries,
+            rep.global.makespan_s,
+            p90,
+            recovery_lag_s,
+            fo.log.evacuated_entries(),
+            fo.log.redeliveries.len(),
+            fo.total_rejected(),
         ));
     }
 

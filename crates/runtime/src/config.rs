@@ -1,11 +1,12 @@
 //! Runtime configuration: shard layout, admission control, rebalancing,
 //! fault injection, execution mode.
 
-use liferaft_sim::{ShardSlowdown, SimConfig};
+use liferaft_sim::{ShardOutage, ShardSlowdown, SimConfig};
 use liferaft_storage::{SimDuration, SimTime};
 use liferaft_telemetry::TelemetryConfig;
 
 use crate::admission::FrontDoorConfig;
+use crate::failover::FailoverConfig;
 use crate::shard::ShardAssignment;
 
 /// Per-shard admission control (backpressure) policy.
@@ -140,18 +141,26 @@ impl Default for RebalanceConfig {
     }
 }
 
-/// Injected faults: shard slowdown windows the runtime applies during
-/// execution (the [`ShardStall`](liferaft_sim::ScenarioKind::ShardStall)
-/// scenario's delivery mechanism).
+/// Injected faults: shard slowdown and outage windows the runtime applies
+/// during execution (the delivery mechanism of the
+/// [`ShardStall`](liferaft_sim::ScenarioKind::ShardStall) and
+/// [`ShardCrash`](liferaft_sim::ScenarioKind::ShardCrash) scenarios).
 ///
-/// A slowdown is *pure per-shard state*: it scales the virtual-time cost of
-/// every batch the afflicted shard **starts** inside the window, so the
-/// injected run stays a pure function of each shard's own fragment stream
-/// and threaded execution remains bit-identical to the stepped merge.
+/// Both fault kinds are *pure per-shard state*: a slowdown scales the
+/// virtual-time cost of every batch the afflicted shard **starts** inside
+/// the window, and an outage freezes the shard's clock until `up_at` (and
+/// wipes its cache — a crash loses residency), so the injected run stays a
+/// pure function of each shard's own fragment stream and threaded
+/// execution remains bit-identical to the stepped merge. Windows on the
+/// same shard must not overlap — each instant has one well-defined fault
+/// state.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
-    /// Injected shard slowdown windows (may overlap; multipliers compose).
+    /// Injected shard slowdown windows.
     pub stalls: Vec<ShardSlowdown>,
+    /// Injected shard outage windows; recovery behaviour is governed by
+    /// [`RuntimeConfig::failover`].
+    pub outages: Vec<ShardOutage>,
 }
 
 impl FaultPlan {
@@ -170,7 +179,23 @@ impl FaultPlan {
             .collect()
     }
 
-    /// Validates invariants against the pool size.
+    /// Outage windows afflicting shard `shard`, as `(down_at, up_at)`
+    /// pairs sorted by start.
+    pub fn outages_for_shard(&self, shard: u32) -> Vec<(SimTime, SimTime)> {
+        let mut windows: Vec<(SimTime, SimTime)> = self
+            .outages
+            .iter()
+            .filter(|o| o.shard == shard)
+            .map(|o| (o.down_at, o.up_at))
+            .collect();
+        windows.sort_unstable();
+        windows
+    }
+
+    /// Validates invariants against the pool size: every window must be
+    /// non-empty (`end > start`), target an existing shard, and fault
+    /// windows on the same shard — stalls and outages alike — must be
+    /// pairwise disjoint.
     pub fn validate(&self, n_shards: u32) {
         for s in &self.stalls {
             assert!(
@@ -183,6 +208,40 @@ impl FaultPlan {
                 s.factor.is_finite() && s.factor >= 1.0,
                 "a slowdown factor below 1.0 would speed the shard up"
             );
+        }
+        for o in &self.outages {
+            assert!(
+                o.shard < n_shards,
+                "outage targets shard {} of {n_shards}",
+                o.shard
+            );
+            assert!(o.up_at > o.down_at, "outage window must be non-empty");
+        }
+        // One fault state per (shard, instant): windows of either kind on
+        // the same shard must not overlap.
+        for shard in 0..n_shards {
+            let mut windows: Vec<(SimTime, SimTime, &str)> = Vec::new();
+            windows.extend(
+                self.stalls
+                    .iter()
+                    .filter(|s| s.shard == shard)
+                    .map(|s| (s.from, s.until, "stall")),
+            );
+            windows.extend(
+                self.outages
+                    .iter()
+                    .filter(|o| o.shard == shard)
+                    .map(|o| (o.down_at, o.up_at, "outage")),
+            );
+            windows.sort_unstable_by_key(|&(from, until, _)| (from, until));
+            for pair in windows.windows(2) {
+                let (_, until, ka) = pair[0];
+                let (from, _, kb) = pair[1];
+                assert!(
+                    from >= until,
+                    "overlapping {ka}/{kb} fault windows on shard {shard}"
+                );
+            }
         }
     }
 }
@@ -205,6 +264,9 @@ pub struct RuntimeConfig {
     pub front_door: FrontDoorConfig,
     /// Injected shard faults (none by default).
     pub faults: FaultPlan,
+    /// Crash-recovery policy for injected outages (off by default: a dead
+    /// shard's work strands until it rejoins).
+    pub failover: FailoverConfig,
     /// Flight-recorder configuration (off by default — and behaviour-neutral
     /// when on: recording never perturbs scheduling, costs, or reports).
     pub telemetry: TelemetryConfig,
@@ -221,6 +283,7 @@ impl RuntimeConfig {
             rebalance: RebalanceConfig::disabled(),
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
+            failover: FailoverConfig::disabled(),
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -235,6 +298,7 @@ impl RuntimeConfig {
             rebalance: RebalanceConfig::disabled(),
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
+            failover: FailoverConfig::disabled(),
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -246,12 +310,19 @@ impl RuntimeConfig {
         self.rebalance.validate();
         self.front_door.validate();
         self.faults.validate(self.n_shards);
+        self.failover.validate();
         self.telemetry.validate();
         assert!(self.n_shards > 0, "need at least one shard");
         assert!(
             !(self.front_door.enabled && self.rebalance.enabled),
             "front door and elastic rebalancing cannot be combined yet: \
              the admission plan assumes the static shard map"
+        );
+        assert!(
+            !(self.front_door.enabled
+                && (self.failover.enabled || !self.faults.outages.is_empty())),
+            "front door and shard outages cannot be combined yet: \
+             the admission plan assumes every shard stays up"
         );
     }
 }
@@ -351,6 +422,99 @@ mod tests {
             until: SimTime::ZERO + SimDuration::from_secs(1),
             factor: 2.0,
         });
+        c.validate();
+    }
+
+    fn outage(shard: u32, down_s: u64, up_s: u64) -> ShardOutage {
+        ShardOutage {
+            shard,
+            down_at: SimTime::ZERO + SimDuration::from_secs(down_s),
+            up_at: SimTime::ZERO + SimDuration::from_secs(up_s),
+        }
+    }
+
+    #[test]
+    fn outages_validate_and_sort_per_shard() {
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        c.faults.outages.push(outage(1, 20, 30));
+        c.faults.outages.push(outage(1, 5, 10));
+        c.faults.outages.push(outage(2, 5, 10));
+        c.failover = FailoverConfig::recovery();
+        c.validate();
+        let windows = c.faults.outages_for_shard(1);
+        assert_eq!(windows.len(), 2);
+        assert!(windows[0].0 < windows[1].0, "windows come back sorted");
+        assert!(c.faults.outages_for_shard(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window must be non-empty")]
+    fn empty_outage_window_rejected() {
+        FaultPlan {
+            stalls: vec![],
+            outages: vec![outage(0, 10, 10)],
+        }
+        .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage targets shard")]
+    fn out_of_range_outage_rejected() {
+        FaultPlan {
+            stalls: vec![],
+            outages: vec![outage(2, 1, 5)],
+        }
+        .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping outage/outage fault windows on shard 0")]
+    fn overlapping_outages_rejected() {
+        FaultPlan {
+            stalls: vec![],
+            outages: vec![outage(0, 1, 10), outage(0, 5, 15)],
+        }
+        .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping stall/outage fault windows on shard 1")]
+    fn stall_overlapping_outage_rejected() {
+        FaultPlan {
+            stalls: vec![ShardSlowdown {
+                shard: 1,
+                from: SimTime::ZERO + SimDuration::from_secs(2),
+                until: SimTime::ZERO + SimDuration::from_secs(8),
+                factor: 3.0,
+            }],
+            outages: vec![outage(1, 6, 12)],
+        }
+        .validate(2);
+    }
+
+    #[test]
+    fn adjacent_fault_windows_are_fine() {
+        // Back-to-back windows share only the boundary instant, which
+        // belongs to the later window (starts are inclusive, ends
+        // exclusive).
+        FaultPlan {
+            stalls: vec![ShardSlowdown {
+                shard: 0,
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimDuration::from_secs(5),
+                factor: 2.0,
+            }],
+            outages: vec![outage(0, 5, 9), outage(0, 9, 12)],
+        }
+        .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "front door and shard outages cannot be combined")]
+    fn front_door_excludes_outages() {
+        let mut c = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        c.front_door = FrontDoorConfig::bounded(10_000);
+        c.faults.outages.push(outage(0, 1, 5));
         c.validate();
     }
 }

@@ -49,6 +49,24 @@
 //! routes traffic around the backlog), and `liferaft_sim`'s scenario suite
 //! provides the canonical overload fixtures.
 //!
+//! # Crash & failover
+//!
+//! [`FaultPlan`] also injects **shard outages**: hard crash windows during
+//! which a shard leaves the pool entirely (its virtual clock freezes and
+//! its cache residency is wiped — it rejoins cold). With [`FailoverConfig`]
+//! enabled the runtime reacts: at the down edge the controller
+//! **evacuates** the dead shard's queued buckets to the least-loaded
+//! survivors (arrival ages preserved, transfer cost charged to the
+//! destination clock), marks fragments already released to the dead shard
+//! as lost, and **re-delivers** them after a virtual-time timeout with
+//! exponential backoff and a bounded retry budget — so every query still
+//! reaches exactly one terminal outcome (completed, or rejected when the
+//! budget exhausts with no shard up), asserted per priority class. All
+//! decisions are planned once in the stepped merge and recorded as a
+//! [`FailoverLog`] the threaded executor replays verbatim, preserving the
+//! bit-identical cross-mode guarantee; with failover disabled the lost
+//! fragments simply wait out the outage.
+//!
 //! # Flight recorder
 //!
 //! [`RuntimeConfig::telemetry`] turns on `liferaft-telemetry`'s structured
@@ -77,6 +95,7 @@
 //! | [`router`] | query → per-shard fragment routing (static, elastic, admitted) |
 //! | [`worker`] | the per-shard admission-controlled serving loop |
 //! | [`rebalance`] | the epoch decision log and the greedy migration planner |
+//! | [`failover`] | the crash/outage decision log: evacuations, re-deliveries, conservation |
 //! | [`admission`] | the global front door: classes, shedding, the decision log |
 //! | [`runtime`] | stepped/threaded drivers and global aggregation |
 //! | [`config`] | runtime + admission + rebalance + fault configuration, execution mode |
@@ -87,6 +106,7 @@
 
 pub mod admission;
 pub mod config;
+pub mod failover;
 pub mod rebalance;
 pub mod router;
 pub mod runtime;
@@ -99,6 +119,10 @@ pub use admission::{
     QueryClass, QueryVerdict, RejectedQuery,
 };
 pub use config::{AdmissionConfig, ExecMode, FaultPlan, RebalanceConfig, RuntimeConfig};
+pub use failover::{
+    ClassConservation, Evacuation, FailedQuery, FailoverConfig, FailoverLog, FailoverReport,
+    Redelivery, ShardTransition,
+};
 pub use rebalance::{EpochRecord, Migration, RebalanceLog};
 pub use router::{route, route_admitted, route_elastic, Fragment, Routing};
 pub use runtime::{RuntimeReport, ShardedRuntime};

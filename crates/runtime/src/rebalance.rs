@@ -78,37 +78,50 @@ impl RebalanceLog {
 /// Plans this boundary's migrations from the load sample.
 ///
 /// `loads[s]` is shard `s`'s queued-entry backlog; `depths[s]` lists its
-/// currently-owned non-empty buckets with their queue depths. Greedy, up to
-/// `max_moves_per_epoch` iterations: pick the most- and least-loaded shards
-/// (ties → lower id), then the source's deepest not-yet-moved bucket whose
-/// depth is *strictly* below the max–min gap (so the move narrows it; ties
-/// → lower bucket id). Working loads update after every move.
+/// currently-owned non-empty buckets with their queue depths; `up[s]` marks
+/// shards currently in the pool — dead shards (injected outage in force)
+/// are invisible to the planner: never a source or destination, and
+/// excluded from the mean the trigger compares against. Greedy, up to
+/// `max_moves_per_epoch` iterations: pick the most- and least-loaded live
+/// shards (ties → lower id), then the source's deepest not-yet-moved bucket
+/// whose depth is *strictly* below the max–min gap (so the move narrows it;
+/// ties → lower bucket id). Working loads update after every move.
 pub(crate) fn plan_moves(
     cfg: &RebalanceConfig,
     loads: &[u64],
     depths: &[Vec<(BucketId, u64)>],
+    up: &[bool],
 ) -> Vec<Migration> {
-    let n = loads.len();
     let mut loads = loads.to_vec();
     let mut moves: Vec<Migration> = Vec::new();
-    if n < 2 {
+    let live = up.iter().filter(|&&u| u).count();
+    if live < 2 {
         return moves;
     }
-    let mean = loads.iter().sum::<u64>() as f64 / n as f64;
+    let live_total: u64 = loads
+        .iter()
+        .zip(up)
+        .filter(|&(_, &u)| u)
+        .map(|(&l, _)| l)
+        .sum();
+    let mean = live_total as f64 / live as f64;
     for _ in 0..cfg.max_moves_per_epoch {
-        // Most/least loaded, ties on the lower shard id (max_by_key/
-        // min_by_key return the *last* max / *first* min among equals).
+        // Most/least loaded live shards, ties on the lower shard id
+        // (max_by_key/min_by_key return the *last* max / *first* min among
+        // equals, and `rev` flips which end "last" is).
         let (src, &l_max) = loads
             .iter()
             .enumerate()
+            .filter(|&(s, _)| up[s])
             .rev()
             .max_by_key(|&(_, l)| l)
-            .expect("non-empty pool");
+            .expect("at least two live shards");
         let (dst, &l_min) = loads
             .iter()
             .enumerate()
+            .filter(|&(s, _)| up[s])
             .min_by_key(|&(_, l)| l)
-            .expect("non-empty pool");
+            .expect("at least two live shards");
         // Total load is invariant under moves, so the trigger re-checks
         // against the boundary's mean every iteration.
         if src == dst || (l_max as f64) <= cfg.min_imbalance * mean {
@@ -148,8 +161,8 @@ mod tests {
     #[test]
     fn balanced_loads_plan_nothing() {
         let depths = vec![vec![(BucketId(0), 50)], vec![(BucketId(9), 50)]];
-        assert!(plan_moves(&cfg(), &[50, 50], &depths).is_empty());
-        assert!(plan_moves(&cfg(), &[0, 0], &depths).is_empty());
+        assert!(plan_moves(&cfg(), &[50, 50], &depths, &[true, true]).is_empty());
+        assert!(plan_moves(&cfg(), &[0, 0], &depths, &[true, true]).is_empty());
     }
 
     #[test]
@@ -161,7 +174,7 @@ mod tests {
             vec![(BucketId(7), 40)],
             vec![],
         ];
-        let moves = plan_moves(&cfg(), &loads, &depths);
+        let moves = plan_moves(&cfg(), &loads, &depths, &[true; 3]);
         assert!(!moves.is_empty());
         // First move: the deepest bucket below the 100-0 gap (60) to S2.
         assert_eq!(moves[0].bucket, BucketId(1));
@@ -175,12 +188,32 @@ mod tests {
     }
 
     #[test]
+    fn dead_shards_are_invisible() {
+        // Shard 2 is the coldest — but it is down, so moves go to shard 1,
+        // and the mean is computed over the two live shards only.
+        let loads = [100u64, 20, 0];
+        let depths = vec![
+            vec![(BucketId(1), 60), (BucketId(2), 30)],
+            vec![(BucketId(7), 20)],
+            vec![],
+        ];
+        let moves = plan_moves(&cfg(), &loads, &depths, &[true, true, false]);
+        assert!(!moves.is_empty());
+        assert_eq!(moves[0].to, ShardId(1), "first move targets the live shard");
+        assert!(moves
+            .iter()
+            .all(|m| m.to != ShardId(2) && m.from != ShardId(2)));
+        // With only one live shard there is nowhere to move anything.
+        assert!(plan_moves(&cfg(), &loads, &depths, &[true, false, false]).is_empty());
+    }
+
+    #[test]
     fn moves_must_strictly_narrow_the_gap() {
         // One indivisible deep bucket as large as the whole gap: moving it
         // would just swap the hotspot, so the planner must decline.
         let loads = [80u64, 0];
         let depths = vec![vec![(BucketId(4), 80)], vec![]];
-        assert!(plan_moves(&cfg(), &loads, &depths).is_empty());
+        assert!(plan_moves(&cfg(), &loads, &depths, &[true, true]).is_empty());
     }
 
     #[test]
@@ -192,7 +225,7 @@ mod tests {
             vec![(BucketId(0), 30), (BucketId(1), 30), (BucketId(2), 30)],
             vec![],
         ];
-        let moves = plan_moves(&c, &loads, &depths);
+        let moves = plan_moves(&c, &loads, &depths, &[true, true]);
         assert_eq!(moves.len(), 1);
     }
 
@@ -203,7 +236,7 @@ mod tests {
         // Shards 1 and 2 equally cold; buckets 5 and 3 equally deep.
         let loads = [60u64, 0, 0];
         let depths = vec![vec![(BucketId(5), 20), (BucketId(3), 20)], vec![], vec![]];
-        let moves = plan_moves(&c, &loads, &depths);
+        let moves = plan_moves(&c, &loads, &depths, &[true; 3]);
         assert_eq!(moves[0].to, ShardId(1), "tied destinations break low");
         assert_eq!(moves[0].bucket, BucketId(3), "tied buckets break low");
     }

@@ -295,6 +295,239 @@ pub fn route_admitted(
     }
 }
 
+/// Splits one arrival under the failover rules and appends the surviving
+/// fragments to `out` (per-shard sinks): the query splits under the current
+/// elastic map exactly like any other arrival, then — with failover
+/// `enabled` — every fragment that landed on a **down** shard is popped
+/// back off the stream and reported in `lost` (it was released into a dead
+/// shard: lost in flight, to be re-delivered later), and a zero-work
+/// query's empty marker fragment is retargeted from a dead shard 0 to the
+/// lowest-id live shard. Returns `(delivered, fragments, assignments)`
+/// where `fragments` counts the original split (the cross-shard signal)
+/// and `delivered` the fragments actually shipped now.
+///
+/// Shared verbatim by the stepped failover planner and the threaded
+/// replay's [`route_failover`], which is what keeps their per-shard
+/// fragment streams bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_failover_arrival(
+    pre: &QueryPreProcessor<'_>,
+    query_index: usize,
+    arrival: SimTime,
+    query: &CrossMatchQuery,
+    enabled: bool,
+    up: &[bool],
+    elastic: &ElasticShardMap,
+    split: &mut [Vec<WorkItem>],
+    out: &mut [Vec<Fragment>],
+    lost: &mut Vec<(u32, Fragment)>,
+) -> (u32, u32, u64) {
+    let (fragments, assignments) = split_query(
+        pre,
+        query_index,
+        arrival,
+        arrival,
+        QueryClass::Standard,
+        query,
+        &mut |b| elastic.shard_of(b),
+        split,
+        out,
+    );
+    let mut delivered = fragments;
+    if enabled {
+        // One arrival appends at most one fragment per shard, so a down
+        // shard's lost slice — if any — is exactly its stream tail.
+        for shard in 0..up.len() {
+            if up[shard] {
+                continue;
+            }
+            let Some(tail) = out[shard].last() else {
+                continue;
+            };
+            if tail.query_index != query_index {
+                continue;
+            }
+            if tail.items.is_empty() {
+                // The zero-work marker fragment: nothing to lose, but its
+                // arrival notification should reach a live scheduler.
+                debug_assert_eq!(shard, 0, "empty fragments route to shard 0");
+                let f = out[shard].pop().expect("tail checked above");
+                match up.iter().position(|&u| u) {
+                    Some(live) => out[live].push(f),
+                    // No shard is up at all: leave it to ride out the
+                    // outage — it completes at its arrival either way.
+                    None => out[shard].push(f),
+                }
+            } else {
+                let f = out[shard].pop().expect("tail checked above");
+                delivered -= 1;
+                lost.push((shard as u32, f));
+            }
+        }
+    }
+    (delivered, fragments, assignments)
+}
+
+/// Routes `trace` under a recorded [`FailoverLog`] (plus an optional
+/// [`RebalanceLog`] when elastic rebalancing ran alongside): the pure
+/// function of `(partition, base map, decision logs, trace)` that lets the
+/// threaded executor route everything up-front yet land every shard on
+/// exactly the fragment stream the stepped failover planner produced.
+///
+/// Three event streams merge in time order — at equal instants, map/pool
+/// changes first (outage edges before epoch boundaries, as the planner
+/// processes them), then arrivals, then re-deliveries:
+///
+/// - **transitions** flip each shard's up/down state; a down edge also
+///   applies its boundary's evacuation reassignments, and an epoch record
+///   applies its moves — so arrivals at or after the instant route under
+///   the *new* map (`at <= arrival`, matching [`route_elastic`]);
+/// - **arrivals** split via `split_failover_arrival` — fragments landing
+///   on a dead shard are held back as lost;
+/// - **re-deliveries** (`to: Some`) re-release a held lost fragment on the
+///   planner's chosen live shard at the logged attempt instant. Lost
+///   fragments whose query the planner rejected are never re-released.
+///
+/// [`FailoverLog`]: crate::failover::FailoverLog
+pub fn route_failover(
+    partition: &Partition,
+    base: &ShardMap,
+    enabled: bool,
+    log: &crate::failover::FailoverLog,
+    rebalance: Option<&RebalanceLog>,
+    trace: &TimedTrace,
+) -> Routing {
+    assert_eq!(
+        partition.num_buckets(),
+        base.num_buckets(),
+        "shard map must cover the partition"
+    );
+    let n_shards = base.n_shards() as usize;
+    let pre = QueryPreProcessor::new(partition);
+    let mut elastic = ElasticShardMap::new(*base);
+    let mut up = vec![true; n_shards];
+    let mut shards: Vec<Vec<Fragment>> = vec![Vec::new(); n_shards];
+    let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n_shards];
+    let mut fragments_of = vec![0u32; trace.len()];
+    let mut assignments_of = vec![0u64; trace.len()];
+    let mut cross_shard_queries = 0usize;
+    let mut total_assignments = 0u64;
+    // Lost fragments awaiting re-delivery, keyed by (query, dead shard) —
+    // one arrival loses at most one fragment per shard.
+    let mut lost: std::collections::HashMap<(usize, u32), Fragment> =
+        std::collections::HashMap::new();
+    let mut lost_scratch: Vec<(u32, Fragment)> = Vec::new();
+
+    // Map/pool changes: outage edges carry their evacuation reassignments;
+    // epoch records carry their moves. Both logs are time-sorted; merge
+    // with transitions first at equal instants (planner order).
+    enum Change<'l> {
+        Transition(&'l crate::failover::ShardTransition),
+        Epoch(&'l crate::rebalance::EpochRecord),
+    }
+    let epochs: &[crate::rebalance::EpochRecord] =
+        rebalance.map_or(&[], |rb| rb.records.as_slice());
+    let mut changes: Vec<(SimTime, Change<'_>)> = Vec::new();
+    {
+        let (mut ti, mut ei) = (0usize, 0usize);
+        while ti < log.transitions.len() || ei < epochs.len() {
+            let take_transition = match (log.transitions.get(ti), epochs.get(ei)) {
+                (Some(t), Some(e)) => t.at <= e.at,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_transition {
+                changes.push((
+                    log.transitions[ti].at,
+                    Change::Transition(&log.transitions[ti]),
+                ));
+                ti += 1;
+            } else {
+                changes.push((epochs[ei].at, Change::Epoch(&epochs[ei])));
+                ei += 1;
+            }
+        }
+    }
+
+    let entries = trace.entries();
+    let deliveries: Vec<&crate::failover::Redelivery> =
+        log.redeliveries.iter().filter(|r| r.to.is_some()).collect();
+    let (mut ci, mut ai, mut ri) = (0usize, 0usize, 0usize);
+    loop {
+        let tc = changes.get(ci).map(|c| c.0);
+        let ta = entries.get(ai).map(|e| e.0);
+        let tr = deliveries.get(ri).map(|r| r.at);
+        let Some(t) = [tc, ta, tr].into_iter().flatten().min() else {
+            break;
+        };
+        if tc == Some(t) {
+            match &changes[ci].1 {
+                Change::Transition(edge) => {
+                    up[edge.shard as usize] = edge.up;
+                    if !edge.up {
+                        for e in log
+                            .evacuations
+                            .iter()
+                            .filter(|e| e.boundary == edge.at && e.from == edge.shard)
+                        {
+                            elastic.reassign(e.bucket, ShardId(e.to));
+                        }
+                    }
+                }
+                Change::Epoch(rec) => {
+                    for m in &rec.moves {
+                        elastic.reassign(m.bucket, m.to);
+                    }
+                }
+            }
+            ci += 1;
+            continue;
+        }
+        if ta == Some(t) {
+            let (arrival, query) = &entries[ai];
+            let (delivered, fragments, assignments) = split_failover_arrival(
+                &pre,
+                ai,
+                *arrival,
+                query,
+                enabled,
+                &up,
+                &elastic,
+                &mut split,
+                &mut shards,
+                &mut lost_scratch,
+            );
+            for (from, f) in lost_scratch.drain(..) {
+                lost.insert((ai, from), f);
+            }
+            if fragments > 1 {
+                cross_shard_queries += 1;
+            }
+            fragments_of[ai] = delivered;
+            assignments_of[ai] = assignments;
+            total_assignments += assignments;
+            ai += 1;
+            continue;
+        }
+        let r = deliveries[ri];
+        let f = lost
+            .remove(&(r.query_index, r.from))
+            .expect("re-delivery of a fragment that was never lost");
+        let to = r.to.expect("deliveries are filtered to landed attempts") as usize;
+        fragments_of[r.query_index] += 1;
+        shards[to].push(Fragment { release: r.at, ..f });
+        ri += 1;
+    }
+
+    Routing {
+        shards,
+        fragments_of,
+        assignments_of,
+        cross_shard_queries,
+        total_assignments,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,8 @@
 //! mode runs one `std::thread` worker per shard and collects results over
 //! an `mpsc` channel.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::{mpsc, Barrier};
 
 use liferaft_catalog::Catalog;
@@ -28,16 +29,24 @@ use liferaft_core::Scheduler;
 use liferaft_metrics::Summary;
 use liferaft_query::{tracker::QueryOutcome, QueryId, QueryPreProcessor, WorkItem};
 use liferaft_sim::{MigratedBucket, RunReport};
-use liferaft_storage::{cache::CacheStats, IoStats, SimTime};
+use liferaft_storage::{cache::CacheStats, IoStats, SimDuration, SimTime};
 use liferaft_telemetry::{Event, EventKind, TelemetryReport, ROUTER_SHARD};
 use liferaft_workload::TimedTrace;
 
 use crate::admission::{
-    AdmissionLog, ClassStats, Disposition, FrontDoor, FrontDoorReport, QueryClass, RejectedQuery,
+    AdmissionLog, ClassStats, Disposition, FrontDoor, FrontDoorConfig, FrontDoorReport, QueryClass,
+    RejectedQuery,
 };
 use crate::config::{ExecMode, RuntimeConfig};
+use crate::failover::{
+    ClassConservation, Evacuation, FailedQuery, FailoverLog, FailoverReport, Redelivery,
+    ShardTransition,
+};
 use crate::rebalance::{plan_moves, EpochRecord, RebalanceLog};
-use crate::router::{route, route_admitted, route_elastic, split_query, Fragment};
+use crate::router::{
+    route, route_admitted, route_elastic, route_failover, split_failover_arrival, split_query,
+    Fragment,
+};
 use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 use crate::worker::{ShardRun, ShardWorker};
 
@@ -67,6 +76,13 @@ pub struct RuntimeReport {
     /// `global.outcomes.len() + front_door.rejected.len()` always equals
     /// the trace length — accounting is conserved.
     pub front_door: Option<FrontDoorReport>,
+    /// The failover decision log, rejected queries, per-class conservation,
+    /// and recovery-lag headline (`None` when no outages were injected and
+    /// failover is disabled). With failover on, a query whose lost fragment
+    /// exhausted re-delivery is terminally *rejected*:
+    /// `global.outcomes.len() + failover.rejected.len()` equals the trace
+    /// length — accounting is conserved.
+    pub failover: Option<FailoverReport>,
     /// The flight-recorder report (`None` when telemetry is off): per-shard
     /// time series plus the canonical merged event stream, exportable as
     /// JSONL or a Chrome/Perfetto trace. Like the decision logs, not part of
@@ -143,6 +159,13 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
         mode: ExecMode,
     ) -> RuntimeReport {
+        if self.config.failover.enabled || !self.config.faults.outages.is_empty() {
+            let (fo_log, rb_log, stepped) = self.plan_failover(trace, mk_scheduler);
+            return match mode {
+                ExecMode::Stepped => stepped,
+                ExecMode::Threaded => self.replay_failover(trace, mk_scheduler, fo_log, rb_log),
+            };
+        }
         if self.config.rebalance.enabled {
             let (log, stepped) = self.plan_elastic(trace, mk_scheduler);
             return match mode {
@@ -173,6 +196,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.config.sim,
                     self.config.admission,
                     self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
@@ -186,8 +210,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             ExecMode::Threaded => run_threaded(workers),
         };
 
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -195,6 +219,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door: None,
+            failover: None,
             telemetry,
         }
     }
@@ -230,6 +255,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.config.sim,
                     self.config.admission,
                     self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
                     entries,
                     Vec::new(),
                     mk_scheduler(i),
@@ -321,7 +347,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             fired += 1;
             let loads: Vec<u64> = workers.iter().map(ShardWorker::queued).collect();
             let depths: Vec<Vec<_>> = workers.iter().map(ShardWorker::bucket_depths).collect();
-            let moves = plan_moves(&rb, &loads, &depths);
+            let moves = plan_moves(&rb, &loads, &depths, &vec![true; n]);
 
             // Extract every payload first (sources are untouched by other
             // moves' absorptions), then absorb per destination in bucket
@@ -369,8 +395,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             epoch: rb.epoch,
             records,
         };
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -378,6 +404,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: Some(log.clone()),
             front_door: None,
+            failover: None,
             telemetry,
         };
         (log, report)
@@ -413,6 +440,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.config.sim,
                     self.config.admission,
                     self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
@@ -476,8 +504,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         drop(tx_done);
         let shard_runs = crate::sweep::collect_indexed(rx_done, n);
 
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -485,6 +513,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: Some(log),
             front_door: None,
+            failover: None,
             telemetry,
         }
     }
@@ -524,6 +553,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.config.sim,
                     self.config.admission,
                     self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
                     entries,
                     Vec::new(),
                     mk_scheduler(i),
@@ -648,8 +678,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
 
         let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
         let log = door.into_log();
-        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log));
+        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log), None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -657,6 +687,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door,
+            failover: None,
             telemetry,
         };
         (log, report)
@@ -691,6 +722,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                     self.config.sim,
                     self.config.admission,
                     self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
                     trace.entries(),
                     fragments,
                     mk_scheduler(i),
@@ -700,8 +732,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             .collect();
 
         let shard_runs = run_threaded(workers);
-        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log));
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log));
+        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log), None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -709,6 +741,581 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             total_fragments,
             rebalance: None,
             front_door,
+            failover: None,
+            telemetry,
+        }
+    }
+
+    /// The failover reference pass: a stepped virtual-time merge with the
+    /// crash controller in the loop — taken whenever outage windows are
+    /// injected or failover is enabled. Returns the failover decision log
+    /// and the epoch log (when rebalancing also runs) alongside the
+    /// finished report.
+    ///
+    /// Four controller event sources interleave with worker events in
+    /// virtual-time order; at equal instants the priority is fault boundary
+    /// → epoch boundary → arrival → re-delivery, and a worker only steps
+    /// while its next event is *strictly* earlier than every controller
+    /// event (worker ties break on the lowest shard id):
+    ///
+    /// - **fault boundaries** record a [`ShardTransition`]; a down edge
+    ///   with failover enabled evacuates every non-empty bucket off the
+    ///   dead shard to the least-loaded survivor (working loads update as
+    ///   buckets are placed; costs charge to the destinations) and updates
+    ///   the elastic map, while an up edge re-admits the — now empty and
+    ///   cold — shard to the pool.
+    /// - **epoch boundaries** (rebalancing enabled) run the elastic
+    ///   planner with dead shards masked out of [`plan_moves`].
+    /// - **arrivals** split under the live map; a fragment released into a
+    ///   dead shard is lost in flight and queues its first re-delivery
+    ///   attempt at `arrival + redelivery_timeout`.
+    /// - **re-deliveries** land the whole lost fragment on the least-loaded
+    ///   live shard, or — when nothing is up — fail and back off
+    ///   exponentially until `max_redeliveries` attempts reject the query
+    ///   (a terminal outcome: every query still ends exactly once).
+    fn plan_failover(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+    ) -> (FailoverLog, Option<RebalanceLog>, RuntimeReport) {
+        let fo = self.config.failover;
+        let rb = self.config.rebalance;
+        let entries = trace.entries();
+        let pre = QueryPreProcessor::new(self.catalog.partition());
+        let n = self.config.n_shards as usize;
+
+        let mut workers: Vec<ShardWorker<'_, C>> = (0..n)
+            .map(|i| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
+                    entries,
+                    Vec::new(),
+                    mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
+                )
+            })
+            .collect();
+
+        // Outage edges in processing order: time, downs before ups, shard.
+        let mut boundaries: Vec<(SimTime, bool, u32)> = Vec::new();
+        for o in &self.config.faults.outages {
+            boundaries.push((o.down_at, false, o.shard));
+            boundaries.push((o.up_at, true, o.shard));
+        }
+        boundaries.sort_unstable();
+
+        let mut elastic = ElasticShardMap::new(self.map);
+        let mut up = vec![true; n];
+        let mut assignments_of = vec![0u64; entries.len()];
+        let mut cross_shard_queries = 0usize;
+        let mut total_fragments = 0usize;
+        let mut split: Vec<Vec<WorkItem>> = vec![Vec::new(); n];
+        let mut window: Vec<Vec<Fragment>> = vec![Vec::new(); n];
+        let mut lost_scratch: Vec<(u32, Fragment)> = Vec::new();
+
+        // One retry chain per lost fragment, keyed by creation seq — the
+        // heap orders pending attempts by `(instant, seq)`.
+        struct Chain {
+            query_index: usize,
+            from: u32,
+            attempt: u32,
+            fragment: Fragment,
+        }
+        let mut chains: HashMap<u64, Chain> = HashMap::new();
+        let mut retries: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        let mut rejected_q = vec![false; entries.len()];
+
+        let mut transitions: Vec<ShardTransition> = Vec::new();
+        let mut evacuations: Vec<Evacuation> = Vec::new();
+        let mut redeliveries: Vec<Redelivery> = Vec::new();
+        let mut records: Vec<EpochRecord> = Vec::new();
+
+        let mut bi = 0usize; // next outage edge
+        let mut cursor = 0usize; // next unrouted trace entry
+        let mut fired = 0u32; // epoch boundaries fired
+
+        loop {
+            let tb = boundaries.get(bi).map(|b| b.0);
+            let te = rb
+                .enabled
+                .then(|| SimTime::ZERO + rb.epoch.times(fired as u64 + 1));
+            let ta = entries.get(cursor).map(|e| e.0);
+            let tr = retries.peek().map(|Reverse((t, _))| *t);
+            let mut tw: Option<(SimTime, usize)> = None;
+            for (i, w) in workers.iter().enumerate() {
+                if let Some(wt) = w.next_time() {
+                    // Strict `<` keeps the lowest shard index on time ties.
+                    if tw.map_or(true, |(bt, _)| wt < bt) {
+                        tw = Some((wt, i));
+                    }
+                }
+            }
+            // Termination mirrors `plan_elastic`: the epoch clock alone
+            // (`te` ticks forever) never keeps the loop alive.
+            if tb.is_none() && ta.is_none() && tr.is_none() && tw.is_none() {
+                break;
+            }
+            let next_ctl = [tb, te, ta, tr].into_iter().flatten().min();
+            if let Some((wt, i)) = tw {
+                if next_ctl.map_or(true, |t| wt < t) {
+                    let advanced = workers[i].step();
+                    debug_assert!(advanced, "a shard with a next event must advance");
+                    continue;
+                }
+            }
+            let t = next_ctl.expect("a controller event must exist");
+
+            if tb == Some(t) {
+                let (bt, edge_up, shard) = boundaries[bi];
+                bi += 1;
+                let s = shard as usize;
+                transitions.push(ShardTransition {
+                    shard,
+                    at: bt,
+                    up: edge_up,
+                    queued: workers[s].queued(),
+                });
+                up[s] = edge_up;
+                if !edge_up && fo.enabled && up.iter().any(|&u| u) {
+                    // Evacuate the dead shard: every non-empty bucket, in
+                    // bucket order, to the least-loaded survivor (working
+                    // loads update as buckets land; ties → lower shard id).
+                    // The extract/absorb instant never predates the dead
+                    // shard's final atomic batch.
+                    let ev_at = workers[s].now().max(bt);
+                    let mut working: Vec<u64> = workers.iter().map(ShardWorker::queued).collect();
+                    let mut staged: Vec<(usize, MigratedBucket)> = Vec::new();
+                    for (bucket, depth) in workers[s].bucket_depths() {
+                        let dest = (0..n)
+                            .filter(|&j| up[j])
+                            .min_by_key(|&j| (working[j], j))
+                            .expect("a live survivor exists");
+                        working[dest] += depth;
+                        let p = workers[s].extract_bucket(bucket, ev_at, true);
+                        debug_assert_eq!(p.len() as u64, depth, "depth sample drifted");
+                        evacuations.push(Evacuation {
+                            boundary: bt,
+                            at: ev_at,
+                            bucket,
+                            from: shard,
+                            to: dest as u32,
+                            entries: p.len() as u64,
+                            was_resident: p.was_resident,
+                        });
+                        elastic.reassign(bucket, ShardId(dest as u32));
+                        staged.push((dest, p));
+                    }
+                    // Absorb per destination in bucket order — the canonical
+                    // order the threaded replay reproduces.
+                    staged.sort_by_key(|(to, p)| (*to, p.bucket));
+                    for (to, p) in staged {
+                        let cost =
+                            fo.evacuation_fixed + fo.evacuation_per_entry.times(p.len() as u64);
+                        workers[to].absorb_payload(p, ev_at, cost, fo.warm_residency);
+                    }
+                }
+                continue;
+            }
+
+            if te == Some(t) {
+                // Epoch boundary, exactly `plan_elastic` with dead shards
+                // masked out of the planner.
+                fired += 1;
+                let loads: Vec<u64> = workers.iter().map(ShardWorker::queued).collect();
+                let depths: Vec<Vec<_>> = workers.iter().map(ShardWorker::bucket_depths).collect();
+                let moves = plan_moves(&rb, &loads, &depths, &up);
+                let mut payloads: Vec<(usize, MigratedBucket)> = moves
+                    .iter()
+                    .map(|m| {
+                        let p =
+                            workers[m.from.index()].extract_bucket(m.bucket, t, rb.warm_residency);
+                        debug_assert_eq!(p.len() as u64, m.entries, "plan drifted from state");
+                        (m.to.index(), p)
+                    })
+                    .collect();
+                payloads.sort_by_key(|(to, p)| (*to, p.bucket));
+                for (to, p) in payloads {
+                    let cost = rb.migration_fixed + rb.migration_per_entry.times(p.len() as u64);
+                    workers[to].absorb_payload(p, t, cost, rb.warm_residency);
+                }
+                records.push(EpochRecord {
+                    epoch: fired,
+                    at: t,
+                    loads,
+                    serviced: workers.iter().map(ShardWorker::serviced).collect(),
+                    resident: workers.iter().map(|w| w.resident() as u32).collect(),
+                    moves: moves.clone(),
+                });
+                for m in &moves {
+                    elastic.reassign(m.bucket, m.to);
+                }
+                continue;
+            }
+
+            if ta == Some(t) {
+                let (arrival, query) = &entries[cursor];
+                let (delivered, fragments, assignments) = split_failover_arrival(
+                    &pre,
+                    cursor,
+                    *arrival,
+                    query,
+                    fo.enabled,
+                    &up,
+                    &elastic,
+                    &mut split,
+                    &mut window,
+                    &mut lost_scratch,
+                );
+                if fragments > 1 {
+                    cross_shard_queries += 1;
+                }
+                assignments_of[cursor] = assignments;
+                total_fragments += delivered as usize;
+                for (from, f) in lost_scratch.drain(..) {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    chains.insert(
+                        seq,
+                        Chain {
+                            query_index: cursor,
+                            from,
+                            attempt: 0,
+                            fragment: f,
+                        },
+                    );
+                    retries.push(Reverse((*arrival + fo.redelivery_timeout, seq)));
+                }
+                for (w, frags) in workers.iter_mut().zip(window.iter_mut()) {
+                    if !frags.is_empty() {
+                        w.append_fragments(std::mem::take(frags));
+                    }
+                }
+                cursor += 1;
+                continue;
+            }
+
+            // Re-delivery attempt.
+            let Reverse((at, seq)) = retries.pop().expect("a retry event must exist");
+            debug_assert_eq!(at, t);
+            if rejected_q[chains[&seq].query_index] {
+                // A sibling chain already rejected this query terminally —
+                // the pending attempt is moot and goes unlogged.
+                chains.remove(&seq);
+                continue;
+            }
+            let chain = chains.get_mut(&seq).expect("a chain outlives its retries");
+            chain.attempt += 1;
+            let (query_index, attempt) = (chain.query_index, chain.attempt);
+            let dest = (0..n)
+                .filter(|&j| up[j])
+                .min_by_key(|&j| (workers[j].queued(), j));
+            redeliveries.push(Redelivery {
+                at,
+                seq,
+                query_index,
+                from: chain.from,
+                attempt,
+                to: dest.map(|d| d as u32),
+            });
+            match dest {
+                Some(d) => {
+                    // Landed: re-release the whole fragment on the survivor.
+                    let c = chains.remove(&seq).expect("chain present");
+                    total_fragments += 1;
+                    workers[d].append_fragments(vec![Fragment {
+                        release: at,
+                        ..c.fragment
+                    }]);
+                }
+                None if attempt >= fo.max_redeliveries => {
+                    // Out of attempts with nothing up: terminal rejection.
+                    rejected_q[query_index] = true;
+                    chains.remove(&seq);
+                }
+                None => {
+                    // Nothing up: exponential backoff, then try again.
+                    let shift = (attempt - 1).min(32);
+                    retries.push(Reverse((at + fo.retry_backoff.times(1u64 << shift), seq)));
+                }
+            }
+        }
+
+        let fo_log = FailoverLog {
+            transitions,
+            evacuations,
+            redeliveries,
+        };
+        let arrivals: Vec<SimTime> = entries.iter().map(|(t, _)| *t).collect();
+        let rejected = fo_log.rejected_queries(fo.max_redeliveries, &arrivals, &assignments_of);
+        debug_assert_eq!(
+            rejected.len(),
+            rejected_q.iter().filter(|&&r| r).count(),
+            "log-derived rejections must match the planner's"
+        );
+        let mut fo_rejected = vec![false; entries.len()];
+        for r in &rejected {
+            fo_rejected[r.index] = true;
+        }
+        let recovery_lag = recovery_lag_probe(&fo_log, |d, t| workers[d].next_completion_after(t));
+
+        let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
+        let rb_log = rb.enabled.then_some(RebalanceLog {
+            epoch: rb.epoch,
+            records,
+        });
+        let (global, _) = aggregate(
+            trace,
+            &assignments_of,
+            &shard_runs,
+            None,
+            Some(&fo_rejected),
+        );
+        let failover = build_failover_report(
+            &fo_log,
+            trace,
+            &assignments_of,
+            rejected,
+            &global,
+            recovery_lag,
+        );
+        let telemetry =
+            self.build_telemetry(trace, &shard_runs, rb_log.as_ref(), None, Some(&fo_log));
+        let report = RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: rb_log.clone(),
+            front_door: None,
+            failover: Some(failover),
+            telemetry,
+        };
+        (fo_log, rb_log, report)
+    }
+
+    /// The failover parallel executor: routes the whole trace up-front
+    /// under the recorded logs ([`route_failover`]) and replays the plan
+    /// verbatim — one thread per shard, with a double-barrier handshake per
+    /// *sync round*. A sync round is a down boundary that evacuated buckets
+    /// or a move-bearing epoch record, merged in the planner's processing
+    /// order (downs before epochs at equal instants): step to the boundary,
+    /// barrier, send outgoing payloads, barrier, absorb incoming ones in
+    /// bucket order. Up edges, loss, and re-delivery need no coordination —
+    /// they are already baked into the routed fragment streams.
+    fn replay_failover(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+        fo_log: FailoverLog,
+        rb_log: Option<RebalanceLog>,
+    ) -> RuntimeReport {
+        let fo = self.config.failover;
+        let rb = self.config.rebalance;
+        let routing = route_failover(
+            self.catalog.partition(),
+            &self.map,
+            fo.enabled,
+            &fo_log,
+            rb_log.as_ref(),
+            trace,
+        );
+        let total_fragments = routing.total_fragments();
+        let assignments_of = routing.assignments_of;
+        let cross_shard_queries = routing.cross_shard_queries;
+        let n = self.config.n_shards as usize;
+
+        let workers: Vec<ShardWorker<'_, C>> = routing
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, fragments)| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
+                    trace.entries(),
+                    fragments,
+                    mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
+                )
+            })
+            .collect();
+
+        // Sync rounds in planner order. Two down edges at one instant stay
+        // *sequential* rounds (in transition order) — a bucket evacuated
+        // onto a shard that dies at the same instant moves again in the
+        // second round, exactly as the planner decided.
+        enum Round<'l> {
+            Evac {
+                boundary: SimTime,
+                evacs: Vec<&'l Evacuation>,
+            },
+            Epoch(&'l EpochRecord),
+        }
+        let down_rounds: Vec<(SimTime, Vec<&Evacuation>)> = fo_log
+            .transitions
+            .iter()
+            .filter(|tr| !tr.up)
+            .map(|tr| {
+                let evacs: Vec<&Evacuation> = fo_log
+                    .evacuations
+                    .iter()
+                    .filter(|e| e.boundary == tr.at && e.from == tr.shard)
+                    .collect();
+                (tr.at, evacs)
+            })
+            .filter(|(_, evacs)| !evacs.is_empty())
+            .collect();
+        let epoch_rounds: Vec<&EpochRecord> = rb_log.as_ref().map_or(Vec::new(), |l| {
+            l.records.iter().filter(|r| !r.moves.is_empty()).collect()
+        });
+        let mut rounds: Vec<Round<'_>> = Vec::new();
+        {
+            let mut di = down_rounds.into_iter().peekable();
+            let mut ei = epoch_rounds.into_iter().peekable();
+            loop {
+                let take_down = match (di.peek(), ei.peek()) {
+                    (Some(d), Some(e)) => d.0 <= e.at,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_down {
+                    let (boundary, evacs) = di.next().expect("peeked");
+                    rounds.push(Round::Evac { boundary, evacs });
+                } else {
+                    rounds.push(Round::Epoch(ei.next().expect("peeked")));
+                }
+            }
+        }
+
+        let last_ev: Option<SimTime> = fo_log.evacuations.iter().map(|e| e.at).max();
+        let barrier = Barrier::new(n);
+        type Payload = (SimTime, SimDuration, bool, MigratedBucket);
+        let mut senders: Vec<mpsc::Sender<Payload>> = Vec::with_capacity(n);
+        let mut receivers: Vec<mpsc::Receiver<Payload>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (tx_done, rx_done) = mpsc::channel::<(usize, (ShardRun, Option<SimTime>))>();
+        std::thread::scope(|scope| {
+            for ((i, mut worker), rx) in workers.into_iter().enumerate().zip(receivers) {
+                let tx_done = tx_done.clone();
+                let senders = senders.clone();
+                let barrier = &barrier;
+                let rounds = &rounds;
+                scope.spawn(move || {
+                    for round in rounds {
+                        let t = match round {
+                            Round::Evac { boundary, .. } => *boundary,
+                            Round::Epoch(rec) => rec.at,
+                        };
+                        while worker.next_time().is_some_and(|wt| wt < t) {
+                            worker.step();
+                        }
+                        barrier.wait();
+                        match round {
+                            Round::Evac { evacs, .. } => {
+                                for e in evacs {
+                                    if e.from as usize != i {
+                                        continue;
+                                    }
+                                    let p = worker.extract_bucket(e.bucket, e.at, true);
+                                    assert_eq!(
+                                        p.len() as u64,
+                                        e.entries,
+                                        "replay diverged from plan"
+                                    );
+                                    let cost = fo.evacuation_fixed
+                                        + fo.evacuation_per_entry.times(p.len() as u64);
+                                    senders[e.to as usize]
+                                        .send((e.at, cost, fo.warm_residency, p))
+                                        .expect("peer outlives the handshake");
+                                }
+                            }
+                            Round::Epoch(rec) => {
+                                for m in &rec.moves {
+                                    if m.from.index() != i {
+                                        continue;
+                                    }
+                                    let p = worker.extract_bucket(m.bucket, t, rb.warm_residency);
+                                    assert_eq!(
+                                        p.len() as u64,
+                                        m.entries,
+                                        "replay diverged from plan"
+                                    );
+                                    let cost = rb.migration_fixed
+                                        + rb.migration_per_entry.times(p.len() as u64);
+                                    senders[m.to.index()]
+                                        .send((t, cost, rb.warm_residency, p))
+                                        .expect("peer outlives the handshake");
+                                }
+                            }
+                        }
+                        barrier.wait();
+                        let mut incoming: Vec<Payload> = rx.try_iter().collect();
+                        incoming.sort_by_key(|(_, _, _, p)| p.bucket);
+                        for (at, cost, warm, p) in incoming {
+                            worker.absorb_payload(p, at, cost, warm);
+                        }
+                    }
+                    while worker.step() {}
+                    let probe = last_ev.and_then(|t| worker.next_completion_after(t));
+                    tx_done
+                        .send((i, (worker.into_run(), probe)))
+                        .expect("the driver outlives its workers");
+                });
+            }
+        });
+        drop(tx_done);
+        let finished: Vec<(ShardRun, Option<SimTime>)> = crate::sweep::collect_indexed(rx_done, n);
+        let probes: Vec<Option<SimTime>> = finished.iter().map(|(_, p)| *p).collect();
+        let shard_runs: Vec<ShardRun> = finished.into_iter().map(|(r, _)| r).collect();
+        let recovery_lag = recovery_lag_probe(&fo_log, |d, _| probes[d]);
+
+        let entries = trace.entries();
+        let arrivals: Vec<SimTime> = entries.iter().map(|(t, _)| *t).collect();
+        let rejected = fo_log.rejected_queries(fo.max_redeliveries, &arrivals, &assignments_of);
+        let mut fo_rejected = vec![false; entries.len()];
+        for r in &rejected {
+            fo_rejected[r.index] = true;
+        }
+        let (global, _) = aggregate(
+            trace,
+            &assignments_of,
+            &shard_runs,
+            None,
+            Some(&fo_rejected),
+        );
+        let failover = build_failover_report(
+            &fo_log,
+            trace,
+            &assignments_of,
+            rejected,
+            &global,
+            recovery_lag,
+        );
+        let telemetry =
+            self.build_telemetry(trace, &shard_runs, rb_log.as_ref(), None, Some(&fo_log));
+        RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: rb_log,
+            front_door: None,
+            failover: Some(failover),
             telemetry,
         }
     }
@@ -732,6 +1339,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         shard_runs: &[ShardRun],
         rebalance: Option<&RebalanceLog>,
         admission: Option<&AdmissionLog>,
+        failover: Option<&FailoverLog>,
     ) -> Option<TelemetryReport> {
         if !self.config.telemetry.enabled() {
             return None;
@@ -826,7 +1434,47 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                 ));
             }
         }
-        // Stable by construction order within a time tie — both logs are
+        if let Some(log) = failover {
+            for t in &log.transitions {
+                router.push(stamp(
+                    t.at,
+                    if t.up {
+                        EventKind::ShardUp { target: t.shard }
+                    } else {
+                        EventKind::ShardDown {
+                            target: t.shard,
+                            queued: t.queued,
+                        }
+                    },
+                ));
+            }
+            for e in &log.evacuations {
+                router.push(stamp(
+                    e.at,
+                    EventKind::BucketEvacuated {
+                        bucket: e.bucket.0,
+                        from: e.from,
+                        to: e.to,
+                        entries: e.entries,
+                        resident: e.was_resident,
+                    },
+                ));
+            }
+            for r in &log.redeliveries {
+                router.push(stamp(
+                    r.at,
+                    EventKind::FragmentRetried {
+                        query: r.query_index as u64,
+                        from: r.from,
+                        attempt: r.attempt,
+                        delivered: r.to.is_some(),
+                        // Failed attempts had no live destination at all.
+                        to: r.to.unwrap_or(u32::MAX),
+                    },
+                ));
+            }
+        }
+        // Stable by construction order within a time tie — all the logs are
         // deterministic, so the router stream is too.
         router.sort_by_key(|e| e.time);
         for (seq, mut e) in router.into_iter().enumerate() {
@@ -907,11 +1555,20 @@ fn run_threaded<C: Catalog + Sync + ?Sized>(workers: Vec<ShardWorker<'_, C>>) ->
 /// becomes "every *admitted* query completes exactly once") and accounted
 /// in the returned [`FrontDoorReport`] instead, alongside per-class
 /// response/TTFB statistics.
+///
+/// With a `failover_rejected` mask, the marked queries lost a fragment to a
+/// dead shard and exhausted re-delivery: unlike a door rejection they may
+/// have been *partially* serviced (their surviving fragments completed on
+/// live shards), so they are allowed service but must never fully complete —
+/// the fold asserts they stay un-emitted and excludes them from the
+/// conservation count. The two rejection sources are mutually exclusive
+/// (config validation forbids front door × outages).
 fn aggregate(
     trace: &TimedTrace,
     assignments_of: &[u64],
     shard_runs: &[ShardRun],
     admission: Option<&AdmissionLog>,
+    failover_rejected: Option<&[bool]>,
 ) -> (RunReport, Option<FrontDoorReport>) {
     let entries = trace.entries();
     let index_of: HashMap<QueryId, usize> = entries
@@ -923,7 +1580,17 @@ fn aggregate(
         Some(log) => log.verdicts.iter().map(|v| !v.admitted()).collect(),
         None => vec![false; entries.len()],
     };
-    let n_rejected = rejected_at.iter().filter(|&&r| r).count();
+    let no_fo = vec![false; entries.len()];
+    let fo_rejected: &[bool] = failover_rejected.unwrap_or(&no_fo);
+    assert!(
+        admission.is_none() || failover_rejected.is_none(),
+        "front-door and failover rejections cannot coexist"
+    );
+    let n_rejected = rejected_at
+        .iter()
+        .zip(fo_rejected)
+        .filter(|&(&d, &f)| d || f)
+        .count();
 
     // Canonical merged completion stream. Every query has at least one
     // fragment (zero-work queries ship an empty fragment to shard 0), so
@@ -973,6 +1640,10 @@ fn aggregate(
         if remaining[i] > 0 || emitted[i] {
             continue; // more assignments outstanding elsewhere
         }
+        assert!(
+            !fo_rejected[i],
+            "query {query} was rejected by failover yet fully serviced"
+        );
         emitted[i] = true;
         outcomes.push(QueryOutcome {
             query,
@@ -1124,6 +1795,74 @@ fn build_front_door_report(
         log: log.clone(),
         rejected,
         per_class,
+    }
+}
+
+/// The recovery-lag headline: the gap between the last evacuation instant
+/// and the earliest batch a *destination* shard completed after it (`None`
+/// when nothing was evacuated, or no destination completed work afterward).
+/// `probe(shard, t)` reads that shard's first recorded batch completion
+/// strictly after `t`.
+fn recovery_lag_probe(
+    log: &FailoverLog,
+    mut probe: impl FnMut(usize, SimTime) -> Option<SimTime>,
+) -> Option<SimDuration> {
+    let t = log.evacuations.iter().map(|e| e.at).max()?;
+    log.evacuations
+        .iter()
+        .filter_map(|e| probe(e.to as usize, t))
+        .min()
+        .map(|ct| ct.since(t))
+}
+
+/// Folds the failover log, the rejection records, and the global outcomes
+/// into the [`FailoverReport`], asserting terminal-outcome conservation per
+/// class: every query either completed or was rejected, exactly once.
+/// Classes come from the front-door thresholds applied to routed workload
+/// (the door itself is off — validation forbids combining it with outages).
+fn build_failover_report(
+    log: &FailoverLog,
+    trace: &TimedTrace,
+    assignments_of: &[u64],
+    rejected: Vec<FailedQuery>,
+    global: &RunReport,
+    recovery_lag: Option<SimDuration>,
+) -> FailoverReport {
+    let entries = trace.entries();
+    let classes = FrontDoorConfig::disabled();
+    let index_of: HashMap<QueryId, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (_, q))| (q.id, i))
+        .collect();
+    let mut per_class: [ClassConservation; 3] = QueryClass::ALL.map(|class| ClassConservation {
+        class,
+        submitted: 0,
+        completed: 0,
+        rejected: 0,
+    });
+    for assignments in assignments_of {
+        per_class[classes.classify(*assignments).rank()].submitted += 1;
+    }
+    for o in &global.outcomes {
+        per_class[classes.classify(assignments_of[index_of[&o.query]]).rank()].completed += 1;
+    }
+    for r in &rejected {
+        per_class[classes.classify(r.assignments).rank()].rejected += 1;
+    }
+    for c in &per_class {
+        assert_eq!(
+            c.completed + c.rejected,
+            c.submitted,
+            "{:?} queries lost track of a terminal outcome",
+            c.class
+        );
+    }
+    FailoverReport {
+        log: log.clone(),
+        rejected,
+        per_class,
+        recovery_lag,
     }
 }
 
@@ -1496,6 +2235,160 @@ mod tests {
         assert_eq!(
             stalled.shards[1].report.outcomes,
             baseline.shards[1].report.outcomes
+        );
+    }
+
+    #[test]
+    fn crash_failover_modes_agree_and_conserve_everything() {
+        use crate::failover::FailoverConfig;
+        use liferaft_sim::ShardOutage;
+        use liferaft_storage::SimDuration;
+        // A fast trace so every shard carries a backlog when shard 0 dies.
+        let (cat, timed) = fixture(24, 8.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.failover = FailoverConfig::recovery();
+        config.faults.outages.push(ShardOutage {
+            shard: 0,
+            down_at: SimTime::ZERO + SimDuration::from_secs(1),
+            up_at: SimTime::ZERO + SimDuration::from_secs(6),
+        });
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.global.io, threaded.global.io);
+        assert_eq!(stepped.global.cache, threaded.global.cache);
+        assert_eq!(stepped.failover, threaded.failover);
+        assert_eq!(stepped.rebalance, threaded.rebalance);
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            assert_eq!(a.report.outcomes, b.report.outcomes);
+            assert_eq!(a.admission, b.admission);
+        }
+        // The crash moved real work and every query stayed terminal.
+        let fo = stepped.failover.as_ref().expect("failover runs report");
+        assert_eq!(fo.log.transitions.len(), 2);
+        assert!(
+            fo.log.evacuated_entries() > 0,
+            "the dead shard's backlog must evacuate"
+        );
+        assert!(
+            fo.log.delivered_redeliveries() > 0,
+            "fragments lost in flight must be re-delivered"
+        );
+        assert!(fo.recovery_lag.is_some());
+        assert_eq!(
+            stepped.global.outcomes.len() + fo.rejected.len(),
+            timed.len(),
+            "completed + rejected must equal submitted"
+        );
+        for c in &fo.per_class {
+            assert_eq!(c.completed + c.rejected, c.submitted, "{:?}", c.class);
+        }
+        // Conservation of service across the evacuation.
+        let serviced: u64 = stepped
+            .shards
+            .iter()
+            .map(|s| s.report.serviced_entries)
+            .sum();
+        assert_eq!(serviced, stepped.global.serviced_entries);
+    }
+
+    #[test]
+    fn enabled_failover_without_outages_is_behaviour_neutral() {
+        use crate::failover::FailoverConfig;
+        let (cat, timed) = fixture(16, 2.0);
+        let base_cfg = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        let baseline_rt = ShardedRuntime::new(&cat, base_cfg.clone());
+        let baseline = baseline_rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let mut config = base_cfg;
+        config.failover = FailoverConfig::recovery();
+        let rt = ShardedRuntime::new(&cat, config);
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = rt.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(report.global.outcomes, baseline.global.outcomes, "{mode:?}");
+            assert_eq!(report.global.batches, baseline.global.batches);
+            assert_eq!(report.global.io, baseline.global.io);
+            assert_eq!(report.global.cache, baseline.global.cache);
+            let fo = report.failover.expect("enabled failover reports");
+            assert!(fo.log.transitions.is_empty());
+            assert!(fo.log.evacuations.is_empty());
+            assert!(fo.log.redeliveries.is_empty());
+            assert!(fo.rejected.is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_failover_strands_the_dead_shards_work() {
+        use crate::failover::FailoverConfig;
+        use liferaft_sim::ShardOutage;
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(24, 8.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.faults.outages.push(ShardOutage {
+            shard: 0,
+            down_at: SimTime::ZERO + SimDuration::from_secs(1),
+            up_at: SimTime::ZERO + SimDuration::from_secs(40),
+        });
+        let off_rt = ShardedRuntime::new(&cat, config.clone());
+        let off_stepped = off_rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let off_threaded = off_rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(off_stepped.global.outcomes, off_threaded.global.outcomes);
+        assert_eq!(off_stepped.failover, off_threaded.failover);
+        // Nothing recovers: no evacuations, no re-deliveries — the stranded
+        // work waits for the rejoin, so every query still completes, late.
+        let fo = off_stepped.failover.as_ref().expect("outages report");
+        assert!(fo.log.evacuations.is_empty());
+        assert!(fo.log.redeliveries.is_empty());
+        assert_eq!(off_stepped.global.outcomes.len(), timed.len());
+        assert!(
+            off_stepped.shards[0].report.makespan_s > 39.0,
+            "stranded work must wait out the 39 s outage"
+        );
+        // Recovery beats riding it out: the failover run finishes far
+        // earlier than the stranded one.
+        let mut on_cfg = config;
+        on_cfg.failover = FailoverConfig::recovery();
+        let on_rt = ShardedRuntime::new(&cat, on_cfg);
+        let on = on_rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        assert!(
+            on.global.makespan_s < off_stepped.global.makespan_s,
+            "failover must beat stranding (on: {:.2}s, off: {:.2}s)",
+            on.global.makespan_s,
+            off_stepped.global.makespan_s
+        );
+    }
+
+    #[test]
+    fn failover_composes_with_rebalancing() {
+        use crate::config::RebalanceConfig;
+        use crate::failover::FailoverConfig;
+        use liferaft_sim::ShardOutage;
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(24, 8.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.failover = FailoverConfig::recovery();
+        config.rebalance = RebalanceConfig::every(SimDuration::from_secs(2));
+        config.rebalance.min_imbalance = 1.05;
+        config.faults.outages.push(ShardOutage {
+            shard: 1,
+            down_at: SimTime::ZERO + SimDuration::from_secs(1),
+            up_at: SimTime::ZERO + SimDuration::from_secs(5),
+        });
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.global.io, threaded.global.io);
+        assert_eq!(stepped.failover, threaded.failover);
+        assert_eq!(stepped.rebalance, threaded.rebalance);
+        let fo = stepped.failover.as_ref().expect("failover reports");
+        let rb = stepped.rebalance.as_ref().expect("elastic runs keep a log");
+        assert!(!rb.records.is_empty(), "epoch boundaries must have fired");
+        assert_eq!(
+            stepped.global.outcomes.len() + fo.rejected.len(),
+            timed.len()
         );
     }
 

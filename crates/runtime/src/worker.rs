@@ -80,6 +80,15 @@ pub(crate) struct ShardWorker<'a, C: Catalog + ?Sized> {
     /// `(from, until, factor)` — factors compose multiplicatively when
     /// windows overlap a batch's start instant.
     stalls: Vec<(SimTime, SimTime, f64)>,
+    /// Injected outage windows afflicting this shard, as `(down_at, up_at)`
+    /// sorted by start (validated pairwise disjoint). A dead shard executes
+    /// nothing: any event instant landing inside a window wakes at `up_at`
+    /// (see [`wake`](Self::wake)). Batches are atomic — one started before
+    /// `down_at` runs to completion even past the boundary.
+    outages: Vec<(SimTime, SimTime)>,
+    /// Outage windows whose start the clock has crossed — each crossing
+    /// wipes the cache once (a crash loses residency).
+    wiped: usize,
     /// Per-batch `(end, cumulative serviced entries)` checkpoints, in end
     /// order. The front-door planner reads capacity through this ledger
     /// ([`serviced_at`](Self::serviced_at)) rather than the engine's raw
@@ -99,6 +108,7 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
         sim: SimConfig,
         admission: AdmissionConfig,
         stalls: Vec<(SimTime, SimTime, f64)>,
+        outages: Vec<(SimTime, SimTime)>,
         trace: &'a [(SimTime, CrossMatchQuery)],
         fragments: Vec<Fragment>,
         scheduler: Box<dyn Scheduler + Send>,
@@ -117,9 +127,25 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             now: SimTime::ZERO,
             max_backlog_entries: admission.max_backlog_entries,
             stalls,
+            outages,
+            wiped: 0,
             completions: Vec::new(),
             stats: AdmissionStats::default(),
         }
+    }
+
+    /// Maps an event instant out of any outage window: a dead shard does
+    /// nothing until `up_at`, so an instant inside a window wakes at its
+    /// end. Identity when the shard has no outages. Windows are sorted and
+    /// disjoint, so one forward pass settles (waking at `up_at` may land
+    /// inside a *later* window, never an earlier one).
+    fn wake(&self, mut t: SimTime) -> SimTime {
+        for &(down_at, up_at) in &self.outages {
+            if t >= down_at && t < up_at {
+                t = up_at;
+            }
+        }
+        t
     }
 
     /// Virtual time of the worker's next event, or `None` when fully done.
@@ -128,14 +154,34 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
     /// because a shard whose clock overshot the release while busy admits
     /// the fragment at `now`, not in the past. The clamp is what lets the
     /// elastic and front-door drivers trust `next_time` as "the virtual
-    /// time of the next state change" when placing epoch boundaries.
+    /// time of the next state change" when placing epoch boundaries. An
+    /// instant inside an injected outage window wakes at the window's end —
+    /// a dead shard's next event is its rejoin.
     pub(crate) fn next_time(&self) -> Option<SimTime> {
         if !self.core.is_idle() || !self.deferred.is_empty() {
-            return Some(self.now);
+            return Some(self.wake(self.now));
         }
         self.fragments
             .get(self.next)
-            .map(|f| f.release.max(self.now))
+            .map(|f| self.wake(f.release.max(self.now)))
+    }
+
+    /// Advances the clock to `t` adjusted out of any outage window, wiping
+    /// the cache once per window whose start the clock crosses — a crashed
+    /// shard loses its residency no matter what happens to its queue.
+    fn advance_to(&mut self, t: SimTime) {
+        let t = self.wake(t);
+        while self.wiped < self.outages.len() && t >= self.outages[self.wiped].0 {
+            self.core.wipe_residency();
+            self.wiped += 1;
+        }
+        self.now = t;
+    }
+
+    /// The shard-local clock (planner observability: evacuation instants
+    /// must not predate the dead shard's final atomic batch).
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
     }
 
     /// Admits every due fragment the backlog limit allows: parked fragments
@@ -212,6 +258,7 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
     /// arrival if needed) and one batch. Returns `false` when the shard has
     /// drained everything — no state changes on a `false` return.
     pub(crate) fn step(&mut self) -> bool {
+        self.advance_to(self.now);
         self.deliver_due();
         if self.core.is_idle() {
             // An empty backlog admits at least one fragment, so a parked
@@ -220,7 +267,7 @@ impl<'a, C: Catalog + ?Sized> ShardWorker<'a, C> {
             let Some(f) = self.fragments.get(self.next) else {
                 return false; // drained everything
             };
-            self.now = f.release;
+            self.advance_to(f.release);
             self.deliver_due();
             if self.core.is_idle() {
                 // Only zero-work fragments arrived at this instant (they

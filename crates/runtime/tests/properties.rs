@@ -15,10 +15,10 @@ use liferaft_core::{
 };
 use liferaft_query::QueryPreProcessor;
 use liferaft_runtime::{
-    AdmissionConfig, ExecMode, FaultPlan, FrontDoorConfig, QueryClass, RuntimeConfig,
-    ShardAssignment, ShardedRuntime,
+    AdmissionConfig, ExecMode, FailoverConfig, FaultPlan, FrontDoorConfig, QueryClass,
+    RuntimeConfig, ShardAssignment, ShardedRuntime,
 };
-use liferaft_sim::{RunReport, ShardSlowdown, SimConfig, Simulation};
+use liferaft_sim::{RunReport, ShardOutage, ShardSlowdown, SimConfig, Simulation};
 use liferaft_storage::{SimDuration, SimTime};
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
@@ -153,6 +153,7 @@ proptest! {
                     until: SimTime::ZERO + SimDuration::from_secs(30),
                     factor: 6.0,
                 }],
+                outages: Vec::new(),
             };
         }
         let rt = ShardedRuntime::new(&catalog, config);
@@ -196,6 +197,94 @@ proptest! {
             submitted += c.submitted;
         }
         prop_assert_eq!(submitted, timed.len() as u64);
+    }
+
+    /// Chaos: random crash schedules × retry budgets × schedulers. Every
+    /// query is exactly-once terminal (completed or rejected, never lost or
+    /// double-counted), per-class conservation holds, the threaded executor
+    /// replays the stepped failover plan bit for bit — and when the random
+    /// schedule happens to inject no outage at all, the failover-enabled
+    /// run is bit-identical to the plain static pool.
+    #[test]
+    fn random_crashes_are_exactly_once_and_deterministic(
+        seed in 0u64..10_000,
+        n_shards in 2u32..5,
+        kind in 0u8..4,
+        n_outages in 0usize..3,
+        down_s in 2u64..30,
+        len_s in 1u64..25,
+        max_redeliveries in 1u32..5,
+        warm in proptest::bool::ANY,
+        rate_deci in 2u64..20,
+    ) {
+        let (catalog, timed) = fixture(seed, 24, rate_deci as f64 / 10.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.failover = FailoverConfig::recovery();
+        config.failover.max_redeliveries = max_redeliveries;
+        config.failover.warm_residency = warm;
+        // Staggered windows on distinct shards; windows of *different*
+        // shards may still overlap in time, so the schedule sometimes kills
+        // every shard at once — the no-survivor retry/reject path.
+        config.faults.outages = (0..n_outages)
+            .map(|i| {
+                let down = SimTime::ZERO + SimDuration::from_secs(down_s + 7 * i as u64);
+                ShardOutage {
+                    shard: i as u32 % n_shards,
+                    down_at: down,
+                    up_at: down + SimDuration::from_secs(len_s),
+                }
+            })
+            .collect();
+        let rt = ShardedRuntime::new(&catalog, config);
+        let stepped = rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| policy(kind), ExecMode::Threaded);
+
+        prop_assert_eq!(fp(&stepped.global), fp(&threaded.global));
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            prop_assert_eq!(fp(&a.report), fp(&b.report));
+        }
+        prop_assert_eq!(&stepped.failover, &threaded.failover);
+
+        // Exactly-once terminal: completed ∪ rejected covers the trace,
+        // disjointly.
+        let fo = stepped.failover.as_ref().expect("failover is on");
+        prop_assert_eq!(
+            stepped.global.outcomes.len() + fo.rejected.len(),
+            timed.len()
+        );
+        let mut terminal = vec![false; timed.len()];
+        for o in &stepped.global.outcomes {
+            let i = o.query.0 as usize;
+            prop_assert!(!terminal[i], "query {} completed twice", i);
+            terminal[i] = true;
+            prop_assert!(o.completion >= o.arrival);
+        }
+        for r in &fo.rejected {
+            prop_assert!(!terminal[r.index], "query {} rejected after completing", r.index);
+            terminal[r.index] = true;
+            prop_assert!(r.attempts == max_redeliveries);
+        }
+        prop_assert!(terminal.iter().all(|&t| t), "some query never became terminal");
+
+        // Per-class books balance and roll up to the whole trace.
+        let mut submitted = 0u64;
+        for c in &fo.per_class {
+            prop_assert_eq!(c.submitted, c.completed + c.rejected, "{:?} class", c.class);
+            submitted += c.submitted;
+        }
+        prop_assert_eq!(submitted, timed.len() as u64);
+
+        // An outage-free schedule makes enabled failover behaviour-neutral:
+        // bit-identical to the static pool.
+        if n_outages == 0 {
+            prop_assert!(fo.log.transitions.is_empty());
+            let static_rt = ShardedRuntime::new(
+                &catalog,
+                RuntimeConfig::contiguous(SimConfig::paper(), n_shards),
+            );
+            let plain = static_rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+            prop_assert_eq!(fp(&stepped.global), fp(&plain.global));
+        }
     }
 
     /// A single-shard unbounded runtime is `Simulation::run`, exactly —

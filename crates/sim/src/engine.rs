@@ -303,6 +303,21 @@ impl<'a, C: Catalog + ?Sized> EngineCore<'a, C> {
         self.cache.len()
     }
 
+    /// Drops every cache-resident bucket — the crash model's residency
+    /// loss. A shard that dies loses its page cache whatever happens to its
+    /// queued work, so outage injection wipes residency at the window start
+    /// in every configuration (failover on or off). Evictions go through
+    /// the residency mutation log one bucket at a time, so the candidate
+    /// index resynchronizes incrementally exactly as it does after normal
+    /// cache churn. Returns the number of buckets dropped.
+    pub fn wipe_residency(&mut self) -> usize {
+        let resident: Vec<BucketId> = self.cache.resident_lru_order().collect();
+        for b in &resident {
+            self.cache.remove(*b);
+        }
+        resident.len()
+    }
+
     /// Rips one bucket's queued state out of this core for migration: drains
     /// its entries (ages preserved), transfers the affected queries' pending
     /// assignments out of the tracker at virtual time `at`, and detaches the

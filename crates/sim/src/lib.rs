@@ -34,4 +34,6 @@ pub use engine::{EngineCore, MigratedBucket, Simulation};
 pub use federation::{run_chain, FederationReport};
 pub use liferaft_workload::TimedTrace;
 pub use report::RunReport;
-pub use scenario::{build_scenario, ScenarioFixture, ScenarioKind, ScenarioScale, ShardSlowdown};
+pub use scenario::{
+    build_scenario, ScenarioFixture, ScenarioKind, ScenarioScale, ShardOutage, ShardSlowdown,
+};

@@ -33,16 +33,21 @@ pub enum ScenarioKind {
     /// A nominal workload plus an injected shard slowdown: one shard's
     /// virtual-time rate drops for an interval (see [`ShardSlowdown`]).
     ShardStall,
+    /// A nominal workload plus a full shard outage: one shard freezes for a
+    /// mid-trace interval (see [`ShardOutage`]) — the failover path must
+    /// evacuate its buckets and re-deliver its lost work.
+    ShardCrash,
 }
 
 impl ScenarioKind {
     /// Every scenario, in canonical order.
-    pub const ALL: [ScenarioKind; 5] = [
+    pub const ALL: [ScenarioKind; 6] = [
         ScenarioKind::FlashCrowd,
         ScenarioKind::DiurnalCycle,
         ScenarioKind::HotspotDrift,
         ScenarioKind::InteractiveBatchMix,
         ScenarioKind::ShardStall,
+        ScenarioKind::ShardCrash,
     ];
 
     /// Stable machine-readable name (bench row keys, CI labels).
@@ -53,6 +58,7 @@ impl ScenarioKind {
             ScenarioKind::HotspotDrift => "hotspot_drift",
             ScenarioKind::InteractiveBatchMix => "interactive_batch_mix",
             ScenarioKind::ShardStall => "shard_stall",
+            ScenarioKind::ShardCrash => "shard_crash",
         }
     }
 }
@@ -71,6 +77,21 @@ pub struct ShardSlowdown {
     pub until: SimTime,
     /// Virtual-time cost multiplier (≥ 1.0).
     pub factor: f64,
+}
+
+/// An injected shard outage: between `down_at` (inclusive) and `up_at`
+/// (exclusive) the shard is dead — it executes nothing and accepts nothing
+/// (a crashed process, a lost node). At `up_at` it rejoins empty. Plain
+/// indices rather than runtime shard ids so the suite stays below the
+/// runtime crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutage {
+    /// Index of the dead shard.
+    pub shard: u32,
+    /// Start of the outage (inclusive).
+    pub down_at: SimTime,
+    /// End of the outage (exclusive) — the shard rejoins here, cold.
+    pub up_at: SimTime,
 }
 
 /// Size/seed knobs of a scenario build.
@@ -108,6 +129,9 @@ pub struct ScenarioFixture {
     pub trace: TimedTrace,
     /// Injected shard slowdowns (empty for pure-overload scenarios).
     pub stalls: Vec<ShardSlowdown>,
+    /// Injected shard outages (empty for every scenario but
+    /// [`ScenarioKind::ShardCrash`]).
+    pub outages: Vec<ShardOutage>,
 }
 
 /// Builds a scenario fixture — a pure function of `(kind, scale)`.
@@ -122,7 +146,8 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
     };
     let n = scale.n_queries;
     let seed = scale.seed;
-    let (cfg, arrivals, stalls) = match kind {
+    let no_faults = || (Vec::new(), Vec::new());
+    let (cfg, arrivals, (stalls, outages)) = match kind {
         ScenarioKind::FlashCrowd => {
             // Quiet base load, then ~60% of the trace crammed into a burst
             // window at 40× the base rate.
@@ -130,7 +155,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
             let flash_at = SimDuration::from_secs(30);
             let flash_len = SimDuration::from_secs_f64(0.6 * n as f64 / 20.0);
             let arrivals = flash_crowd_arrivals(0.5, 20.0, flash_at, flash_len, n, seed ^ 0xF1A5);
-            (cfg, arrivals, Vec::new())
+            (cfg, arrivals, no_faults())
         }
         ScenarioKind::DiurnalCycle => {
             // Two day/night cycles; the daily peak exceeds capacity, the
@@ -138,7 +163,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
             let cfg = base();
             let period = SimDuration::from_secs_f64(n as f64 / 1.3);
             let arrivals = diurnal_arrivals(0.2, 4.0, period, n, seed ^ 0xD1);
-            (cfg, arrivals, Vec::new())
+            (cfg, arrivals, no_faults())
         }
         ScenarioKind::HotspotDrift => {
             // The hot set rotates every epoch with no always-active core:
@@ -151,7 +176,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
             cfg.hotspot_zipf = 0.5;
             cfg.hotspot_fraction = 0.95;
             let arrivals = poisson_arrivals(4.0, n, seed ^ 0xD21F);
-            (cfg, arrivals, Vec::new())
+            (cfg, arrivals, no_faults())
         }
         ScenarioKind::InteractiveBatchMix => {
             // Bimodal sizes: tiny exploratory probes (interactive-class
@@ -163,7 +188,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
             cfg.large_fraction = 0.35;
             cfg.hot_large_fraction = 0.35;
             let arrivals = poisson_arrivals(3.0, n, seed ^ 0x1B);
-            (cfg, arrivals, Vec::new())
+            (cfg, arrivals, no_faults())
         }
         ScenarioKind::ShardStall => {
             // Nominal load, but one shard runs 6× slow for a mid-trace
@@ -178,7 +203,30 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
                 until: stall_until,
                 factor: 6.0,
             }];
-            (cfg, arrivals, stalls)
+            (cfg, arrivals, (stalls, Vec::new()))
+        }
+        ScenarioKind::ShardCrash => {
+            // A flash of load builds a pool-wide backlog, then one shard
+            // dies outright mid-drain and stays dead until well past the
+            // last arrival — everything queued there must be evacuated and
+            // every arrival targeting it re-delivered elsewhere, because
+            // nothing the shard holds runs before the trace is over. (An
+            // outage that ends mid-drain is indistinguishable from a stall:
+            // both rows lose the same capacity-seconds and the stranded
+            // work still drains in parallel afterwards.)
+            let cfg = base();
+            let flash_at = SimDuration::from_secs(10);
+            let flash_len = SimDuration::from_secs_f64(0.5 * n as f64 / 16.0);
+            let arrivals = flash_crowd_arrivals(1.0, 16.0, flash_at, flash_len, n, seed ^ 0xDEAD);
+            let down_at = SimTime::ZERO + SimDuration::from_secs(12);
+            let last = arrivals.last().copied().unwrap_or(SimTime::ZERO);
+            let up_at = last + SimDuration::from_secs(30);
+            let outages = vec![ShardOutage {
+                shard: 0,
+                down_at,
+                up_at,
+            }];
+            (cfg, arrivals, (Vec::new(), outages))
         }
     };
     let trace = TraceGenerator::new(cfg).generate().with_arrivals(arrivals);
@@ -186,6 +234,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
         kind,
         trace,
         stalls,
+        outages,
     }
 }
 
@@ -212,7 +261,21 @@ mod tests {
                 assert_eq!(qa.objects.len(), qb.objects.len(), "{}", kind.name());
             }
             assert_eq!(a.stalls.len(), b.stalls.len());
+            assert_eq!(a.outages, b.outages, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn shard_crash_recommends_an_outage_window() {
+        let fx = build_scenario(ScenarioKind::ShardCrash, &ScenarioScale::small());
+        assert!(fx.stalls.is_empty());
+        assert_eq!(fx.outages.len(), 1);
+        let o = fx.outages[0];
+        assert_eq!(o.shard, 0);
+        assert!(o.up_at > o.down_at);
+        // The window overlaps the arrival span, else it injects nothing.
+        let last = fx.trace.entries().last().unwrap().0;
+        assert!(o.down_at < last, "outage must start within the trace");
     }
 
     #[test]

@@ -149,6 +149,46 @@ pub enum EventKind {
         /// Shed-into-backoff count before rejection.
         sheds: u32,
     },
+    /// An injected outage began: the shard left the pool (its clock
+    /// freezes; a crash wipes its cache residency).
+    ShardDown {
+        /// The crashed shard.
+        target: u32,
+        /// Its queued-entry backlog at the boundary, before evacuation.
+        queued: u64,
+    },
+    /// The shard's outage window ended: it rejoined the pool empty and cold.
+    ShardUp {
+        /// The rejoining shard.
+        target: u32,
+    },
+    /// Failover evacuated one bucket off a crashed shard.
+    BucketEvacuated {
+        /// The evacuated bucket.
+        bucket: u32,
+        /// The crashed source shard.
+        from: u32,
+        /// The surviving destination shard.
+        to: u32,
+        /// Queued entries that moved with the bucket.
+        entries: u64,
+        /// Whether the bucket was cache-resident at the source.
+        resident: bool,
+    },
+    /// A re-delivery attempt for a fragment lost to a dead shard.
+    FragmentRetried {
+        /// Trace index of the query whose fragment was lost.
+        query: u64,
+        /// The dead shard the fragment was originally routed to.
+        from: u32,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Whether the attempt landed on a live shard.
+        delivered: bool,
+        /// The destination shard (`u32::MAX` when the attempt failed
+        /// because no shard was up).
+        to: u32,
+    },
     /// A front-door load sample at an epoch boundary.
     AdmissionSampled {
         /// 1-based sample epoch.
@@ -185,6 +225,10 @@ impl EventKind {
             EventKind::MigrationApplied { .. } => "migration_applied",
             EventKind::Admitted { .. } => "admitted",
             EventKind::Rejected { .. } => "rejected",
+            EventKind::ShardDown { .. } => "shard_down",
+            EventKind::ShardUp { .. } => "shard_up",
+            EventKind::BucketEvacuated { .. } => "bucket_evacuated",
+            EventKind::FragmentRetried { .. } => "fragment_retried",
             EventKind::AdmissionSampled { .. } => "admission_sampled",
         }
     }

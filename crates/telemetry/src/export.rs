@@ -133,6 +133,36 @@ pub fn event_to_json(e: &Event) -> String {
                 ",\"query_index\":{query_index},\"class\":{class},\"assignments\":{assignments},\"sheds\":{sheds}"
             );
         }
+        EventKind::ShardDown { target, queued } => {
+            let _ = write!(s, ",\"target\":{target},\"queued\":{queued}");
+        }
+        EventKind::ShardUp { target } => {
+            let _ = write!(s, ",\"target\":{target}");
+        }
+        EventKind::BucketEvacuated {
+            bucket,
+            from,
+            to,
+            entries,
+            resident,
+        } => {
+            let _ = write!(
+                s,
+                ",\"bucket\":{bucket},\"from\":{from},\"to\":{to},\"entries\":{entries},\"resident\":{resident}"
+            );
+        }
+        EventKind::FragmentRetried {
+            query,
+            from,
+            attempt,
+            delivered,
+            to,
+        } => {
+            let _ = write!(
+                s,
+                ",\"query\":{query},\"from\":{from},\"attempt\":{attempt},\"delivered\":{delivered},\"to\":{to}"
+            );
+        }
         EventKind::AdmissionSampled {
             epoch,
             inflight,
@@ -279,6 +309,37 @@ pub fn events_to_chrome_trace(events: &[Event], n_shards: u32) -> String {
                 rows.push(format!(
                     "{{\"name\":\"reject q{query_index} ({})\",\"cat\":\"admission\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}",
                     class_label(*class)
+                ));
+            }
+            EventKind::ShardDown { target, queued } => {
+                rows.push(format!(
+                    "{{\"name\":\"shard {target} down\",\"cat\":\"failover\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"queued\":{queued}}}}}"
+                ));
+            }
+            EventKind::ShardUp { target } => {
+                rows.push(format!(
+                    "{{\"name\":\"shard {target} up\",\"cat\":\"failover\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}"
+                ));
+            }
+            EventKind::BucketEvacuated {
+                bucket,
+                from,
+                to,
+                entries,
+                resident,
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"evacuate {bucket}: {from}\\u2192{to}\",\"cat\":\"failover\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"entries\":{entries},\"resident\":{resident}}}}}"
+                ));
+            }
+            EventKind::FragmentRetried {
+                query,
+                attempt,
+                delivered,
+                ..
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"retry q{query} #{attempt}\",\"cat\":\"failover\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"delivered\":{delivered}}}}}"
                 ));
             }
             EventKind::AdmissionSampled {

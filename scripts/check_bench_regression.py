@@ -26,6 +26,13 @@ The fixture build (catalog + parallel trace generation) is guarded the same
 way, normalized by the same fleet-median drift: ``fixture_build_s`` must not
 exceed the baseline by more than --fixture-tolerance after drift correction.
 
+The overload and crash rows carry *virtual-time* percentiles, which are
+deterministic for a fixed fixture: the door-on interactive p90 must stay
+below door-off (and within --p90-tolerance of the baseline), and the
+crash_failover_on global p90 must stay below crash_failover_off (and
+within the same tolerance of the baseline) — failover has to keep paying
+for the evacuation machinery it adds.
+
 The flight-recorder overhead gates compare rows *within the current run*
 (same machine, same reps, identical fixture), so no drift correction is
 needed: ``telemetry_off`` — the instrumented code path with the null sink —
@@ -51,6 +58,8 @@ import sys
 NOSHARE = "NoShare"
 DOOR_ON = "overload_flash_door_on"
 DOOR_OFF = "overload_flash_door_off"
+CRASH_ON = "crash_failover_on"
+CRASH_OFF = "crash_failover_off"
 GREEDY = "LifeRaft(α=0.00)"
 TELEMETRY_OFF = "telemetry_off"
 TELEMETRY_RING = "telemetry_ring"
@@ -193,6 +202,36 @@ def main():
     else:
         print("overload rows: not present in both files, skipped")
 
+    # Crash-failover guard: evacuation plus re-delivery must keep paying
+    # for itself. Same shape as the front-door gates, on the virtual-time
+    # global p90 of the crash scenario: failover-on strictly below
+    # failover-off *within the current run* (otherwise the subsystem is
+    # dead weight), and failover-on no worse than the committed baseline
+    # beyond --p90-tolerance.
+    failover_failures = []
+    if CRASH_ON in cur and CRASH_OFF in cur:
+        on = cur[CRASH_ON].get("p90_response_s")
+        off = cur[CRASH_OFF].get("p90_response_s")
+        if on is not None and off is not None:
+            verdict = "ok"
+            if on >= off:
+                verdict = "REGRESSED (failover-on >= failover-off)"
+                failover_failures.append("failover-on p90 not below failover-off")
+            print(f"{'crash_p90 on/off':<22} {off:>9.3f} {on:>9.3f} "
+                  f"{on / max(off, 1e-9):>7.2f}   {verdict}")
+        base_on = base.get(CRASH_ON, {}).get("p90_response_s")
+        if on is not None and base_on is not None and base_on > 0:
+            limit = base_on * (1.0 + args.p90_tolerance)
+            verdict = "ok"
+            if on > limit:
+                verdict = f"REGRESSED (> {limit:.2f})"
+                failover_failures.append(
+                    f"failover-on p90 {on:.2f}s over baseline {base_on:.2f}s")
+            print(f"{'crash_p90 vs base':<22} {base_on:>9.3f} {on:>9.3f} "
+                  f"{on / base_on:>7.2f}   {verdict}")
+    else:
+        print("crash rows: not present in both files, skipped")
+
     # Flight-recorder overhead gates, within the current run only (same
     # machine, same reps — no drift to correct for).
     telemetry_failures = []
@@ -229,11 +268,14 @@ def main():
     if p90_failures:
         sys.exit(f"FAIL: interactive-p90 front-door guard: "
                  f"{'; '.join(p90_failures)}")
+    if failover_failures:
+        sys.exit(f"FAIL: crash-failover p90 guard: "
+                 f"{'; '.join(failover_failures)}")
     if telemetry_failures:
         sys.exit(f"FAIL: flight-recorder overhead guard: "
                  f"{'; '.join(telemetry_failures)}")
-    print("bench guard: no per-scheduler, fixture, front-door, or "
-          "telemetry regression")
+    print("bench guard: no per-scheduler, fixture, front-door, "
+          "failover, or telemetry regression")
 
 
 if __name__ == "__main__":

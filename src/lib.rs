@@ -81,9 +81,10 @@ pub mod prelude {
     pub use liferaft_metrics::{Series, StreamingStats, Summary, Table};
     pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
     pub use liferaft_runtime::{
-        AdmissionConfig, ClassStats, ElasticShardMap, ExecMode, FaultPlan, FrontDoorConfig,
-        FrontDoorReport, QueryClass, RebalanceConfig, RebalanceLog, RuntimeConfig, RuntimeReport,
-        ShardAssignment, ShardId, ShardMap, ShardedRuntime,
+        AdmissionConfig, ClassStats, ElasticShardMap, ExecMode, FailoverConfig, FailoverLog,
+        FailoverReport, FaultPlan, FrontDoorConfig, FrontDoorReport, QueryClass, RebalanceConfig,
+        RebalanceLog, RuntimeConfig, RuntimeReport, ShardAssignment, ShardId, ShardMap,
+        ShardedRuntime,
     };
     pub use liferaft_sim::{
         build_scenario, calibrate_tradeoff_table, EngineCore, RunReport, ScenarioFixture,

@@ -37,14 +37,21 @@ fn door() -> FrontDoorConfig {
     d
 }
 
-/// A 4-shard pool with the front door on and the scenario's recommended
-/// fault injection converted into the runtime's fault plan.
+/// A 4-shard pool with the scenario's recommended fault injection converted
+/// into the runtime's fault plan. Stall-only scenarios run behind the front
+/// door; outage scenarios run behind the failover controller instead (the
+/// two admission paths are mutually exclusive by config validation).
 fn pool_config(fx: &ScenarioFixture) -> RuntimeConfig {
     let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
-    config.front_door = door();
     config.faults = FaultPlan {
         stalls: fx.stalls.clone(),
+        outages: fx.outages.clone(),
     };
+    if fx.outages.is_empty() {
+        config.front_door = door();
+    } else {
+        config.failover = FailoverConfig::recovery();
+    }
     config
 }
 
@@ -77,22 +84,43 @@ fn every_scenario_is_deterministic_across_executors_and_schedulers() {
                 stepped.front_door, threaded.front_door,
                 "{ctx}: front-door reports diverged"
             );
-
-            // Conservation: every submitted query is exactly-once terminal.
-            let fd = stepped.front_door.as_ref().expect("front door is on");
             assert_eq!(
-                stepped.global.outcomes.len() + fd.rejected.len(),
-                fx.trace.len(),
-                "{ctx}: completed + rejected must equal submitted"
+                stepped.failover, threaded.failover,
+                "{ctx}: failover reports diverged"
             );
-            for class in QueryClass::ALL {
-                let c = fd.class(class);
+
+            // Conservation: every submitted query is exactly-once terminal,
+            // whichever controller fronted the run.
+            if let Some(fd) = stepped.front_door.as_ref() {
                 assert_eq!(
-                    c.submitted,
-                    c.admitted + c.rejected,
-                    "{ctx}: {} class accounting",
-                    class.label()
+                    stepped.global.outcomes.len() + fd.rejected.len(),
+                    fx.trace.len(),
+                    "{ctx}: completed + rejected must equal submitted"
                 );
+                for class in QueryClass::ALL {
+                    let c = fd.class(class);
+                    assert_eq!(
+                        c.submitted,
+                        c.admitted + c.rejected,
+                        "{ctx}: {} class accounting",
+                        class.label()
+                    );
+                }
+            } else {
+                let fo = stepped.failover.as_ref().expect("failover is on");
+                assert_eq!(
+                    stepped.global.outcomes.len() + fo.rejected.len(),
+                    fx.trace.len(),
+                    "{ctx}: completed + rejected must equal submitted"
+                );
+                for c in &fo.per_class {
+                    assert_eq!(
+                        c.completed + c.rejected,
+                        c.submitted,
+                        "{ctx}: {:?} class conservation",
+                        c.class
+                    );
+                }
             }
         }
     }
@@ -153,4 +181,83 @@ fn flash_crowd_controller_protects_interactive_latency() {
     // ended in a recorded rejection.
     let batch_on = fd_on.class(QueryClass::Batch);
     assert_eq!(batch_on.submitted, batch_on.admitted + batch_on.rejected);
+}
+
+/// p90 response over the interactive class (default front-door thresholds —
+/// the same classification the failover report conserves by).
+fn interactive_p90_s(report: &RunReport) -> f64 {
+    let classes = FrontDoorConfig::disabled();
+    let samples: Vec<f64> = report
+        .outcomes
+        .iter()
+        .filter(|o| classes.classify(o.assignments) == QueryClass::Interactive)
+        .map(|o| o.response_time().as_secs_f64())
+        .collect();
+    assert!(!samples.is_empty(), "no interactive-class completions");
+    Summary::from_samples(samples).percentile(90.0)
+}
+
+#[test]
+fn shard_crash_failover_restores_service_where_off_strands_it() {
+    let catalog = scenario_catalog();
+    let fx = build_scenario(ScenarioKind::ShardCrash, &ScenarioScale::small());
+    assert!(
+        !fx.outages.is_empty(),
+        "crash fixture must declare an outage"
+    );
+    let greedy = scheduler_factories()[2].1;
+
+    // No-fault baseline: the identical trace with the crash edited out.
+    let mut base_cfg = pool_config(&fx);
+    base_cfg.faults = FaultPlan::default();
+    base_cfg.failover = FailoverConfig::disabled();
+    let base_rt = ShardedRuntime::new(&catalog, base_cfg);
+    let base = base_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // Failover on (pool_config turns on recovery for crash fixtures).
+    let on_rt = ShardedRuntime::new(&catalog, pool_config(&fx));
+    let on = on_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // Failover off: the outage still freezes the shard, nothing recovers —
+    // the dead shard's backlog strands until it rejoins.
+    let mut off_cfg = pool_config(&fx);
+    off_cfg.failover = FailoverConfig::disabled();
+    let off_rt = ShardedRuntime::new(&catalog, off_cfg);
+    let off = off_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // Exactly-once under the crash: every query reaches one terminal
+    // outcome, and the crash actually moved work.
+    let fo = on.failover.as_ref().expect("failover report");
+    assert_eq!(
+        on.global.outcomes.len() + fo.rejected.len(),
+        fx.trace.len(),
+        "failover-on run lost track of a query"
+    );
+    assert!(
+        fo.log.evacuated_entries() > 0,
+        "the crash must strand a backlog worth evacuating"
+    );
+    assert!(
+        fo.recovery_lag.is_some(),
+        "evacuations must yield a recovery-lag measurement"
+    );
+
+    // The acceptance bar: recovery holds interactive p90 within 3× of the
+    // crash-free baseline, while the unrecovered run blows through it.
+    let p90_base = interactive_p90_s(&base.global);
+    let p90_on = interactive_p90_s(&on.global);
+    let p90_off = interactive_p90_s(&off.global);
+    assert!(
+        p90_on <= 3.0 * p90_base,
+        "failover must contain the crash (on: {p90_on:.2}s, baseline: {p90_base:.2}s)"
+    );
+    assert!(
+        p90_off > p90_on,
+        "no recovery must hurt (off: {p90_off:.2}s, on: {p90_on:.2}s)"
+    );
+    assert!(
+        p90_off > 2.0 * p90_base,
+        "the unrecovered crash must grossly delay the stranded work \
+         (off: {p90_off:.2}s, baseline: {p90_base:.2}s)"
+    );
 }

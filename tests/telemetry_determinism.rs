@@ -10,7 +10,11 @@
 //!    overload front door contribute router events (migrations, verdicts,
 //!    samples) to the merged stream, and the bytes still match across
 //!    executors.
-//! 3. **Recording is behaviour-neutral**: with the ring or JSONL sink on,
+//! 3. **The failover path keeps it too**: an injected shard crash adds
+//!    outage edges, evacuations, and re-delivery attempts to the router
+//!    stream — one event per decision-log record — and stepped/threaded
+//!    streams stay byte-identical.
+//! 4. **Recording is behaviour-neutral**: with the ring or JSONL sink on,
 //!    a single-shard runtime still reproduces the recorded single-engine
 //!    goldens bit-for-bit — the flight recorder observes, never steers.
 //!    A within-capacity ring records the same stream as the unbounded
@@ -136,6 +140,61 @@ fn controller_paths_keep_the_byte_identical_stream() {
                 "{ctx}: one sample event per admission sample"
             );
         }
+    }
+}
+
+#[test]
+fn failover_path_keeps_the_byte_identical_stream() {
+    // The crash scenario: a burst backlog, then one shard down mid-drain —
+    // guaranteed evacuations and re-deliveries.
+    let scale = ScenarioScale::small();
+    let catalog = VirtualCatalog::new(scale.level, scale.n_buckets, 200, 4096, 7);
+    let fx = build_scenario(ScenarioKind::ShardCrash, &scale);
+    let picked: Vec<_> = scheduler_factories()
+        .into_iter()
+        .filter(|(label, _)| *label == "greedy" || *label == "adaptive")
+        .collect();
+    let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+    config.faults = FaultPlan {
+        stalls: fx.stalls.clone(),
+        outages: fx.outages.clone(),
+    };
+    config.failover = FailoverConfig::recovery();
+    config.telemetry = TelemetryConfig::jsonl();
+    let rt = ShardedRuntime::new(&catalog, config);
+    for (label, mk) in &picked {
+        let stepped = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Stepped);
+        let threaded = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Threaded);
+        let ctx = format!("{label} under the crash scenario");
+        let a = jsonl_of(&stepped);
+        assert_eq!(a, jsonl_of(&threaded), "{ctx}: streams diverged");
+        assert_eq!(
+            stepped.telemetry.as_ref().unwrap().to_chrome_trace(),
+            threaded.telemetry.as_ref().unwrap().to_chrome_trace(),
+            "{ctx}: Chrome trace documents diverged"
+        );
+        // The stream mirrors the failover decision log exactly.
+        let fo = stepped.failover.as_ref().expect("failover is on");
+        assert!(
+            !fo.log.evacuations.is_empty() && !fo.log.redeliveries.is_empty(),
+            "{ctx}: the crash must evacuate and re-deliver"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"shard_down\"").count()
+                + a.matches("\"kind\":\"shard_up\"").count(),
+            fo.log.transitions.len(),
+            "{ctx}: one event per outage edge"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"bucket_evacuated\"").count(),
+            fo.log.evacuations.len(),
+            "{ctx}: one event per evacuated bucket"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"fragment_retried\"").count(),
+            fo.log.redeliveries.len(),
+            "{ctx}: one event per re-delivery attempt"
+        );
     }
 }
 
