@@ -25,7 +25,7 @@ use liferaft_core::{
 use liferaft_query::QueryPreProcessor;
 use liferaft_runtime::{
     parallel_map, ExecMode, FailoverConfig, FaultPlan, FrontDoorConfig, QueryClass,
-    RebalanceConfig, RuntimeConfig, ShardAssignment, ShardedRuntime,
+    RebalanceConfig, RuntimeConfig, ShardAssignment, ShardedRuntime, TransportConfig,
 };
 use liferaft_sim::{build_scenario, RunReport, ScenarioKind, ScenarioScale, SimConfig, Simulation};
 use liferaft_storage::SimDuration;
@@ -366,6 +366,7 @@ fn main() {
         config.faults = FaultPlan {
             stalls: fx.stalls.clone(),
             outages: fx.outages.clone(),
+            links: fx.links.clone(),
         };
         let rt = ShardedRuntime::new(&catalog, config);
         let mut wall_s = f64::INFINITY;
@@ -428,6 +429,7 @@ fn main() {
         config.faults = FaultPlan {
             stalls: crash.stalls.clone(),
             outages: crash.outages.clone(),
+            links: crash.links.clone(),
         };
         config.failover = failover;
         let rt = ShardedRuntime::new(&catalog, config);
@@ -470,6 +472,82 @@ fn main() {
             fo.log.evacuated_entries(),
             fo.log.redeliveries.len(),
             fo.total_rejected(),
+        ));
+    }
+
+    // --- Lossy links & straggler hedging ---------------------------------
+    //
+    // The lossy-link scenario: flaky links on two shards (data loss forces
+    // retransmits, ack loss forces duplicate suppression) plus one 5×
+    // stalled shard — the structural straggler. Two rows on the identical
+    // trace and identical link chaos: transport with p75-anchored hedging
+    // on, and retransmit/dedup-only delivery. The p90 is virtual-time —
+    // deterministic for the fixture — so the regression guard can require
+    // the hedge-on row to beat hedge-off exactly.
+    let lossy = build_scenario(ScenarioKind::LossyLink, &oscale);
+    let mut hedge_on = TransportConfig::hedged();
+    // Same tuning as the scenario suite: anchor below the
+    // straggler-inflated p90 so hedges fire early enough to move the p90
+    // itself, with a budget wide enough for the full-scale fixture.
+    hedge_on.hedge.quantile = 0.75;
+    hedge_on.hedge.latency_multiplier = 1.5;
+    hedge_on.hedge.min_samples = 5;
+    hedge_on.hedge.max_hedges = 1024;
+    let mut hedge_off = hedge_on;
+    hedge_off.hedge.enabled = false;
+    let lossy_rows = [
+        ("lossy_link_hedge_on", hedge_on),
+        ("lossy_link_hedge_off", hedge_off),
+    ];
+    for (key, transport) in lossy_rows {
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.faults = FaultPlan {
+            stalls: lossy.stalls.clone(),
+            outages: lossy.outages.clone(),
+            links: lossy.links.clone(),
+        };
+        config.transport = transport;
+        let rt = ShardedRuntime::new(&catalog, config);
+        let mut wall_s = f64::INFINITY;
+        let mut captured = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let rep = rt.run(
+                &lossy.trace,
+                &mut |_| Box::new(LifeRaftScheduler::greedy(params)),
+                ExecMode::Stepped,
+            );
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            captured = Some(rep);
+        }
+        let rep = captured.expect("at least one repetition");
+        let tp = rep.transport.as_ref().expect("lossy rows report transport");
+        let p90 = rep.global.response.percentile(90.0);
+        println!(
+            "{key:<24} wall={wall_s:.3}s  p90={p90:.1}s  retransmits={}  hedges={}  deduped={}",
+            tp.log.retransmits.len(),
+            tp.log.hedges.len(),
+            tp.log.suppressed.len(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"scheduler\": {:?}, \"wall_s\": {:.6}, \"reps\": {}, ",
+                "\"batches\": {}, \"serviced_entries\": {}, \"sim_makespan_s\": {:.3}, ",
+                "\"p90_response_s\": {:.3}, \"retransmits\": {}, \"hedges\": {}, ",
+                "\"hedge_wins\": {}, \"suppressed_duplicates\": {}, \"rejected\": {}}}"
+            ),
+            key,
+            wall_s,
+            reps,
+            rep.global.batches,
+            rep.global.serviced_entries,
+            rep.global.makespan_s,
+            p90,
+            tp.log.retransmits.len(),
+            tp.log.hedges.len(),
+            tp.hedge_wins,
+            tp.log.suppressed.len(),
+            tp.total_rejected(),
         ));
     }
 

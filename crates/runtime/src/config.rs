@@ -1,13 +1,14 @@
 //! Runtime configuration: shard layout, admission control, rebalancing,
 //! fault injection, execution mode.
 
-use liferaft_sim::{ShardOutage, ShardSlowdown, SimConfig};
+use liferaft_sim::{LinkDirection, LinkFault, ShardOutage, ShardSlowdown, SimConfig};
 use liferaft_storage::{SimDuration, SimTime};
 use liferaft_telemetry::TelemetryConfig;
 
 use crate::admission::FrontDoorConfig;
 use crate::failover::FailoverConfig;
 use crate::shard::ShardAssignment;
+use crate::transport::TransportConfig;
 
 /// Per-shard admission control (backpressure) policy.
 ///
@@ -141,19 +142,39 @@ impl Default for RebalanceConfig {
     }
 }
 
-/// Injected faults: shard slowdown and outage windows the runtime applies
-/// during execution (the delivery mechanism of the
-/// [`ShardStall`](liferaft_sim::ScenarioKind::ShardStall) and
-/// [`ShardCrash`](liferaft_sim::ScenarioKind::ShardCrash) scenarios).
+/// Injected faults: shard slowdown, outage, and link-fault windows the
+/// runtime applies during execution (the delivery mechanism of the
+/// [`ShardStall`](liferaft_sim::ScenarioKind::ShardStall),
+/// [`ShardCrash`](liferaft_sim::ScenarioKind::ShardCrash), and
+/// [`LossyLink`](liferaft_sim::ScenarioKind::LossyLink) scenarios).
 ///
-/// Both fault kinds are *pure per-shard state*: a slowdown scales the
+/// Slowdowns and outages are *pure per-shard state*: a slowdown scales the
 /// virtual-time cost of every batch the afflicted shard **starts** inside
 /// the window, and an outage freezes the shard's clock until `up_at` (and
 /// wipes its cache — a crash loses residency), so the injected run stays a
 /// pure function of each shard's own fragment stream and threaded
-/// execution remains bit-identical to the stepped merge. Windows on the
-/// same shard must not overlap — each instant has one well-defined fault
-/// state.
+/// execution remains bit-identical to the stepped merge. Link faults
+/// degrade the router↔shard hop itself and are consumed by the transport
+/// planner ([`RuntimeConfig::transport`]), which resolves every drop,
+/// delay, duplication, and reordering draw *before* execution.
+///
+/// # Which fault combinations compose
+///
+/// - **Stalls × stalls / outages × outages / stalls × outages** on the
+///   same shard: compose as long as windows are pairwise disjoint — each
+///   instant has one well-defined fault state.
+/// - **Stalls × link faults**: compose freely, including on the same shard
+///   over overlapping windows — a slow shard behind a flaky link is exactly
+///   the straggler regime hedging exists for. (Link windows constrain the
+///   *hop*, stall windows the *shard*; they are different resources.)
+/// - **Outages × link faults**: windows on the same shard may overlap
+///   partially (a link can flap while a shard bounces), but a link fault
+///   lying *entirely* inside an outage window is rejected — no message
+///   crosses a dead shard's link, so the window could never fire and is
+///   almost certainly a plan bug. Note the *transport* controller itself
+///   currently requires an outage-free plan
+///   ([`RuntimeConfig::validate`]); the composition rule keeps
+///   [`FaultPlan`] forward-compatible.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     /// Injected shard slowdown windows.
@@ -161,6 +182,9 @@ pub struct FaultPlan {
     /// Injected shard outage windows; recovery behaviour is governed by
     /// [`RuntimeConfig::failover`].
     pub outages: Vec<ShardOutage>,
+    /// Injected router↔shard link-fault windows; delivery guarantees on
+    /// top of them are governed by [`RuntimeConfig::transport`].
+    pub links: Vec<LinkFault>,
 }
 
 impl FaultPlan {
@@ -192,11 +216,72 @@ impl FaultPlan {
         windows
     }
 
+    /// The link-fault window (if any) covering instant `at` on shard
+    /// `shard` in `direction`. Windows per (shard, direction) are disjoint
+    /// by [`validate`](Self::validate), so the match is unique.
+    pub fn link_at(&self, shard: u32, direction: LinkDirection, at: SimTime) -> Option<&LinkFault> {
+        self.links
+            .iter()
+            .find(|l| l.shard == shard && l.direction == direction && l.from <= at && at < l.until)
+    }
+
     /// Validates invariants against the pool size: every window must be
     /// non-empty (`end > start`), target an existing shard, and fault
     /// windows on the same shard — stalls and outages alike — must be
-    /// pairwise disjoint.
+    /// pairwise disjoint. Link-fault windows are validated per
+    /// (shard, direction): probabilities in `[0, 1]`, disjoint spans, and
+    /// no window lying entirely inside an outage of the same shard (see
+    /// the composition rules on [`FaultPlan`]).
     pub fn validate(&self, n_shards: u32) {
+        for l in &self.links {
+            assert!(
+                l.shard < n_shards,
+                "link fault targets shard {} of {n_shards}",
+                l.shard
+            );
+            assert!(l.until > l.from, "link fault window must be non-empty");
+            for (p, what) in [
+                (l.drop_prob, "drop"),
+                (l.dup_prob, "duplication"),
+                (l.reorder_prob, "reorder"),
+            ] {
+                assert!(
+                    p.is_finite() && (0.0..=1.0).contains(&p),
+                    "link {what} probability {p} outside [0, 1] on shard {}",
+                    l.shard
+                );
+            }
+            // A link fault swallowed whole by an outage could never fire:
+            // no message crosses a dead shard's link. Partial overlap is
+            // fine — links can flap while a shard bounces.
+            for o in self.outages.iter().filter(|o| o.shard == l.shard) {
+                assert!(
+                    !(o.down_at <= l.from && l.until <= o.up_at),
+                    "link fault on shard {} lies entirely within an outage \
+                     window — it could never fire",
+                    l.shard
+                );
+            }
+        }
+        // One link state per (shard, direction, instant).
+        for shard in 0..n_shards {
+            for direction in [LinkDirection::ToShard, LinkDirection::ToRouter] {
+                let mut windows: Vec<(SimTime, SimTime)> = self
+                    .links
+                    .iter()
+                    .filter(|l| l.shard == shard && l.direction == direction)
+                    .map(|l| (l.from, l.until))
+                    .collect();
+                windows.sort_unstable();
+                for pair in windows.windows(2) {
+                    assert!(
+                        pair[1].0 >= pair[0].1,
+                        "overlapping link fault windows on shard {shard} \
+                         ({direction:?})"
+                    );
+                }
+            }
+        }
         for s in &self.stalls {
             assert!(
                 s.shard < n_shards,
@@ -267,6 +352,10 @@ pub struct RuntimeConfig {
     /// Crash-recovery policy for injected outages (off by default: a dead
     /// shard's work strands until it rejoins).
     pub failover: FailoverConfig,
+    /// Modeled router↔shard transport: retransmit/dedup delivery over the
+    /// injected [`FaultPlan::links`] plus optional straggler hedging (off
+    /// by default: the hop is a perfect lossless teleport).
+    pub transport: TransportConfig,
     /// Flight-recorder configuration (off by default — and behaviour-neutral
     /// when on: recording never perturbs scheduling, costs, or reports).
     pub telemetry: TelemetryConfig,
@@ -284,6 +373,7 @@ impl RuntimeConfig {
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
             failover: FailoverConfig::disabled(),
+            transport: TransportConfig::disabled(),
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -299,6 +389,7 @@ impl RuntimeConfig {
             front_door: FrontDoorConfig::disabled(),
             faults: FaultPlan::none(),
             failover: FailoverConfig::disabled(),
+            transport: TransportConfig::disabled(),
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -311,6 +402,7 @@ impl RuntimeConfig {
         self.front_door.validate();
         self.faults.validate(self.n_shards);
         self.failover.validate();
+        self.transport.validate();
         self.telemetry.validate();
         assert!(self.n_shards > 0, "need at least one shard");
         assert!(
@@ -323,6 +415,23 @@ impl RuntimeConfig {
                 && (self.failover.enabled || !self.faults.outages.is_empty())),
             "front door and shard outages cannot be combined yet: \
              the admission plan assumes every shard stays up"
+        );
+        assert!(
+            !(self.transport.enabled
+                && (self.front_door.enabled
+                    || self.rebalance.enabled
+                    || self.failover.enabled
+                    || !self.faults.outages.is_empty())),
+            "the transport controller cannot be combined with the front \
+             door, rebalancing, or outage failover yet: its delivery plan \
+             assumes the static shard map with every shard up (stalls \
+             compose; see FaultPlan)"
+        );
+        assert!(
+            self.faults.links.is_empty() || self.transport.enabled,
+            "link faults require the transport controller: without it the \
+             router\u{2194}shard hop is a lossless teleport and the windows \
+             would silently inject nothing"
         );
     }
 }
@@ -453,6 +562,7 @@ mod tests {
         FaultPlan {
             stalls: vec![],
             outages: vec![outage(0, 10, 10)],
+            links: vec![],
         }
         .validate(2);
     }
@@ -463,6 +573,7 @@ mod tests {
         FaultPlan {
             stalls: vec![],
             outages: vec![outage(2, 1, 5)],
+            links: vec![],
         }
         .validate(2);
     }
@@ -473,6 +584,7 @@ mod tests {
         FaultPlan {
             stalls: vec![],
             outages: vec![outage(0, 1, 10), outage(0, 5, 15)],
+            links: vec![],
         }
         .validate(2);
     }
@@ -488,6 +600,7 @@ mod tests {
                 factor: 3.0,
             }],
             outages: vec![outage(1, 6, 12)],
+            links: vec![],
         }
         .validate(2);
     }
@@ -505,6 +618,7 @@ mod tests {
                 factor: 2.0,
             }],
             outages: vec![outage(0, 5, 9), outage(0, 9, 12)],
+            links: vec![],
         }
         .validate(1);
     }

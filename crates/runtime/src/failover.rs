@@ -33,6 +33,7 @@
 use liferaft_storage::{BucketId, SimDuration, SimTime};
 
 use crate::admission::QueryClass;
+use crate::retry::RetryPolicy;
 
 /// Crash-recovery policy: what the runtime does when a [`FaultPlan`]
 /// outage window begins.
@@ -84,6 +85,19 @@ impl FailoverConfig {
             enabled: true,
             ..Self::disabled()
         }
+    }
+
+    /// The re-delivery schedule as a [`RetryPolicy`]: detection at
+    /// `redelivery_timeout`, escalation by `retry_backoff × 2^(k−1)`,
+    /// budget `max_redeliveries`. The failover planner derives every
+    /// attempt deadline from this shared policy (the same machinery the
+    /// transport retransmitter uses).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(
+            self.redelivery_timeout,
+            self.retry_backoff,
+            self.max_redeliveries,
+        )
     }
 
     /// Validates invariants.

@@ -67,6 +67,26 @@
 //! bit-identical cross-mode guarantee; with failover disabled the lost
 //! fragments simply wait out the outage.
 //!
+//! # Unreliable transport & hedging
+//!
+//! With [`TransportConfig`] enabled the router↔shard hop stops being a
+//! lossless teleport and becomes a modeled datagram link: [`FaultPlan`]
+//! `links` windows drop, delay, duplicate, and reorder messages per
+//! `(shard, direction)`, and the transport reacts — unacknowledged sends
+//! **retransmit** on the shared [`RetryPolicy`] schedule (the same
+//! detection-timeout + exponential-backoff shape failover re-delivery
+//! uses), receivers **dedup** by `(query, shard, attempt)` identity so
+//! retransmissions and network duplicates are exactly-once in effect, and
+//! chains that exhaust their budget undelivered end in a recorded rejection
+//! with conserved per-class accounting. Optional **straggler hedging**
+//! re-issues fragments lagging a multiple of their class's observed
+//! response quantile to the least-loaded other shard; the first completion
+//! wins and the loser is suppressed like a duplicate. Every draw is a pure
+//! SplitMix64 function of `(seed, query, shard, attempt)` and the whole
+//! schedule is planned once into a [`TransportLog`] both executors consume,
+//! so the bit-identical stepped/threaded guarantee survives arbitrarily
+//! lossy links.
+//!
 //! # Flight recorder
 //!
 //! [`RuntimeConfig::telemetry`] turns on `liferaft-telemetry`'s structured
@@ -97,6 +117,8 @@
 //! | [`rebalance`] | the epoch decision log and the greedy migration planner |
 //! | [`failover`] | the crash/outage decision log: evacuations, re-deliveries, conservation |
 //! | [`admission`] | the global front door: classes, shedding, the decision log |
+//! | [`retry`] | the shared bounded-retry schedule (failover + transport) |
+//! | [`transport`] | the lossy-link transport: retransmit, dedup, hedging |
 //! | [`runtime`] | stepped/threaded drivers and global aggregation |
 //! | [`config`] | runtime + admission + rebalance + fault configuration, execution mode |
 //! | [`sweep`] | the deterministic parallel sweep driver |
@@ -108,10 +130,12 @@ pub mod admission;
 pub mod config;
 pub mod failover;
 pub mod rebalance;
+pub mod retry;
 pub mod router;
 pub mod runtime;
 pub mod shard;
 pub mod sweep;
+pub mod transport;
 pub mod worker;
 
 pub use admission::{
@@ -124,11 +148,16 @@ pub use failover::{
     Redelivery, ShardTransition,
 };
 pub use rebalance::{EpochRecord, Migration, RebalanceLog};
+pub use retry::RetryPolicy;
 pub use router::{route, route_admitted, route_elastic, Fragment, Routing};
 pub use runtime::{RuntimeReport, ShardedRuntime};
 pub use shard::{ElasticShardMap, ShardAssignment, ShardId, ShardMap};
 pub use sweep::{
     alpha_sweep, cache_sweep, parallel_map, rebalance_sweep, seed_sweep, shard_sweep, SweepPoint,
+};
+pub use transport::{
+    HedgeConfig, HedgeDecision, LinkDrop, Retransmit, SuppressedDuplicate, TransportConfig,
+    TransportLog, TransportReport,
 };
 pub use worker::{AdmissionStats, ShardRun};
 

@@ -1,0 +1,154 @@
+//! The shared bounded-retry schedule: failure detection plus exponential
+//! backoff.
+//!
+//! Two subsystems re-deliver lost work on virtual-time timeouts: the
+//! failover path (fragments released to a dead shard, PR 9) and the
+//! transport path (fragments dropped by a lossy link). Both follow the
+//! same shape — wait a detection timeout after the base event, then space
+//! escalations by an exponentially growing backoff, give up after a
+//! bounded number of attempts — so the schedule lives here once, and both
+//! controllers derive their deadlines from a [`RetryPolicy`] instead of
+//! duplicating the arithmetic. The timing contract is pinned by unit
+//! tests: attempt 1 fires `detection_timeout` after the base event, and
+//! attempt `k + 1` fires `backoff × 2^(k−1)` after attempt `k` (shift
+//! clamped at 32 so deep chains saturate instead of overflowing).
+
+use liferaft_storage::{SimDuration, SimTime};
+
+/// A bounded retry schedule: detection timeout, exponential backoff, and
+/// an attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Virtual time after the base event (a loss, a send) before the first
+    /// retry attempt — the failure-detection timeout.
+    pub detection_timeout: SimDuration,
+    /// Base backoff between attempts; attempt `k + 1` fires
+    /// `backoff × 2^(k−1)` after attempt `k`.
+    pub backoff: SimDuration,
+    /// Attempts before the caller records a terminal rejection.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy from its three knobs.
+    pub fn new(detection_timeout: SimDuration, backoff: SimDuration, max_attempts: u32) -> Self {
+        RetryPolicy {
+            detection_timeout,
+            backoff,
+            max_attempts,
+        }
+    }
+
+    /// The gap between escalation `attempt` and the next one: the
+    /// detection timeout after the base event (`attempt == 0`), then
+    /// `backoff × 2^(attempt−1)` after attempt `attempt`. The shift is
+    /// clamped at 32 so pathological budgets saturate rather than overflow.
+    pub fn gap_after(&self, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            self.detection_timeout
+        } else {
+            let shift = (attempt - 1).min(32);
+            self.backoff.times(1u64 << shift)
+        }
+    }
+
+    /// The absolute deadline of the escalation following `attempt`, given
+    /// that `attempt` happened at `at` (`attempt == 0` is the base event).
+    pub fn deadline_after(&self, at: SimTime, attempt: u32) -> SimTime {
+        at + self.gap_after(attempt)
+    }
+
+    /// The absolute fire time of 1-based attempt `k` when every prior
+    /// attempt fails (or goes unacknowledged) instantly at its own fire
+    /// time — the schedule both the failover planner and the transport
+    /// retransmitter walk.
+    pub fn attempt_time(&self, base: SimTime, k: u32) -> SimTime {
+        assert!(k >= 1, "attempts are 1-based");
+        let mut at = self.deadline_after(base, 0);
+        for j in 1..k {
+            at = self.deadline_after(at, j);
+        }
+        at
+    }
+
+    /// Validates invariants; `what` names the owning subsystem in the
+    /// panic message.
+    pub fn validate(&self, what: &str) {
+        assert!(
+            self.detection_timeout > SimDuration::ZERO,
+            "a zero {what} detection timeout would retry at the loss instant"
+        );
+        assert!(
+            self.backoff > SimDuration::ZERO,
+            "a zero {what} retry backoff would spin failed attempts at one instant"
+        );
+        assert!(
+            self.max_attempts >= 1,
+            "enabled {what} must attempt at least one retry"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn gaps_reproduce_the_failover_schedule() {
+        // The exact timing the PR 9 failover planner shipped with: first
+        // attempt at loss + 2 s, then 1 s, 2 s, 4 s, ... between attempts.
+        let p = RetryPolicy::new(SimDuration::from_secs(2), SimDuration::from_secs(1), 5);
+        assert_eq!(p.gap_after(0), SimDuration::from_secs(2));
+        assert_eq!(p.gap_after(1), SimDuration::from_secs(1));
+        assert_eq!(p.gap_after(2), SimDuration::from_secs(2));
+        assert_eq!(p.gap_after(3), SimDuration::from_secs(4));
+        assert_eq!(p.gap_after(4), SimDuration::from_secs(8));
+        assert_eq!(p.attempt_time(t(10), 1), t(12));
+        assert_eq!(p.attempt_time(t(10), 2), t(13));
+        assert_eq!(p.attempt_time(t(10), 3), t(15));
+        assert_eq!(p.attempt_time(t(10), 4), t(19));
+    }
+
+    #[test]
+    fn deep_chains_saturate_the_shift() {
+        let p = RetryPolicy::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            u32::MAX,
+        );
+        // Attempts beyond the clamp keep the 2^32 gap instead of
+        // overflowing the shift.
+        assert_eq!(p.gap_after(33), SimDuration::from_micros(1u64 << 32));
+        assert_eq!(p.gap_after(40), p.gap_after(33));
+    }
+
+    #[test]
+    fn deadlines_chain_from_arbitrary_instants() {
+        let p = RetryPolicy::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(250),
+            3,
+        );
+        let first = p.deadline_after(t(1), 0);
+        assert_eq!(first, SimTime::from_micros(1_500_000));
+        let second = p.deadline_after(first, 1);
+        assert_eq!(second, SimTime::from_micros(1_750_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero transport detection timeout")]
+    fn zero_detection_timeout_rejected() {
+        RetryPolicy::new(SimDuration::ZERO, SimDuration::from_secs(1), 3).validate("transport");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one retry")]
+    fn zero_attempts_rejected() {
+        RetryPolicy::new(SimDuration::from_secs(1), SimDuration::from_secs(1), 0)
+            .validate("transport");
+    }
+}

@@ -22,7 +22,7 @@ use crate::shard::{ElasticShardMap, ShardId, ShardMap};
 
 /// One shard's slice of one query: the work items whose buckets the shard
 /// owns, plus arrival/identity metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fragment {
     /// Index of the parent query within the routed trace.
     pub query_index: usize,

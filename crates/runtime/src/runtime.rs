@@ -28,7 +28,7 @@ use liferaft_catalog::Catalog;
 use liferaft_core::Scheduler;
 use liferaft_metrics::Summary;
 use liferaft_query::{tracker::QueryOutcome, QueryId, QueryPreProcessor, WorkItem};
-use liferaft_sim::{MigratedBucket, RunReport};
+use liferaft_sim::{LinkDirection, MigratedBucket, RunReport};
 use liferaft_storage::{cache::CacheStats, IoStats, SimDuration, SimTime};
 use liferaft_telemetry::{Event, EventKind, TelemetryReport, ROUTER_SHARD};
 use liferaft_workload::TimedTrace;
@@ -48,6 +48,7 @@ use crate::router::{
     Fragment,
 };
 use crate::shard::{ElasticShardMap, ShardId, ShardMap};
+use crate::transport::{plan_delivery, plan_hedges, resolve_hedges, TransportLog, TransportReport};
 use crate::worker::{ShardRun, ShardWorker};
 
 /// The outcome of one sharded runtime execution.
@@ -83,6 +84,13 @@ pub struct RuntimeReport {
     /// `global.outcomes.len() + failover.rejected.len()` equals the trace
     /// length — accounting is conserved.
     pub failover: Option<FailoverReport>,
+    /// The transport decision log, rejected queries, per-class conservation,
+    /// and hedge race outcome (`None` when the transport controller is
+    /// disabled). With transport on, a query whose fragment exhausted its
+    /// retransmission budget undelivered is terminally *rejected*:
+    /// `global.outcomes.len() + transport.rejected.len()` equals the trace
+    /// length — accounting is conserved.
+    pub transport: Option<TransportReport>,
     /// The flight-recorder report (`None` when telemetry is off): per-shard
     /// time series plus the canonical merged event stream, exportable as
     /// JSONL or a Chrome/Perfetto trace. Like the decision logs, not part of
@@ -159,6 +167,9 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
         mode: ExecMode,
     ) -> RuntimeReport {
+        if self.config.transport.enabled {
+            return self.run_transport(trace, mk_scheduler, mode);
+        }
         if self.config.failover.enabled || !self.config.faults.outages.is_empty() {
             let (fo_log, rb_log, stepped) = self.plan_failover(trace, mk_scheduler);
             return match mode {
@@ -210,8 +221,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             ExecMode::Threaded => run_threaded(workers),
         };
 
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, None, None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, None, None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -220,6 +231,169 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: None,
             front_door: None,
             failover: None,
+            transport: None,
+            telemetry,
+        }
+    }
+
+    /// The transport path: route normally, resolve every fragment's
+    /// retransmit chain against the link-fault windows *up-front*
+    /// ([`plan_delivery`] — a pure function of the routing, the windows, and
+    /// the seed), then execute the adjusted routing in the requested mode.
+    /// Because the whole delivery schedule (effective delivery instants,
+    /// terminal rejections, hedge copies) is fixed before any shard runs,
+    /// stepped and threaded execution consume identical fragment streams and
+    /// stay bit-identical under arbitrary loss.
+    ///
+    /// With hedging enabled a *reference pass* (stepped, no hedges) runs
+    /// first to observe per-class response distributions and per-shard load;
+    /// [`plan_hedges`] derives the hedge plan from it, the hedge copies join
+    /// the routing, and the final pass races each copy against its original —
+    /// the first completion in the canonical merge order wins, the loser is
+    /// suppressed from aggregation exactly like a network duplicate. The
+    /// scheduler factory is therefore invoked once per shard per pass, like
+    /// the other plan/replay paths; it must keep returning equivalent
+    /// schedulers.
+    fn run_transport(
+        &self,
+        trace: &TimedTrace,
+        mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
+        mode: ExecMode,
+    ) -> RuntimeReport {
+        let tp = self.config.transport;
+        let entries = trace.entries();
+        let mut routing = route(self.catalog.partition(), &self.map, trace);
+        let cross_shard_queries = routing.cross_shard_queries;
+        let mut plan = plan_delivery(&tp, &self.config.faults, &mut routing, entries.len());
+
+        let index_of: HashMap<QueryId, usize> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, q))| (q.id, i))
+            .collect();
+
+        if tp.hedge.enabled {
+            let reference_workers: Vec<ShardWorker<'_, C>> = routing
+                .shards
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, fragments)| {
+                    ShardWorker::new(
+                        ShardId(i as u32),
+                        self.catalog,
+                        self.config.sim,
+                        self.config.admission,
+                        self.config.faults.for_shard(i as u32),
+                        self.config.faults.outages_for_shard(i as u32),
+                        entries,
+                        fragments,
+                        mk_scheduler(i),
+                        self.config.telemetry.make_sink(),
+                    )
+                })
+                .collect();
+            let reference = run_stepped(reference_workers);
+            let classes = FrontDoorConfig::disabled();
+            let class_of: Vec<QueryClass> = routing
+                .assignments_of
+                .iter()
+                .map(|&a| classes.classify(a))
+                .collect();
+            let hedges = plan_hedges(
+                &tp.hedge,
+                &self.config.faults,
+                &routing,
+                &class_of,
+                &plan.rejected_mask,
+                &reference,
+                &index_of,
+            );
+            for h in &hedges {
+                let original = routing.shards[h.from as usize]
+                    .iter()
+                    .find(|f| f.query_index == h.query_index)
+                    .expect("a hedged fragment is still routed")
+                    .clone();
+                routing.fragments_of[h.query_index] += 1;
+                let stream = &mut routing.shards[h.to as usize];
+                stream.push(Fragment {
+                    release: h.delivered_at,
+                    ..original
+                });
+                stream.sort_by_key(|f| f.release);
+            }
+            plan.log.hedges = hedges;
+        }
+
+        let total_fragments = routing.total_fragments();
+        let assignments_of = routing.assignments_of;
+        let workers: Vec<ShardWorker<'_, C>> = routing
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, fragments)| {
+                ShardWorker::new(
+                    ShardId(i as u32),
+                    self.catalog,
+                    self.config.sim,
+                    self.config.admission,
+                    self.config.faults.for_shard(i as u32),
+                    self.config.faults.outages_for_shard(i as u32),
+                    entries,
+                    fragments,
+                    mk_scheduler(i),
+                    self.config.telemetry.make_sink(),
+                )
+            })
+            .collect();
+        let shard_runs = match mode {
+            ExecMode::Stepped => run_stepped(workers),
+            ExecMode::Threaded => run_threaded(workers),
+        };
+
+        let (hedge_wins, hedge_losses, skip) =
+            resolve_hedges(&plan.log.hedges, &shard_runs, &index_of);
+        let rejected: Vec<FailedQuery> = plan
+            .rejected_mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| FailedQuery {
+                index: i,
+                arrival: entries[i].0,
+                rejected_at: plan.rejected_at[i],
+                attempts: plan.attempts_of[i],
+                assignments: assignments_of[i],
+            })
+            .collect();
+        let (global, _) = aggregate(
+            trace,
+            &assignments_of,
+            &shard_runs,
+            None,
+            Some(&plan.rejected_mask),
+            Some(&skip),
+        );
+        let transport = build_transport_report(
+            &plan.log,
+            trace,
+            &assignments_of,
+            rejected,
+            &global,
+            hedge_wins,
+            hedge_losses,
+        );
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, None, None, Some(&plan.log));
+        RuntimeReport {
+            global,
+            shards: shard_runs,
+            cross_shard_queries,
+            total_fragments,
+            rebalance: None,
+            front_door: None,
+            failover: None,
+            transport: Some(transport),
             telemetry,
         }
     }
@@ -395,8 +569,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             epoch: rb.epoch,
             records,
         };
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None, None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -405,6 +579,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: Some(log.clone()),
             front_door: None,
             failover: None,
+            transport: None,
             telemetry,
         };
         (log, report)
@@ -504,8 +679,8 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         drop(tx_done);
         let shard_runs = crate::sweep::collect_indexed(rx_done, n);
 
-        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None);
+        let (global, _) = aggregate(trace, &assignments_of, &shard_runs, None, None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, Some(&log), None, None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -514,6 +689,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: Some(log),
             front_door: None,
             failover: None,
+            transport: None,
             telemetry,
         }
     }
@@ -678,8 +854,9 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
 
         let shard_runs: Vec<ShardRun> = workers.into_iter().map(ShardWorker::into_run).collect();
         let log = door.into_log();
-        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log), None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None);
+        let (global, front_door) =
+            aggregate(trace, &assignments_of, &shard_runs, Some(&log), None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None, None);
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -688,6 +865,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: None,
             front_door,
             failover: None,
+            transport: None,
             telemetry,
         };
         (log, report)
@@ -732,8 +910,9 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             .collect();
 
         let shard_runs = run_threaded(workers);
-        let (global, front_door) = aggregate(trace, &assignments_of, &shard_runs, Some(&log), None);
-        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None);
+        let (global, front_door) =
+            aggregate(trace, &assignments_of, &shard_runs, Some(&log), None, None);
+        let telemetry = self.build_telemetry(trace, &shard_runs, None, Some(&log), None, None);
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -742,6 +921,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: None,
             front_door,
             failover: None,
+            transport: None,
             telemetry,
         }
     }
@@ -779,6 +959,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         mk_scheduler: &mut dyn FnMut(usize) -> Box<dyn Scheduler + Send>,
     ) -> (FailoverLog, Option<RebalanceLog>, RuntimeReport) {
         let fo = self.config.failover;
+        let retry = fo.retry_policy();
         let rb = self.config.rebalance;
         let entries = trace.entries();
         let pre = QueryPreProcessor::new(self.catalog.partition());
@@ -989,7 +1170,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                             fragment: f,
                         },
                     );
-                    retries.push(Reverse((*arrival + fo.redelivery_timeout, seq)));
+                    retries.push(Reverse((retry.deadline_after(*arrival, 0), seq)));
                 }
                 for (w, frags) in workers.iter_mut().zip(window.iter_mut()) {
                     if !frags.is_empty() {
@@ -1040,8 +1221,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                 }
                 None => {
                     // Nothing up: exponential backoff, then try again.
-                    let shift = (attempt - 1).min(32);
-                    retries.push(Reverse((at + fo.retry_backoff.times(1u64 << shift), seq)));
+                    retries.push(Reverse((retry.deadline_after(at, attempt), seq)));
                 }
             }
         }
@@ -1075,6 +1255,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             &shard_runs,
             None,
             Some(&fo_rejected),
+            None,
         );
         let failover = build_failover_report(
             &fo_log,
@@ -1084,8 +1265,14 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             &global,
             recovery_lag,
         );
-        let telemetry =
-            self.build_telemetry(trace, &shard_runs, rb_log.as_ref(), None, Some(&fo_log));
+        let telemetry = self.build_telemetry(
+            trace,
+            &shard_runs,
+            rb_log.as_ref(),
+            None,
+            Some(&fo_log),
+            None,
+        );
         let report = RuntimeReport {
             global,
             shards: shard_runs,
@@ -1094,6 +1281,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: rb_log.clone(),
             front_door: None,
             failover: Some(failover),
+            transport: None,
             telemetry,
         };
         (fo_log, rb_log, report)
@@ -1297,6 +1485,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             &shard_runs,
             None,
             Some(&fo_rejected),
+            None,
         );
         let failover = build_failover_report(
             &fo_log,
@@ -1306,8 +1495,14 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             &global,
             recovery_lag,
         );
-        let telemetry =
-            self.build_telemetry(trace, &shard_runs, rb_log.as_ref(), None, Some(&fo_log));
+        let telemetry = self.build_telemetry(
+            trace,
+            &shard_runs,
+            rb_log.as_ref(),
+            None,
+            Some(&fo_log),
+            None,
+        );
         RuntimeReport {
             global,
             shards: shard_runs,
@@ -1316,6 +1511,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
             rebalance: rb_log,
             front_door: None,
             failover: Some(failover),
+            transport: None,
             telemetry,
         }
     }
@@ -1340,6 +1536,7 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
         rebalance: Option<&RebalanceLog>,
         admission: Option<&AdmissionLog>,
         failover: Option<&FailoverLog>,
+        transport: Option<&TransportLog>,
     ) -> Option<TelemetryReport> {
         if !self.config.telemetry.enabled() {
             return None;
@@ -1474,6 +1671,50 @@ impl<'a, C: Catalog + Sync + ?Sized> ShardedRuntime<'a, C> {
                 ));
             }
         }
+        if let Some(log) = transport {
+            for d in &log.drops {
+                router.push(stamp(
+                    d.at,
+                    EventKind::FragmentDropped {
+                        query: d.query_index as u64,
+                        shard: d.shard,
+                        to_shard: matches!(d.direction, LinkDirection::ToShard),
+                        attempt: d.attempt,
+                    },
+                ));
+            }
+            for r in &log.retransmits {
+                router.push(stamp(
+                    r.at,
+                    EventKind::FragmentRetransmitted {
+                        query: r.query_index as u64,
+                        shard: r.shard,
+                        attempt: r.attempt,
+                    },
+                ));
+            }
+            for s in &log.suppressed {
+                router.push(stamp(
+                    s.at,
+                    EventKind::DuplicateSuppressed {
+                        query: s.query_index as u64,
+                        shard: s.shard,
+                        attempt: s.attempt,
+                    },
+                ));
+            }
+            for h in &log.hedges {
+                router.push(stamp(
+                    h.at,
+                    EventKind::FragmentHedged {
+                        query: h.query_index as u64,
+                        from: h.from,
+                        to: h.to,
+                        entries: h.entries,
+                    },
+                ));
+            }
+        }
         // Stable by construction order within a time tie — all the logs are
         // deterministic, so the router stream is too.
         router.sort_by_key(|e| e.time);
@@ -1557,18 +1798,28 @@ fn run_threaded<C: Catalog + Sync + ?Sized>(workers: Vec<ShardWorker<'_, C>>) ->
 /// response/TTFB statistics.
 ///
 /// With a `failover_rejected` mask, the marked queries lost a fragment to a
-/// dead shard and exhausted re-delivery: unlike a door rejection they may
+/// dead shard (or, on the transport path, exhausted the retransmission
+/// budget) and were terminally rejected: unlike a door rejection they may
 /// have been *partially* serviced (their surviving fragments completed on
 /// live shards), so they are allowed service but must never fully complete —
 /// the fold asserts they stay un-emitted and excludes them from the
 /// conservation count. The two rejection sources are mutually exclusive
 /// (config validation forbids front door × outages).
+///
+/// With a `hedge_losers` set, the marked `(query, shard)` completions are
+/// hedge-race losers: the same fragment already completed on the winning
+/// shard, so the loser's outcome is excluded from the fold entirely (its
+/// serviced entries still count in the per-shard counters — duplicated work
+/// is real work). Without the exclusion the winner + loser pair would
+/// double-count the fragment's assignments and trip the over-service
+/// assert.
 fn aggregate(
     trace: &TimedTrace,
     assignments_of: &[u64],
     shard_runs: &[ShardRun],
     admission: Option<&AdmissionLog>,
     failover_rejected: Option<&[bool]>,
+    hedge_losers: Option<&std::collections::HashSet<(QueryId, u32)>>,
 ) -> (RunReport, Option<FrontDoorReport>) {
     let entries = trace.entries();
     let index_of: HashMap<QueryId, usize> = entries
@@ -1624,8 +1875,11 @@ fn aggregate(
     let mut last_done: Vec<SimTime> = vec![SimTime::ZERO; entries.len()];
     let mut first_done: Vec<Option<SimTime>> = vec![None; entries.len()];
     let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(entries.len() - n_rejected);
-    for (_, _, _, query, completion, assignments) in events {
+    for (_, shard, _, query, completion, assignments) in events {
         let i = index_of[&query];
+        if hedge_losers.is_some_and(|l| l.contains(&(query, shard))) {
+            continue; // the winning copy already covered these assignments
+        }
         assert!(
             !rejected_at[i],
             "query {query} was rejected yet a shard serviced it"
@@ -1863,6 +2117,59 @@ fn build_failover_report(
         rejected,
         per_class,
         recovery_lag,
+    }
+}
+
+/// Folds the transport log, the rejection records, and the global outcomes
+/// into the [`TransportReport`], asserting terminal-outcome conservation per
+/// class exactly like [`build_failover_report`]: every query either
+/// completed or was rejected, exactly once, whatever the links dropped.
+#[allow(clippy::too_many_arguments)]
+fn build_transport_report(
+    log: &TransportLog,
+    trace: &TimedTrace,
+    assignments_of: &[u64],
+    rejected: Vec<FailedQuery>,
+    global: &RunReport,
+    hedge_wins: u64,
+    hedge_losses: u64,
+) -> TransportReport {
+    let entries = trace.entries();
+    let classes = FrontDoorConfig::disabled();
+    let index_of: HashMap<QueryId, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (_, q))| (q.id, i))
+        .collect();
+    let mut per_class: [ClassConservation; 3] = QueryClass::ALL.map(|class| ClassConservation {
+        class,
+        submitted: 0,
+        completed: 0,
+        rejected: 0,
+    });
+    for assignments in assignments_of {
+        per_class[classes.classify(*assignments).rank()].submitted += 1;
+    }
+    for o in &global.outcomes {
+        per_class[classes.classify(assignments_of[index_of[&o.query]]).rank()].completed += 1;
+    }
+    for r in &rejected {
+        per_class[classes.classify(r.assignments).rank()].rejected += 1;
+    }
+    for c in &per_class {
+        assert_eq!(
+            c.completed + c.rejected,
+            c.submitted,
+            "{:?} queries lost track of a terminal outcome in transit",
+            c.class
+        );
+    }
+    TransportReport {
+        log: log.clone(),
+        rejected,
+        per_class,
+        hedge_wins,
+        hedge_losses,
     }
 }
 
@@ -2390,6 +2697,194 @@ mod tests {
             stepped.global.outcomes.len() + fo.rejected.len(),
             timed.len()
         );
+    }
+
+    fn flaky_links() -> Vec<liferaft_sim::LinkFault> {
+        use liferaft_sim::{LinkDirection, LinkFault};
+        use liferaft_storage::SimDuration;
+        let horizon = SimTime::ZERO + SimDuration::from_secs(1_000_000);
+        let base = LinkFault {
+            shard: 0,
+            direction: LinkDirection::ToShard,
+            from: SimTime::ZERO,
+            until: horizon,
+            drop_prob: 0.25,
+            delay: SimDuration::from_millis(80),
+            delay_per_entry: SimDuration::from_micros(15),
+            dup_prob: 0.10,
+            reorder_prob: 0.15,
+            reorder_delay: SimDuration::from_millis(300),
+        };
+        vec![
+            base,
+            LinkFault {
+                direction: LinkDirection::ToRouter,
+                dup_prob: 0.0,
+                reorder_prob: 0.0,
+                ..base
+            },
+            LinkFault {
+                shard: 1,
+                drop_prob: 0.10,
+                ..base
+            },
+        ]
+    }
+
+    #[test]
+    fn enabled_transport_without_link_faults_is_behaviour_neutral() {
+        use crate::transport::TransportConfig;
+        use liferaft_telemetry::TelemetryConfig;
+        let (cat, timed) = fixture(16, 2.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.telemetry = TelemetryConfig::jsonl();
+        let baseline_rt = ShardedRuntime::new(&cat, config.clone());
+        let baseline = baseline_rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        config.transport = TransportConfig::reliable();
+        let rt = ShardedRuntime::new(&cat, config);
+        for mode in [ExecMode::Stepped, ExecMode::Threaded] {
+            let report = rt.run(&timed, &mut |_| greedy(), mode);
+            assert_eq!(report.global.outcomes, baseline.global.outcomes, "{mode:?}");
+            assert_eq!(report.global.batches, baseline.global.batches);
+            assert_eq!(report.global.io, baseline.global.io);
+            assert_eq!(report.global.cache, baseline.global.cache);
+            // The telemetry stream is the same *bytes*: an empty transport
+            // log synthesizes no events.
+            assert_eq!(
+                report.telemetry.as_ref().unwrap().to_jsonl(),
+                baseline.telemetry.as_ref().unwrap().to_jsonl(),
+                "{mode:?}: fault-free transport must not perturb telemetry"
+            );
+            let tp = report.transport.expect("enabled transport reports");
+            assert!(tp.log.is_empty());
+            assert!(tp.rejected.is_empty());
+            assert_eq!(tp.hedge_wins + tp.hedge_losses, 0);
+        }
+    }
+
+    #[test]
+    fn lossy_links_stay_deterministic_across_modes() {
+        use crate::transport::TransportConfig;
+        let (cat, timed) = fixture(24, 4.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.transport = TransportConfig::reliable();
+        config.faults.links = flaky_links();
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.global.io, threaded.global.io);
+        assert_eq!(stepped.global.cache, threaded.global.cache);
+        assert_eq!(stepped.transport, threaded.transport);
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            assert_eq!(a.report.outcomes, b.report.outcomes);
+        }
+        // The links actually bit, and the transport reacted.
+        let tp = stepped.transport.as_ref().expect("transport reports");
+        assert!(!tp.log.drops.is_empty(), "lossy windows must drop messages");
+        assert!(
+            !tp.log.retransmits.is_empty(),
+            "unacked sends must retransmit"
+        );
+        assert!(
+            !tp.log.suppressed.is_empty(),
+            "duplicates and late retransmissions must be deduped"
+        );
+        // Exactly-once terminal outcomes, conserved per class.
+        assert_eq!(
+            stepped.global.outcomes.len() + tp.rejected.len(),
+            timed.len(),
+            "completed + rejected must equal submitted"
+        );
+        for c in &tp.per_class {
+            assert_eq!(c.completed + c.rejected, c.submitted, "{:?}", c.class);
+        }
+    }
+
+    #[test]
+    fn certain_loss_rejects_with_conserved_accounting() {
+        use crate::transport::TransportConfig;
+        use liferaft_sim::{LinkDirection, LinkFault};
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(12, 2.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.transport = TransportConfig::reliable();
+        // Shard 0's inbound link eats everything, forever: every query with
+        // a shard-0 fragment must end in a terminal rejection.
+        config.faults.links.push(LinkFault {
+            shard: 0,
+            direction: LinkDirection::ToShard,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(1_000_000),
+            drop_prob: 1.0,
+            delay: SimDuration::ZERO,
+            delay_per_entry: SimDuration::ZERO,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+        });
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.transport, threaded.transport);
+        let tp = stepped.transport.as_ref().expect("transport reports");
+        assert!(!tp.rejected.is_empty(), "a black-hole link must reject");
+        assert_eq!(
+            stepped.global.outcomes.len() + tp.rejected.len(),
+            timed.len()
+        );
+        for r in &tp.rejected {
+            assert!(r.rejected_at > r.arrival, "rejection follows the budget");
+        }
+        // Shard 0 serviced nothing — every copy died on the wire.
+        assert_eq!(stepped.shards[0].report.serviced_entries, 0);
+    }
+
+    #[test]
+    fn hedging_races_stragglers_and_stays_deterministic() {
+        use crate::transport::TransportConfig;
+        use liferaft_sim::ShardSlowdown;
+        use liferaft_storage::SimDuration;
+        let (cat, timed) = fixture(24, 4.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+        config.transport = TransportConfig::hedged();
+        config.transport.hedge.min_samples = 4;
+        config.transport.hedge.latency_multiplier = 1.3;
+        config.transport.hedge.min_age = SimDuration::from_millis(100);
+        // An 8× stall makes shard 0's fragments structural stragglers.
+        config.faults.stalls.push(ShardSlowdown {
+            shard: 0,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(1_000_000),
+            factor: 8.0,
+        });
+        let rt = ShardedRuntime::new(&cat, config);
+        let stepped = rt.run(&timed, &mut |_| greedy(), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| greedy(), ExecMode::Threaded);
+        assert_eq!(stepped.global.outcomes, threaded.global.outcomes);
+        assert_eq!(stepped.global.batches, threaded.global.batches);
+        assert_eq!(stepped.transport, threaded.transport);
+        let tp = stepped.transport.as_ref().expect("transport reports");
+        assert!(
+            !tp.log.hedges.is_empty(),
+            "stalled-shard stragglers must hedge"
+        );
+        assert_eq!(
+            tp.hedge_wins + tp.hedge_losses,
+            tp.log.hedges.len() as u64,
+            "every hedge race resolves exactly once"
+        );
+        // Hedge copies never land on a shard already hosting the query.
+        for h in &tp.log.hedges {
+            assert_ne!(h.from, h.to);
+        }
+        // Exactly-once completion despite duplicated work.
+        assert_eq!(stepped.global.outcomes.len(), timed.len());
+        for c in &tp.per_class {
+            assert_eq!(c.completed + c.rejected, c.submitted, "{:?}", c.class);
+        }
     }
 
     #[test]

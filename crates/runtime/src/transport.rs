@@ -1,0 +1,958 @@
+//! The modeled router↔shard transport: lossy links, deterministic
+//! retransmit with dedup, and straggler hedging.
+//!
+//! Without this controller the router→shard hop is a perfect lossless
+//! teleport: a fragment becomes deliverable at its `release` instant and
+//! the shard simply sees it. With [`TransportConfig::enabled`] the hop is
+//! a *modeled datagram link* degraded by the [`FaultPlan::links`] windows:
+//! every send can be dropped, delayed (fixed plus per-entry serialization),
+//! duplicated, or reordered, and the router reacts the way a real RPC layer
+//! does — retransmit on an unacknowledged timeout with exponential backoff
+//! (the shared [`RetryPolicy`]), bounded attempts, and receiver-side dedup
+//! by attempt identity so retransmissions are **exactly-once in effect**.
+//!
+//! # Determinism contract
+//!
+//! Every random decision is a pure function of
+//! `(seed, query_index, shard, attempt, stream)` through SplitMix64 — no
+//! RNG state threads through execution. The whole delivery schedule is
+//! *planned once*, before any shard executes, into a [`TransportLog`]:
+//! per-fragment retransmit chains resolve to either an effective delivery
+//! instant (the earliest surviving copy) or a terminal rejection, and the
+//! executed routing simply carries the adjusted release times. Stepped and
+//! threaded execution consume the identical routing and log, so they stay
+//! bit-identical by construction; with no link windows the chains are the
+//! identity function and the run is bit-identical to the transport-disabled
+//! runtime.
+//!
+//! # The ack model
+//!
+//! A chain sends attempt 0 at the fragment's release and escalates on the
+//! [`RetryPolicy`] schedule while no acknowledgement has arrived by the
+//! next send instant. Each attempt's *data* leg crosses the `ToShard` link
+//! (drop / delay / duplicate / reorder draws); each received attempt is
+//! acknowledged over the `ToRouter` link (drop and fixed-delay only — acks
+//! carry no entries and are too small to meaningfully reorder). The
+//! receiver's effect happens at the **earliest** data arrival; every other
+//! arrival — later retransmissions and network duplicates alike — is
+//! suppressed by attempt-identity dedup. A dropped *ack* therefore costs
+//! spurious retransmissions but never duplicated work, and a chain is
+//! rejected only when **no** attempt's data ever arrived.
+//!
+//! # Straggler hedging
+//!
+//! With [`HedgeConfig::enabled`] the planner additionally re-issues
+//! fragments that lag the observed per-class fragment response quantile by
+//! a configurable multiple: it simulates the no-hedge plan once (a stepped
+//! reference pass), measures per-class response distributions, and plans a
+//! hedge copy — to the least-loaded shard *not already hosting the query* —
+//! for every fragment whose response exceeded its class threshold. The
+//! copy races the original; the first completion wins and the loser is
+//! suppressed exactly like a network duplicate, so hedging trades duplicate
+//! *work* for tail latency without ever double-counting a query.
+
+use std::collections::HashMap;
+
+use liferaft_catalog::hash::{hash4, unit_f64};
+use liferaft_query::QueryId;
+use liferaft_sim::LinkDirection;
+use liferaft_storage::{SimDuration, SimTime};
+
+use crate::admission::QueryClass;
+use crate::config::FaultPlan;
+use crate::retry::RetryPolicy;
+use crate::router::Routing;
+use crate::worker::ShardRun;
+
+/// Draw-stream tags: one independent SplitMix64 stream per decision kind,
+/// all keyed by `(seed, query_index, shard·attempt)`.
+const STREAM_DATA_DROP: u64 = 0x7d01;
+const STREAM_DATA_REORDER: u64 = 0x7d02;
+const STREAM_DATA_DUP: u64 = 0x7d03;
+const STREAM_ACK_DROP: u64 = 0x7d04;
+
+/// Straggler-hedging policy: when a fragment's outstanding age exceeds a
+/// multiple of its class's observed response quantile, issue a duplicate to
+/// another shard and let the first completion win.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// A fragment hedges once its age exceeds `latency_multiplier ×` the
+    /// observed class quantile (≥ 1.0).
+    pub latency_multiplier: f64,
+    /// Which response quantile anchors the threshold (in `(0, 1)`).
+    pub quantile: f64,
+    /// Observed responses a class needs before its quantile is trusted.
+    pub min_samples: usize,
+    /// Floor on the hedge threshold — never hedge a fragment younger than
+    /// this, however fast its class looks.
+    pub min_age: SimDuration,
+    /// Budget on hedge copies per run.
+    pub max_hedges: usize,
+}
+
+impl HedgeConfig {
+    /// Hedging off (the duplicate-free default).
+    pub fn off() -> Self {
+        HedgeConfig {
+            enabled: false,
+            latency_multiplier: 2.0,
+            quantile: 0.9,
+            min_samples: 10,
+            min_age: SimDuration::from_millis(500),
+            max_hedges: 256,
+        }
+    }
+
+    /// Hedge fragments lagging 2× the observed p90 of their class.
+    pub fn p90() -> Self {
+        HedgeConfig {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+
+    /// Validates invariants (only binding when enabled).
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(
+            self.latency_multiplier.is_finite() && self.latency_multiplier >= 1.0,
+            "a hedge multiplier below 1.0 would hedge faster-than-typical fragments"
+        );
+        assert!(
+            self.quantile > 0.0 && self.quantile < 1.0,
+            "hedge quantile {} outside (0, 1)",
+            self.quantile
+        );
+        assert!(
+            self.min_samples >= 1,
+            "hedging needs at least one observed response"
+        );
+        assert!(
+            self.min_age > SimDuration::ZERO,
+            "a zero hedge age floor would hedge at the arrival instant"
+        );
+        assert!(
+            self.max_hedges >= 1,
+            "enabled hedging must allow at least one hedge"
+        );
+    }
+}
+
+/// The transport controller's knobs: retransmission schedule, hedging
+/// policy, and the seed of the per-message SplitMix64 draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportConfig {
+    /// Master switch. Disabled (the default) keeps the lossless-teleport
+    /// hop and reproduces the static runtime bit-for-bit.
+    pub enabled: bool,
+    /// Retransmit schedule: detection timeout, exponential backoff, and the
+    /// retransmission budget (shared shape with failover re-delivery).
+    pub retry: RetryPolicy,
+    /// Straggler hedging (off by default).
+    pub hedge: HedgeConfig,
+    /// Seed of the per-message draws; every decision is keyed by
+    /// `(seed, query_index, shard, attempt)`.
+    pub seed: u64,
+}
+
+impl TransportConfig {
+    /// Transport modeling off — the lossless-teleport hop (the default).
+    pub fn disabled() -> Self {
+        TransportConfig {
+            enabled: false,
+            retry: RetryPolicy::new(SimDuration::from_secs(1), SimDuration::from_millis(500), 4),
+            hedge: HedgeConfig::off(),
+            seed: 0x11fe_4af7,
+        }
+    }
+
+    /// Reliable delivery over lossy links: retransmit + dedup, no hedging.
+    pub fn reliable() -> Self {
+        TransportConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Reliable delivery plus p90 straggler hedging.
+    pub fn hedged() -> Self {
+        TransportConfig {
+            enabled: true,
+            hedge: HedgeConfig::p90(),
+            ..Self::disabled()
+        }
+    }
+
+    /// Validates invariants (only binding when enabled).
+    pub fn validate(&self) {
+        if self.enabled {
+            self.retry.validate("transport");
+            self.hedge.validate();
+        }
+    }
+}
+
+/// One dropped message: a data send that never reached its shard
+/// (`ToShard`) or an acknowledgement that never reached the router
+/// (`ToRouter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDrop {
+    /// When the message was lost (send instant for data, delivery instant
+    /// of the acked data for acks).
+    pub at: SimTime,
+    /// Trace index of the fragment's query.
+    pub query_index: usize,
+    /// The shard whose link ate the message.
+    pub shard: u32,
+    /// Which direction of the hop dropped it.
+    pub direction: LinkDirection,
+    /// 0-based attempt the message belonged to.
+    pub attempt: u32,
+}
+
+/// One retransmission: the router re-sent a fragment because no ack had
+/// arrived by the attempt's deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retransmit {
+    /// Send instant.
+    pub at: SimTime,
+    /// Trace index of the fragment's query.
+    pub query_index: usize,
+    /// Destination shard.
+    pub shard: u32,
+    /// 1-based retransmission attempt (attempt 0 is the original send).
+    pub attempt: u32,
+}
+
+/// One receiver-side dedup: a data copy (late retransmission or network
+/// duplicate) arrived after the fragment had already been delivered and was
+/// discarded by attempt identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuppressedDuplicate {
+    /// Arrival instant of the discarded copy.
+    pub at: SimTime,
+    /// Trace index of the fragment's query.
+    pub query_index: usize,
+    /// The receiving shard.
+    pub shard: u32,
+    /// Attempt the discarded copy carried.
+    pub attempt: u32,
+}
+
+/// One planned hedge: a straggling fragment re-issued to another shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgeDecision {
+    /// When the router decided to hedge (arrival + class threshold).
+    pub at: SimTime,
+    /// Trace index of the straggling query.
+    pub query_index: usize,
+    /// The shard the original fragment is lagging on.
+    pub from: u32,
+    /// The least-loaded shard not hosting the query, which receives the
+    /// copy.
+    pub to: u32,
+    /// (object × bucket) assignments the copy carries.
+    pub entries: u64,
+    /// When the copy reaches `to` (hedge instant plus the target link's
+    /// delivery latency).
+    pub delivered_at: SimTime,
+}
+
+/// The transport decision log of one run: every drop, retransmission,
+/// suppression, and hedge the planner resolved — computed once, before any
+/// shard executes, and identical across execution modes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransportLog {
+    /// Lost messages, in `(at, query, shard)` order.
+    pub drops: Vec<LinkDrop>,
+    /// Retransmissions, in `(at, query, shard)` order.
+    pub retransmits: Vec<Retransmit>,
+    /// Receiver-side dedups, in `(at, query, shard)` order.
+    pub suppressed: Vec<SuppressedDuplicate>,
+    /// Hedge decisions, in decision order.
+    pub hedges: Vec<HedgeDecision>,
+}
+
+impl TransportLog {
+    /// True when the transport changed nothing: no message was dropped,
+    /// re-sent, suppressed, or hedged.
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty()
+            && self.retransmits.is_empty()
+            && self.suppressed.is_empty()
+            && self.hedges.is_empty()
+    }
+}
+
+/// What the transport path did and how the run ended: the replayable
+/// decision log, the rejected remainder, per-class conservation, and the
+/// hedge race outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportReport {
+    /// The decision log both executors consumed.
+    pub log: TransportLog,
+    /// Queries rejected because a fragment exhausted its retransmission
+    /// budget with no copy delivered, in trace order.
+    /// `global.outcomes.len() + rejected.len()` equals the trace length —
+    /// accounting is conserved.
+    pub rejected: Vec<crate::failover::FailedQuery>,
+    /// Terminal-outcome conservation per class
+    /// (`completed + rejected == submitted`, asserted at build time).
+    pub per_class: [crate::failover::ClassConservation; 3],
+    /// Hedge copies that beat their original fragment.
+    pub hedge_wins: u64,
+    /// Hedge copies that lost the race (the duplicate work was wasted).
+    pub hedge_losses: u64,
+}
+
+impl TransportReport {
+    /// Total queries the transport rejected.
+    pub fn total_rejected(&self) -> usize {
+        self.rejected.len()
+    }
+}
+
+/// The resolved delivery plan: the decision log (hedges still empty), the
+/// per-query rejection mask, and rejection metadata for report building.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeliveryPlan {
+    /// Drops / retransmits / suppressions (hedges are planned separately).
+    pub log: TransportLog,
+    /// Per trace index: true when a fragment of the query exhausted its
+    /// budget undelivered.
+    pub rejected_mask: Vec<bool>,
+    /// Per trace index: when the last losing chain gave up (meaningful only
+    /// where `rejected_mask` is set).
+    pub rejected_at: Vec<SimTime>,
+    /// Per trace index: retransmissions spent by the worst losing chain.
+    pub attempts_of: Vec<u32>,
+}
+
+/// One chain's resolution: the effective delivery instant (earliest
+/// surviving copy), or `None` with the give-up instant when every attempt's
+/// data was lost.
+struct ChainOutcome {
+    delivered_at: Option<SimTime>,
+    gave_up_at: SimTime,
+    retransmits: u32,
+}
+
+/// Resolves one fragment's retransmit chain against the link windows —
+/// a pure function of `(config, faults, query_index, shard, release,
+/// entries)`.
+fn plan_chain(
+    cfg: &TransportConfig,
+    faults: &FaultPlan,
+    query_index: usize,
+    shard: u32,
+    release: SimTime,
+    entries: u64,
+    log: &mut TransportLog,
+) -> ChainOutcome {
+    let draw = |attempt: u32, stream: u64| -> f64 {
+        unit_f64(hash4(
+            cfg.seed,
+            query_index as u64,
+            ((shard as u64) << 32) | attempt as u64,
+            stream,
+        ))
+    };
+    // All data arrivals (including network duplicates), then dedup below.
+    let mut arrivals: Vec<(SimTime, u32)> = Vec::new();
+    let mut first_ack: Option<SimTime> = None;
+    let mut send_at = release;
+    let mut attempt = 0u32;
+    let gave_up_at = loop {
+        if first_ack.is_some_and(|a| a <= send_at) {
+            break send_at; // acked in time: the chain closed cleanly
+        }
+        if attempt > cfg.retry.max_attempts {
+            break send_at; // budget exhausted at this expired deadline
+        }
+        if attempt > 0 {
+            log.retransmits.push(Retransmit {
+                at: send_at,
+                query_index,
+                shard,
+                attempt,
+            });
+        }
+        // Data leg: router → shard at the send instant's window.
+        let data = faults.link_at(shard, LinkDirection::ToShard, send_at);
+        let dropped = data.is_some_and(|w| draw(attempt, STREAM_DATA_DROP) < w.drop_prob);
+        if dropped {
+            log.drops.push(LinkDrop {
+                at: send_at,
+                query_index,
+                shard,
+                direction: LinkDirection::ToShard,
+                attempt,
+            });
+        } else {
+            let mut arrive = send_at;
+            if let Some(w) = data {
+                arrive = arrive + w.delay + w.delay_per_entry.times(entries);
+                if draw(attempt, STREAM_DATA_REORDER) < w.reorder_prob {
+                    arrive += w.reorder_delay;
+                }
+                if draw(attempt, STREAM_DATA_DUP) < w.dup_prob {
+                    // The network minted an extra copy: same identity, same
+                    // path latency — always discarded by dedup.
+                    arrivals.push((arrive, attempt));
+                }
+            }
+            arrivals.push((arrive, attempt));
+            // Ack leg: shard → router at the delivery instant's window. One
+            // ack per received attempt identity (duplicates share it).
+            let ack = faults.link_at(shard, LinkDirection::ToRouter, arrive);
+            let ack_dropped = ack.is_some_and(|w| draw(attempt, STREAM_ACK_DROP) < w.drop_prob);
+            if ack_dropped {
+                log.drops.push(LinkDrop {
+                    at: arrive,
+                    query_index,
+                    shard,
+                    direction: LinkDirection::ToRouter,
+                    attempt,
+                });
+            } else {
+                let ack_at = arrive + ack.map_or(SimDuration::ZERO, |w| w.delay);
+                first_ack = Some(first_ack.map_or(ack_at, |a| a.min(ack_at)));
+            }
+        }
+        send_at = cfg.retry.deadline_after(send_at, attempt);
+        attempt += 1;
+    };
+    // Receiver dedup: the earliest arrival (ties to the lowest attempt) is
+    // the effect; every other copy is suppressed by attempt identity.
+    arrivals.sort_unstable();
+    let delivered_at = arrivals.first().map(|&(t, _)| t);
+    for &(at, dup_attempt) in arrivals.iter().skip(1) {
+        log.suppressed.push(SuppressedDuplicate {
+            at,
+            query_index,
+            shard,
+            attempt: dup_attempt,
+        });
+    }
+    ChainOutcome {
+        delivered_at,
+        gave_up_at,
+        retransmits: attempt.saturating_sub(1).min(cfg.retry.max_attempts),
+    }
+}
+
+/// Resolves every fragment's retransmit chain and rewrites `routing` into
+/// the *delivered* plan: surviving fragments carry their effective delivery
+/// instant as `release` (per-shard streams re-sorted by release, stable),
+/// lost fragments leave the stream and mark their query rejected.
+///
+/// With no link-fault windows every chain is the identity — the routing is
+/// returned untouched and the log comes back empty, which is what makes the
+/// enabled-but-fault-free transport bit-identical to the static runtime.
+pub(crate) fn plan_delivery(
+    cfg: &TransportConfig,
+    faults: &FaultPlan,
+    routing: &mut Routing,
+    trace_len: usize,
+) -> DeliveryPlan {
+    let mut plan = DeliveryPlan {
+        log: TransportLog::default(),
+        rejected_mask: vec![false; trace_len],
+        rejected_at: vec![SimTime::ZERO; trace_len],
+        attempts_of: vec![0; trace_len],
+    };
+    for (shard, fragments) in routing.shards.iter_mut().enumerate() {
+        let mut any_adjusted = false;
+        fragments.retain_mut(|f| {
+            let outcome = plan_chain(
+                cfg,
+                faults,
+                f.query_index,
+                shard as u32,
+                f.release,
+                f.assignments,
+                &mut plan.log,
+            );
+            match outcome.delivered_at {
+                Some(at) => {
+                    any_adjusted |= at != f.release;
+                    f.release = at;
+                    true
+                }
+                None => {
+                    let q = f.query_index;
+                    plan.rejected_mask[q] = true;
+                    plan.rejected_at[q] = plan.rejected_at[q].max(outcome.gave_up_at);
+                    plan.attempts_of[q] = plan.attempts_of[q].max(outcome.retransmits);
+                    routing.fragments_of[q] -= 1;
+                    false
+                }
+            }
+        });
+        if any_adjusted {
+            // Delays can reorder deliveries; the worker consumes its stream
+            // in release order. Stable, so equal releases keep arrival
+            // order — and a delay-free plan keeps the routing bit-identical.
+            fragments.sort_by_key(|f| f.release);
+        }
+    }
+    // Canonical log order for pinning: time, then fragment identity.
+    plan.log
+        .drops
+        .sort_unstable_by_key(|d| (d.at, d.query_index, d.shard, d.direction as u8, d.attempt));
+    plan.log
+        .retransmits
+        .sort_unstable_by_key(|r| (r.at, r.query_index, r.shard, r.attempt));
+    plan.log
+        .suppressed
+        .sort_unstable_by_key(|s| (s.at, s.query_index, s.shard, s.attempt));
+    plan
+}
+
+/// Plans straggler hedges from the no-hedge reference pass: walks the
+/// observed per-fragment responses, derives per-class thresholds
+/// (`latency_multiplier ×` the class response quantile, floored at
+/// `min_age`), and re-issues every delivered fragment that exceeded its
+/// threshold to the least-loaded shard not hosting its query at the hedge
+/// instant. Pure function of the adjusted routing and the reference pass,
+/// so both executors see the identical hedge plan.
+pub(crate) fn plan_hedges(
+    hedge: &HedgeConfig,
+    faults: &FaultPlan,
+    routing: &Routing,
+    class_of: &[QueryClass],
+    rejected: &[bool],
+    reference: &[ShardRun],
+    index_of: &HashMap<QueryId, usize>,
+) -> Vec<HedgeDecision> {
+    let n = routing.shards.len();
+    // Per-fragment completion instants from the reference pass, keyed by
+    // (query, shard) — unique under the static map (no migration).
+    let mut completion: HashMap<(usize, u32), SimTime> = HashMap::new();
+    // Per-shard load timeline: +assignments at delivery, −assignments at
+    // completion (shard clock), prefix-summed for point queries.
+    let mut timeline: Vec<Vec<(SimTime, i64)>> = vec![Vec::new(); n];
+    for (shard, fragments) in routing.shards.iter().enumerate() {
+        for f in fragments {
+            timeline[shard].push((f.release, f.assignments as i64));
+        }
+    }
+    for run in reference {
+        let mut clock = SimTime::ZERO;
+        for o in &run.report.outcomes {
+            clock = clock.max(o.completion);
+            let q = index_of[&o.query];
+            completion.insert((q, run.shard.0), clock);
+            timeline[run.shard.0 as usize].push((clock, -(o.assignments as i64)));
+        }
+    }
+    for t in &mut timeline {
+        t.sort_unstable_by_key(|&(at, delta)| (at, delta));
+        let mut acc = 0i64;
+        for e in t.iter_mut() {
+            acc += e.1;
+            e.1 = acc;
+        }
+    }
+    let load_at = |shard: usize, at: SimTime| -> i64 {
+        let t = &timeline[shard];
+        let k = t.partition_point(|&(time, _)| time <= at);
+        if k == 0 {
+            0
+        } else {
+            t[k - 1].1
+        }
+    };
+
+    // Per-class observed fragment responses (work-bearing fragments only:
+    // a zero-work marker completes at its arrival and would drag the
+    // quantile toward zero).
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (shard, fragments) in routing.shards.iter().enumerate() {
+        for f in fragments {
+            if f.assignments == 0 {
+                continue;
+            }
+            let done = completion[&(f.query_index, shard as u32)];
+            samples[class_of[f.query_index].rank()].push(done.since(f.arrival).as_secs_f64());
+        }
+    }
+    for s in &mut samples {
+        s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite responses"));
+    }
+    let threshold_s = |class: QueryClass| -> Option<f64> {
+        let s = &samples[class.rank()];
+        if s.len() < hedge.min_samples {
+            return None;
+        }
+        let idx = (((s.len() - 1) as f64) * hedge.quantile).round() as usize;
+        let t = hedge.latency_multiplier * s[idx];
+        Some(t.max(hedge.min_age.as_secs_f64()))
+    };
+
+    // Candidates: delivered work-bearing fragments of non-rejected queries
+    // whose observed response exceeded their class threshold. The hedge
+    // fires at `arrival + threshold` — the earliest instant the router can
+    // *know* the fragment is lagging its class.
+    let mut candidates: Vec<(SimTime, u32, usize, u64)> = Vec::new();
+    for (shard, fragments) in routing.shards.iter().enumerate() {
+        for f in fragments {
+            if f.assignments == 0 || rejected[f.query_index] {
+                continue;
+            }
+            let Some(th) = threshold_s(class_of[f.query_index]) else {
+                continue;
+            };
+            let fire = f.arrival + SimDuration::from_secs_f64(th);
+            if completion[&(f.query_index, shard as u32)] > fire {
+                candidates.push((fire, shard as u32, f.query_index, f.assignments));
+            }
+        }
+    }
+    candidates.sort_unstable_by_key(|&(fire, shard, q, _)| (fire, shard, q));
+
+    // Which shards already host each query (a copy must not land where the
+    // tracker would conflate it with another fragment of the same query).
+    let mut hosts: HashMap<usize, Vec<u32>> = HashMap::new();
+    for (shard, fragments) in routing.shards.iter().enumerate() {
+        for f in fragments {
+            hosts.entry(f.query_index).or_default().push(shard as u32);
+        }
+    }
+
+    let mut hedges: Vec<HedgeDecision> = Vec::new();
+    for (fire, from, q, entries) in candidates {
+        if hedges.len() >= hedge.max_hedges {
+            break;
+        }
+        let occupied = hosts.entry(q).or_default();
+        let target = (0..n as u32)
+            .filter(|s| !occupied.contains(s))
+            .min_by_key(|&s| (load_at(s as usize, fire), s));
+        let Some(to) = target else {
+            continue; // the query spans every shard: nowhere to hedge
+        };
+        occupied.push(to);
+        // The copy crosses the target's ToShard link: delay applies, but
+        // hedge copies skip the drop/duplicate/reorder draws — the model
+        // treats the hedge path as a fresh, clean connection (documented
+        // simplification; the race and dedup are the point here).
+        let delivered_at = match faults.link_at(to, LinkDirection::ToShard, fire) {
+            Some(w) => fire + w.delay + w.delay_per_entry.times(entries),
+            None => fire,
+        };
+        hedges.push(HedgeDecision {
+            at: fire,
+            query_index: q,
+            from,
+            to,
+            entries,
+            delivered_at,
+        });
+    }
+    hedges
+}
+
+/// Resolves every hedge race from the executed shard runs: the first
+/// completion in the canonical `(shard clock, shard, seq)` merge order wins
+/// and the loser's outcome is suppressed (returned as the aggregation skip
+/// set). Both executors produce identical per-shard runs, so the resolution
+/// is mode-independent.
+pub(crate) fn resolve_hedges(
+    hedges: &[HedgeDecision],
+    shard_runs: &[ShardRun],
+    index_of: &HashMap<QueryId, usize>,
+) -> (u64, u64, std::collections::HashSet<(QueryId, u32)>) {
+    let mut skip = std::collections::HashSet::new();
+    let (mut wins, mut losses) = (0u64, 0u64);
+    if hedges.is_empty() {
+        return (wins, losses, skip);
+    }
+    // Merged completion order, restricted to the raced (query, shard)
+    // pairs.
+    let mut raced: HashMap<(usize, u32), usize> = HashMap::new();
+    for (i, h) in hedges.iter().enumerate() {
+        raced.insert((h.query_index, h.from), i);
+        raced.insert((h.query_index, h.to), i);
+    }
+    let mut events: Vec<(SimTime, u32, u32, usize, QueryId)> = Vec::new();
+    for run in shard_runs {
+        let mut clock = SimTime::ZERO;
+        for (seq, o) in run.report.outcomes.iter().enumerate() {
+            clock = clock.max(o.completion);
+            let q = index_of[&o.query];
+            if raced.contains_key(&(q, run.shard.0)) {
+                events.push((clock, run.shard.0, seq as u32, q, o.query));
+            }
+        }
+    }
+    events.sort_unstable_by_key(|&(clock, shard, seq, _, _)| (clock, shard, seq));
+    let mut settled = vec![false; hedges.len()];
+    for (_, shard, _, q, query) in events {
+        let i = raced[&(q, shard)];
+        if settled[i] {
+            // The race is decided: this is the loser's completion.
+            skip.insert((query, shard));
+            continue;
+        }
+        settled[i] = true;
+        if shard == hedges[i].to {
+            wins += 1;
+        } else {
+            losses += 1;
+        }
+    }
+    assert!(
+        settled.iter().all(|&s| s),
+        "every hedge race must produce at least one completion"
+    );
+    (wins, losses, skip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Fragment;
+    use liferaft_sim::LinkFault;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn fragment(query_index: usize, release_ms: u64, assignments: u64) -> Fragment {
+        Fragment {
+            query_index,
+            query: QueryId(query_index as u64),
+            arrival: t(release_ms),
+            release: t(release_ms),
+            class: QueryClass::Standard,
+            items: Vec::new(),
+            assignments,
+        }
+    }
+
+    fn routing(shards: Vec<Vec<Fragment>>, trace_len: usize) -> Routing {
+        let mut fragments_of = vec![0u32; trace_len];
+        let mut assignments_of = vec![0u64; trace_len];
+        for f in shards.iter().flatten() {
+            fragments_of[f.query_index] += 1;
+            assignments_of[f.query_index] += f.assignments;
+        }
+        let total_assignments = assignments_of.iter().sum();
+        Routing {
+            shards,
+            fragments_of,
+            assignments_of,
+            cross_shard_queries: 0,
+            total_assignments,
+        }
+    }
+
+    fn window(shard: u32, direction: LinkDirection, drop_prob: f64) -> LinkFault {
+        LinkFault {
+            shard,
+            direction,
+            from: SimTime::ZERO,
+            until: t(3_600_000),
+            drop_prob,
+            delay: SimDuration::from_millis(100),
+            delay_per_entry: SimDuration::from_micros(10),
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn no_windows_is_the_identity() {
+        let cfg = TransportConfig::reliable();
+        let faults = FaultPlan::none();
+        let mut r = routing(vec![vec![fragment(0, 10, 5), fragment(1, 20, 3)]], 2);
+        let before = r.shards.clone();
+        let plan = plan_delivery(&cfg, &faults, &mut r, 2);
+        assert!(plan.log.is_empty());
+        assert!(!plan.rejected_mask.iter().any(|&m| m));
+        assert_eq!(r.shards, before, "fault-free transport must be a no-op");
+    }
+
+    #[test]
+    fn clean_links_delay_by_fixed_plus_per_entry() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        faults.links.push(window(0, LinkDirection::ToShard, 0.0));
+        let mut r = routing(vec![vec![fragment(0, 10, 5)]], 1);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 1);
+        assert!(plan.log.is_empty(), "a lossless window logs nothing");
+        // 10 ms release + 100 ms fixed + 5 × 10 µs serialization.
+        assert_eq!(
+            r.shards[0][0].release,
+            t(110) + SimDuration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn certain_drop_rejects_after_the_budget() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        faults.links.push(window(0, LinkDirection::ToShard, 1.0));
+        let mut r = routing(vec![vec![fragment(0, 0, 5), fragment(1, 0, 2)]], 2);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 2);
+        assert!(plan.rejected_mask.iter().all(|&m| m));
+        assert!(r.shards[0].is_empty(), "lost fragments leave the stream");
+        assert_eq!(r.fragments_of, vec![0, 0]);
+        // Original + max_attempts retransmits, every one dropped.
+        let per_chain = 1 + cfg.retry.max_attempts as usize;
+        assert_eq!(plan.log.drops.len(), 2 * per_chain);
+        assert_eq!(
+            plan.log.retransmits.len(),
+            2 * cfg.retry.max_attempts as usize
+        );
+        assert!(plan.log.suppressed.is_empty());
+        assert_eq!(plan.attempts_of, vec![cfg.retry.max_attempts; 2]);
+        // The chain gives up when the final attempt's deadline expires:
+        // send 0 at 0 s, retransmits at 1 s, 1.5 s, 2.5 s, 4.5 s, expiry
+        // 4.5 s + 4 s = 8.5 s.
+        let expiry = cfg.retry.deadline_after(
+            cfg.retry.attempt_time(t(0), cfg.retry.max_attempts),
+            cfg.retry.max_attempts,
+        );
+        assert_eq!(plan.rejected_at[0], expiry);
+    }
+
+    #[test]
+    fn dropped_acks_retransmit_but_deliver_exactly_once() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        // Data always lands; every ack dies.
+        faults.links.push(window(0, LinkDirection::ToRouter, 1.0));
+        let mut r = routing(vec![vec![fragment(0, 0, 1)]], 1);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 1);
+        assert!(!plan.rejected_mask[0], "delivered data never rejects");
+        assert_eq!(r.shards[0].len(), 1);
+        // No ToShard window: the effect happens at the original send.
+        assert_eq!(r.shards[0][0].release, t(0));
+        let n = cfg.retry.max_attempts as usize;
+        assert_eq!(plan.log.retransmits.len(), n);
+        // Every retransmitted copy reached the shard and was deduped.
+        assert_eq!(plan.log.suppressed.len(), n);
+        assert_eq!(
+            plan.log
+                .drops
+                .iter()
+                .filter(|d| d.direction == LinkDirection::ToRouter)
+                .count(),
+            n + 1
+        );
+    }
+
+    #[test]
+    fn network_duplicates_are_suppressed() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        let mut w = window(0, LinkDirection::ToShard, 0.0);
+        w.dup_prob = 1.0;
+        faults.links.push(w);
+        let mut r = routing(vec![vec![fragment(0, 0, 1)]], 1);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 1);
+        assert!(!plan.rejected_mask[0]);
+        assert_eq!(plan.log.suppressed.len(), 1, "the minted copy is deduped");
+        assert!(
+            plan.log.retransmits.is_empty(),
+            "the clean ack stops the chain"
+        );
+    }
+
+    #[test]
+    fn reordering_holds_a_delivery_back() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        let mut w = window(0, LinkDirection::ToShard, 0.0);
+        w.reorder_prob = 1.0;
+        w.reorder_delay = SimDuration::from_millis(400);
+        faults.links.push(w);
+        let mut r = routing(vec![vec![fragment(0, 0, 0)]], 1);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 1);
+        assert!(plan.log.is_empty());
+        assert_eq!(
+            r.shards[0][0].release,
+            t(500),
+            "100 ms delay + 400 ms hold-back"
+        );
+    }
+
+    #[test]
+    fn delayed_streams_stay_release_sorted() {
+        let cfg = TransportConfig::reliable();
+        let mut faults = FaultPlan::none();
+        // A delay window that ends between the two releases: the first
+        // fragment is delayed past the second's untouched release.
+        let mut w = window(0, LinkDirection::ToShard, 0.0);
+        w.until = t(15);
+        w.delay = SimDuration::from_millis(200);
+        faults.links.push(w);
+        let mut r = routing(vec![vec![fragment(0, 10, 1), fragment(1, 20, 1)]], 2);
+        let plan = plan_delivery(&cfg, &faults, &mut r, 2);
+        assert!(plan.log.is_empty());
+        let releases: Vec<SimTime> = r.shards[0].iter().map(|f| f.release).collect();
+        assert_eq!(releases, vec![t(20), t(210) + SimDuration::from_micros(10)]);
+        assert_eq!(
+            r.shards[0][0].query_index, 1,
+            "the stream re-sorts by delivery"
+        );
+    }
+
+    #[test]
+    fn chains_are_reproducible_and_seed_sensitive() {
+        let mut faults = FaultPlan::none();
+        let mut w = window(0, LinkDirection::ToShard, 0.35);
+        w.dup_prob = 0.2;
+        w.reorder_prob = 0.25;
+        w.reorder_delay = SimDuration::from_millis(50);
+        faults.links.push(w);
+        faults.links.push(window(0, LinkDirection::ToRouter, 0.35));
+        let shards = || {
+            vec![(0..40)
+                .map(|q| fragment(q, 100 * q as u64, 3))
+                .collect::<Vec<_>>()]
+        };
+        let cfg = TransportConfig::reliable();
+        let mut a = routing(shards(), 40);
+        let mut b = routing(shards(), 40);
+        let pa = plan_delivery(&cfg, &faults, &mut a, 40);
+        let pb = plan_delivery(&cfg, &faults, &mut b, 40);
+        assert_eq!(pa.log, pb.log, "same seed, same plan");
+        assert_eq!(a.shards, b.shards);
+        let mut other = cfg;
+        other.seed ^= 0xdead_beef;
+        let mut c = routing(shards(), 40);
+        let pc = plan_delivery(&other, &faults, &mut c, 40);
+        assert_ne!(pa.log, pc.log, "the seed must steer the draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "hedge quantile")]
+    fn out_of_range_quantile_rejected() {
+        let mut cfg = TransportConfig::hedged();
+        cfg.hedge.quantile = 1.5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hedge multiplier")]
+    fn sub_unit_multiplier_rejected() {
+        let mut cfg = TransportConfig::hedged();
+        cfg.hedge.latency_multiplier = 0.5;
+        cfg.validate();
+    }
+
+    #[test]
+    fn disabled_config_validates_without_constraints() {
+        let mut cfg = TransportConfig::disabled();
+        cfg.hedge.quantile = 7.0; // ignored while disabled
+        cfg.validate();
+    }
+}

@@ -16,9 +16,11 @@ use liferaft_core::{
 use liferaft_query::QueryPreProcessor;
 use liferaft_runtime::{
     AdmissionConfig, ExecMode, FailoverConfig, FaultPlan, FrontDoorConfig, QueryClass,
-    RuntimeConfig, ShardAssignment, ShardedRuntime,
+    RuntimeConfig, ShardAssignment, ShardedRuntime, TransportConfig,
 };
-use liferaft_sim::{RunReport, ShardOutage, ShardSlowdown, SimConfig, Simulation};
+use liferaft_sim::{
+    LinkDirection, LinkFault, RunReport, ShardOutage, ShardSlowdown, SimConfig, Simulation,
+};
 use liferaft_storage::{SimDuration, SimTime};
 use liferaft_workload::arrivals::poisson_arrivals;
 use liferaft_workload::{TimedTrace, TraceGenerator, WorkloadConfig};
@@ -154,6 +156,7 @@ proptest! {
                     factor: 6.0,
                 }],
                 outages: Vec::new(),
+                links: Vec::new(),
             };
         }
         let rt = ShardedRuntime::new(&catalog, config);
@@ -278,6 +281,116 @@ proptest! {
         // bit-identical to the static pool.
         if n_outages == 0 {
             prop_assert!(fo.log.transitions.is_empty());
+            let static_rt = ShardedRuntime::new(
+                &catalog,
+                RuntimeConfig::contiguous(SimConfig::paper(), n_shards),
+            );
+            let plain = static_rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+            prop_assert_eq!(fp(&stepped.global), fp(&plain.global));
+        }
+    }
+
+    /// Chaos: random lossy-link schedules (loss × duplication × delay ×
+    /// reordering) × hedging on/off × schedulers. Every query is
+    /// exactly-once terminal (completed or rejected, never lost or
+    /// double-counted despite retransmissions, network duplicates, and
+    /// hedge copies), per-class conservation holds, every hedge race
+    /// resolves exactly once, the threaded executor replays the stepped
+    /// transport plan bit for bit — and when the random schedule injects
+    /// no link fault with hedging off, the transport-enabled run is
+    /// bit-identical to the plain static pool.
+    #[test]
+    fn lossy_links_are_exactly_once_and_deterministic(
+        seed in 0u64..10_000,
+        n_shards in 2u32..5,
+        kind in 0u8..4,
+        n_links in 0usize..4,
+        drop_pct in 0u32..40,
+        dup_pct in 0u32..25,
+        reorder_pct in 0u32..25,
+        delay_ms in 0u64..200,
+        hedged in proptest::bool::ANY,
+        rate_deci in 2u64..20,
+    ) {
+        let (catalog, timed) = fixture(seed, 24, rate_deci as f64 / 10.0);
+        let mut config = RuntimeConfig::contiguous(SimConfig::paper(), n_shards);
+        config.transport = if hedged {
+            TransportConfig::hedged()
+        } else {
+            TransportConfig::reliable()
+        };
+        config.transport.hedge.min_samples = 4;
+        // Distinct (shard, direction) pairs keep the windows trivially
+        // disjoint, so they can all cover the whole run and actually fire.
+        config.faults.links = (0..n_links)
+            .map(|i| LinkFault {
+                shard: i as u32 % n_shards,
+                direction: if (i as u32) < n_shards {
+                    LinkDirection::ToShard
+                } else {
+                    LinkDirection::ToRouter
+                },
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimDuration::from_secs(1_000_000),
+                drop_prob: drop_pct as f64 / 100.0,
+                delay: SimDuration::from_millis(delay_ms),
+                delay_per_entry: SimDuration::from_micros(10),
+                dup_prob: dup_pct as f64 / 100.0,
+                reorder_prob: reorder_pct as f64 / 100.0,
+                reorder_delay: SimDuration::from_millis(250),
+            })
+            .collect();
+        let rt = ShardedRuntime::new(&catalog, config);
+        let stepped = rt.run(&timed, &mut |_| policy(kind), ExecMode::Stepped);
+        let threaded = rt.run(&timed, &mut |_| policy(kind), ExecMode::Threaded);
+
+        prop_assert_eq!(fp(&stepped.global), fp(&threaded.global));
+        for (a, b) in stepped.shards.iter().zip(&threaded.shards) {
+            prop_assert_eq!(fp(&a.report), fp(&b.report));
+        }
+        prop_assert_eq!(&stepped.transport, &threaded.transport);
+
+        // Exactly-once terminal: completed ∪ rejected covers the trace,
+        // disjointly — retransmissions, duplicates, and hedge copies never
+        // surface twice.
+        let tp = stepped.transport.as_ref().expect("transport is on");
+        prop_assert_eq!(
+            stepped.global.outcomes.len() + tp.rejected.len(),
+            timed.len()
+        );
+        let mut terminal = vec![false; timed.len()];
+        for o in &stepped.global.outcomes {
+            let i = o.query.0 as usize;
+            prop_assert!(!terminal[i], "query {} completed twice", i);
+            terminal[i] = true;
+            prop_assert!(o.completion >= o.arrival);
+        }
+        for r in &tp.rejected {
+            prop_assert!(!terminal[r.index], "query {} rejected after completing", r.index);
+            terminal[r.index] = true;
+        }
+        prop_assert!(terminal.iter().all(|&t| t), "some query never became terminal");
+
+        // Per-class books balance and roll up to the whole trace.
+        let mut submitted = 0u64;
+        for c in &tp.per_class {
+            prop_assert_eq!(c.submitted, c.completed + c.rejected, "{:?} class", c.class);
+            submitted += c.submitted;
+        }
+        prop_assert_eq!(submitted, timed.len() as u64);
+
+        // Every hedge race settles exactly once: first copy wins, the
+        // loser is suppressed.
+        prop_assert_eq!(
+            tp.hedge_wins + tp.hedge_losses,
+            tp.log.hedges.len() as u64
+        );
+
+        // A fault-free schedule with hedging off makes enabled transport
+        // behaviour-neutral: bit-identical to the static pool.
+        if n_links == 0 && !hedged {
+            prop_assert!(tp.log.is_empty());
+            prop_assert!(tp.rejected.is_empty());
             let static_rt = ShardedRuntime::new(
                 &catalog,
                 RuntimeConfig::contiguous(SimConfig::paper(), n_shards),

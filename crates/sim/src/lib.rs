@@ -35,5 +35,6 @@ pub use federation::{run_chain, FederationReport};
 pub use liferaft_workload::TimedTrace;
 pub use report::RunReport;
 pub use scenario::{
-    build_scenario, ScenarioFixture, ScenarioKind, ScenarioScale, ShardOutage, ShardSlowdown,
+    build_scenario, LinkDirection, LinkFault, ScenarioFixture, ScenarioKind, ScenarioScale,
+    ShardOutage, ShardSlowdown,
 };

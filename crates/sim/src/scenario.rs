@@ -37,17 +37,23 @@ pub enum ScenarioKind {
     /// mid-trace interval (see [`ShardOutage`]) — the failover path must
     /// evacuate its buckets and re-deliver its lost work.
     ShardCrash,
+    /// A nominal workload over degraded router↔shard links plus one slow
+    /// shard: data-direction loss and delay force retransmits, a lossy ack
+    /// path forces duplicate suppression, and the stalled shard is the
+    /// straggler that hedging routes around (see [`LinkFault`]).
+    LossyLink,
 }
 
 impl ScenarioKind {
     /// Every scenario, in canonical order.
-    pub const ALL: [ScenarioKind; 6] = [
+    pub const ALL: [ScenarioKind; 7] = [
         ScenarioKind::FlashCrowd,
         ScenarioKind::DiurnalCycle,
         ScenarioKind::HotspotDrift,
         ScenarioKind::InteractiveBatchMix,
         ScenarioKind::ShardStall,
         ScenarioKind::ShardCrash,
+        ScenarioKind::LossyLink,
     ];
 
     /// Stable machine-readable name (bench row keys, CI labels).
@@ -59,6 +65,7 @@ impl ScenarioKind {
             ScenarioKind::InteractiveBatchMix => "interactive_batch_mix",
             ScenarioKind::ShardStall => "shard_stall",
             ScenarioKind::ShardCrash => "shard_crash",
+            ScenarioKind::LossyLink => "lossy_link",
         }
     }
 }
@@ -92,6 +99,47 @@ pub struct ShardOutage {
     pub down_at: SimTime,
     /// End of the outage (exclusive) — the shard rejoins here, cold.
     pub up_at: SimTime,
+}
+
+/// The direction of the router↔shard hop a [`LinkFault`] degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDirection {
+    /// Router → shard: fragment deliveries (and retransmissions).
+    ToShard,
+    /// Shard → router: delivery acknowledgements.
+    ToRouter,
+}
+
+/// An injected link-quality window: between `from` (inclusive) and `until`
+/// (exclusive), every message crossing the router↔shard link of `shard` in
+/// `direction` is dropped with probability `drop_prob`; a delivered message
+/// is delayed by `delay + entries × delay_per_entry`, duplicated with
+/// probability `dup_prob`, and reordered — held back an extra
+/// `reorder_delay` behind later traffic — with probability `reorder_prob`.
+/// Plain indices rather than runtime shard ids so the suite stays below the
+/// runtime crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Index of the shard whose link degrades.
+    pub shard: u32,
+    /// Which direction of the hop is degraded.
+    pub direction: LinkDirection,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+    /// Per-message drop probability in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Fixed one-way latency added to every delivered message.
+    pub delay: SimDuration,
+    /// Serialization latency per (object × bucket) entry carried.
+    pub delay_per_entry: SimDuration,
+    /// Probability a delivered message arrives twice in `[0, 1]`.
+    pub dup_prob: f64,
+    /// Probability a delivered message is reordered in `[0, 1]`.
+    pub reorder_prob: f64,
+    /// Extra delay a reordered message is held back by.
+    pub reorder_delay: SimDuration,
 }
 
 /// Size/seed knobs of a scenario build.
@@ -132,6 +180,9 @@ pub struct ScenarioFixture {
     /// Injected shard outages (empty for every scenario but
     /// [`ScenarioKind::ShardCrash`]).
     pub outages: Vec<ShardOutage>,
+    /// Injected link-fault windows (empty for every scenario but
+    /// [`ScenarioKind::LossyLink`]).
+    pub links: Vec<LinkFault>,
 }
 
 /// Builds a scenario fixture — a pure function of `(kind, scale)`.
@@ -146,8 +197,8 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
     };
     let n = scale.n_queries;
     let seed = scale.seed;
-    let no_faults = || (Vec::new(), Vec::new());
-    let (cfg, arrivals, (stalls, outages)) = match kind {
+    let no_faults = || (Vec::new(), Vec::new(), Vec::new());
+    let (cfg, arrivals, (stalls, outages, links)) = match kind {
         ScenarioKind::FlashCrowd => {
             // Quiet base load, then ~60% of the trace crammed into a burst
             // window at 40× the base rate.
@@ -203,7 +254,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
                 until: stall_until,
                 factor: 6.0,
             }];
-            (cfg, arrivals, (stalls, Vec::new()))
+            (cfg, arrivals, (stalls, Vec::new(), Vec::new()))
         }
         ScenarioKind::ShardCrash => {
             // A flash of load builds a pool-wide backlog, then one shard
@@ -226,7 +277,46 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
                 down_at,
                 up_at,
             }];
-            (cfg, arrivals, (Vec::new(), outages))
+            (cfg, arrivals, (Vec::new(), outages, Vec::new()))
+        }
+        ScenarioKind::LossyLink => {
+            // Nominal load, one shard running slow behind flaky links: the
+            // slow shard's data direction loses and delays fragments (so
+            // retransmits fire), its ack path is lossy (so retransmits of
+            // already-delivered fragments must be dedup-suppressed), and a
+            // second shard's milder loss keeps the chaos from being
+            // single-shard. The stalled shard is the straggler a hedging
+            // policy routes around. Windows run well past the last arrival
+            // so retransmit tails stay inside the faulty regime.
+            let cfg = base();
+            let arrivals = poisson_arrivals(1.5, n, seed ^ 0x1055);
+            let span = SimDuration::from_secs_f64(2.5 * n as f64 / 1.5);
+            let from = SimTime::ZERO;
+            let until = SimTime::ZERO + span;
+            let stalls = vec![ShardSlowdown {
+                shard: 0,
+                from: SimTime::ZERO + SimDuration::from_secs(5),
+                until,
+                factor: 5.0,
+            }];
+            let flaky = |shard, direction, drop_prob, dup_prob| LinkFault {
+                shard,
+                direction,
+                from,
+                until,
+                drop_prob,
+                delay: SimDuration::from_millis(150),
+                delay_per_entry: SimDuration::from_micros(20),
+                dup_prob,
+                reorder_prob: 0.10,
+                reorder_delay: SimDuration::from_millis(400),
+            };
+            let links = vec![
+                flaky(0, LinkDirection::ToShard, 0.20, 0.05),
+                flaky(0, LinkDirection::ToRouter, 0.20, 0.0),
+                flaky(1, LinkDirection::ToShard, 0.05, 0.02),
+            ];
+            (cfg, arrivals, (stalls, Vec::new(), links))
         }
     };
     let trace = TraceGenerator::new(cfg).generate().with_arrivals(arrivals);
@@ -235,6 +325,7 @@ pub fn build_scenario(kind: ScenarioKind, scale: &ScenarioScale) -> ScenarioFixt
         trace,
         stalls,
         outages,
+        links,
     }
 }
 
@@ -262,6 +353,7 @@ mod tests {
             }
             assert_eq!(a.stalls.len(), b.stalls.len());
             assert_eq!(a.outages, b.outages, "{}", kind.name());
+            assert_eq!(a.links, b.links, "{}", kind.name());
         }
     }
 
@@ -289,6 +381,32 @@ mod tests {
         // The window overlaps the arrival span, else it injects nothing.
         let last = fx.trace.entries().last().unwrap().0;
         assert!(s.from < last, "stall must start within the trace");
+    }
+
+    #[test]
+    fn lossy_link_recommends_flaky_windows_and_a_straggler() {
+        let fx = build_scenario(ScenarioKind::LossyLink, &ScenarioScale::small());
+        assert!(fx.outages.is_empty());
+        assert_eq!(fx.stalls.len(), 1, "the straggler shard");
+        assert!(!fx.links.is_empty());
+        let last = fx.trace.entries().last().unwrap().0;
+        for l in &fx.links {
+            assert!(l.until > l.from);
+            assert!(l.from < last, "link fault must start within the trace");
+            assert!((0.0..=1.0).contains(&l.drop_prob));
+            assert!((0.0..=1.0).contains(&l.dup_prob));
+            assert!((0.0..=1.0).contains(&l.reorder_prob));
+        }
+        // Both directions are exercised: data loss forces retransmits, ack
+        // loss forces duplicate suppression.
+        assert!(fx
+            .links
+            .iter()
+            .any(|l| l.direction == LinkDirection::ToShard && l.drop_prob > 0.0));
+        assert!(fx
+            .links
+            .iter()
+            .any(|l| l.direction == LinkDirection::ToRouter && l.drop_prob > 0.0));
     }
 
     #[test]

@@ -189,6 +189,53 @@ pub enum EventKind {
         /// because no shard was up).
         to: u32,
     },
+    /// The transport lost a message on a lossy link window: a data send
+    /// that never reached its shard, or an acknowledgement that never made
+    /// it back to the router.
+    FragmentDropped {
+        /// Trace index of the fragment's query.
+        query: u64,
+        /// The shard whose link ate the message.
+        shard: u32,
+        /// `true` for a lost data send (router → shard), `false` for a lost
+        /// acknowledgement (shard → router).
+        to_shard: bool,
+        /// 0-based send attempt the message belonged to.
+        attempt: u32,
+    },
+    /// The transport re-sent a fragment whose previous attempt went
+    /// unacknowledged past its deadline.
+    FragmentRetransmitted {
+        /// Trace index of the fragment's query.
+        query: u64,
+        /// Destination shard.
+        shard: u32,
+        /// 1-based retransmission attempt (attempt 0 was the original send).
+        attempt: u32,
+    },
+    /// The transport hedged a straggling fragment: a duplicate was issued
+    /// to another shard to race the original.
+    FragmentHedged {
+        /// Trace index of the straggling query.
+        query: u64,
+        /// The shard the original fragment is lagging on.
+        from: u32,
+        /// The shard that received the hedge copy.
+        to: u32,
+        /// (object × bucket) assignments the copy carries.
+        entries: u64,
+    },
+    /// A receiver discarded a duplicate data copy (late retransmission or
+    /// network duplicate) by attempt identity — delivery stayed
+    /// exactly-once.
+    DuplicateSuppressed {
+        /// Trace index of the fragment's query.
+        query: u64,
+        /// The receiving shard.
+        shard: u32,
+        /// Attempt the discarded copy carried.
+        attempt: u32,
+    },
     /// A front-door load sample at an epoch boundary.
     AdmissionSampled {
         /// 1-based sample epoch.
@@ -229,6 +276,10 @@ impl EventKind {
             EventKind::ShardUp { .. } => "shard_up",
             EventKind::BucketEvacuated { .. } => "bucket_evacuated",
             EventKind::FragmentRetried { .. } => "fragment_retried",
+            EventKind::FragmentDropped { .. } => "fragment_dropped",
+            EventKind::FragmentRetransmitted { .. } => "fragment_retransmitted",
+            EventKind::FragmentHedged { .. } => "fragment_hedged",
+            EventKind::DuplicateSuppressed { .. } => "duplicate_suppressed",
             EventKind::AdmissionSampled { .. } => "admission_sampled",
         }
     }

@@ -163,6 +163,48 @@ pub fn event_to_json(e: &Event) -> String {
                 ",\"query\":{query},\"from\":{from},\"attempt\":{attempt},\"delivered\":{delivered},\"to\":{to}"
             );
         }
+        EventKind::FragmentDropped {
+            query,
+            shard,
+            to_shard,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"query\":{query},\"shard\":{shard},\"to_shard\":{to_shard},\"attempt\":{attempt}"
+            );
+        }
+        EventKind::FragmentRetransmitted {
+            query,
+            shard,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"query\":{query},\"shard\":{shard},\"attempt\":{attempt}"
+            );
+        }
+        EventKind::FragmentHedged {
+            query,
+            from,
+            to,
+            entries,
+        } => {
+            let _ = write!(
+                s,
+                ",\"query\":{query},\"from\":{from},\"to\":{to},\"entries\":{entries}"
+            );
+        }
+        EventKind::DuplicateSuppressed {
+            query,
+            shard,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"query\":{query},\"shard\":{shard},\"attempt\":{attempt}"
+            );
+        }
         EventKind::AdmissionSampled {
             epoch,
             inflight,
@@ -340,6 +382,45 @@ pub fn events_to_chrome_trace(events: &[Event], n_shards: u32) -> String {
             } => {
                 rows.push(format!(
                     "{{\"name\":\"retry q{query} #{attempt}\",\"cat\":\"failover\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"delivered\":{delivered}}}}}"
+                ));
+            }
+            EventKind::FragmentDropped {
+                query,
+                shard,
+                to_shard,
+                attempt,
+            } => {
+                let leg = if *to_shard { "data" } else { "ack" };
+                rows.push(format!(
+                    "{{\"name\":\"drop q{query} {leg} #{attempt}\",\"cat\":\"transport\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"shard\":{shard}}}}}"
+                ));
+            }
+            EventKind::FragmentRetransmitted {
+                query,
+                shard,
+                attempt,
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"retransmit q{query} #{attempt}\",\"cat\":\"transport\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"shard\":{shard}}}}}"
+                ));
+            }
+            EventKind::FragmentHedged {
+                query,
+                from,
+                to,
+                entries,
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"hedge q{query}: {from}\\u2192{to}\",\"cat\":\"transport\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"entries\":{entries}}}}}"
+                ));
+            }
+            EventKind::DuplicateSuppressed {
+                query,
+                shard,
+                attempt,
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"dedup q{query} #{attempt}\",\"cat\":\"transport\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"shard\":{shard}}}}}"
                 ));
             }
             EventKind::AdmissionSampled {

@@ -26,12 +26,15 @@ The fixture build (catalog + parallel trace generation) is guarded the same
 way, normalized by the same fleet-median drift: ``fixture_build_s`` must not
 exceed the baseline by more than --fixture-tolerance after drift correction.
 
-The overload and crash rows carry *virtual-time* percentiles, which are
-deterministic for a fixed fixture: the door-on interactive p90 must stay
-below door-off (and within --p90-tolerance of the baseline), and the
+The overload, crash, and lossy-link rows carry *virtual-time* percentiles,
+which are deterministic for a fixed fixture: the door-on interactive p90
+must stay below door-off (and within --p90-tolerance of the baseline), the
 crash_failover_on global p90 must stay below crash_failover_off (and
 within the same tolerance of the baseline) — failover has to keep paying
-for the evacuation machinery it adds.
+for the evacuation machinery it adds — and the lossy_link_hedge_on global
+p90 must stay below lossy_link_hedge_off (and within the same tolerance of
+the baseline): straggler hedging has to keep paying for the work it
+duplicates.
 
 The flight-recorder overhead gates compare rows *within the current run*
 (same machine, same reps, identical fixture), so no drift correction is
@@ -60,6 +63,8 @@ DOOR_ON = "overload_flash_door_on"
 DOOR_OFF = "overload_flash_door_off"
 CRASH_ON = "crash_failover_on"
 CRASH_OFF = "crash_failover_off"
+LOSSY_ON = "lossy_link_hedge_on"
+LOSSY_OFF = "lossy_link_hedge_off"
 GREEDY = "LifeRaft(α=0.00)"
 TELEMETRY_OFF = "telemetry_off"
 TELEMETRY_RING = "telemetry_ring"
@@ -232,6 +237,36 @@ def main():
     else:
         print("crash rows: not present in both files, skipped")
 
+    # Lossy-link hedging guard: racing a duplicate against the straggler
+    # must keep beating retransmit-only delivery. Same shape as the crash
+    # gates, on the virtual-time global p90 of the lossy-link scenario:
+    # hedge-on strictly below hedge-off *within the current run* (otherwise
+    # the hedging policy is burning duplicate work for nothing), and
+    # hedge-on no worse than the committed baseline beyond --p90-tolerance.
+    hedge_failures = []
+    if LOSSY_ON in cur and LOSSY_OFF in cur:
+        on = cur[LOSSY_ON].get("p90_response_s")
+        off = cur[LOSSY_OFF].get("p90_response_s")
+        if on is not None and off is not None:
+            verdict = "ok"
+            if on >= off:
+                verdict = "REGRESSED (hedge-on >= hedge-off)"
+                hedge_failures.append("hedge-on p90 not below hedge-off")
+            print(f"{'lossy_p90 on/off':<22} {off:>9.3f} {on:>9.3f} "
+                  f"{on / max(off, 1e-9):>7.2f}   {verdict}")
+        base_on = base.get(LOSSY_ON, {}).get("p90_response_s")
+        if on is not None and base_on is not None and base_on > 0:
+            limit = base_on * (1.0 + args.p90_tolerance)
+            verdict = "ok"
+            if on > limit:
+                verdict = f"REGRESSED (> {limit:.2f})"
+                hedge_failures.append(
+                    f"hedge-on p90 {on:.2f}s over baseline {base_on:.2f}s")
+            print(f"{'lossy_p90 vs base':<22} {base_on:>9.3f} {on:>9.3f} "
+                  f"{on / base_on:>7.2f}   {verdict}")
+    else:
+        print("lossy-link rows: not present in both files, skipped")
+
     # Flight-recorder overhead gates, within the current run only (same
     # machine, same reps — no drift to correct for).
     telemetry_failures = []
@@ -271,11 +306,14 @@ def main():
     if failover_failures:
         sys.exit(f"FAIL: crash-failover p90 guard: "
                  f"{'; '.join(failover_failures)}")
+    if hedge_failures:
+        sys.exit(f"FAIL: lossy-link hedging p90 guard: "
+                 f"{'; '.join(hedge_failures)}")
     if telemetry_failures:
         sys.exit(f"FAIL: flight-recorder overhead guard: "
                  f"{'; '.join(telemetry_failures)}")
-    print("bench guard: no per-scheduler, fixture, front-door, "
-          "failover, or telemetry regression")
+    print("bench guard: no per-scheduler, fixture, front-door, failover, "
+          "hedging, or telemetry regression")
 
 
 if __name__ == "__main__":

@@ -82,13 +82,13 @@ pub mod prelude {
     pub use liferaft_query::{CrossMatchQuery, MatchObject, Predicate, QueryId, QueryPreProcessor};
     pub use liferaft_runtime::{
         AdmissionConfig, ClassStats, ElasticShardMap, ExecMode, FailoverConfig, FailoverLog,
-        FailoverReport, FaultPlan, FrontDoorConfig, FrontDoorReport, QueryClass, RebalanceConfig,
-        RebalanceLog, RuntimeConfig, RuntimeReport, ShardAssignment, ShardId, ShardMap,
-        ShardedRuntime,
+        FailoverReport, FaultPlan, FrontDoorConfig, FrontDoorReport, HedgeConfig, QueryClass,
+        RebalanceConfig, RebalanceLog, RetryPolicy, RuntimeConfig, RuntimeReport, ShardAssignment,
+        ShardId, ShardMap, ShardedRuntime, TransportConfig, TransportLog, TransportReport,
     };
     pub use liferaft_sim::{
-        build_scenario, calibrate_tradeoff_table, EngineCore, RunReport, ScenarioFixture,
-        ScenarioKind, ScenarioScale, SimConfig, Simulation,
+        build_scenario, calibrate_tradeoff_table, EngineCore, LinkDirection, LinkFault, RunReport,
+        ScenarioFixture, ScenarioKind, ScenarioScale, SimConfig, Simulation,
     };
     pub use liferaft_storage::{BucketCache, BucketId, CostModel, DiskModel, SimDuration, SimTime};
     pub use liferaft_telemetry::{

@@ -38,16 +38,28 @@ fn door() -> FrontDoorConfig {
 }
 
 /// A 4-shard pool with the scenario's recommended fault injection converted
-/// into the runtime's fault plan. Stall-only scenarios run behind the front
-/// door; outage scenarios run behind the failover controller instead (the
-/// two admission paths are mutually exclusive by config validation).
+/// into the runtime's fault plan. Link-fault scenarios run behind the
+/// hedged transport controller; outage scenarios behind the failover
+/// controller; everything else behind the front door (the three paths are
+/// mutually exclusive by config validation).
 fn pool_config(fx: &ScenarioFixture) -> RuntimeConfig {
     let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
     config.faults = FaultPlan {
         stalls: fx.stalls.clone(),
         outages: fx.outages.clone(),
+        links: fx.links.clone(),
     };
-    if fx.outages.is_empty() {
+    if !fx.links.is_empty() {
+        config.transport = TransportConfig::hedged();
+        // Anchor the hedge threshold below the straggler-inflated p90:
+        // with a bimodal response mix a `2 × p90` trigger only clips the
+        // extreme tail, while `1.5 × p75` re-issues stalled fragments
+        // early enough to pull the p90 itself down without duplicating
+        // so much work that the healthy shards clog.
+        config.transport.hedge.quantile = 0.75;
+        config.transport.hedge.latency_multiplier = 1.5;
+        config.transport.hedge.min_samples = 5;
+    } else if fx.outages.is_empty() {
         config.front_door = door();
     } else {
         config.failover = FailoverConfig::recovery();
@@ -88,10 +100,33 @@ fn every_scenario_is_deterministic_across_executors_and_schedulers() {
                 stepped.failover, threaded.failover,
                 "{ctx}: failover reports diverged"
             );
+            assert_eq!(
+                stepped.transport, threaded.transport,
+                "{ctx}: transport reports diverged"
+            );
 
             // Conservation: every submitted query is exactly-once terminal,
             // whichever controller fronted the run.
-            if let Some(fd) = stepped.front_door.as_ref() {
+            if let Some(tp) = stepped.transport.as_ref() {
+                assert_eq!(
+                    stepped.global.outcomes.len() + tp.rejected.len(),
+                    fx.trace.len(),
+                    "{ctx}: completed + rejected must equal submitted"
+                );
+                for c in &tp.per_class {
+                    assert_eq!(
+                        c.completed + c.rejected,
+                        c.submitted,
+                        "{ctx}: {:?} class conservation",
+                        c.class
+                    );
+                }
+                assert_eq!(
+                    tp.hedge_wins + tp.hedge_losses,
+                    tp.log.hedges.len() as u64,
+                    "{ctx}: every hedge race must settle exactly once"
+                );
+            } else if let Some(fd) = stepped.front_door.as_ref() {
                 assert_eq!(
                     stepped.global.outcomes.len() + fd.rejected.len(),
                     fx.trace.len(),
@@ -259,5 +294,72 @@ fn shard_crash_failover_restores_service_where_off_strands_it() {
         p90_off > 2.0 * p90_base,
         "the unrecovered crash must grossly delay the stranded work \
          (off: {p90_off:.2}s, baseline: {p90_base:.2}s)"
+    );
+}
+
+#[test]
+fn lossy_link_hedging_beats_retransmit_only_delivery() {
+    let catalog = scenario_catalog();
+    let fx = build_scenario(ScenarioKind::LossyLink, &ScenarioScale::small());
+    assert!(
+        !fx.links.is_empty(),
+        "lossy fixture must declare link faults"
+    );
+    assert!(
+        !fx.stalls.is_empty(),
+        "lossy fixture must declare a straggler"
+    );
+    let greedy = scheduler_factories()[2].1;
+
+    // Hedge off: retransmit/dedup delivery only — stragglers ride out the
+    // stalled shard.
+    let mut off_cfg = pool_config(&fx);
+    off_cfg.transport.hedge.enabled = false;
+    let off_rt = ShardedRuntime::new(&catalog, off_cfg);
+    let off = off_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // Hedge on (pool_config enables p90 hedging for link fixtures).
+    let on_rt = ShardedRuntime::new(&catalog, pool_config(&fx));
+    let on = on_rt.run(&fx.trace, &mut |_| greedy(), ExecMode::Stepped);
+
+    // The lossy links really bit, both runs stayed conservative.
+    for (label, report) in [("off", &off), ("on", &on)] {
+        let tp = report.transport.as_ref().expect("transport report");
+        assert!(
+            !tp.log.drops.is_empty() && !tp.log.retransmits.is_empty(),
+            "hedge-{label}: the lossy windows must force retransmits"
+        );
+        assert!(
+            !tp.log.suppressed.is_empty(),
+            "hedge-{label}: ack loss must force duplicate suppression"
+        );
+        assert_eq!(
+            report.global.outcomes.len() + tp.rejected.len(),
+            fx.trace.len(),
+            "hedge-{label}: completed + rejected must equal submitted"
+        );
+    }
+    let tp_on = on.transport.as_ref().unwrap();
+    assert!(
+        !tp_on.log.hedges.is_empty(),
+        "the stalled shard's stragglers must hedge"
+    );
+    assert!(
+        tp_on.hedge_wins > 0,
+        "at least one hedge copy must beat its straggling original"
+    );
+    assert!(
+        off.transport.as_ref().unwrap().log.hedges.is_empty(),
+        "hedge-off must plan no hedges"
+    );
+
+    // The acceptance bar: hedging strictly cuts interactive p90 on the
+    // identical lossy trace.
+    let p90_on = interactive_p90_s(&on.global);
+    let p90_off = interactive_p90_s(&off.global);
+    assert!(
+        p90_on < p90_off,
+        "hedging must cut interactive p90 under lossy links \
+         (on: {p90_on:.2}s, off: {p90_off:.2}s)"
     );
 }

@@ -14,7 +14,11 @@
 //!    outage edges, evacuations, and re-delivery attempts to the router
 //!    stream — one event per decision-log record — and stepped/threaded
 //!    streams stay byte-identical.
-//! 4. **Recording is behaviour-neutral**: with the ring or JSONL sink on,
+//! 4. **And the transport path**: lossy router↔shard links add drops,
+//!    retransmissions, duplicate suppressions, and hedges to the router
+//!    stream — one event per transport-log record — and stepped/threaded
+//!    streams stay byte-identical.
+//! 5. **Recording is behaviour-neutral**: with the ring or JSONL sink on,
 //!    a single-shard runtime still reproduces the recorded single-engine
 //!    goldens bit-for-bit — the flight recorder observes, never steers.
 //!    A within-capacity ring records the same stream as the unbounded
@@ -158,6 +162,7 @@ fn failover_path_keeps_the_byte_identical_stream() {
     config.faults = FaultPlan {
         stalls: fx.stalls.clone(),
         outages: fx.outages.clone(),
+        links: fx.links.clone(),
     };
     config.failover = FailoverConfig::recovery();
     config.telemetry = TelemetryConfig::jsonl();
@@ -194,6 +199,73 @@ fn failover_path_keeps_the_byte_identical_stream() {
             a.matches("\"kind\":\"fragment_retried\"").count(),
             fo.log.redeliveries.len(),
             "{ctx}: one event per re-delivery attempt"
+        );
+    }
+}
+
+#[test]
+fn transport_path_keeps_the_byte_identical_stream() {
+    // The lossy-link scenario: flaky links on two shards plus a straggler
+    // stall — guaranteed drops, retransmissions, suppressions, and (with
+    // hedging on) hedge decisions.
+    let scale = ScenarioScale::small();
+    let catalog = VirtualCatalog::new(scale.level, scale.n_buckets, 200, 4096, 7);
+    let fx = build_scenario(ScenarioKind::LossyLink, &scale);
+    let picked: Vec<_> = scheduler_factories()
+        .into_iter()
+        .filter(|(label, _)| *label == "greedy" || *label == "adaptive")
+        .collect();
+    let mut config = RuntimeConfig::contiguous(SimConfig::paper(), 4);
+    config.faults = FaultPlan {
+        stalls: fx.stalls.clone(),
+        outages: fx.outages.clone(),
+        links: fx.links.clone(),
+    };
+    config.transport = TransportConfig::hedged();
+    config.transport.hedge.quantile = 0.75;
+    config.transport.hedge.latency_multiplier = 1.5;
+    config.transport.hedge.min_samples = 5;
+    config.telemetry = TelemetryConfig::jsonl();
+    let rt = ShardedRuntime::new(&catalog, config);
+    for (label, mk) in &picked {
+        let stepped = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Stepped);
+        let threaded = rt.run(&fx.trace, &mut |_| mk(), ExecMode::Threaded);
+        let ctx = format!("{label} under the lossy-link scenario");
+        let a = jsonl_of(&stepped);
+        assert_eq!(a, jsonl_of(&threaded), "{ctx}: streams diverged");
+        assert_eq!(
+            stepped.telemetry.as_ref().unwrap().to_chrome_trace(),
+            threaded.telemetry.as_ref().unwrap().to_chrome_trace(),
+            "{ctx}: Chrome trace documents diverged"
+        );
+        // The stream mirrors the transport decision log exactly.
+        let tp = stepped.transport.as_ref().expect("transport is on");
+        assert!(
+            !tp.log.drops.is_empty()
+                && !tp.log.retransmits.is_empty()
+                && !tp.log.suppressed.is_empty()
+                && !tp.log.hedges.is_empty(),
+            "{ctx}: the lossy links must drop, retransmit, suppress, and hedge"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"fragment_dropped\"").count(),
+            tp.log.drops.len(),
+            "{ctx}: one event per dropped message"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"fragment_retransmitted\"").count(),
+            tp.log.retransmits.len(),
+            "{ctx}: one event per retransmission"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"duplicate_suppressed\"").count(),
+            tp.log.suppressed.len(),
+            "{ctx}: one event per receiver-side dedup"
+        );
+        assert_eq!(
+            a.matches("\"kind\":\"fragment_hedged\"").count(),
+            tp.log.hedges.len(),
+            "{ctx}: one event per hedge decision"
         );
     }
 }
